@@ -1,0 +1,216 @@
+//! An FFTW-3.1-like adaptive library model.
+//!
+//! The paper's comparison target parallelizes the loops inside a standard
+//! Cooley–Tukey recursion, schedules them *block-cyclically* without
+//! knowledge of the cache-line length µ, and (with experimental thread
+//! pooling off, its default) creates threads per transform execution —
+//! "the infrastructure required for portability … incurs considerable
+//! overhead", which is why FFTW profits from threads only beyond several
+//! thousand points (paper §2.2, §4).
+//!
+//! Sequential compute is the iterative radix-2 FFT; what this module
+//! models carefully is the *parallel schedule and its memory behaviour*,
+//! exposed through [`FftwLikeFft::trace`] for the machine simulator.
+
+use crate::iterative::IterativeFft;
+use spiral_codegen::hook::{MemHook, Region};
+use spiral_spl::cplx::Cplx;
+
+/// Tuning knobs of the modeled library.
+#[derive(Clone, Copy, Debug)]
+pub struct FftwLikeConfig {
+    /// Thread-creation + join cost per parallel transform execution, in
+    /// machine cycles (paid once per execute when pooling is off).
+    pub spawn_cycles: f64,
+    /// Experimental thread pooling (paper: off by default; semaphores
+    /// worked for 2 threads, hung for 4).
+    pub thread_pool: bool,
+    /// Scheduling grain in loop iterations for the block-cyclic split;
+    /// `0` = contiguous split (one chunk per thread), the library's
+    /// default. Small explicit grains model µ-oblivious fine-grain
+    /// scheduling (used by the ABL-SCHED ablation).
+    pub grain: usize,
+}
+
+impl Default for FftwLikeConfig {
+    fn default() -> Self {
+        // ~100 µs at 2 GHz for create+join of a couple of threads —
+        // consistent with FFTW's observed 2^13 crossover.
+        FftwLikeConfig { spawn_cycles: 200_000.0, thread_pool: false, grain: 0 }
+    }
+}
+
+/// The modeled library instance for one size.
+pub struct FftwLikeFft {
+    /// Transform size.
+    pub n: usize,
+    fft: IterativeFft,
+    /// The modeled library's tuning knobs.
+    pub cfg: FftwLikeConfig,
+}
+
+impl FftwLikeFft {
+    /// Build the modeled library for size `n`.
+    pub fn new(n: usize, cfg: FftwLikeConfig) -> FftwLikeFft {
+        FftwLikeFft { n, fft: IterativeFft::new(n), cfg }
+    }
+
+    /// Numerical execution (sequential; the parallel schedule only
+    /// changes who computes what, not the values).
+    pub fn run(&self, x: &[Cplx]) -> Vec<Cplx> {
+        self.fft.run(x)
+    }
+
+    /// Emit the access stream of the `threads`-way parallel execution:
+    /// bit-reversal, then `log2 n` butterfly passes, each parallelized
+    /// block-cyclically with grain `cfg.grain` — µ-oblivious, exactly the
+    /// behaviour that causes false sharing on small sub-blocks.
+    pub fn trace(&self, threads: usize, hook: &mut dyn MemHook) {
+        let n = self.n;
+        let threads = threads.max(1);
+        if threads > 1 {
+            if !self.cfg.thread_pool {
+                // Threads created for this execution, joined at the end.
+                hook.overhead(0, self.cfg.spawn_cycles);
+            }
+        }
+        // Bit-reversal gather: BufA → BufB, contiguous writes per thread.
+        for tid in 0..threads {
+            let lo = n * tid / threads;
+            let hi = n * (tid + 1) / threads;
+            for i in lo..hi {
+                hook.read(tid, Region::BufA, rev_index(n, i));
+                hook.write(tid, Region::BufB, i);
+            }
+        }
+        hook.barrier();
+        // Butterfly passes, in place in BufB.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let groups = n / len;
+            // Parallelize the group loop when possible (outer loop), the
+            // k loop otherwise (final passes) — FFTW parallelizes
+            // whichever loop exists; both are scheduled block-cyclically.
+            if groups >= threads {
+                let grain = self.effective_grain(groups, threads);
+                let chunks = groups.div_ceil(grain);
+                for chunk in 0..chunks {
+                    let tid = chunk % threads;
+                    let g_lo = chunk * grain;
+                    let g_hi = (g_lo + grain).min(groups);
+                    for g in g_lo..g_hi {
+                        let base = g * len;
+                        for k in 0..half {
+                            self.butterfly_access(tid, base + k, base + k + half, hook);
+                        }
+                        hook.flops(tid, 10 * half as u64);
+                    }
+                }
+            } else {
+                // Split the k loop of each group block-cyclically.
+                let grain = self.effective_grain(half, threads);
+                for (g, base) in (0..groups).map(|g| (g, g * len)) {
+                    let _ = g;
+                    let chunks = half.div_ceil(grain);
+                    for chunk in 0..chunks {
+                        let tid = chunk % threads;
+                        let k_lo = chunk * grain;
+                        let k_hi = (k_lo + grain).min(half);
+                        for k in k_lo..k_hi {
+                            self.butterfly_access(tid, base + k, base + k + half, hook);
+                        }
+                        hook.flops(tid, 10 * (k_hi - k_lo) as u64);
+                    }
+                }
+            }
+            hook.barrier();
+            len *= 2;
+        }
+    }
+
+    fn effective_grain(&self, iterations: usize, threads: usize) -> usize {
+        if self.cfg.grain == 0 {
+            iterations.div_ceil(threads).max(1)
+        } else {
+            self.cfg.grain
+        }
+    }
+
+    fn butterfly_access(&self, tid: usize, a: usize, b: usize, hook: &mut dyn MemHook) {
+        hook.read(tid, Region::BufB, a);
+        hook.read(tid, Region::BufB, b);
+        hook.write(tid, Region::BufB, a);
+        hook.write(tid, Region::BufB, b);
+    }
+
+    /// Nominal sequential flops.
+    pub fn flops(&self) -> u64 {
+        self.fft.flops()
+    }
+}
+
+fn rev_index(n: usize, i: usize) -> usize {
+    let bits = n.trailing_zeros();
+    if bits == 0 {
+        0
+    } else {
+        (i as u32).reverse_bits() as usize >> (32 - bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_codegen::hook::CountingHook;
+    use spiral_spl::cplx::assert_slices_close;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new(k as f64, -2.0 + 0.5 * k as f64)).collect()
+    }
+
+    #[test]
+    fn runs_correct_dft() {
+        for n in [8usize, 64, 512] {
+            let f = FftwLikeFft::new(n, FftwLikeConfig::default());
+            let x = ramp(n);
+            assert_slices_close(
+                &f.run(&x),
+                &spiral_spl::builder::dft(n).eval(&x),
+                1e-8 * n as f64,
+            );
+        }
+    }
+
+    #[test]
+    fn trace_structure() {
+        let n = 64;
+        let f = FftwLikeFft::new(n, FftwLikeConfig::default());
+        let mut h = CountingHook::default();
+        f.trace(2, &mut h);
+        // log2(64) butterfly passes + bit reversal barrier.
+        assert_eq!(h.barriers, 7);
+        assert_eq!(h.flops, f.flops());
+        // Both threads do compute.
+        assert!(h.per_tid_flops.len() == 2, "{:?}", h.per_tid_flops);
+    }
+
+    #[test]
+    fn sequential_trace_uses_one_thread() {
+        let f = FftwLikeFft::new(32, FftwLikeConfig::default());
+        let mut h = CountingHook::default();
+        f.trace(1, &mut h);
+        assert_eq!(h.per_tid_flops.len(), 1);
+    }
+
+    #[test]
+    fn work_is_roughly_balanced_across_threads() {
+        let f = FftwLikeFft::new(256, FftwLikeConfig::default());
+        let mut h = CountingHook::default();
+        f.trace(4, &mut h);
+        let w: Vec<u64> = (0..4).map(|t| h.per_tid_flops[&t]).collect();
+        let max = *w.iter().max().unwrap() as f64;
+        let min = *w.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "{w:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Iterative in-place radix-2 FFT with bit-reversal permutation — the
+//! classic memory-access pattern whose large strides cause the false
+//! sharing the paper's §2.2 discusses.
+
+use spiral_spl::cplx::Cplx;
+use spiral_spl::num::{is_pow2, omega_pow};
+
+/// In-place radix-2 DIT FFT. Power-of-two sizes only.
+pub struct IterativeFft {
+    /// Transform size (power of two).
+    pub n: usize,
+    /// Precomputed twiddles ω_n^k for k < n/2.
+    twiddles: Vec<Cplx>,
+    /// Bit-reversal table.
+    rev: Vec<u32>,
+}
+
+impl IterativeFft {
+    /// Precompute twiddles and the bit-reversal table for size `n`.
+    pub fn new(n: usize) -> IterativeFft {
+        assert!(is_pow2(n), "iterative radix-2 needs a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| if n == 1 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        let twiddles = (0..n / 2).map(|k| omega_pow(n, k)).collect();
+        IterativeFft { n, twiddles, rev }
+    }
+
+    /// Compute the forward DFT of `x`.
+    pub fn run(&self, x: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(x.len(), self.n);
+        let mut a: Vec<Cplx> = (0..self.n).map(|i| x[self.rev[i] as usize]).collect();
+        self.butterflies(&mut a);
+        a
+    }
+
+    fn butterflies(&self, a: &mut [Cplx]) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len; // twiddle index stride
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let u = a[base + k];
+                    let t = a[base + k + half] * w;
+                    a[base + k] = u + t;
+                    a[base + k + half] = u - t;
+                }
+                base += len;
+            }
+            len *= 2;
+        }
+    }
+
+    /// Flop estimate (10 real flops per butterfly, n/2·log2 n butterflies).
+    pub fn flops(&self) -> u64 {
+        let lg = self.n.trailing_zeros() as u64;
+        10 * (self.n as u64 / 2) * lg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::assert_slices_close;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new(1.0 + k as f64, -0.25 * k as f64)).collect()
+    }
+
+    #[test]
+    fn matches_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128, 1024] {
+            let x = ramp(n);
+            let y = IterativeFft::new(n).run(&x);
+            let want = spiral_spl::builder::dft(n).eval(&x);
+            assert_slices_close(&y, &want, 1e-8 * n.max(4) as f64);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        let f = IterativeFft::new(64);
+        for i in 0..64u32 {
+            let r = f.rev[i as usize];
+            assert_eq!(f.rev[r as usize], i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        IterativeFft::new(12);
+    }
+
+    #[test]
+    fn flops_estimate() {
+        assert_eq!(IterativeFft::new(8).flops(), 10 * 4 * 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Naive O(n²) DFT — the correctness reference.
+
+use spiral_spl::apply::naive_dft;
+use spiral_spl::cplx::Cplx;
+
+/// Direct evaluation of the defining matrix-vector product.
+pub struct NaiveDft {
+    /// Transform size.
+    pub n: usize,
+}
+
+impl NaiveDft {
+    /// Reference transform of size `n`.
+    pub fn new(n: usize) -> NaiveDft {
+        NaiveDft { n }
+    }
+
+    /// Compute the DFT by the defining O(n²) sum.
+    pub fn run(&self, x: &[Cplx]) -> Vec<Cplx> {
+        let mut y = vec![Cplx::ZERO; self.n];
+        naive_dft(self.n, x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_formula_dft() {
+        let n = 12;
+        let x: Vec<Cplx> = (0..n).map(|k| Cplx::new(k as f64, -1.0)).collect();
+        let y = NaiveDft::new(n).run(&x);
+        let want = spiral_spl::builder::dft(n).eval(&x);
+        spiral_spl::cplx::assert_slices_close(&y, &want, 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Textbook recursive radix-2 Cooley–Tukey (decimation in time), with a
+//! naive fallback for odd factors. Allocation-heavy on purpose — this is
+//! the "clean pseudocode" implementation libraries are measured against.
+
+use spiral_spl::apply::naive_dft;
+use spiral_spl::cplx::Cplx;
+use spiral_spl::num::omega_pow;
+
+/// Recursive DIT FFT.
+pub struct RecursiveFft {
+    /// Transform size.
+    pub n: usize,
+}
+
+impl RecursiveFft {
+    /// Recursive transform of size `n`.
+    pub fn new(n: usize) -> RecursiveFft {
+        assert!(n >= 1);
+        RecursiveFft { n }
+    }
+
+    /// Compute the forward DFT of `x`.
+    pub fn run(&self, x: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(x.len(), self.n);
+        rec(x)
+    }
+}
+
+fn rec(x: &[Cplx]) -> Vec<Cplx> {
+    let n = x.len();
+    if n == 1 {
+        return x.to_vec();
+    }
+    if n % 2 != 0 {
+        let mut y = vec![Cplx::ZERO; n];
+        naive_dft(n, x, &mut y);
+        return y;
+    }
+    let even: Vec<Cplx> = x.iter().step_by(2).copied().collect();
+    let odd: Vec<Cplx> = x.iter().skip(1).step_by(2).copied().collect();
+    let e = rec(&even);
+    let o = rec(&odd);
+    let mut y = vec![Cplx::ZERO; n];
+    for k in 0..n / 2 {
+        let t = o[k] * omega_pow(n, k);
+        y[k] = e[k] + t;
+        y[k + n / 2] = e[k] - t;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::assert_slices_close;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new(k as f64, 0.5 * k as f64)).collect()
+    }
+
+    #[test]
+    fn matches_dft_for_pow2_and_mixed() {
+        for n in [1usize, 2, 4, 8, 16, 64, 6, 12, 20, 15] {
+            let x = ramp(n);
+            let y = RecursiveFft::new(n).run(&x);
+            let want = spiral_spl::builder::dft(n).eval(&x);
+            assert_slices_close(&y, &want, 1e-8 * n.max(4) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_length() {
+        RecursiveFft::new(8).run(&ramp(4));
+    }
+}

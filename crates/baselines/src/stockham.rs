@@ -1,0 +1,69 @@
+//! Stockham autosort FFT: no explicit bit reversal — the permutation is
+//! absorbed into the ping-pong data flow. The standard "GPU/vector
+//! friendly" formulation.
+
+use spiral_spl::cplx::Cplx;
+use spiral_spl::num::{is_pow2, omega_pow};
+
+/// Stockham radix-2 autosort FFT (out of place, ping-pong).
+pub struct StockhamFft {
+    /// Transform size (power of two).
+    pub n: usize,
+}
+
+impl StockhamFft {
+    /// Autosort transform of size `n`.
+    pub fn new(n: usize) -> StockhamFft {
+        assert!(is_pow2(n), "Stockham radix-2 needs a power of two, got {n}");
+        StockhamFft { n }
+    }
+
+    /// Compute the forward DFT of `x`.
+    pub fn run(&self, x: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(x.len(), self.n);
+        let n = self.n;
+        if n == 1 {
+            return x.to_vec();
+        }
+        // Decimation-in-frequency Stockham: at each stage the current
+        // sub-problem size `cur` halves while the stride `s` doubles; the
+        // reordering happens implicitly through the output indexing.
+        let mut a = x.to_vec();
+        let mut b = vec![Cplx::ZERO; n];
+        let mut cur = n;
+        let mut s = 1;
+        while cur > 1 {
+            let m = cur / 2;
+            for p in 0..m {
+                let w = omega_pow(cur, p);
+                for q in 0..s {
+                    let u = a[q + s * p];
+                    let v = a[q + s * (p + m)];
+                    b[q + s * 2 * p] = u + v;
+                    b[q + s * (2 * p + 1)] = (u - v) * w;
+                }
+            }
+            std::mem::swap(&mut a, &mut b);
+            cur = m;
+            s *= 2;
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::assert_slices_close;
+
+    #[test]
+    fn matches_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x: Vec<Cplx> =
+                (0..n).map(|k| Cplx::new(0.5 * k as f64, 2.0 - k as f64)).collect();
+            let y = StockhamFft::new(n).run(&x);
+            let want = spiral_spl::builder::dft(n).eval(&x);
+            assert_slices_close(&y, &want, 1e-8 * n.max(4) as f64);
+        }
+    }
+}

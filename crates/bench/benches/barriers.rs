@@ -1,0 +1,38 @@
+//! ABL-BAR: barrier overhead — the "low-latency minimal overhead
+//! synchronization" design point of §3.2. Spin vs. parking barrier
+//! round-trip cost at 2 and 4 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spiral_smp::barrier::{Barrier, BarrierKind};
+use spiral_smp::pool::Pool;
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_roundtrip");
+    for p in [2usize, 4] {
+        for kind in [BarrierKind::Spin, BarrierKind::Park] {
+            let pool = Pool::new(p);
+            let name = format!("{kind:?}_p{p}");
+            group.bench_function(BenchmarkId::new("barrier", name), |b| {
+                b.iter_custom(|iters| {
+                    let barrier = kind.build(p);
+                    let barrier: &dyn Barrier = &*barrier;
+                    let start = std::time::Instant::now();
+                    pool.run(&|_tid| {
+                        for _ in 0..iters {
+                            barrier.wait();
+                        }
+                    });
+                    start.elapsed()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_barriers
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Codelet microbenchmarks: hand-unrolled kernels vs. generated DAG
+//! interpretation — justifies the fast paths for sizes 2/4/8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spiral_codegen::codelet::{generate_dft_dag, Codelet};
+use spiral_spl::cplx::Cplx;
+use std::sync::Arc;
+
+fn bench_codelets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codelets");
+    for n in [2usize, 4, 8, 16, 32] {
+        let x: Vec<Cplx> = (0..n).map(|k| Cplx::new(k as f64, -1.0)).collect();
+        let mut out = vec![Cplx::ZERO; n];
+        let mut scratch = Vec::new();
+
+        let hand = Codelet::for_size(n);
+        group.bench_with_input(BenchmarkId::new("default", n), &n, |b, _| {
+            b.iter(|| {
+                hand.apply(&x, &mut out, &mut scratch);
+                out[0]
+            })
+        });
+
+        let dag = Codelet::Dag(Arc::new(generate_dft_dag(n)));
+        group.bench_with_input(BenchmarkId::new("dag_interp", n), &n, |b, _| {
+            b.iter(|| {
+                dag.apply(&x, &mut out, &mut scratch);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_codelets
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Host wall-clock microbenchmarks: tuned generated plans vs. the
+//! baseline FFTs (sequential — the container has one CPU; parallel
+//! behaviour is covered by the simulator harness and `parallel_exec`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spiral_baselines::{FftwLikeConfig, FftwLikeFft, IterativeFft, RecursiveFft, StockhamFft};
+use spiral_search::{CostModel, Tuner};
+use spiral_spl::cplx::Cplx;
+
+fn input(n: usize) -> Vec<Cplx> {
+    (0..n).map(|k| Cplx::new(k as f64 * 0.7, 1.0 - k as f64 * 0.2)).collect()
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_dft");
+    for k in [8u32, 10, 12] {
+        let n = 1usize << k;
+        let x = input(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        let tuner = Tuner::new(1, 4, CostModel::Analytic);
+        let plan = tuner.tune_sequential(n).plan;
+        group.bench_with_input(BenchmarkId::new("spiral_tuned", k), &x, |b, x| {
+            b.iter(|| plan.execute(x))
+        });
+
+        let fftw = FftwLikeFft::new(n, FftwLikeConfig::default());
+        group.bench_with_input(BenchmarkId::new("fftw_like", k), &x, |b, x| {
+            b.iter(|| fftw.run(x))
+        });
+
+        let iter = IterativeFft::new(n);
+        group.bench_with_input(BenchmarkId::new("iterative_radix2", k), &x, |b, x| {
+            b.iter(|| iter.run(x))
+        });
+
+        let stock = StockhamFft::new(n);
+        group.bench_with_input(BenchmarkId::new("stockham", k), &x, |b, x| {
+            b.iter(|| stock.run(x))
+        });
+
+        if k <= 10 {
+            let rec = RecursiveFft::new(n);
+            group.bench_with_input(BenchmarkId::new("recursive", k), &x, |b, x| {
+                b.iter(|| rec.run(x))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_sequential
+}
+criterion_main!(benches);

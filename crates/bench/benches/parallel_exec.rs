@@ -1,0 +1,47 @@
+//! Real-thread plan execution: sequential vs. 2-thread parallel plans on
+//! this host. NOTE: the benchmark container has a single CPU, so the
+//! parallel numbers measure *scheduling overhead*, not speedup — the
+//! speedup shapes come from the simulator harness (`figures fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spiral_codegen::plan::Plan;
+use spiral_codegen::ParallelExecutor;
+use spiral_rewrite::{multicore_dft_expanded, sequential_dft};
+use spiral_smp::barrier::BarrierKind;
+use spiral_spl::cplx::Cplx;
+
+fn input(n: usize) -> Vec<Cplx> {
+    (0..n).map(|k| Cplx::new(k as f64, 0.5)).collect()
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_execution");
+    for k in [10u32, 12] {
+        let n = 1usize << k;
+        let x = input(n);
+
+        let seq = Plan::from_formula(&sequential_dft(n, 8), 1, 4).unwrap();
+        group.bench_with_input(BenchmarkId::new("sequential", k), &x, |b, x| {
+            b.iter(|| seq.execute(x))
+        });
+
+        let par_formula = multicore_dft_expanded(n, 2, 4, None, 8).unwrap();
+        let par = Plan::from_formula(&par_formula, 2, 4).unwrap();
+        group.bench_with_input(BenchmarkId::new("parallel_schedule_1thread", k), &x, |b, x| {
+            b.iter(|| par.execute(x))
+        });
+
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        group.bench_with_input(BenchmarkId::new("parallel_2threads", k), &x, |b, x| {
+            b.iter(|| exec.execute(&par, x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_parallel
+}
+criterion_main!(benches);

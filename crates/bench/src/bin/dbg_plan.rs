@@ -1,0 +1,37 @@
+//! Debug utility: print the kernel structure of a tuned sequential plan.
+use spiral_codegen::plan::Step;
+use spiral_codegen::stage::LocalStage;
+use spiral_search::{CostModel, Tuner};
+
+fn main() {
+    let tuner = Tuner::new(1, 4, CostModel::Analytic);
+    let plan = tuner.tune_sequential(1024).plan;
+    for (si, step) in plan.steps.iter().enumerate() {
+        if let Step::Seq(p) = step {
+            for (ki, st) in p.stages.iter().enumerate() {
+                if let LocalStage::Kernel(k) = st {
+                    println!(
+                        "step {si} kernel {ki}: c={} loops={:?} in_map={} out_map={} tw={} two={} it_str={} ot_str={}",
+                        k.codelet.size(),
+                        k.loops.iter().map(|l| (l.count, l.in_stride, l.out_stride)).collect::<Vec<_>>(),
+                        k.in_map.is_some(),
+                        k.out_map.is_some(),
+                        k.twiddle.is_some(),
+                        k.twiddle_out.is_some(),
+                        k.in_t_stride,
+                        k.out_t_stride
+                    );
+                } else {
+                    let kind = match st {
+                        LocalStage::Permute(_) => "Permute",
+                        LocalStage::Scale(_) => "Scale",
+                        _ => "?",
+                    };
+                    println!("step {si} stage {ki}: {kind}");
+                }
+            }
+        } else {
+            println!("step {si}: non-Seq");
+        }
+    }
+}

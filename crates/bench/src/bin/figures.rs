@@ -1,0 +1,344 @@
+//! `figures` — regenerate the paper's evaluation.
+//!
+//! ```text
+//! figures fig3 --machine core-duo [--min 6] [--max 18] [--out results/]
+//! figures crossover [--machine core-duo]
+//! figures sequential [--min 8] [--max 14]       (host wall-clock)
+//! figures ablation-false-sharing [--machine core-duo]
+//! figures ablation-schedule [--machine core-duo] [--size 12]
+//! figures ablation-sixstep [--machine core-duo]
+//! figures ablation-merge [--machine core-duo]
+//! figures search
+//! figures all [--out results/]
+//! ```
+
+use spiral_bench::ablations::{
+    false_sharing_ablation, merge_ablation, schedule_ablation, search_comparison,
+    sixstep_ablation,
+};
+use spiral_bench::ascii;
+use spiral_bench::series::{crossover, fig3_series, tune_spiral, Series};
+use spiral_sim::{by_name, paper_machines, simulate_plan, MachineSpec};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let cmd = args[0].as_str();
+    let opts = parse_flags(&args[1..]);
+    let out_dir = opts.get("out").cloned();
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("cannot create output dir");
+    }
+
+    match cmd {
+        "fig3" => {
+            let m = machine_arg(&opts);
+            run_fig3(&m, &opts, out_dir.as_deref());
+        }
+        "crossover" => {
+            let m = machine_arg(&opts);
+            run_crossover(&m, &opts);
+        }
+        "sequential" => run_sequential_host(&opts),
+        "ablation-false-sharing" => {
+            let m = machine_arg(&opts);
+            run_abl_fs(&m, &opts, out_dir.as_deref());
+        }
+        "ablation-schedule" => {
+            let m = machine_arg(&opts);
+            run_abl_sched(&m, &opts);
+        }
+        "ablation-sixstep" => {
+            let m = machine_arg(&opts);
+            run_abl_sixstep(&m, &opts);
+        }
+        "ablation-merge" => {
+            let m = machine_arg(&opts);
+            run_abl_merge(&m, &opts);
+        }
+        "search" => run_search(&opts),
+        "all" => {
+            let (min, max) = range(&opts, 6, 16);
+            for m in paper_machines() {
+                println!("\n================== {} ==================", m.name);
+                let series = fig3_series(&m, min, max);
+                print_fig3(&m, &series);
+                save_csv(&m, &series, out_dir.as_deref());
+            }
+            let m = machine_arg(&opts);
+            run_crossover(&m, &opts);
+            run_abl_fs(&m, &opts, out_dir.as_deref());
+            run_abl_sched(&m, &opts);
+            run_abl_sixstep(&m, &opts);
+            run_abl_merge(&m, &opts);
+            run_search(&opts);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: figures <fig3|crossover|sequential|ablation-false-sharing|\
+         ablation-schedule|ablation-sixstep|ablation-merge|search|all> [--machine NAME] \
+         [--min K] [--max K] [--size K] [--out DIR]\n\
+         machines: core-duo opteron pentium-d xeon-mp"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                out.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            eprintln!("ignoring stray argument {}", args[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn machine_arg(opts: &HashMap<String, String>) -> MachineSpec {
+    let key = opts.get("machine").map(String::as_str).unwrap_or("core-duo");
+    by_name(key).unwrap_or_else(|| {
+        eprintln!("unknown machine {key}");
+        usage_and_exit()
+    })
+}
+
+fn range(opts: &HashMap<String, String>, dmin: u32, dmax: u32) -> (u32, u32) {
+    let min = opts.get("min").and_then(|s| s.parse().ok()).unwrap_or(dmin);
+    let max = opts.get("max").and_then(|s| s.parse().ok()).unwrap_or(dmax);
+    (min, max.max(min))
+}
+
+fn machine_slug(m: &MachineSpec) -> String {
+    m.name
+        .chars()
+        .take_while(|c| *c != '(')
+        .collect::<String>()
+        .trim()
+        .to_lowercase()
+        .replace([' ', '.'], "-")
+}
+
+fn save_csv(m: &MachineSpec, series: &[Series], out_dir: Option<&str>) {
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/fig3_{}.csv", machine_slug(m));
+        std::fs::write(&path, ascii::csv(series)).expect("write csv");
+        println!("wrote {path}");
+    }
+}
+
+fn print_fig3(m: &MachineSpec, series: &[Series]) {
+    println!("\nFigure 3 — {} — pseudo-Mflop/s (5 N log2 N / t)", m.name);
+    println!("{}", ascii::table(series));
+    println!("{}", ascii::chart(&m.name, series, 18));
+}
+
+fn run_fig3(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 6, 18);
+    let series = fig3_series(m, min, max);
+    print_fig3(m, &series);
+    save_csv(m, &series, out_dir);
+    if let (Some(x_sp), Some(x_fw)) = (
+        crossover(&series[0], &series[2], 0.02),
+        crossover(&series[3], &series[4], 0.02),
+    ) {
+        println!("parallel pays off: Spiral from 2^{x_sp}, FFTW-like from 2^{x_fw}");
+    }
+}
+
+fn run_crossover(m: &MachineSpec, opts: &HashMap<String, String>) {
+    let (min, max) = range(opts, 6, 15);
+    println!("\nCLAIM-XOVER on {} — parallelization crossover", m.name);
+    let series = fig3_series(m, min, max);
+    let x_sp = crossover(&series[0], &series[2], 0.02);
+    let x_fw = crossover(&series[3], &series[4], 0.02);
+    println!(
+        "  Spiral parallel beats sequential from: {}",
+        x_sp.map_or("never in range".into(), |k| format!("2^{k}")),
+    );
+    println!(
+        "  FFTW-like parallel beats sequential from: {}",
+        x_fw.map_or("never in range".into(), |k| format!("2^{k}")),
+    );
+    // Cycle count at the Spiral crossover (paper: 2^8 at < 10k cycles).
+    if let Some(k) = x_sp {
+        let n = 1usize << k;
+        let plans = tune_spiral(n, m);
+        if let Some((_t, plan)) = plans.parallel.last() {
+            let rep = simulate_plan(plan, m, true);
+            println!(
+                "  at 2^{k}: parallel run = {:.0} cycles ({:.1} µs, {:.0} pseudo-Mflop/s)",
+                rep.cycles, rep.micros, rep.pseudo_mflops
+            );
+        }
+    }
+}
+
+/// Host wall-clock comparison of sequential implementations (CLAIM-SEQ):
+/// the tuned generated plan vs. the baselines, all on this machine.
+fn run_sequential_host(opts: &HashMap<String, String>) {
+    use spiral_baselines::{FftwLikeConfig, FftwLikeFft, IterativeFft, StockhamFft};
+    use spiral_search::{CostModel, Tuner};
+    use spiral_spl::cplx::Cplx;
+    use std::time::Instant;
+    let (min, max) = range(opts, 8, 14);
+    println!("\nCLAIM-SEQ — host wall-clock, sequential (pseudo-Mflop/s, higher=better)");
+    println!(
+        "{:>7} {:>16} {:>16} {:>16} {:>16} {:>16}",
+        "log2n", "spiral(plan)", "spiral(C -O3)", "fftw-like", "iterative", "stockham"
+    );
+    let time_us = |f: &mut dyn FnMut()| -> f64 {
+        f(); // warm
+        let reps = 5;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        best
+    };
+    for k in min..=max {
+        let n = 1usize << k;
+        let x: Vec<Cplx> = (0..n).map(|i| Cplx::new(i as f64, -0.5 * i as f64)).collect();
+        let tuner = Tuner::new(1, spiral_smp::topology::mu(), CostModel::Analytic);
+        let plan = tuner.tune_sequential(n).plan;
+        let t_spiral = time_us(&mut || {
+            std::hint::black_box(plan.execute(&x));
+        });
+        // The paper's actual artifact: emitted C compiled with the
+        // platform compiler.
+        let t_spiral_c = spiral_bench::cbench::time_emitted_c(&plan, 7);
+        let fftw = FftwLikeFft::new(n, FftwLikeConfig::default());
+        let t_fftw = time_us(&mut || {
+            std::hint::black_box(fftw.run(&x));
+        });
+        let iter = IterativeFft::new(n);
+        let t_iter = time_us(&mut || {
+            std::hint::black_box(iter.run(&x));
+        });
+        let stock = StockhamFft::new(n);
+        let t_stock = time_us(&mut || {
+            std::hint::black_box(stock.run(&x));
+        });
+        let pm = |t: f64| spiral_spl::num::pseudo_mflops(n, t);
+        println!(
+            "{:>7} {:>16.1} {:>16} {:>16.1} {:>16.1} {:>16.1}",
+            k,
+            pm(t_spiral),
+            t_spiral_c.map_or("-".to_string(), |t| format!("{:.1}", pm(t))),
+            pm(t_fftw),
+            pm(t_iter),
+            pm(t_stock)
+        );
+    }
+}
+
+fn run_abl_fs(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 8, 14);
+    println!("\nABL-FS on {} — false sharing: µ-aware (14) vs µ-oblivious", m.name);
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>14} {:>12}",
+        "log2n", "spiral FS", "naive FS", "spiral cyc", "naive cyc", "slowdown"
+    );
+    let rows = false_sharing_ablation(m, min, max);
+    for r in &rows {
+        println!(
+            "{:>7} {:>14} {:>14} {:>14.0} {:>14.0} {:>11.2}x",
+            r.log2n,
+            r.spiral_false_sharing,
+            r.naive_false_sharing,
+            r.spiral_cycles,
+            r.naive_cycles,
+            r.naive_cycles / r.spiral_cycles
+        );
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/abl_false_sharing_{}.json", machine_slug(m));
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        println!("wrote {path}");
+    }
+}
+
+fn run_abl_sched(m: &MachineSpec, opts: &HashMap<String, String>) {
+    let k = opts.get("size").and_then(|s| s.parse().ok()).unwrap_or(12);
+    println!("\nABL-SCHED on {} — block-cyclic grain sweep at 2^{k}", m.name);
+    println!("{:>8} {:>16} {:>14} {:>14}", "grain", "false sharing", "cycles", "pMflop/s");
+    let mu = m.mu();
+    let n = 1usize << k;
+    let grains = [1, 2, mu, 4 * mu, n / (2 * m.p)];
+    for r in schedule_ablation(m, k, &grains) {
+        println!(
+            "{:>8} {:>16} {:>14.0} {:>14.0}",
+            r.grain, r.false_sharing, r.cycles, r.pmflops
+        );
+    }
+}
+
+fn run_abl_sixstep(m: &MachineSpec, opts: &HashMap<String, String>) {
+    let (min, max) = range(opts, 10, 16);
+    println!("\nABL-SIXSTEP on {} — multicore CT (14) vs explicit transposes", m.name);
+    println!(
+        "{:>7} {:>18} {:>14} {:>18}",
+        "log2n", "multicore CT", "six-step", "six-step blocked"
+    );
+    for r in sixstep_ablation(m, min, max) {
+        println!(
+            "{:>7} {:>18.0} {:>14.0} {:>18.0}",
+            r.log2n, r.multicore_ct_pmflops, r.sixstep_pmflops, r.sixstep_blocked_pmflops
+        );
+    }
+}
+
+fn run_abl_merge(m: &MachineSpec, opts: &HashMap<String, String>) {
+    let (min, max) = range(opts, 8, 14);
+    println!("\nABL-MERGE on {} — explicit P ⊗̄ I_µ passes vs merged into compute", m.name);
+    println!(
+        "{:>7} {:>16} {:>10} {:>16} {:>10} {:>10}",
+        "log2n", "explicit cyc", "barriers", "fused cyc", "barriers", "speedup"
+    );
+    for r in merge_ablation(m, min, max) {
+        println!(
+            "{:>7} {:>16.0} {:>10} {:>16.0} {:>10} {:>9.2}x",
+            r.log2n,
+            r.explicit_cycles,
+            r.explicit_barriers,
+            r.fused_cycles,
+            r.fused_barriers,
+            r.explicit_cycles / r.fused_cycles
+        );
+    }
+}
+
+fn run_search(opts: &HashMap<String, String>) {
+    let m = machine_arg(opts);
+    println!("\nSEARCH-DP on {} — simulated cycles (lower=better)", m.name);
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "log2n", "DP", "(evals)", "random", "evolve", "radix-2"
+    );
+    for r in search_comparison(&m, &[8, 10, 12]) {
+        println!(
+            "{:>7} {:>12.0} {:>10} {:>12.0} {:>12.0} {:>12.0}",
+            r.log2n, r.dp_cycles, r.dp_evaluated, r.random_cycles, r.evolve_cycles, r.radix2_cycles
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # spiral-bench — harness regenerating the paper's evaluation
+//!
+//! * [`series`] — the five Figure 3 curves (pseudo-Mflop/s vs. size) on
+//!   the simulated machines, with the paper's max-over-threads
+//!   methodology;
+//! * [`ascii`] — terminal tables/charts and CSV output;
+//! * [`ablations`] — false-sharing, scheduling-grain, six-step, and
+//!   search-strategy ablations.
+//!
+//! The `figures` binary drives everything:
+//! ```text
+//! cargo run -p spiral-bench --release --bin figures -- fig3 --machine core-duo
+//! cargo run -p spiral-bench --release --bin figures -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod cbench;
+pub mod ascii;
+pub mod series;

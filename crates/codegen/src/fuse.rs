@@ -1,0 +1,351 @@
+//! Loop merging (the formula-level optimization of ref. [11]).
+//!
+//! After lowering, permutations and diagonals are explicit data passes.
+//! This pass folds them into adjacent kernel stages:
+//!
+//! * `Permute → Kernel` becomes a fused *gather* (`in_map`),
+//! * `Scale → Kernel` becomes a fused twiddle-on-load,
+//! * `Kernel → Permute` becomes a fused *scatter* (`out_map`),
+//! * adjacent `Permute`s / `Scale`s combine,
+//! * identity permutes and all-ones scales disappear.
+//!
+//! The result is the memory behaviour the paper reasons about: a
+//! Cooley–Tukey formula becomes `log` kernel passes with strided gathers,
+//! no standalone reorder passes.
+
+use crate::lower::{twiddle_for_kernel, twiddle_for_kernel_out};
+use crate::stage::{KernelStage, LocalProgram, LocalStage};
+use spiral_spl::cplx::Cplx;
+use std::sync::Arc;
+
+/// Fuse a program to fixpoint. Semantics-preserving (tested by matrix
+/// equality against the unfused program).
+pub fn fuse(mut prog: LocalProgram) -> LocalProgram {
+    loop {
+        let before = prog.stages.len();
+        prog = fuse_once(prog);
+        prog = drop_trivial(prog);
+        if prog.stages.len() == before {
+            break;
+        }
+    }
+    recover_affine(prog)
+}
+
+/// Stride permutations fused as gather/scatter *tables* are usually
+/// affine in the kernel's own loop indices (e.g. the Cooley–Tukey
+/// `L^{mn}_m` is a plain stride-m read). Detect that and convert the
+/// table back into loop strides — the form the paper's index
+/// simplification [11] produces, and the form compilers vectorize.
+fn recover_affine(prog: LocalProgram) -> LocalProgram {
+    let dim = prog.dim;
+    let stages = prog
+        .stages
+        .into_iter()
+        .map(|s| match s {
+            LocalStage::Kernel(k) => LocalStage::Kernel(try_affine(k)),
+            other => other,
+        })
+        .collect();
+    LocalProgram { dim, stages }
+}
+
+fn try_affine(mut k: KernelStage) -> KernelStage {
+    if k.in_map.is_some() {
+        if let Some((off, strides, t_stride)) = affine_of(&k, false) {
+            k.in_map = None;
+            k.in_off = off;
+            for (l, s) in k.loops.iter_mut().zip(&strides) {
+                l.in_stride = *s;
+            }
+            k.in_t_stride = t_stride;
+        }
+    }
+    if k.out_map.is_some() {
+        if let Some((off, strides, t_stride)) = affine_of(&k, true) {
+            k.out_map = None;
+            k.out_off = off;
+            for (l, s) in k.loops.iter_mut().zip(&strides) {
+                l.out_stride = *s;
+            }
+            k.out_t_stride = t_stride;
+        }
+    }
+    k
+}
+
+/// If the (mapped) access function of `k` is affine in the loop indices
+/// and the codelet slot, return `(offset, per-loop strides, t-stride)`.
+fn affine_of(k: &KernelStage, output: bool) -> Option<(usize, Vec<usize>, usize)> {
+    let c = k.codelet.size();
+    // Collect the access stream in flat iteration order.
+    let mut idxs: Vec<usize> = Vec::with_capacity(k.iterations() * c);
+    k.trace(|is_write, idx| {
+        if is_write == output {
+            idxs.push(idx);
+        }
+    });
+    let counts: Vec<usize> = k.loops.iter().map(|l| l.count).collect();
+    let base = *idxs.first()?;
+    // Candidate t-stride from the first iteration.
+    let t_stride = if c > 1 { idxs.get(1)?.checked_sub(base)? } else { 0 };
+    // Candidate per-loop strides from the unit steps of each dimension.
+    let mut strides = vec![0usize; counts.len()];
+    let mut step = 1usize; // flat-iteration step of dimension d (innermost last)
+    for d in (0..counts.len()).rev() {
+        if counts[d] > 1 {
+            strides[d] = idxs.get(step * c)?.checked_sub(base)?;
+        }
+        step *= counts[d];
+    }
+    // Verify every access.
+    let total: usize = counts.iter().product();
+    for flat in 0..total {
+        // Decompose flat into the mixed-radix loop indices.
+        let mut rem = flat;
+        let mut predicted = base;
+        for d in (0..counts.len()).rev() {
+            let i_d = rem % counts[d];
+            rem /= counts[d];
+            predicted += i_d * strides[d];
+        }
+        for t in 0..c {
+            if idxs[flat * c + t] != predicted + t * t_stride {
+                return None;
+            }
+        }
+    }
+    Some((base, strides, t_stride))
+}
+
+fn fuse_once(prog: LocalProgram) -> LocalProgram {
+    let dim = prog.dim;
+    let mut out: Vec<LocalStage> = Vec::with_capacity(prog.stages.len());
+    for stage in prog.stages {
+        match (out.last_mut(), stage) {
+            // Permute then Permute: y = P2(P1 x) ⇒ tbl[i] = t1[t2[i]].
+            (Some(LocalStage::Permute(t1)), LocalStage::Permute(t2)) => {
+                let combined: Vec<u32> =
+                    t2.iter().map(|&i| t1[i as usize]).collect();
+                *t1 = Arc::new(combined);
+            }
+            // Scale then Scale: pointwise product.
+            (Some(LocalStage::Scale(w1)), LocalStage::Scale(w2)) => {
+                let combined: Vec<Cplx> =
+                    w1.iter().zip(w2.iter()).map(|(a, b)| *a * *b).collect();
+                *w1 = Arc::new(combined);
+            }
+            // Permute then Kernel: fold into the kernel's gather.
+            (Some(LocalStage::Permute(t)), LocalStage::Kernel(mut k)) => {
+                let t = Arc::clone(t);
+                k.in_map = Some(match k.in_map.take() {
+                    None => t,
+                    Some(old) => {
+                        Arc::new(old.iter().map(|&i| t[i as usize]).collect())
+                    }
+                });
+                *out.last_mut().unwrap() = LocalStage::Kernel(k);
+            }
+            // Scale then Kernel: fold into twiddle-on-load. The table is
+            // keyed by (iteration, slot), built from the kernel's own
+            // gather order, so it composes with any in_map already fused.
+            (Some(LocalStage::Scale(w)), LocalStage::Kernel(mut k)) => {
+                let per_slot = twiddle_for_kernel(&k, w);
+                k.twiddle = Some(match k.twiddle.take() {
+                    None => Arc::new(per_slot),
+                    Some(old) => Arc::new(
+                        old.iter().zip(&per_slot).map(|(a, b)| *a * *b).collect(),
+                    ),
+                });
+                *out.last_mut().unwrap() = LocalStage::Kernel(k);
+            }
+            // Kernel then Scale: fold as scale-on-store, keyed by the
+            // kernel's scatter order.
+            (Some(LocalStage::Kernel(k)), LocalStage::Scale(w)) => {
+                let per_slot = twiddle_for_kernel_out(k, &w);
+                let mut k2 = k.clone();
+                k2.twiddle_out = Some(match k2.twiddle_out.take() {
+                    None => Arc::new(per_slot),
+                    Some(old) => Arc::new(
+                        old.iter().zip(&per_slot).map(|(a, b)| *a * *b).collect(),
+                    ),
+                });
+                *out.last_mut().unwrap() = LocalStage::Kernel(k2);
+            }
+            // Kernel then Permute: fold into the kernel's scatter.
+            // y = P(K x): value written to o lands at dest with
+            // tbl[dest] = o, i.e. through the inverse table.
+            (Some(LocalStage::Kernel(k)), LocalStage::Permute(t)) => {
+                let mut inv = vec![0u32; t.len()];
+                for (i, &s) in t.iter().enumerate() {
+                    inv[s as usize] = i as u32;
+                }
+                let k = k.clone();
+                let mut k2 = k;
+                k2.out_map = Some(match k2.out_map.take() {
+                    None => Arc::new(inv),
+                    Some(old) => {
+                        Arc::new(old.iter().map(|&o| inv[o as usize]).collect())
+                    }
+                });
+                *out.last_mut().unwrap() = LocalStage::Kernel(k2);
+            }
+            (_, s) => out.push(s),
+        }
+    }
+    LocalProgram { dim, stages: out }
+}
+
+fn drop_trivial(prog: LocalProgram) -> LocalProgram {
+    let dim = prog.dim;
+    let stages = prog
+        .stages
+        .into_iter()
+        .filter(|s| match s {
+            LocalStage::Permute(t) => {
+                !t.iter().enumerate().all(|(i, &v)| v as usize == i)
+            }
+            LocalStage::Scale(w) => !w.iter().all(|z| z.approx_eq(Cplx::ONE, 0.0)),
+            LocalStage::Kernel(_) => true,
+        })
+        .collect();
+    LocalProgram { dim, stages }
+}
+
+/// Count kernel stages (post-fusion this is the number of compute passes).
+pub fn kernel_passes(prog: &LocalProgram) -> usize {
+    prog.stages
+        .iter()
+        .filter(|s| matches!(s, LocalStage::Kernel(_)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_seq;
+    use spiral_spl::builder::*;
+    use spiral_spl::cplx::assert_slices_close;
+    use spiral_spl::Spl;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|j| Cplx::new(0.25 * j as f64, 2.0 - j as f64)).collect()
+    }
+
+    fn check_fused(f: &Spl) -> LocalProgram {
+        let prog = lower_seq(f).unwrap();
+        let fused = fuse(prog.clone());
+        let x = ramp(f.dim());
+        assert_slices_close(&fused.eval(&x), &prog.eval(&x), 1e-9 * f.dim() as f64);
+        assert_slices_close(&fused.eval(&x), &f.eval(&x), 1e-9 * f.dim() as f64);
+        fused
+    }
+
+    #[test]
+    fn cooley_tukey_fuses_to_two_kernel_passes() {
+        // (DFT_2 ⊗ I_4) T (I_2 ⊗ DFT_4) L: the L fuses into the first
+        // kernel's gather and T into the second's load — exactly the "two
+        // loops" the paper says formula optimization reduces (1) to.
+        let fused = check_fused(&cooley_tukey(2, 4));
+        assert_eq!(fused.stages.len(), 2, "{:?}", fused.stages.len());
+        assert_eq!(kernel_passes(&fused), 2);
+    }
+
+    #[test]
+    fn recursive_expansion_fuses_to_log_passes() {
+        use spiral_rewrite::RuleTree;
+        let f = RuleTree::right_radix(16, 2).expand().normalized();
+        let fused = check_fused(&f);
+        // Radix-2 on 16 points: 4 butterfly passes, nothing else.
+        assert_eq!(kernel_passes(&fused), 4);
+        assert_eq!(fused.stages.len(), 4);
+    }
+
+    #[test]
+    fn six_step_keeps_unfusable_structure_correct() {
+        // Scale-after-kernel stays explicit; correctness must hold anyway.
+        check_fused(&six_step(4, 4));
+    }
+
+    #[test]
+    fn adjacent_permutes_combine() {
+        let f = compose(vec![stride(8, 2), stride(8, 4)]);
+        let fused = check_fused(&f);
+        // L^8_2 · L^8_4 = I, so everything disappears... (inverse pair)
+        assert!(fused.stages.is_empty(), "{} stages", fused.stages.len());
+    }
+
+    #[test]
+    fn adjacent_scales_combine() {
+        let f = compose(vec![twiddle(2, 4), twiddle(2, 4)]);
+        let fused = check_fused(&f);
+        assert_eq!(fused.stages.len(), 1);
+        assert!(matches!(fused.stages[0], LocalStage::Scale(_)));
+    }
+
+    #[test]
+    fn kernel_then_permute_becomes_scatter() {
+        let f = compose(vec![stride(8, 2), tensor(i(4), f2())]);
+        let fused = check_fused(&f);
+        assert_eq!(fused.stages.len(), 1);
+        match &fused.stages[0] {
+            // The scatter through L^8_2 is affine, so recovery turns the
+            // fused table back into strides: no out_map, but the output
+            // strides must no longer be the plain contiguous ones.
+            LocalStage::Kernel(k) => {
+                assert!(k.out_map.is_none(), "affine scatter should have no table");
+                assert!(
+                    k.out_t_stride != 1 || k.loops.iter().any(|l| l.out_stride != l.in_stride),
+                    "scatter strides unchanged: {k:?}"
+                );
+            }
+            other => panic!("expected kernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_permute_dropped() {
+        let f = compose(vec![stride(6, 2), stride(6, 3)]); // inverse pair = I
+        let fused = check_fused(&f);
+        assert!(fused.stages.is_empty());
+    }
+
+    #[test]
+    fn scale_fuses_through_existing_gather() {
+        // Kernel with fused perm, then a scale before it in application
+        // order: [Scale, Permute, Kernel] ⇒ single kernel with twiddle
+        // that respects the permuted gather order.
+        let f = compose(vec![
+            tensor(i(2), f2()),   // kernel
+            stride(4, 2),          // permute (fuses as gather)
+            twiddle(2, 2),         // scale (fuses as twiddle through gather)
+        ]);
+        let fused = check_fused(&f);
+        assert_eq!(fused.stages.len(), 1);
+        match &fused.stages[0] {
+            LocalStage::Kernel(k) => {
+                // The L^4_2 gather is affine (stride 2), so it becomes
+                // strides rather than a table; the twiddle stays fused.
+                assert!(k.in_map.is_none());
+                assert_eq!(k.in_t_stride, 2);
+                assert!(k.twiddle.is_some());
+            }
+            other => panic!("expected kernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_expansion_fuses_and_stays_correct() {
+        use spiral_rewrite::sequential_dft;
+        for n in [32usize, 64, 128] {
+            let f = sequential_dft(n, 8);
+            let fused = check_fused(&f);
+            // Everything should be kernel passes after fusion.
+            assert_eq!(
+                fused.stages.len(),
+                kernel_passes(&fused),
+                "n={n}: standalone data passes remain"
+            );
+        }
+    }
+}

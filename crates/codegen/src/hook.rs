@@ -1,0 +1,126 @@
+//! Instrumentation interface for the machine simulator.
+//!
+//! Traced execution replays the exact memory-access streams the parallel
+//! executor would generate — which thread touches which buffer element in
+//! which order, where the barriers fall — without needing real hardware
+//! parallelism. The `spiral-sim` crate implements [`MemHook`] with a cache
+//! and coherence model.
+
+/// Identity of a buffer in the executor's address space.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Ping buffer (holds the input initially).
+    BufA,
+    /// Pong buffer.
+    BufB,
+    /// Thread-`tid`'s private scratch.
+    Tmp(usize),
+}
+
+impl Region {
+    /// Map to a distinct element-address base given the transform size
+    /// `n` and a per-region alignment of `mu` elements. Regions are laid
+    /// out far apart so they never share cache lines.
+    pub fn base(self, n: usize, mu: usize) -> usize {
+        let span = (n + mu).next_power_of_two().max(mu);
+        match self {
+            Region::BufA => 0,
+            Region::BufB => span,
+            Region::Tmp(t) => 2 * span + (t + 1) * span,
+        }
+    }
+}
+
+/// Observer of a traced plan execution. Element indices are logical
+/// (multiply by 16 bytes for byte addresses).
+pub trait MemHook {
+    /// Thread `tid` reads element `idx` of `region`.
+    fn read(&mut self, tid: usize, region: Region, idx: usize);
+    /// Thread `tid` writes element `idx` of `region`.
+    fn write(&mut self, tid: usize, region: Region, idx: usize);
+    /// Thread `tid` performs `count` real flops.
+    fn flops(&mut self, tid: usize, count: u64);
+    /// All threads synchronize (end of a plan step).
+    fn barrier(&mut self);
+    /// Thread `tid` pays fixed overhead (in machine cycles): thread
+    /// spawning, planner bookkeeping, etc. Used by baseline models (e.g.
+    /// FFTW-style per-region thread creation when pooling is off).
+    /// Default: ignored.
+    fn overhead(&mut self, _tid: usize, _cycles: f64) {}
+}
+
+/// A hook that ignores everything (for testing the traced-execution path
+/// itself).
+#[derive(Default)]
+pub struct NullHook;
+
+impl MemHook for NullHook {
+    fn read(&mut self, _: usize, _: Region, _: usize) {}
+    fn write(&mut self, _: usize, _: Region, _: usize) {}
+    fn flops(&mut self, _: usize, _: u64) {}
+    fn barrier(&mut self) {}
+}
+
+/// A hook that counts events — used by tests to assert trace structure.
+#[derive(Default, Debug)]
+pub struct CountingHook {
+    /// Total element reads observed.
+    pub reads: u64,
+    /// Total element writes observed.
+    pub writes: u64,
+    /// Total flops observed.
+    pub flops: u64,
+    /// Barriers observed.
+    pub barriers: u64,
+    /// Flops observed per thread id.
+    pub per_tid_flops: std::collections::HashMap<usize, u64>,
+}
+
+impl MemHook for CountingHook {
+    fn read(&mut self, _tid: usize, _r: Region, _i: usize) {
+        self.reads += 1;
+    }
+    fn write(&mut self, _tid: usize, _r: Region, _i: usize) {
+        self.writes += 1;
+    }
+    fn flops(&mut self, tid: usize, count: u64) {
+        self.flops += count;
+        *self.per_tid_flops.entry(tid).or_insert(0) += count;
+    }
+    fn barrier(&mut self) {
+        self.barriers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_never_overlap() {
+        let n = 100;
+        let mu = 4;
+        let spans: Vec<(usize, usize)> = [
+            Region::BufA,
+            Region::BufB,
+            Region::Tmp(0),
+            Region::Tmp(1),
+            Region::Tmp(3),
+        ]
+        .iter()
+        .map(|r| (r.base(n, mu), r.base(n, mu) + n))
+        .collect();
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                assert!(a.1 <= b.0 || b.1 <= a.0, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_bases_are_line_aligned() {
+        for r in [Region::BufA, Region::BufB, Region::Tmp(0), Region::Tmp(5)] {
+            assert_eq!(r.base(1000, 4) % 4, 0);
+        }
+    }
+}

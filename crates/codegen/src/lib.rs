@@ -1,0 +1,50 @@
+//! # spiral-codegen — the SPL compiler (implementation level of Figure 1)
+//!
+//! Turns (fully expanded) SPL formulas into executable code:
+//!
+//! * [`lower`] — formulas → stage programs with explicit gather/scatter
+//!   loop nests;
+//! * [`fuse`] — loop merging (ref. [11] in the paper): permutations and
+//!   diagonals fold into adjacent compute loops, so a Cooley–Tukey
+//!   formula becomes `log N` kernel passes;
+//! * [`codelet`] — genfft-style straight-line base-case kernels produced
+//!   by partial evaluation, with hand-tuned paths for sizes 2/4/8;
+//! * [`plan`] — the executable [`plan::Plan`]: steps separated by
+//!   barriers, with the tagged parallel operators mapped to statically
+//!   scheduled parallel steps;
+//! * [`parallel`] — multithreaded execution on the `spiral-smp` pool;
+//! * [`hook`] — instrumentation interface replaying exact per-thread
+//!   memory-access streams into the machine simulator;
+//! * [`cemit`] — C source emission (OpenMP and pthreads flavors).
+//!
+//! ## Example
+//!
+//! ```
+//! use spiral_rewrite::multicore_dft_expanded;
+//! use spiral_codegen::plan::Plan;
+//! use spiral_spl::cplx::Cplx;
+//!
+//! let formula = multicore_dft_expanded(64, 2, 4, None, 8).unwrap();
+//! let plan = Plan::from_formula(&formula, 2, 4).unwrap();
+//! let x: Vec<Cplx> = (0..64).map(|k| Cplx::real(k as f64)).collect();
+//! let y = plan.execute(&x);
+//! assert_eq!(y.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cemit;
+pub mod codelet;
+pub mod fuse;
+pub mod hook;
+pub mod lower;
+pub mod parallel;
+pub mod plan;
+pub mod stage;
+
+pub use cemit::{emit_c, CFlavor};
+pub use codelet::Codelet;
+pub use hook::{MemHook, NullHook, Region};
+pub use lower::{lower_seq, LowerError};
+pub use parallel::ParallelExecutor;
+pub use plan::{Plan, Step};

@@ -1,0 +1,250 @@
+//! Multithreaded plan execution on the `spiral-smp` substrate.
+//!
+//! Mirrors the generated pthreads code the paper describes: a persistent
+//! worker pool, one statically scheduled portion per thread per step, one
+//! barrier per step, cache-line aligned shared buffers, and per-thread
+//! private scratch.
+
+use crate::plan::{Plan, Step};
+use crate::stage::Scratch;
+use spiral_smp::align::AlignedVec;
+use spiral_smp::barrier::{Barrier, BarrierKind};
+use spiral_smp::pool::Pool;
+use spiral_spl::cplx::Cplx;
+
+/// Reusable parallel executor: owns the pool, barrier, and buffers.
+pub struct ParallelExecutor {
+    pool: Pool,
+    barrier: Box<dyn Barrier>,
+    threads: usize,
+}
+
+/// Shared mutable buffer pointers for the workers. Safety: each step
+/// writes thread-disjoint index sets (chunks / block ranges), reads only
+/// from the other buffer, and steps are separated by barriers.
+struct SharedBufs {
+    a: *mut Cplx,
+    b: *mut Cplx,
+    n: usize,
+}
+unsafe impl Sync for SharedBufs {}
+
+impl ParallelExecutor {
+    /// Build an executor with `threads` workers and the given barrier.
+    pub fn new(threads: usize, kind: BarrierKind) -> ParallelExecutor {
+        let threads = threads.max(1);
+        ParallelExecutor {
+            pool: Pool::new(threads),
+            barrier: kind.build(threads),
+            threads,
+        }
+    }
+
+    /// Auto-select the barrier for this host (spin if cores ≥ threads).
+    pub fn with_auto_barrier(threads: usize) -> ParallelExecutor {
+        ParallelExecutor::new(threads, BarrierKind::auto(threads))
+    }
+
+    /// Number of worker threads (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `plan` on `x`. The plan's `threads` must not exceed the
+    /// executor's. Returns the transform output.
+    pub fn execute(&self, plan: &Plan, x: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(x.len(), plan.n, "input length mismatch");
+        assert!(
+            plan.threads <= self.threads,
+            "plan wants {} threads, executor has {}",
+            plan.threads,
+            self.threads
+        );
+        let n = plan.n;
+        let mut buf_a: AlignedVec<Cplx> = AlignedVec::new(n.max(1));
+        let mut buf_b: AlignedVec<Cplx> = AlignedVec::new(n.max(1));
+        buf_a.copy_from(x);
+        let _ = &mut buf_b;
+        let shared = SharedBufs { a: buf_a.as_ptr(), b: buf_b.as_ptr(), n };
+        // Borrow the whole struct so the closure captures one `&SharedBufs`
+        // (edition-2021 disjoint capture would otherwise grab `&*mut Cplx`,
+        // which is not Sync).
+        let shared = &shared;
+        let barrier = &*self.barrier;
+        let threads = self.threads;
+        let tmp_dim = plan.max_local_dim().max(1);
+
+        self.pool.run(&|tid| {
+            let mut tmp: AlignedVec<Cplx> = AlignedVec::new(tmp_dim);
+            let mut scratch = Scratch::default();
+            for (si, step) in plan.steps.iter().enumerate() {
+                // Ping-pong: even steps read A write B.
+                // Safety: see SharedBufs — disjoint writes, barrier-ordered
+                // reads.
+                let (src, dst): (&[Cplx], *mut Cplx) = unsafe {
+                    if si % 2 == 0 {
+                        (std::slice::from_raw_parts(shared.a, shared.n), shared.b)
+                    } else {
+                        (std::slice::from_raw_parts(shared.b, shared.n), shared.a)
+                    }
+                };
+                run_step_portion(step, n, tid, threads, src, dst, &mut tmp, &mut scratch);
+                barrier.wait();
+            }
+        });
+
+        let result_in_a = plan.steps.len() % 2 == 0;
+        if result_in_a {
+            buf_a.as_slice().to_vec()
+        } else {
+            buf_b.as_slice().to_vec()
+        }
+    }
+}
+
+/// Execute thread `tid`'s statically scheduled portion of one step.
+fn run_step_portion(
+    step: &Step,
+    n: usize,
+    tid: usize,
+    threads: usize,
+    src: &[Cplx],
+    dst: *mut Cplx,
+    tmp: &mut [Cplx],
+    scratch: &mut Scratch,
+) {
+    match step {
+        Step::Seq(prog) => {
+            if tid == 0 {
+                // Safety: only thread 0 writes during a Seq step.
+                let dst = unsafe { std::slice::from_raw_parts_mut(dst, n) };
+                prog.run(src, dst, tmp, scratch);
+            }
+        }
+        Step::Par { chunk, programs, gather } => {
+            for (c, prog) in programs.iter().enumerate() {
+                if c % threads != tid {
+                    continue;
+                }
+                let s = c * chunk;
+                // Safety: chunk ranges are disjoint across c, and each c
+                // is handled by exactly one thread. Gathered reads touch
+                // the whole (read-only this step) src buffer.
+                let dst_chunk =
+                    unsafe { std::slice::from_raw_parts_mut(dst.add(s), *chunk) };
+                let view = match gather {
+                    Some(g) => crate::stage::SrcView::Gathered { buf: src, gather: g, off: s },
+                    None => crate::stage::SrcView::Local(&src[s..s + chunk]),
+                };
+                prog.run_view(view, dst_chunk, &mut tmp[..*chunk], scratch);
+            }
+        }
+        Step::Exchange { table, mu } => {
+            let blocks = n / mu;
+            let (lo, hi) = share(blocks, threads, tid);
+            // Safety: [lo·µ, hi·µ) ranges are disjoint across threads.
+            let out = unsafe {
+                std::slice::from_raw_parts_mut(dst.add(lo * mu), (hi - lo) * mu)
+            };
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = src[table[lo * mu + k] as usize];
+            }
+        }
+        Step::ScaleAll(w) => {
+            let (lo, hi) = share(n, threads, tid);
+            let out = unsafe { std::slice::from_raw_parts_mut(dst.add(lo), hi - lo) };
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = src[lo + k] * w[lo + k];
+            }
+        }
+    }
+}
+
+fn share(total: usize, p: usize, tid: usize) -> (usize, usize) {
+    let base = total / p;
+    let rem = total % p;
+    let lo = tid * base + tid.min(rem);
+    (lo, lo + base + usize::from(tid < rem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use spiral_rewrite::{multicore_dft_expanded, sequential_dft};
+    use spiral_spl::builder::dft;
+    use spiral_spl::cplx::assert_slices_close;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|j| Cplx::new(j as f64 * 0.5, 3.0 - j as f64)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_execution() {
+        for (n, p) in [(64usize, 2usize), (256, 2), (256, 4), (1024, 4)] {
+            let f = multicore_dft_expanded(n, p, 4, None, 8).unwrap();
+            let plan = Plan::from_formula(&f, p, 4).unwrap();
+            let exec = ParallelExecutor::new(p, BarrierKind::Park);
+            let x = ramp(n);
+            let got = exec.execute(&plan, &x);
+            assert_slices_close(&got, &plan.execute(&x), 1e-12);
+            assert_slices_close(&got, &dft(n).eval(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn spin_barrier_also_correct() {
+        let (n, p) = (256usize, 2usize);
+        let f = multicore_dft_expanded(n, p, 4, None, 8).unwrap();
+        let plan = Plan::from_formula(&f, p, 4).unwrap();
+        let exec = ParallelExecutor::new(p, BarrierKind::Spin);
+        let x = ramp(n);
+        assert_slices_close(&exec.execute(&plan, &x), &dft(n).eval(&x), 1e-6);
+    }
+
+    #[test]
+    fn sequential_plan_on_parallel_executor() {
+        // A sequential plan (Seq steps) must still run correctly with
+        // multiple threads (others idle at barriers).
+        let n = 64;
+        let f = sequential_dft(n, 8);
+        let plan = Plan::from_formula(&f, 1, 4).unwrap();
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        let x = ramp(n);
+        assert_slices_close(&exec.execute(&plan, &x), &dft(n).eval(&x), 1e-7);
+    }
+
+    #[test]
+    fn executor_is_reusable() {
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        for n in [64usize, 256] {
+            let f = multicore_dft_expanded(n, 2, 4, None, 8).unwrap();
+            let plan = Plan::from_formula(&f, 2, 4).unwrap();
+            let x = ramp(n);
+            for _ in 0..3 {
+                assert_slices_close(&exec.execute(&plan, &x), &dft(n).eval(&x), 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn odd_step_count_lands_in_right_buffer() {
+        // An identity plan with a single Exchange step (odd count).
+        use spiral_spl::builder::*;
+        let f = stride(16, 4);
+        let plan = Plan::from_formula(&f, 1, 1).unwrap();
+        assert_eq!(plan.steps.len() % 2, 1);
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        let x = ramp(16);
+        assert_slices_close(&exec.execute(&plan, &x), &f.eval(&x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan wants")]
+    fn rejects_undersized_executor() {
+        let f = multicore_dft_expanded(64, 4, 2, None, 8).unwrap();
+        let plan = Plan::from_formula(&f, 4, 2).unwrap();
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        exec.execute(&plan, &ramp(64));
+    }
+}

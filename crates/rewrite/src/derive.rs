@@ -1,0 +1,287 @@
+//! End-to-end derivation of the multicore Cooley–Tukey FFT (paper §3.2).
+//!
+//! Given `N`, the processor count `p`, and the cache-line length `µ`, this
+//! module tags `smp(p,µ)[CT(m, n)]` and lets the Table 1 rules rewrite it
+//! into the fully optimized formula (14), then expands the remaining
+//! `DFT_m`/`DFT_n` non-terminals with a sequential rule tree.
+
+use crate::check::{check_fully_optimized, Violation};
+use crate::ruletree::RuleTree;
+use crate::smp_rules::{parallelize, RewriteError, Rewritten};
+use spiral_spl::builder::*;
+use spiral_spl::diag::DiagSpec;
+use spiral_spl::num::divisors;
+use spiral_spl::perm::Perm;
+use spiral_spl::Spl;
+
+/// Derivation failure.
+#[derive(Debug)]
+pub enum DeriveError {
+    /// `N` has no factorization `N = m·n` with `pµ | m` and `pµ | n`
+    /// (the paper's existence condition `(pµ)² | N`).
+    NoValidSplit {
+        /// The transform size.
+        n: usize,
+        /// Processor count.
+        p: usize,
+        /// Cache-line length.
+        mu: usize,
+    },
+    /// The rewriting engine got stuck (should not happen for valid splits).
+    Rewrite(RewriteError),
+    /// The result failed the Definition 1 checker (would be a bug).
+    NotOptimized(Violation),
+}
+
+impl std::fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeriveError::NoValidSplit { n, p, mu } => write!(
+                f,
+                "DFT_{n} admits no multicore split for p={p}, µ={mu}: need (pµ)² | N"
+            ),
+            DeriveError::Rewrite(e) => write!(f, "rewriting failed: {e}"),
+            DeriveError::NotOptimized(v) => {
+                write!(f, "derived formula violates Definition 1: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+/// Pick the default split `N = m·n`: the `m` closest to `√N` among those
+/// with `pµ | m` and `pµ | (N/m)` (balanced halves keep both compute
+/// stages similar in size, which the DP search then refines).
+pub fn default_split(n: usize, p: usize, mu: usize) -> Option<usize> {
+    let pmu = p * mu;
+    divisors(n)
+        .into_iter()
+        .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m) % pmu == 0)
+        .min_by_key(|&m| {
+            let k = n / m;
+            (m as i64 - k as i64).unsigned_abs()
+        })
+}
+
+/// Derive the multicore Cooley–Tukey FFT for `DFT_n` on `p` processors
+/// with cache-line length `µ`, splitting at `m` (or the default split).
+///
+/// The returned formula still contains `DFT_m` and `DFT_{n/m}`
+/// non-terminals — formula (14) holds *independently of their further
+/// decomposition*. It is verified against Definition 1 before returning.
+pub fn multicore_dft(
+    n: usize,
+    p: usize,
+    mu: usize,
+    split: Option<usize>,
+) -> Result<Rewritten, DeriveError> {
+    assert!(p >= 1 && mu >= 1);
+    if p == 1 {
+        // Single processor: no parallelization; return DFT_n unchanged.
+        return Ok(Rewritten { formula: dft(n), trace: vec![] });
+    }
+    let m = split
+        .or_else(|| default_split(n, p, mu))
+        .ok_or(DeriveError::NoValidSplit { n, p, mu })?;
+    let k = n / m;
+    let pmu = p * mu;
+    if m % pmu != 0 || k % pmu != 0 {
+        return Err(DeriveError::NoValidSplit { n, p, mu });
+    }
+    let tagged = smp(p, mu, cooley_tukey(m, k));
+    let rewritten = parallelize(&tagged).map_err(DeriveError::Rewrite)?;
+    check_fully_optimized(&rewritten.formula, p, mu).map_err(DeriveError::NotOptimized)?;
+    Ok(rewritten)
+}
+
+/// The multicore Cooley–Tukey FFT, formula (14) of the paper, built by
+/// hand. Used to cross-check that the rewriting system derives exactly
+/// this structure. Requires `pµ | m` and `pµ | n`.
+pub fn formula_14(m: usize, n: usize, p: usize, mu: usize) -> Spl {
+    assert!(m % (p * mu) == 0 && n % (p * mu) == 0, "need pµ|m and pµ|n");
+    let bar = |perm: Perm, blocks: usize| -> Spl {
+        let q = if blocks == 1 {
+            perm
+        } else {
+            Perm::TensorId(Box::new(perm), blocks)
+        };
+        perm_bar(q, mu)
+    };
+    let twiddles: Vec<Spl> = DiagSpec::twiddle(m, n)
+        .split(p)
+        .into_iter()
+        .map(Spl::Diag)
+        .collect();
+    compose(vec![
+        bar(Perm::stride(m * p, m), n / (p * mu)),
+        tensor_par(p, tensor(dft(m), i(n / p))),
+        bar(Perm::stride(m * p, p), n / (p * mu)),
+        dsum_par(twiddles),
+        tensor_par(p, tensor(i(m / p), dft(n))),
+        tensor_par(p, stride(m * n / p, m / p)),
+        bar(Perm::stride(p * n, p), m / (p * mu)),
+    ])
+}
+
+/// Replace every `DFT_k` non-terminal by its sequential expansion from
+/// `strategy(k)`. Leaves of the strategy's rule trees remain as `DFT`
+/// codelet markers (or `F_2`).
+pub fn expand_dfts(f: &Spl, strategy: &dyn Fn(usize) -> RuleTree) -> Spl {
+    match f {
+        Spl::Dft(k) => {
+            let t = strategy(*k);
+            assert_eq!(t.size(), *k, "strategy returned tree of wrong size");
+            match t {
+                RuleTree::Leaf(_) => f.clone(), // already terminal
+                tree => expand_dfts(&tree.expand(), strategy),
+            }
+        }
+        other => other.map_children(&mut |c| expand_dfts(c, strategy)),
+    }
+}
+
+/// Full pipeline: derive formula (14) for `DFT_n`, then expand the
+/// sub-DFTs with balanced rule trees whose codelet leaves have size at
+/// most `max_leaf`.
+pub fn multicore_dft_expanded(
+    n: usize,
+    p: usize,
+    mu: usize,
+    split: Option<usize>,
+    max_leaf: usize,
+) -> Result<Spl, DeriveError> {
+    let r = multicore_dft(n, p, mu, split)?;
+    Ok(expand_dfts(&r.formula, &|k| RuleTree::balanced(k, max_leaf)).normalized())
+}
+
+/// Sequential pipeline for comparison: plain Cooley–Tukey recursion, no
+/// parallel constructs.
+pub fn sequential_dft(n: usize, max_leaf: usize) -> Spl {
+    RuleTree::balanced(n, max_leaf).expand().normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::Cplx;
+    use spiral_spl::matrix::assert_formula_eq;
+
+    #[test]
+    fn default_split_balanced_and_valid() {
+        // N = 64, p = 2, µ = 4: pµ = 8 ⇒ m = n = 8.
+        assert_eq!(default_split(64, 2, 4), Some(8));
+        // N = 256, pµ = 8: candidates m ∈ {8, 16, 32}; balanced is 16.
+        assert_eq!(default_split(256, 2, 4), Some(16));
+        // No valid split when (pµ)² ∤ N.
+        assert_eq!(default_split(32, 2, 4), None);
+        assert_eq!(default_split(100, 2, 4), None);
+    }
+
+    #[test]
+    fn derivation_matches_formula_14_structurally() {
+        // The rewriting system must reproduce (14) *exactly*.
+        let r = multicore_dft(64, 2, 4, None).unwrap();
+        let hand = formula_14(8, 8, 2, 4);
+        assert_eq!(
+            r.formula.to_string(),
+            hand.normalized().to_string(),
+            "\nderived: {}\nhand:    {}",
+            r.formula,
+            hand
+        );
+    }
+
+    #[test]
+    fn derivation_is_correct_fft() {
+        for (n, p, mu) in [(64usize, 2usize, 4usize), (64, 4, 2), (256, 2, 4), (256, 4, 2)] {
+            let r = multicore_dft(n, p, mu, None).unwrap();
+            assert_formula_eq(&dft(n), &r.formula, 1e-7);
+        }
+    }
+
+    #[test]
+    fn formula_14_is_correct_fft() {
+        for (m, n, p, mu) in [(8usize, 8usize, 2usize, 4usize), (8, 8, 4, 2), (16, 8, 2, 4)] {
+            assert_formula_eq(&dft(m * n), &formula_14(m, n, p, mu), 1e-7);
+        }
+    }
+
+    #[test]
+    fn derived_formula_is_fully_optimized() {
+        for (n, p, mu) in [(64usize, 2usize, 4usize), (256, 4, 2), (1024, 2, 4), (4096, 4, 4)] {
+            let r = multicore_dft(n, p, mu, None).unwrap();
+            check_fully_optimized(&r.formula, p, mu)
+                .unwrap_or_else(|v| panic!("N={n} p={p} µ={mu}: {v}"));
+        }
+    }
+
+    #[test]
+    fn derived_formula_is_perfectly_load_balanced() {
+        use crate::check::load_balance_ratio;
+        for p in [2usize, 4] {
+            let r = multicore_dft(256, p, 4, None).unwrap();
+            let ratio = load_balance_ratio(&r.formula, p);
+            assert!((ratio - 1.0).abs() < 1e-9, "p={p}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        assert!(matches!(
+            multicore_dft(32, 2, 4, None),
+            Err(DeriveError::NoValidSplit { .. })
+        ));
+        // Explicit bad split also rejected.
+        assert!(matches!(
+            multicore_dft(64, 2, 4, Some(4)),
+            Err(DeriveError::NoValidSplit { .. })
+        ));
+    }
+
+    #[test]
+    fn p1_falls_back_to_sequential() {
+        let r = multicore_dft(64, 1, 4, None).unwrap();
+        assert_eq!(r.formula, dft(64));
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn expansion_keeps_correctness() {
+        let f = multicore_dft_expanded(64, 2, 4, None, 4).unwrap();
+        assert!(!f.has_smp_tag());
+        assert_formula_eq(&dft(64), &f, 1e-7);
+        // After expansion, no DFT larger than max_leaf remains.
+        fn max_dft(f: &Spl) -> usize {
+            let own = if let Spl::Dft(k) = f { *k } else { 0 };
+            f.children().iter().map(|c| max_dft(c)).fold(own, usize::max)
+        }
+        assert!(max_dft(&f) <= 4, "{f}");
+    }
+
+    #[test]
+    fn expansion_preserves_definition_1() {
+        let f = multicore_dft_expanded(256, 2, 4, None, 8).unwrap();
+        check_fully_optimized(&f, 2, 4).unwrap();
+    }
+
+    #[test]
+    fn sequential_pipeline_correct() {
+        let f = sequential_dft(32, 4);
+        assert_formula_eq(&dft(32), &f, 1e-8);
+        let x: Vec<Cplx> = (0..32).map(|k| Cplx::new(k as f64, 0.0)).collect();
+        let y = f.eval(&x);
+        assert_eq!(y.len(), 32);
+    }
+
+    #[test]
+    fn trace_is_nonempty_and_explains() {
+        let r = multicore_dft(64, 2, 4, None).unwrap();
+        assert!(r.trace.len() >= 8, "expected a real derivation, got {}", r.trace.len());
+        // The derivation must use every rule class of Table 1.
+        let all: String = r.trace.iter().map(|s| s.rule).collect::<Vec<_>>().join(";");
+        for tag in ["(6)", "(7)", "(8", "(9)", "(10)", "(11)"] {
+            assert!(all.contains(tag), "missing {tag} in {all}");
+        }
+    }
+}

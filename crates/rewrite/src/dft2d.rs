@@ -1,0 +1,144 @@
+//! Multidimensional transforms (paper §2.2: "multi-dimensional
+//! transforms … are just tensor products of their one-dimensional
+//! counterparts").
+//!
+//! The 2-D DFT on an `rows × cols` array is `DFT_rows ⊗ DFT_cols`. Its
+//! row-column factorization `(DFT_r ⊗ I_c)(I_r ⊗ DFT_c)` feeds directly
+//! into Table 1: rule (7) tiles the column stage, rule (9) blocks the row
+//! stage — no Cooley–Tukey twiddles needed, which makes the 2-D case a
+//! clean exercise of the parallelization rules on their own.
+
+use crate::check::check_fully_optimized;
+use crate::derive::DeriveError;
+use crate::ruletree::RuleTree;
+use crate::smp_rules::{parallelize, Rewritten};
+use spiral_spl::builder::*;
+use spiral_spl::Spl;
+
+/// The sequential row-column formula for `DFT_{r×c}` (row-major data):
+/// `(DFT_r ⊗ I_c) · (I_r ⊗ DFT_c)`.
+pub fn dft2d(rows: usize, cols: usize) -> Spl {
+    compose(vec![tensor(dft(rows), i(cols)), tensor(i(rows), dft(cols))])
+}
+
+/// Derive the parallel 2-D DFT for `p` processors, cache-line length `µ`.
+/// Preconditions (from rules (7), (9), (10)): `p | rows`, `p | cols`,
+/// and `µ | cols/p` — all satisfied when `pµ | cols` and `p | rows`.
+pub fn multicore_dft2d(
+    rows: usize,
+    cols: usize,
+    p: usize,
+    mu: usize,
+) -> Result<Rewritten, DeriveError> {
+    if p == 1 {
+        return Ok(Rewritten { formula: dft2d(rows, cols), trace: vec![] });
+    }
+    if rows % p != 0 || cols % (p * mu) != 0 {
+        return Err(DeriveError::NoValidSplit { n: rows * cols, p, mu });
+    }
+    let tagged = smp(p, mu, dft2d(rows, cols));
+    let rewritten = parallelize(&tagged).map_err(DeriveError::Rewrite)?;
+    check_fully_optimized(&rewritten.formula, p, mu).map_err(DeriveError::NotOptimized)?;
+    Ok(rewritten)
+}
+
+/// Full pipeline: parallel 2-D derivation with the row/column DFTs
+/// expanded by balanced rule trees.
+pub fn multicore_dft2d_expanded(
+    rows: usize,
+    cols: usize,
+    p: usize,
+    mu: usize,
+    max_leaf: usize,
+) -> Result<Spl, DeriveError> {
+    let r = multicore_dft2d(rows, cols, p, mu)?;
+    Ok(crate::derive::expand_dfts(&r.formula, &|k| RuleTree::balanced(k, max_leaf))
+        .normalized())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::{assert_slices_close, Cplx};
+    use spiral_spl::matrix::assert_formula_eq;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new(0.3 * k as f64, 1.0 - 0.2 * k as f64)).collect()
+    }
+
+    /// Reference 2-D DFT: transform columns then rows (naively).
+    fn reference_2d(rows: usize, cols: usize, x: &[Cplx]) -> Vec<Cplx> {
+        use spiral_spl::apply::naive_dft;
+        // Rows first (contiguous), then columns.
+        let mut mid = vec![Cplx::ZERO; rows * cols];
+        for r in 0..rows {
+            naive_dft(cols, &x[r * cols..(r + 1) * cols], &mut mid[r * cols..(r + 1) * cols]);
+        }
+        let mut out = vec![Cplx::ZERO; rows * cols];
+        let mut col_in = vec![Cplx::ZERO; rows];
+        let mut col_out = vec![Cplx::ZERO; rows];
+        for c in 0..cols {
+            for r in 0..rows {
+                col_in[r] = mid[r * cols + c];
+            }
+            naive_dft(rows, &col_in, &mut col_out);
+            for r in 0..rows {
+                out[r * cols + c] = col_out[r];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn row_column_formula_is_the_2d_dft() {
+        for (r, c) in [(2usize, 3usize), (4, 4), (3, 5), (8, 4)] {
+            let x = ramp(r * c);
+            let got = dft2d(r, c).eval(&x);
+            let want = reference_2d(r, c, &x);
+            assert_slices_close(&got, &want, 1e-8 * (r * c) as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_2d_matches_sequential() {
+        for (r, c, p, mu) in [(8usize, 16usize, 2usize, 4usize), (16, 16, 4, 2), (4, 32, 2, 4)] {
+            let derived = multicore_dft2d(r, c, p, mu)
+                .unwrap_or_else(|e| panic!("{r}x{c} p={p} µ={mu}: {e}"));
+            assert_formula_eq(&dft2d(r, c), &derived.formula, 1e-8);
+        }
+    }
+
+    #[test]
+    fn parallel_2d_is_fully_optimized() {
+        let derived = multicore_dft2d(8, 16, 2, 4).unwrap();
+        check_fully_optimized(&derived.formula, 2, 4).unwrap();
+        // Perfect load balance.
+        let ratio = crate::check::load_balance_ratio(&derived.formula, 2);
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_2d_sizes_rejected() {
+        assert!(multicore_dft2d(7, 16, 2, 4).is_err()); // p ∤ rows
+        assert!(multicore_dft2d(8, 12, 2, 4).is_err()); // pµ ∤ cols
+    }
+
+    #[test]
+    fn expansion_compiles_and_matches() {
+        let f = multicore_dft2d_expanded(8, 16, 2, 4, 8).unwrap();
+        let x = ramp(128);
+        let want = reference_2d(8, 16, &x);
+        assert_slices_close(&f.eval(&x), &want, 1e-7);
+    }
+
+    #[test]
+    fn trace_uses_rules_7_and_9() {
+        let derived = multicore_dft2d(8, 16, 2, 4).unwrap();
+        let rules: String = derived.trace.iter().map(|s| s.rule).collect::<Vec<_>>().join(";");
+        assert!(rules.contains("(7)"), "{rules}");
+        assert!(rules.contains("(9)"), "{rules}");
+        assert!(rules.contains("(10)"), "{rules}");
+        // No twiddles in the 2-D factorization → rule (11) unused.
+        assert!(!rules.contains("(11)"), "{rules}");
+    }
+}

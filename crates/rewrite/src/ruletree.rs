@@ -1,0 +1,255 @@
+//! Rule trees: the recursion strategies of the formula generator.
+//!
+//! A rule tree records, for each (sub)transform, which breakdown rule was
+//! chosen and how the size was factored — e.g. `8 → 2×4 → 2×(2×2)` (the
+//! paper's example before eq. (2)). The search engine (crate
+//! `spiral-search`) explores this space; the expander turns a tree into an
+//! SPL formula.
+
+use spiral_spl::builder::*;
+use spiral_spl::num::{divisors, splittings};
+use spiral_spl::Spl;
+use std::fmt;
+
+/// A recursion strategy for `DFT_n`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RuleTree {
+    /// Terminal: implement `DFT_n` directly (a *codelet*; `n = 2` becomes
+    /// the butterfly `F_2`, other small sizes an unrolled base case).
+    Leaf(usize),
+    /// Cooley–Tukey rule (1) with `n = m·k`, recursing on both factors.
+    Ct(Box<RuleTree>, Box<RuleTree>),
+}
+
+impl RuleTree {
+    /// Transform size this tree computes.
+    pub fn size(&self) -> usize {
+        match self {
+            RuleTree::Leaf(n) => *n,
+            RuleTree::Ct(m, k) => m.size() * k.size(),
+        }
+    }
+
+    /// Depth of the recursion (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            RuleTree::Leaf(_) => 1,
+            RuleTree::Ct(m, k) => 1 + m.depth().max(k.depth()),
+        }
+    }
+
+    /// Number of leaves (codelets) in the tree.
+    pub fn leaves(&self) -> usize {
+        match self {
+            RuleTree::Leaf(_) => 1,
+            RuleTree::Ct(m, k) => m.leaves() + k.leaves(),
+        }
+    }
+
+    /// Expand into a fully sequential SPL formula: every internal node
+    /// becomes one application of Cooley–Tukey rule (1), every leaf a
+    /// terminal (`F_2` for size 2, `DFT_n` codelet marker otherwise).
+    pub fn expand(&self) -> Spl {
+        match self {
+            RuleTree::Leaf(2) => f2(),
+            RuleTree::Leaf(n) => dft(*n),
+            RuleTree::Ct(mt, kt) => {
+                let (m, k) = (mt.size(), kt.size());
+                compose(vec![
+                    tensor(mt.expand(), i(k)),
+                    twiddle(m, k),
+                    tensor(i(m), kt.expand()),
+                    stride(m * k, m),
+                ])
+            }
+        }
+    }
+
+    /// Right-expanded radix-`r` tree: `n = r × (r × (… × base))`, the
+    /// classic iterative FFT schedule. Sizes not divisible keep a larger
+    /// leaf at the end.
+    pub fn right_radix(n: usize, r: usize) -> RuleTree {
+        assert!(n >= 2 && r >= 2);
+        if n % r == 0 && n / r > 1 {
+            RuleTree::Ct(
+                Box::new(RuleTree::Leaf(r)),
+                Box::new(RuleTree::right_radix(n / r, r)),
+            )
+        } else {
+            RuleTree::Leaf(n)
+        }
+    }
+
+    /// Balanced tree: split as close to √n as possible at every level,
+    /// down to leaves of size at most `max_leaf`.
+    pub fn balanced(n: usize, max_leaf: usize) -> RuleTree {
+        assert!(n >= 2 && max_leaf >= 2);
+        if n <= max_leaf {
+            return RuleTree::Leaf(n);
+        }
+        // Divisor closest to √n (prefer the smaller side ≤ √n).
+        let best = divisors(n)
+            .into_iter()
+            .filter(|&d| d > 1 && d < n)
+            .min_by_key(|&d| {
+                let q = n / d;
+                (d as i64 - q as i64).unsigned_abs()
+            });
+        match best {
+            Some(m) => RuleTree::Ct(
+                Box::new(RuleTree::balanced(m, max_leaf)),
+                Box::new(RuleTree::balanced(n / m, max_leaf)),
+            ),
+            None => RuleTree::Leaf(n), // prime
+        }
+    }
+
+    /// All rule trees for size `n` with leaves of size at most `max_leaf`.
+    /// Exponential in `log n`; fine for the sizes the DP search visits,
+    /// guarded by `cap` (returns at most `cap` trees).
+    pub fn enumerate(n: usize, max_leaf: usize, cap: usize) -> Vec<RuleTree> {
+        let mut out = Vec::new();
+        if n <= max_leaf {
+            out.push(RuleTree::Leaf(n));
+        }
+        for (m, k) in splittings(n) {
+            if out.len() >= cap {
+                break;
+            }
+            for mt in RuleTree::enumerate(m, max_leaf, cap) {
+                for kt in RuleTree::enumerate(k, max_leaf, cap) {
+                    out.push(RuleTree::Ct(Box::new(mt.clone()), Box::new(kt)));
+                    if out.len() >= cap {
+                        return out;
+                    }
+                }
+            }
+        }
+        // A prime larger than max_leaf still needs a terminal.
+        if out.is_empty() {
+            out.push(RuleTree::Leaf(n));
+        }
+        out
+    }
+
+    /// Number of distinct rule trees with the given leaf bound (no cap).
+    pub fn count(n: usize, max_leaf: usize) -> u64 {
+        fn go(n: usize, max_leaf: usize, memo: &mut std::collections::HashMap<usize, u64>) -> u64 {
+            if let Some(&c) = memo.get(&n) {
+                return c;
+            }
+            let mut c = if n <= max_leaf { 1 } else { 0 };
+            for (m, k) in splittings(n) {
+                c += go(m, max_leaf, memo) * go(k, max_leaf, memo);
+            }
+            if c == 0 {
+                c = 1; // prime fallback leaf
+            }
+            memo.insert(n, c);
+            c
+        }
+        go(n, max_leaf, &mut std::collections::HashMap::new())
+    }
+}
+
+impl fmt::Display for RuleTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleTree::Leaf(n) => write!(f, "{n}"),
+            RuleTree::Ct(m, k) => write!(f, "({m} x {k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::{assert_slices_close, Cplx};
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new(k as f64, 1.0 - k as f64 * 0.25)).collect()
+    }
+
+    #[test]
+    fn sizes_and_shape() {
+        let t = RuleTree::right_radix(16, 2);
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.to_string(), "(2 x (2 x (2 x 2)))");
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.leaves(), 4);
+    }
+
+    #[test]
+    fn balanced_splits_near_sqrt() {
+        let t = RuleTree::balanced(64, 2);
+        assert_eq!(t.size(), 64);
+        if let RuleTree::Ct(m, k) = &t {
+            assert_eq!(m.size(), 8);
+            assert_eq!(k.size(), 8);
+        } else {
+            panic!("expected split");
+        }
+    }
+
+    #[test]
+    fn balanced_respects_max_leaf() {
+        let t = RuleTree::balanced(32, 8);
+        fn max_leaf(t: &RuleTree) -> usize {
+            match t {
+                RuleTree::Leaf(n) => *n,
+                RuleTree::Ct(a, b) => max_leaf(a).max(max_leaf(b)),
+            }
+        }
+        assert!(max_leaf(&t) <= 8);
+    }
+
+    #[test]
+    fn prime_becomes_leaf() {
+        assert_eq!(RuleTree::balanced(7, 2), RuleTree::Leaf(7));
+        assert_eq!(RuleTree::right_radix(7, 2), RuleTree::Leaf(7));
+    }
+
+    #[test]
+    fn expansion_computes_the_dft() {
+        use spiral_spl::builder::dft;
+        for n in [4usize, 8, 12, 16, 30] {
+            for t in [
+                RuleTree::right_radix(n, 2),
+                RuleTree::balanced(n, 2),
+                RuleTree::balanced(n, 4),
+            ] {
+                let f = t.expand();
+                assert_eq!(f.dim(), n, "tree {t}");
+                let x = ramp(n);
+                assert_slices_close(&dft(n).eval(&x), &f.eval(&x), 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_finds_all_small_trees() {
+        // DFT_8 with leaves ≤ 2: trees over factorizations of 8 into 2s:
+        // (2 x (2 x 2)), ((2 x 2) x 2) ... exactly the binary trees over
+        // the multiset {2,2,2}: 2 shapes... plus splits 2x4/4x2 recursions.
+        let trees = RuleTree::enumerate(8, 2, 1000);
+        assert!(trees.iter().all(|t| t.size() == 8));
+        let count = RuleTree::count(8, 2);
+        assert_eq!(trees.len() as u64, count);
+        // 8 = 2*(4) with 4 = 2*2 (1 tree for 4) → via (2,4):1, (4,2):1 → 2
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn count_grows_with_leaf_bound() {
+        // With leaves up to 4, DFT_8 additionally has Leaf-4 splits.
+        // trees(8): (2x4leaf),(2x(2x2)),(4leaf x2),((2x2)x2), plus... = 4
+        assert_eq!(RuleTree::count(8, 4), 4);
+        assert!(RuleTree::count(16, 4) > RuleTree::count(16, 2));
+    }
+
+    #[test]
+    fn enumerate_respects_cap() {
+        let trees = RuleTree::enumerate(64, 2, 5);
+        assert!(trees.len() <= 5 && !trees.is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! The shared-memory parallelization rules of Table 1 and the rewriting
+//! engine that drives them to a fixpoint.
+//!
+//! Each rule matches a tagged subformula `smp(p,µ)[…]` and replaces it by
+//! semantically equal structure that is either fully parallel (the tagged
+//! operators `I_p ⊗∥ A`, `⊕∥`, `P ⊗̄ I_µ`) or closer to it (products of
+//! re-tagged factors). The rules replace the expensive dependence analysis
+//! of a parallelizing compiler with cheap pattern matching (paper §3.1).
+
+use spiral_spl::ast::Spl;
+use spiral_spl::builder::*;
+use spiral_spl::perm::Perm;
+
+/// One recorded rewriting step, for tracing/explanation.
+#[derive(Clone, Debug)]
+pub struct RewriteStep {
+    /// Rule name, e.g. `"(7) A⊗I tiling"`.
+    pub rule: &'static str,
+    /// The tagged subformula that was matched.
+    pub before: String,
+    /// Its replacement.
+    pub after: String,
+}
+
+/// Result of a successful parallelization run.
+#[derive(Clone, Debug)]
+pub struct Rewritten {
+    /// The fully rewritten formula (no `smp` tags remain).
+    pub formula: Spl,
+    /// The sequence of rule applications that produced it.
+    pub trace: Vec<RewriteStep>,
+}
+
+/// Rewriting failure.
+#[derive(Clone, Debug)]
+pub enum RewriteError {
+    /// No rule applies to a tagged subformula (typically a divisibility
+    /// precondition like `pµ | n` is violated).
+    Stuck {
+        /// The tagged subformula no rule matched.
+        subformula: String,
+        /// Processor count of the tag.
+        p: usize,
+        /// Cache-line length of the tag.
+        mu: usize,
+    },
+    /// Iteration guard tripped (would indicate a non-terminating rule set).
+    TooManySteps(usize),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::Stuck { subformula, p, mu } => write!(
+                f,
+                "no smp({p},{mu}) rule applies to {subformula} (divisibility precondition violated?)"
+            ),
+            RewriteError::TooManySteps(n) => write!(f, "rewriting exceeded {n} steps"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Drive the Table 1 rules to a fixpoint: returns a formula without `smp`
+/// tags in which all parallelism is expressed through the tagged operators.
+pub fn parallelize(f: &Spl) -> Result<Rewritten, RewriteError> {
+    const MAX_STEPS: usize = 100_000;
+    let mut cur = f.normalized();
+    let mut trace = Vec::new();
+    for _ in 0..MAX_STEPS {
+        match rewrite_first_tag(&cur, &mut trace)? {
+            Some(next) => cur = next.normalized(),
+            None => return Ok(Rewritten { formula: cur, trace }),
+        }
+    }
+    Err(RewriteError::TooManySteps(MAX_STEPS))
+}
+
+/// Find the leftmost-outermost `smp` tag and apply one rule to it.
+/// Returns `None` when no tags remain.
+fn rewrite_first_tag(
+    f: &Spl,
+    trace: &mut Vec<RewriteStep>,
+) -> Result<Option<Spl>, RewriteError> {
+    if let Spl::Smp { p, mu, a } = f {
+        let (name, replacement) = apply_rule(*p, *mu, a).ok_or_else(|| {
+            RewriteError::Stuck { subformula: a.to_string(), p: *p, mu: *mu }
+        })?;
+        trace.push(RewriteStep {
+            rule: name,
+            before: f.to_string(),
+            after: replacement.to_string(),
+        });
+        return Ok(Some(replacement));
+    }
+    // Recurse into the first child containing a tag.
+    if !f.has_smp_tag() {
+        return Ok(None);
+    }
+    let mut result: Result<(), RewriteError> = Ok(());
+    let mut done = false;
+    let out = f.map_children(&mut |c| {
+        if done || !c.has_smp_tag() || result.is_err() {
+            return c.clone();
+        }
+        match rewrite_first_tag(c, trace) {
+            Ok(Some(next)) => {
+                done = true;
+                next
+            }
+            Ok(None) => c.clone(),
+            Err(e) => {
+                result = Err(e);
+                c.clone()
+            }
+        }
+    });
+    result?;
+    Ok(if done { Some(out) } else { None })
+}
+
+/// Apply the first applicable Table 1 rule to `smp(p,µ)[a]`.
+/// Returns the rule name and the replacement (which may contain new tags).
+fn apply_rule(p: usize, mu: usize, a: &Spl) -> Option<(&'static str, Spl)> {
+    match a {
+        // Trivial: identity splits into p blocks directly.
+        Spl::I(n) if n % p == 0 => {
+            Some(("(id) I_n -> Ip (x)|| I_{n/p}", tensor_par(p, i(n / p))))
+        }
+
+        // Rule (6): AB -> smp[A] smp[B] (factor-wise rewriting).
+        Spl::Compose(fs) => Some((
+            "(6) product",
+            compose(fs.iter().map(|x| smp(p, mu, x.clone())).collect()),
+        )),
+
+        // Already-parallel constructs: drop the tag.
+        Spl::TensorPar { .. } | Spl::DirectSumPar(_) | Spl::PermBar { .. } => {
+            Some(("(drop) already parallel", a.clone()))
+        }
+
+        // Rule (8): stride permutation L^{mn}_m. The splits are vacuous
+        // when the split-off factor is 1 (they would reproduce the input
+        // and loop), hence the `> p` guards.
+        Spl::Perm(Perm::Stride { mn, m }) => {
+            let n = mn / m;
+            if m % p == 0 && *m > p {
+                // L^{mn}_m = (I_p ⊗ L^{mn/p}_{m/p}) (L^{pn}_p ⊗ I_{m/p})
+                Some((
+                    "(8a) stride split (p|m)",
+                    compose(vec![
+                        smp(p, mu, tensor(i(p), stride(mn / p, m / p))),
+                        smp(p, mu, tensor(stride(p * n, p), i(m / p))),
+                    ]),
+                ))
+            } else if n % p == 0 && n > p {
+                // L^{mn}_m = (L^{pm}_m ⊗ I_{n/p}) (I_p ⊗ L^{mn/p}_m)
+                Some((
+                    "(8b) stride split (p|n)",
+                    compose(vec![
+                        smp(p, mu, tensor(stride(p * m, *m), i(n / p))),
+                        smp(p, mu, tensor(i(p), stride(mn / p, *m))),
+                    ]),
+                ))
+            } else if mu == 1 {
+                // With single-element cache lines any permutation moves
+                // whole lines; P ⊗̄ I_1 = P.
+                Some(("(10') bare perm, µ=1", perm_bar(Perm::Stride { mn: *mn, m: *m }, 1)))
+            } else {
+                None
+            }
+        }
+
+        // Other bare permutations: only line-granular with µ = 1.
+        Spl::Perm(q) if mu == 1 => {
+            Some(("(10') bare perm, µ=1", perm_bar(q.clone(), 1)))
+        }
+
+        // Rule (9): I_m ⊗ A_n -> I_p ⊗∥ (I_{m/p} ⊗ A_n), requires p | m.
+        Spl::Tensor(l, r) => {
+            if let Spl::I(m) = **l {
+                if m % p == 0 {
+                    let inner = tensor(i(m / p), (**r).clone()).normalized();
+                    return Some(("(9) I(x)A block split", tensor_par(p, inner)));
+                }
+                return None;
+            }
+            // Rule (10): P ⊗ I_n -> (P ⊗ I_{n/µ}) ⊗̄ I_µ for permutations P,
+            // requires µ | n.
+            if let Spl::I(n) = **r {
+                if let Some(perm) = l.as_perm() {
+                    if n % mu == 0 {
+                        let blocks = if n / mu == 1 {
+                            perm
+                        } else {
+                            Perm::TensorId(Box::new(perm), n / mu)
+                        };
+                        return Some(("(10) cacheline perm", perm_bar(blocks, mu)));
+                    }
+                    return None;
+                }
+                // Rule (7): A_m ⊗ I_n for general A, requires p | n:
+                // (L^{mp}_m ⊗ I_{n/p}) (I_p ⊗ (A_m ⊗ I_{n/p})) (L^{mp}_p ⊗ I_{n/p})
+                let m = l.dim();
+                if n % p == 0 {
+                    let q = n / p;
+                    return Some((
+                        "(7) A(x)I tiling",
+                        compose(vec![
+                            smp(p, mu, tensor(stride(m * p, m), i(q)).normalized()),
+                            smp(p, mu, tensor(i(p), tensor((**l).clone(), i(q)).normalized())),
+                            smp(p, mu, tensor(stride(m * p, p), i(q)).normalized()),
+                        ]),
+                    ));
+                }
+                return None;
+            }
+            // General A ⊗ B = (A ⊗ I)(I ⊗ B), both re-tagged.
+            let (m, n) = (l.dim(), r.dim());
+            Some((
+                "(split) A(x)B -> (A(x)I)(I(x)B)",
+                compose(vec![
+                    smp(p, mu, tensor((**l).clone(), i(n))),
+                    smp(p, mu, tensor(i(m), (**r).clone())),
+                ]),
+            ))
+        }
+
+        // Rule (11): diagonal D -> ⊕∥ D_i, requires p | dim.
+        Spl::Diag(d) if d.len() % p == 0 => Some((
+            "(11) diag split",
+            dsum_par(d.split(p).into_iter().map(Spl::Diag).collect()),
+        )),
+
+        // Direct sums with p | #summands of equal size: group per processor.
+        Spl::DirectSum(fs)
+            if fs.len() % p == 0 && fs.windows(2).all(|w| w[0].dim() == w[1].dim()) =>
+        {
+            let per = fs.len() / p;
+            let groups: Vec<Spl> = fs
+                .chunks(per)
+                .map(|c| if c.len() == 1 { c[0].clone() } else { dsum(c.to_vec()) })
+                .collect();
+            Some(("(dsum) group summands", dsum_par(groups)))
+        }
+
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::Cplx;
+    use spiral_spl::matrix::assert_formula_eq;
+
+    fn parallelize_ok(f: &Spl) -> Spl {
+        let r = parallelize(f).unwrap_or_else(|e| panic!("rewrite failed: {e}"));
+        assert!(!r.formula.has_smp_tag());
+        r.formula
+    }
+
+    /// Rewriting preserves semantics — checked by matrix equality.
+    fn check_preserves(f: &Spl) {
+        let g = parallelize_ok(f);
+        assert_formula_eq(f, &g, 1e-9);
+    }
+
+    #[test]
+    fn rule6_product_splits() {
+        let f = smp(2, 2, compose(vec![stride(8, 2), stride(8, 4)]));
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn rule7_tensor_ai_matches() {
+        // A_m ⊗ I_n conjugation identity, A = DFT_3 (not a permutation).
+        let f = smp(2, 2, tensor(dft(3), i(4)));
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&tensor(dft(3), i(4)), &g, 1e-9);
+        // The result must contain a parallel tensor.
+        assert!(format!("{g}").contains("@||"), "{g}");
+    }
+
+    #[test]
+    fn rule8a_stride_split_p_divides_m() {
+        let f = smp(2, 2, stride(16, 4));
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn rule8b_stride_split_p_divides_n_only() {
+        // L^{12}_3: m=3 not divisible by 2, n=4 is.
+        let f = smp(2, 2, stride(12, 3));
+        check_preserves(&f);
+    }
+
+    #[test]
+    fn rule9_block_split() {
+        let f = smp(2, 2, tensor(i(4), dft(3)));
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&tensor(i(4), dft(3)), &g, 1e-9);
+        assert_eq!(g, tensor_par(2, tensor(i(2), dft(3))));
+    }
+
+    #[test]
+    fn rule10_cacheline_perm() {
+        let f = smp(2, 4, tensor(stride(6, 2), i(8)));
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&tensor(stride(6, 2), i(8)), &g, 1e-9);
+        match &g {
+            Spl::PermBar { mu, .. } => assert_eq!(*mu, 4),
+            other => panic!("expected P (x)bar I_mu, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rule11_diag_split() {
+        let f = smp(4, 2, twiddle(4, 4));
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&twiddle(4, 4), &g, 1e-9);
+        match &g {
+            Spl::DirectSumPar(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("expected parallel direct sum, got {other}"),
+        }
+    }
+
+    #[test]
+    fn full_cooley_tukey_parallelizes() {
+        // smp(2,2)[CT(4,8)] — all preconditions hold (pµ=4 divides 4 and 8).
+        let ct = cooley_tukey(4, 8);
+        let f = smp(2, 2, ct.clone());
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&dft(32), &g, 1e-8);
+    }
+
+    #[test]
+    fn stuck_on_bad_divisibility() {
+        // p = 3 cannot split DFT_2 ⊗ I_2 structures of size 4.
+        let f = smp(3, 2, tensor(dft(2), i(2)));
+        match parallelize(&f) {
+            Err(RewriteError::Stuck { .. }) => {}
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_records_rules() {
+        let f = smp(2, 2, cooley_tukey(4, 4));
+        let r = parallelize(&f).unwrap();
+        let rules: Vec<&str> = r.trace.iter().map(|s| s.rule).collect();
+        assert!(rules.iter().any(|r| r.starts_with("(6)")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.starts_with("(7)")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.starts_with("(9)")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.starts_with("(10)")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.starts_with("(11)")), "{rules:?}");
+        assert!(rules.iter().any(|r| r.starts_with("(8")), "{rules:?}");
+    }
+
+    #[test]
+    fn untagged_formula_is_untouched() {
+        let f = cooley_tukey(2, 4);
+        let r = parallelize(&f).unwrap();
+        assert!(r.trace.is_empty());
+        assert_formula_eq(&f, &r.formula, 1e-12);
+    }
+
+    #[test]
+    fn nested_tags_in_larger_formula() {
+        // Tag only part of a formula; the rest stays sequential.
+        let f = compose(vec![
+            tensor(i(2), dft(4)),
+            smp(2, 2, stride(8, 2)),
+        ]);
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&compose(vec![tensor(i(2), dft(4)), stride(8, 2)]), &g, 1e-9);
+    }
+
+    #[test]
+    fn rule7_loop_schedule_matches_paper_listing() {
+        // The paper's §3.1 listing: n/p consecutive iterations of
+        // (A_m ⊗ I_n) run on the same processor. Structurally this means
+        // the middle factor is I_p ⊗∥ (A_m ⊗ I_{n/p}).
+        let f = smp(2, 1, tensor(dft(2), i(8)));
+        let g = parallelize_ok(&f);
+        let s = g.to_string();
+        assert!(
+            s.contains("(I_2 @|| (DFT_2 @ I_4))"),
+            "middle factor not in consecutive-block schedule: {s}"
+        );
+    }
+
+    #[test]
+    fn explicit_diag_rule11() {
+        let entries: Vec<Cplx> = (0..8).map(|k| Cplx::new(k as f64, -1.0)).collect();
+        let f = smp(2, 2, diag(entries.clone()));
+        let g = parallelize_ok(&f);
+        assert_formula_eq(&diag(entries), &g, 1e-12);
+    }
+}

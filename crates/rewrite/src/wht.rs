@@ -1,0 +1,165 @@
+//! The Walsh–Hadamard transform — Spiral's canonical "other" transform.
+//!
+//! SPL expresses a large class of linear transforms (paper §2.2); the WHT
+//! is the simplest: `WHT_{2^k} = (F_2 ⊗ I_{2^{k-1}}) · (I_2 ⊗ WHT_{2^{k-1}})`,
+//! no twiddle factors at all. It exercises the shared-memory rules (7),
+//! (9), (10) in isolation and demonstrates that the parallelization
+//! framework is transform-generic, not DFT-specific.
+
+use crate::check::{check_fully_optimized, Violation};
+use crate::derive::DeriveError;
+use crate::smp_rules::{parallelize, Rewritten};
+use spiral_spl::builder::*;
+use spiral_spl::cplx::Cplx;
+use spiral_spl::Spl;
+
+/// Fully expanded sequential `WHT_{2^k}` as an SPL formula, by the
+/// iterative factorization `WHT_{2^k} = Π_i (I_{2^i} ⊗ F_2 ⊗ I_{2^{k-1-i}})`.
+pub fn wht(k: u32) -> Spl {
+    assert!(k >= 1, "WHT needs size ≥ 2");
+    let n = 1usize << k;
+    let factors: Vec<Spl> = (0..k)
+        .map(|i| {
+            let left = 1usize << i;
+            let right = n >> (i + 1);
+            tensor(i_mat(left), tensor(f2(), i_mat(right))).normalized()
+        })
+        .collect();
+    compose(factors).normalized()
+}
+
+fn i_mat(n: usize) -> Spl {
+    i(n)
+}
+
+/// Derive the `p`-processor, line-length-`µ` parallel WHT by tagging the
+/// balanced split `WHT_{2^k} = (WHT_{2^a} ⊗ I_{2^b}) (I_{2^a} ⊗ WHT_{2^b})`
+/// and running the Table 1 rules. Requires `pµ | 2^b` and `p | 2^a`.
+pub fn multicore_wht(k: u32, p: usize, mu: usize) -> Result<Rewritten, DeriveError> {
+    assert!(k >= 1);
+    let n = 1usize << k;
+    if p == 1 {
+        return Ok(Rewritten { formula: wht(k), trace: vec![] });
+    }
+    // Balanced split with the divisibility conditions of rules (7)/(9).
+    let split = (1..k)
+        .map(|a| (1usize << a, 1usize << (k - a)))
+        .filter(|&(m, c)| m % p == 0 && c % (p * mu) == 0)
+        .min_by_key(|&(m, c)| (m as i64 - c as i64).unsigned_abs());
+    let (m, c) = split.ok_or(DeriveError::NoValidSplit { n, p, mu })?;
+    let top = compose(vec![
+        tensor(wht(m.trailing_zeros()), i(c)),
+        tensor(i(m), wht(c.trailing_zeros())),
+    ]);
+    let rewritten = parallelize(&smp(p, mu, top)).map_err(DeriveError::Rewrite)?;
+    check_fully_optimized(&rewritten.formula, p, mu).map_err(DeriveError::NotOptimized)?;
+    Ok(rewritten)
+}
+
+/// Direct O(n log n) reference WHT (in-place butterfly recursion) for
+/// testing.
+pub fn reference_wht(x: &[Cplx]) -> Vec<Cplx> {
+    let n = x.len();
+    assert!(n.is_power_of_two());
+    let mut a = x.to_vec();
+    let mut len = 1;
+    while len < n {
+        for base in (0..n).step_by(2 * len) {
+            for j in 0..len {
+                let u = a[base + j];
+                let v = a[base + j + len];
+                a[base + j] = u + v;
+                a[base + j + len] = u - v;
+            }
+        }
+        len *= 2;
+    }
+    a
+}
+
+/// Check that a `Violation` never occurs for valid WHT configurations —
+/// re-exported for property tests.
+pub fn wht_is_fully_optimized(k: u32, p: usize, mu: usize) -> Result<(), Violation> {
+    match multicore_wht(k, p, mu) {
+        Ok(r) => check_fully_optimized(&r.formula, p, mu),
+        Err(_) => Ok(()), // invalid configs are allowed to not exist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::assert_slices_close;
+    use spiral_spl::matrix::assert_formula_eq;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|j| Cplx::new(j as f64 - 1.5, 0.5 * j as f64)).collect()
+    }
+
+    #[test]
+    fn wht_formula_matches_reference() {
+        for k in 1..=7 {
+            let f = wht(k);
+            let n = 1usize << k;
+            assert_eq!(f.dim(), n);
+            let x = ramp(n);
+            assert_slices_close(&f.eval(&x), &reference_wht(&x), 1e-10 * n as f64);
+        }
+    }
+
+    #[test]
+    fn wht_matrix_is_hadamard() {
+        // Entries of WHT_8 are all ±1.
+        let m = wht(3).to_matrix();
+        for z in &m.data {
+            assert!(z.im.abs() < 1e-12);
+            assert!((z.re.abs() - 1.0).abs() < 1e-12, "{z:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_wht_matches_and_verifies() {
+        for (k, p, mu) in [(6u32, 2usize, 4usize), (8, 2, 4), (8, 4, 2), (10, 4, 4)] {
+            let r = multicore_wht(k, p, mu)
+                .unwrap_or_else(|e| panic!("k={k} p={p} µ={mu}: {e}"));
+            assert_formula_eq(&wht(k), &r.formula, 1e-9);
+            check_fully_optimized(&r.formula, p, mu).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_wht_compiles_to_balanced_plan() {
+        use spiral_codegen_check::*;
+        // (Inline module below avoids a dev-dependency cycle.)
+        mod spiral_codegen_check {
+            pub use spiral_spl::cplx::assert_slices_close;
+        }
+        let r = multicore_wht(8, 2, 4).unwrap();
+        let expanded = crate::derive::expand_dfts(&r.formula, &|k| {
+            crate::ruletree::RuleTree::balanced(k, 8)
+        });
+        // WHT formulas contain no DFT nonterminals — expansion is a no-op.
+        assert_eq!(expanded.to_string(), r.formula.to_string());
+        let x = ramp(256);
+        assert_slices_close(&r.formula.eval(&x), &reference_wht(&x), 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(matches!(
+            multicore_wht(3, 4, 4), // 8 points cannot split for pµ = 16
+            Err(DeriveError::NoValidSplit { .. })
+        ));
+    }
+
+    #[test]
+    fn wht_is_self_inverse_up_to_n() {
+        let k = 5;
+        let n = 1usize << k;
+        let x = ramp(n);
+        let twice = reference_wht(&reference_wht(&x));
+        for (a, b) in twice.iter().zip(&x) {
+            assert!(a.approx_eq(*b * n as f64, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Random search over rule trees — the simplest stochastic baseline for
+//! the search/learning block.
+
+use crate::cost::CostModel;
+use crate::dp::SearchResult;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spiral_rewrite::RuleTree;
+use spiral_spl::num::splittings;
+
+/// Sample a uniform-ish random rule tree for size `n` (at every level,
+/// pick "leaf" — when allowed — or a random split).
+pub fn random_tree<R: Rng>(n: usize, max_leaf: usize, rng: &mut R) -> RuleTree {
+    let splits = splittings(n);
+    let can_leaf = n <= max_leaf;
+    if splits.is_empty() || (can_leaf && rng.gen_bool(0.4)) {
+        return RuleTree::Leaf(n);
+    }
+    let &(m, k) = splits.choose(rng).unwrap();
+    RuleTree::Ct(
+        Box::new(random_tree(m, max_leaf, rng)),
+        Box::new(random_tree(k, max_leaf, rng)),
+    )
+}
+
+/// Evaluate `samples` random trees; return the best.
+pub fn random_search<R: Rng>(
+    n: usize,
+    max_leaf: usize,
+    mu: usize,
+    samples: usize,
+    model: &CostModel,
+    rng: &mut R,
+) -> SearchResult {
+    let mut best: Option<(RuleTree, f64)> = None;
+    let mut evaluated = 0;
+    for _ in 0..samples.max(1) {
+        let t = random_tree(n, max_leaf, rng);
+        if let Some(c) = model.cost_tree(&t, mu) {
+            evaluated += 1;
+            if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+                best = Some((t, c));
+            }
+        }
+    }
+    let (tree, cost) = best.expect("no valid random candidate");
+    SearchResult { tree, cost, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_trees_have_right_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = random_tree(96, 8, &mut rng);
+            assert_eq!(t.size(), 96);
+        }
+    }
+
+    #[test]
+    fn random_search_returns_valid_result() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = random_search(64, 8, 4, 20, &CostModel::Analytic, &mut rng);
+        assert_eq!(r.tree.size(), 64);
+        assert!(r.evaluated >= 1);
+    }
+
+    #[test]
+    fn more_samples_never_hurt() {
+        let model = CostModel::Analytic;
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let few = random_search(128, 8, 4, 3, &model, &mut rng1);
+        // Same seed stream extended: first 3 candidates are identical,
+        // so the 30-sample result can only improve.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let many = random_search(128, 8, 4, 30, &model, &mut rng2);
+        assert!(many.cost <= few.cost);
+    }
+
+    #[test]
+    fn prime_size_yields_leaf() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(random_tree(17, 4, &mut rng), RuleTree::Leaf(17));
+    }
+}

@@ -1,0 +1,171 @@
+//! The full autotuning loop (Figure 1's feedback cycle): generate
+//! candidate formulas, compile, measure, pick the best.
+
+use crate::cost::CostModel;
+use crate::dp::dp_search;
+use spiral_codegen::plan::Plan;
+use spiral_rewrite::{expand_dfts, multicore_dft, RuleTree};
+use spiral_spl::num::divisors;
+use spiral_spl::Spl;
+use std::collections::HashMap;
+
+/// A tuned implementation: the winning formula, its compiled plan, and
+/// the cost under the tuner's model.
+pub struct Tuned {
+    /// The winning formula.
+    pub formula: Spl,
+    /// Its compiled plan.
+    pub plan: Plan,
+    /// Its cost under the tuner's model.
+    pub cost: f64,
+    /// Human-readable description of the choice (split, trees).
+    pub choice: String,
+}
+
+/// Autotuner for a fixed machine configuration.
+pub struct Tuner {
+    /// Worker/processor count for parallel code.
+    pub p: usize,
+    /// Cache-line length in complex elements.
+    pub mu: usize,
+    /// Largest codelet leaf.
+    pub max_leaf: usize,
+    /// How candidates are costed.
+    pub model: CostModel,
+}
+
+impl Tuner {
+    /// Tuner for `p` processors and cache-line length `µ`.
+    pub fn new(p: usize, mu: usize, model: CostModel) -> Tuner {
+        Tuner { p, mu, max_leaf: 8, model }
+    }
+
+    /// Best sequential implementation of `DFT_n` (DP over rule trees).
+    pub fn tune_sequential(&self, n: usize) -> Tuned {
+        let r = dp_search(n, self.max_leaf, self.mu, &self.model);
+        let formula = r.tree.expand().normalized();
+        let plan = Plan::from_formula(&formula, 1, self.mu)
+            .expect("sequential expansion always lowers");
+        Tuned {
+            formula,
+            cost: self.model.cost(&plan),
+            plan,
+            choice: format!("sequential tree {}", r.tree),
+        }
+    }
+
+    /// Best parallel implementation: searches the top-level split `m` of
+    /// the multicore Cooley–Tukey (14) and reuses DP-best sequential
+    /// trees for the sub-DFTs. Returns `None` when `(pµ)² ∤ n`.
+    pub fn tune_parallel(&self, n: usize) -> Option<Tuned> {
+        if self.p == 1 {
+            return Some(self.tune_sequential(n));
+        }
+        let pmu = self.p * self.mu;
+        let splits: Vec<usize> = divisors(n)
+            .into_iter()
+            .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m) % pmu == 0)
+            .collect();
+        if splits.is_empty() {
+            return None;
+        }
+        // DP-best sequential trees, shared across split candidates.
+        let tree_cache: std::cell::RefCell<HashMap<usize, RuleTree>> =
+            std::cell::RefCell::new(HashMap::new());
+        let mut best: Option<Tuned> = None;
+        for m in splits {
+            let derived = match multicore_dft(n, self.p, self.mu, Some(m)) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let expanded = expand_dfts(&derived.formula, &|k| {
+                tree_cache
+                    .borrow_mut()
+                    .entry(k)
+                    .or_insert_with(|| dp_search(k, self.max_leaf, self.mu, &self.model).tree)
+                    .clone()
+            })
+            .normalized();
+            let plan = match Plan::from_formula(&expanded, self.p, self.mu) {
+                // Loop merging across the parallel boundary: fold the
+                // P ⊗̄ I_µ exchanges into the compute steps (§3.1).
+                Ok(p) => p.fuse_exchanges(),
+                Err(_) => continue,
+            };
+            let cost = self.model.cost(&plan);
+            if best.as_ref().map_or(true, |b| cost < b.cost) {
+                best = Some(Tuned {
+                    formula: expanded,
+                    plan,
+                    cost,
+                    choice: format!("multicore split {m}x{}", n / m),
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::cplx::assert_slices_close;
+    use spiral_spl::Cplx;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new(k as f64, 0.1 * k as f64)).collect()
+    }
+
+    #[test]
+    fn sequential_tuning_produces_correct_plan() {
+        let t = Tuner::new(1, 4, CostModel::Analytic);
+        let tuned = t.tune_sequential(128);
+        let x = ramp(128);
+        assert_slices_close(
+            &tuned.plan.execute(&x),
+            &spiral_spl::builder::dft(128).eval(&x),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn parallel_tuning_produces_correct_balanced_plan() {
+        let t = Tuner::new(2, 4, CostModel::Analytic);
+        let tuned = t.tune_parallel(256).expect("256 admits p=2 µ=4 splits");
+        assert_eq!(tuned.plan.threads, 2);
+        let x = ramp(256);
+        assert_slices_close(
+            &tuned.plan.execute(&x),
+            &spiral_spl::builder::dft(256).eval(&x),
+            1e-6,
+        );
+        spiral_rewrite::check_fully_optimized(&tuned.formula, 2, 4).unwrap();
+    }
+
+    #[test]
+    fn parallel_tuning_rejects_invalid_sizes() {
+        let t = Tuner::new(2, 4, CostModel::Analytic);
+        assert!(t.tune_parallel(32).is_none()); // (pµ)² = 64 > 32
+    }
+
+    #[test]
+    fn parallel_tuning_with_simulator_picks_among_splits() {
+        let model = CostModel::Sim { machine: spiral_sim::core_duo(), warm: true };
+        let t = Tuner::new(2, 4, model);
+        let tuned = t.tune_parallel(1024).unwrap();
+        assert!(tuned.choice.contains("multicore split"));
+        let x = ramp(1024);
+        assert_slices_close(
+            &tuned.plan.execute(&x),
+            &spiral_spl::builder::dft(1024).eval(&x),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn p1_tuner_falls_back_to_sequential() {
+        let t = Tuner::new(1, 4, CostModel::Analytic);
+        let tuned = t.tune_parallel(64).unwrap();
+        assert_eq!(tuned.plan.threads, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Machine models: the shared-memory platforms of the paper's §4.
+//!
+//! Each [`MachineSpec`] captures what the paper's analysis depends on:
+//! processor count `p`, cache-line length, private cache sizes, whether
+//! last-level cache is shared, and the *relative* costs of hits, misses,
+//! cache-to-cache (coherence) transfers, and barriers. The absolute
+//! numbers are plausible for the era but only the relations matter for
+//! reproducing the figure shapes (on-chip CMPs synchronize much faster
+//! than bus-based SMPs).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters, in CPU cycles.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Costs {
+    /// L1 hit (load-to-use, amortized).
+    pub l1_hit: f64,
+    /// L2 hit.
+    pub l2_hit: f64,
+    /// Miss to memory.
+    pub mem: f64,
+    /// Cache-to-cache transfer between cores on the *same chip*.
+    pub coherence_on_chip: f64,
+    /// Cache-to-cache transfer across chips / over the bus.
+    pub coherence_off_chip: f64,
+    /// Barrier synchronization (full round-trip, all processors).
+    pub barrier: f64,
+    /// Sustained real flops per cycle per core (scalar SSE2-era double).
+    pub flops_per_cycle: f64,
+}
+
+/// A shared-memory machine model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Processor (core) count.
+    pub p: usize,
+    /// Clock in GHz (converts cycles to time for pseudo-Mflop/s).
+    pub ghz: f64,
+    /// Cache-line size in bytes.
+    pub line_bytes: usize,
+    /// Private L1 data cache per core, bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L2 cache bytes (per core if private, total if shared).
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// True if L2 is shared among all cores of a chip.
+    pub l2_shared: bool,
+    /// chip\[core\] — which chip each core lives on (for on/off-chip
+    /// coherence costs).
+    pub chip_of: Vec<usize>,
+    /// Cycle-cost parameters.
+    pub costs: Costs,
+}
+
+impl MachineSpec {
+    /// The paper's µ: line length in complex doubles (16 bytes each).
+    pub fn mu(&self) -> usize {
+        (self.line_bytes / 16).max(1)
+    }
+
+    /// Are two cores on the same chip?
+    pub fn same_chip(&self, a: usize, b: usize) -> bool {
+        self.chip_of[a] == self.chip_of[b]
+    }
+
+    /// Coherence transfer cost between two cores.
+    pub fn coherence_cost(&self, a: usize, b: usize) -> f64 {
+        if self.same_chip(a, b) {
+            self.costs.coherence_on_chip
+        } else {
+            self.costs.coherence_off_chip
+        }
+    }
+
+    /// Cycles → microseconds.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.ghz * 1000.0)
+    }
+}
+
+/// 2.0 GHz Intel Core Duo: dual core, **shared** L2, fast on-chip
+/// communication — the "real multicore" laptop of Figure 3(a).
+pub fn core_duo() -> MachineSpec {
+    MachineSpec {
+        name: "Core Duo 2.0 GHz (2 cores, shared L2)".into(),
+        p: 2,
+        ghz: 2.0,
+        line_bytes: 64,
+        l1_bytes: 32 * 1024,
+        l1_assoc: 8,
+        l2_bytes: 2 * 1024 * 1024,
+        l2_assoc: 8,
+        l2_shared: true,
+        chip_of: vec![0, 0],
+        costs: Costs {
+            l1_hit: 1.0,
+            l2_hit: 14.0,
+            mem: 180.0,
+            coherence_on_chip: 25.0, // via the shared L2
+            coherence_off_chip: 25.0,
+            barrier: 450.0,
+            flops_per_cycle: 1.0,
+        },
+    }
+}
+
+/// 3.6 GHz Intel Pentium D: two CPUs on one package but synchronizing
+/// through the front-side bus — Figure 3(c).
+pub fn pentium_d() -> MachineSpec {
+    MachineSpec {
+        name: "Pentium D 3.6 GHz (2 cores, bus sync)".into(),
+        p: 2,
+        ghz: 3.6,
+        line_bytes: 64,
+        l1_bytes: 16 * 1024,
+        l1_assoc: 8,
+        l2_bytes: 1024 * 1024, // per core
+        l2_assoc: 8,
+        l2_shared: false,
+        chip_of: vec![0, 1], // bus between them: model as separate chips
+        costs: Costs {
+            l1_hit: 1.0,
+            l2_hit: 25.0,
+            mem: 380.0,
+            coherence_on_chip: 320.0, // everything crosses the FSB
+            coherence_off_chip: 320.0,
+            barrier: 2800.0,
+            flops_per_cycle: 1.0,
+        },
+    }
+}
+
+/// 2.2 GHz AMD Opteron dual-core × 2 sockets: four cores, no shared
+/// cache but a fast on-chip coherency protocol — Figure 3(b).
+pub fn opteron() -> MachineSpec {
+    MachineSpec {
+        name: "Opteron 2.2 GHz (4 cores: 2 chips x 2)".into(),
+        p: 4,
+        ghz: 2.2,
+        line_bytes: 64,
+        l1_bytes: 64 * 1024,
+        l1_assoc: 2,
+        l2_bytes: 1024 * 1024, // per core
+        l2_assoc: 16,
+        l2_shared: false,
+        chip_of: vec![0, 0, 1, 1],
+        costs: Costs {
+            l1_hit: 1.0,
+            l2_hit: 12.0,
+            mem: 220.0,
+            coherence_on_chip: 70.0,   // on-chip MOESI
+            coherence_off_chip: 160.0, // HyperTransport hop
+            barrier: 1200.0,
+            flops_per_cycle: 1.0,
+        },
+    }
+}
+
+/// 2.8 GHz Intel Xeon MP: four processors on a shared bus — the
+/// traditional SMP of Figure 3(d).
+pub fn xeon_mp() -> MachineSpec {
+    MachineSpec {
+        name: "Xeon MP 2.8 GHz (4 CPUs, shared bus)".into(),
+        p: 4,
+        ghz: 2.8,
+        line_bytes: 64,
+        l1_bytes: 8 * 1024,
+        l1_assoc: 4,
+        l2_bytes: 512 * 1024, // per CPU
+        l2_assoc: 8,
+        l2_shared: false,
+        chip_of: vec![0, 1, 2, 3],
+        costs: Costs {
+            l1_hit: 1.0,
+            l2_hit: 20.0,
+            mem: 420.0,
+            coherence_on_chip: 400.0,
+            coherence_off_chip: 400.0,
+            barrier: 4200.0,
+            flops_per_cycle: 1.0,
+        },
+    }
+}
+
+/// All four evaluation machines of Figure 3, in the paper's order.
+pub fn paper_machines() -> Vec<MachineSpec> {
+    vec![core_duo(), opteron(), pentium_d(), xeon_mp()]
+}
+
+/// Look up a machine by a CLI-friendly key.
+pub fn by_name(key: &str) -> Option<MachineSpec> {
+    match key {
+        "core-duo" | "coreduo" => Some(core_duo()),
+        "pentium-d" | "pentiumd" => Some(pentium_d()),
+        "opteron" => Some(opteron()),
+        "xeon-mp" | "xeonmp" => Some(xeon_mp()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu_is_4_on_all_paper_machines() {
+        for m in paper_machines() {
+            assert_eq!(m.mu(), 4, "{}", m.name);
+            assert_eq!(m.chip_of.len(), m.p);
+        }
+    }
+
+    #[test]
+    fn cmp_machines_have_cheaper_coherence_than_bus_machines() {
+        // The paper's central hardware observation.
+        assert!(
+            core_duo().costs.coherence_on_chip < pentium_d().costs.coherence_on_chip
+        );
+        assert!(opteron().costs.coherence_on_chip < xeon_mp().costs.coherence_on_chip);
+        assert!(core_duo().costs.barrier < pentium_d().costs.barrier);
+    }
+
+    #[test]
+    fn chip_topology_drives_coherence_cost() {
+        let m = opteron();
+        assert!(m.same_chip(0, 1));
+        assert!(!m.same_chip(1, 2));
+        assert!(m.coherence_cost(0, 1) < m.coherence_cost(0, 2));
+    }
+
+    #[test]
+    fn name_lookup() {
+        assert!(by_name("core-duo").is_some());
+        assert!(by_name("opteron").is_some());
+        assert!(by_name("pentium-d").is_some());
+        assert!(by_name("xeon-mp").is_some());
+        assert!(by_name("cray").is_none());
+    }
+
+    #[test]
+    fn cycles_to_us_conversion() {
+        let m = core_duo(); // 2 GHz: 2000 cycles = 1 µs
+        assert!((m.cycles_to_us(2000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specs_serialize() {
+        let m = core_duo();
+        let js = serde_json::to_string(&m).unwrap();
+        let back: MachineSpec = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.p, 2);
+        assert_eq!(back.mu(), 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! High-level simulation driver: run a compiled plan on a machine model
+//! and report cycles, pseudo-Mflop/s, and coherence statistics.
+
+use crate::machine::MachineSpec;
+use crate::simhook::{SimStats, SmpSim};
+use serde::{Deserialize, Serialize};
+use spiral_codegen::plan::Plan;
+
+/// Result of simulating one plan execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Machine model name.
+    pub machine: String,
+    /// Transform size.
+    pub n: usize,
+    /// Threads the plan was scheduled for.
+    pub threads: usize,
+    /// Simulated cycles (slowest core).
+    pub cycles: f64,
+    /// Simulated runtime in microseconds.
+    pub micros: f64,
+    /// The paper's performance metric `5 n log2 n / t_µs`.
+    pub pseudo_mflops: f64,
+    /// max/mean of per-core cycles (1.0 = perfectly balanced).
+    pub balance_ratio: f64,
+    /// Event counters of the measured run.
+    pub stats: SimStats,
+}
+
+impl SmpSim {
+    /// Clear clocks and statistics but keep cache and directory contents
+    /// (for measuring a warmed-up execution, like a real benchmark loop).
+    pub fn reset_timing(&mut self) {
+        self.stats = SimStats::default();
+        for c in self.clock_mut() {
+            *c = 0.0;
+        }
+    }
+}
+
+/// Simulate one execution of `plan` on `spec`.
+///
+/// With `warm = true` the plan runs once to populate the caches and is
+/// then measured on a second run — matching how the paper (and FFTW's
+/// `bench`) time transforms in a repeat loop. `warm = false` measures a
+/// cold first run.
+pub fn simulate_plan(plan: &Plan, spec: &MachineSpec, warm: bool) -> SimReport {
+    let mut sim = SmpSim::new(spec.clone(), plan.n);
+    if warm {
+        plan.run_traced(&mut sim);
+        sim.reset_timing();
+    }
+    plan.run_traced(&mut sim);
+    SimReport {
+        machine: spec.name.clone(),
+        n: plan.n,
+        threads: plan.threads,
+        cycles: sim.cycles(),
+        micros: sim.micros(),
+        pseudo_mflops: sim.pseudo_mflops(plan.n),
+        balance_ratio: sim.balance_ratio(),
+        stats: sim.stats.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{core_duo, paper_machines, pentium_d};
+    use spiral_codegen::plan::Plan;
+    use spiral_rewrite::{multicore_dft_expanded, sequential_dft};
+
+    fn parallel_plan(n: usize, p: usize) -> Plan {
+        let f = multicore_dft_expanded(n, p, 4, None, 8).unwrap();
+        Plan::from_formula(&f, p, 4).unwrap()
+    }
+
+    #[test]
+    fn generated_parallel_plans_have_zero_false_sharing() {
+        // The dynamic counterpart of the paper's Definition 1 proof.
+        for spec in paper_machines() {
+            let plan = parallel_plan(256, spec.p);
+            let rep = simulate_plan(&plan, &spec, true);
+            assert_eq!(
+                rep.stats.false_sharing, 0,
+                "false sharing on {}: {:?}",
+                spec.name, rep.stats
+            );
+        }
+    }
+
+    #[test]
+    fn generated_plans_are_balanced_in_simulation() {
+        let spec = core_duo();
+        let plan = parallel_plan(1024, 2);
+        let rep = simulate_plan(&plan, &spec, true);
+        assert!(rep.balance_ratio < 1.05, "ratio {}", rep.balance_ratio);
+    }
+
+    #[test]
+    fn warm_runs_are_faster_than_cold_for_in_cache_sizes() {
+        let spec = core_duo();
+        let plan = parallel_plan(1024, 2); // 16 KiB working set: fits L1/L2
+        let cold = simulate_plan(&plan, &spec, false);
+        let warm = simulate_plan(&plan, &spec, true);
+        assert!(warm.cycles < cold.cycles, "warm {} vs cold {}", warm.cycles, cold.cycles);
+    }
+
+    #[test]
+    fn parallel_beats_sequential_on_cmp_for_small_sizes() {
+        // The paper's headline: on a CMP, parallelization pays off even
+        // for in-L1 sizes (2^8).
+        let spec = core_duo();
+        let n = 256;
+        let par = simulate_plan(&parallel_plan(n, 2), &spec, true);
+        let seqf = sequential_dft(n, 8);
+        let seq_plan = Plan::from_formula(&seqf, 1, 4).unwrap();
+        let seq = simulate_plan(&seq_plan, &spec, true);
+        assert!(
+            par.cycles < seq.cycles,
+            "CMP p=2 should win at n={n}: par {} vs seq {}",
+            par.cycles,
+            seq.cycles
+        );
+    }
+
+    #[test]
+    fn bus_machine_needs_larger_sizes_for_speedup() {
+        // On the bus-synchronized Pentium D the same small size should
+        // NOT benefit (barriers + coherence dominate), or at least the
+        // relative gain must be much smaller than on the Core Duo.
+        let n = 256;
+        let cd = core_duo();
+        let pd = pentium_d();
+        let gain = |spec: &MachineSpec| {
+            let par = simulate_plan(&parallel_plan(n, 2), spec, true);
+            let seqf = sequential_dft(n, 8);
+            let seq = simulate_plan(&Plan::from_formula(&seqf, 1, 4).unwrap(), spec, true);
+            seq.cycles / par.cycles
+        };
+        let g_cd = gain(&cd);
+        let g_pd = gain(&pd);
+        assert!(g_cd > g_pd, "CMP gain {g_cd} should exceed bus gain {g_pd}");
+    }
+
+    #[test]
+    fn report_serializes() {
+        let spec = core_duo();
+        let rep = simulate_plan(&parallel_plan(256, 2), &spec, true);
+        let js = serde_json::to_string(&rep).unwrap();
+        assert!(js.contains("pseudo_mflops"));
+    }
+}

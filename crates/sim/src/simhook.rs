@@ -1,0 +1,386 @@
+//! The shared-memory machine simulator: a [`MemHook`] implementation
+//! with per-core caches, a line-granularity coherence directory, and
+//! per-core cycle clocks.
+//!
+//! It consumes the exact access streams of a compiled plan
+//! ([`spiral_codegen::Plan::run_traced`]) and produces cycle estimates and
+//! coherence statistics — in particular **false-sharing events**:
+//! cache-line transfers between cores caused by accesses to *different*
+//! elements of the same line. The paper proves the generated programs
+//! incur none; the simulator verifies it dynamically and quantifies the
+//! penalty for µ-oblivious baselines.
+
+use crate::cache::Cache;
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+use spiral_codegen::hook::{MemHook, Region};
+use std::collections::HashMap;
+
+/// Aggregate counters of one simulated execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Element reads.
+    pub reads: u64,
+    /// Element writes.
+    pub writes: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses (to memory).
+    pub l2_misses: u64,
+    /// Cache-to-cache line transfers (any cause).
+    pub coherence_transfers: u64,
+    /// Transfers where the two cores touched *different* elements of the
+    /// line — false sharing.
+    pub false_sharing: u64,
+    /// Copies invalidated by remote writes.
+    pub invalidations: u64,
+    /// Barrier synchronizations.
+    pub barriers: u64,
+    /// Real flops executed.
+    pub flops: u64,
+}
+
+/// Directory state of one cache line.
+#[derive(Clone, Copy, Default)]
+struct LineDir {
+    /// Core holding the line dirty (modified), if any.
+    dirty: Option<u8>,
+    /// Bitmask of cores with a (possibly shared) copy.
+    sharers: u16,
+    /// Elements of the line touched during the current ownership tenure
+    /// (bit `e mod µ`). On a coherence transfer, the incoming access is
+    /// *false sharing* iff its element was never touched in the previous
+    /// tenure — the cores use disjoint parts of the line, so the
+    /// transfer moves no needed data.
+    tenure_mask: u16,
+}
+
+/// The simulator.
+pub struct SmpSim {
+    /// The machine being modeled.
+    pub spec: MachineSpec,
+    /// Transform size (for address-space layout via [`Region::base`]).
+    n: usize,
+    mu: usize,
+    l1: Vec<Cache>,
+    /// One L2 per core (private) or per chip (shared).
+    l2: Vec<Cache>,
+    l2_of: Vec<usize>,
+    dir: HashMap<u64, LineDir>,
+    clock: Vec<f64>,
+    /// Event counters of the current run.
+    pub stats: SimStats,
+}
+
+impl SmpSim {
+    /// Fresh simulator for a size-`n` transform on `spec`.
+    pub fn new(spec: MachineSpec, n: usize) -> SmpSim {
+        let mu = spec.mu();
+        let l1_lines = spec.l1_bytes / spec.line_bytes;
+        let l2_lines = spec.l2_bytes / spec.line_bytes;
+        let l1 = (0..spec.p).map(|_| Cache::new(l1_lines, spec.l1_assoc)).collect();
+        let (l2, l2_of): (Vec<Cache>, Vec<usize>) = if spec.l2_shared {
+            // One L2 per chip.
+            let n_chips = spec.chip_of.iter().max().map_or(1, |&c| c + 1);
+            (
+                (0..n_chips).map(|_| Cache::new(l2_lines, spec.l2_assoc)).collect(),
+                spec.chip_of.clone(),
+            )
+        } else {
+            (
+                (0..spec.p).map(|_| Cache::new(l2_lines, spec.l2_assoc)).collect(),
+                (0..spec.p).collect(),
+            )
+        };
+        SmpSim {
+            n,
+            mu,
+            l1,
+            l2,
+            l2_of,
+            dir: HashMap::new(),
+            clock: vec![0.0; spec.p],
+            stats: SimStats::default(),
+            spec,
+        }
+    }
+
+    fn line_of(&self, region: Region, idx: usize) -> u64 {
+        ((region.base(self.n, self.mu) + idx) / self.mu) as u64
+    }
+
+    /// Simulated cycles of the whole run (the slowest core).
+    pub fn cycles(&self) -> f64 {
+        self.clock.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Per-core cycle clocks.
+    pub fn per_core_cycles(&self) -> &[f64] {
+        &self.clock
+    }
+
+    /// Mutable access to the clocks (used by `reset_timing`).
+    pub(crate) fn clock_mut(&mut self) -> &mut [f64] {
+        &mut self.clock
+    }
+
+    /// Runtime in microseconds on the modeled machine.
+    pub fn micros(&self) -> f64 {
+        self.spec.cycles_to_us(self.cycles())
+    }
+
+    /// Pseudo-Mflop/s for a size-`n` DFT (`5 n log2 n / t_us`, paper §4).
+    pub fn pseudo_mflops(&self, n: usize) -> f64 {
+        spiral_spl::num::pseudo_mflops(n, self.micros())
+    }
+
+    /// Load-balance ratio of simulated work (max/mean of core clocks).
+    pub fn balance_ratio(&self) -> f64 {
+        let max = self.cycles();
+        let mean = self.clock.iter().sum::<f64>() / self.clock.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Reset clocks, caches, directory, and stats (fresh run).
+    pub fn reset(&mut self) {
+        for c in &mut self.l1 {
+            c.clear();
+        }
+        for c in &mut self.l2 {
+            c.clear();
+        }
+        self.dir.clear();
+        self.clock.iter_mut().for_each(|c| *c = 0.0);
+        self.stats = SimStats::default();
+    }
+
+    fn access(&mut self, tid: usize, region: Region, idx: usize, is_write: bool) {
+        let core = tid % self.spec.p;
+        let elem = (region.base(self.n, self.mu) + idx) as u32;
+        let line = self.line_of(region, idx);
+        let mut cost;
+
+        // Coherence first: does another core hold the line dirty, or (for
+        // writes) does anyone else have a copy?
+        let elem_bit = 1u16 << (elem as usize % self.mu);
+        let entry = self.dir.entry(line).or_default();
+        let my_bit = 1u16 << core;
+        let mut transferred = false;
+        if is_write {
+            let others = (entry.sharers & !my_bit) != 0
+                || matches!(entry.dirty, Some(d) if d as usize != core);
+            if others {
+                // Invalidate every other copy; pay the farthest transfer.
+                let mut worst = 0.0f64;
+                for other in 0..self.spec.p {
+                    if other != core && (entry.sharers >> other) & 1 == 1 {
+                        worst = worst.max(self.spec.coherence_cost(core, other));
+                        self.l1[other].invalidate(line);
+                        self.stats.invalidations += 1;
+                    }
+                }
+                if let Some(d) = entry.dirty {
+                    if d as usize != core {
+                        worst = worst.max(self.spec.coherence_cost(core, d as usize));
+                        self.l1[d as usize].invalidate(line);
+                    }
+                }
+                self.stats.coherence_transfers += 1;
+                transferred = true;
+                if entry.tenure_mask & elem_bit == 0 {
+                    self.stats.false_sharing += 1;
+                }
+                entry.tenure_mask = 0; // new ownership tenure
+                self.clock[core] += worst;
+            }
+            entry.dirty = Some(core as u8);
+            entry.sharers = my_bit;
+        } else {
+            if let Some(d) = entry.dirty {
+                if d as usize != core {
+                    // Dirty elsewhere: cache-to-cache transfer, downgrade.
+                    self.clock[core] += self.spec.coherence_cost(core, d as usize);
+                    self.stats.coherence_transfers += 1;
+                    transferred = true;
+                    if entry.tenure_mask & elem_bit == 0 {
+                        self.stats.false_sharing += 1;
+                    }
+                    entry.tenure_mask = 0;
+                    entry.dirty = None;
+                }
+            }
+            entry.sharers |= my_bit;
+        }
+        entry.tenure_mask |= elem_bit;
+
+        // Cache hierarchy cost.
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        if self.l1[core].access(line) {
+            cost = self.spec.costs.l1_hit;
+        } else {
+            self.stats.l1_misses += 1;
+            if self.l2[self.l2_of[core]].access(line) {
+                cost = self.spec.costs.l2_hit;
+            } else {
+                self.stats.l2_misses += 1;
+                cost = self.spec.costs.mem;
+            }
+        }
+        // A coherence transfer supplies the data; don't also charge a
+        // full memory miss on top (the transfer cost dominates).
+        if transferred {
+            cost = cost.min(self.spec.costs.l2_hit);
+        }
+        self.clock[core] += cost;
+    }
+}
+
+impl MemHook for SmpSim {
+    fn read(&mut self, tid: usize, region: Region, idx: usize) {
+        self.access(tid, region, idx, false);
+    }
+
+    fn write(&mut self, tid: usize, region: Region, idx: usize) {
+        self.access(tid, region, idx, true);
+    }
+
+    fn flops(&mut self, tid: usize, count: u64) {
+        let core = tid % self.spec.p;
+        self.clock[core] += count as f64 / self.spec.costs.flops_per_cycle;
+        self.stats.flops += count;
+    }
+
+    fn barrier(&mut self) {
+        let max = self.cycles();
+        for c in &mut self.clock {
+            *c = max + self.spec.costs.barrier;
+        }
+        self.stats.barriers += 1;
+    }
+
+    fn overhead(&mut self, tid: usize, cycles: f64) {
+        self.clock[tid % self.spec.p] += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{core_duo, pentium_d};
+    use spiral_codegen::hook::Region;
+
+    #[test]
+    fn private_reads_are_cheap_after_warmup() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        for _ in 0..2 {
+            for i in 0..64 {
+                sim.read(0, Region::BufA, i);
+            }
+        }
+        // Second pass is all L1 hits.
+        assert!(sim.stats.l1_misses <= 16 + 1);
+        assert_eq!(sim.stats.coherence_transfers, 0);
+        assert_eq!(sim.stats.false_sharing, 0);
+    }
+
+    #[test]
+    fn true_sharing_is_counted_but_not_false() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        // Core 0 writes element 0; core 1 reads the SAME element.
+        sim.write(0, Region::BufA, 0);
+        sim.read(1, Region::BufA, 0);
+        assert_eq!(sim.stats.coherence_transfers, 1);
+        assert_eq!(sim.stats.false_sharing, 0);
+    }
+
+    #[test]
+    fn false_sharing_detected_on_same_line_different_elements() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        // µ = 4: elements 0 and 1 share a line.
+        sim.write(0, Region::BufA, 0);
+        sim.write(1, Region::BufA, 1);
+        sim.write(0, Region::BufA, 0);
+        assert!(sim.stats.false_sharing >= 2, "{:?}", sim.stats);
+    }
+
+    #[test]
+    fn no_events_across_line_boundary() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        sim.write(0, Region::BufA, 0);
+        sim.write(1, Region::BufA, 4); // next line (µ = 4)
+        assert_eq!(sim.stats.coherence_transfers, 0);
+        assert_eq!(sim.stats.false_sharing, 0);
+    }
+
+    #[test]
+    fn bus_machine_pays_more_for_sharing() {
+        let mut fast = SmpSim::new(core_duo(), 64);
+        let mut slow = SmpSim::new(pentium_d(), 64);
+        for sim in [&mut fast, &mut slow] {
+            for k in 0..100 {
+                sim.write(k % 2, Region::BufA, 0);
+            }
+        }
+        // Same event counts, very different cycle costs.
+        assert_eq!(fast.stats.coherence_transfers, slow.stats.coherence_transfers);
+        assert!(slow.cycles() > 3.0 * fast.cycles());
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        sim.flops(0, 1000);
+        assert!(sim.per_core_cycles()[1] == 0.0);
+        sim.barrier();
+        let c = sim.per_core_cycles();
+        assert_eq!(c[0], c[1]);
+        assert!(c[0] >= 1000.0 + sim.spec.costs.barrier);
+    }
+
+    #[test]
+    fn tmp_regions_are_isolated_per_thread() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        sim.write(0, Region::Tmp(0), 0);
+        sim.write(1, Region::Tmp(1), 0);
+        sim.write(0, Region::Tmp(0), 0);
+        assert_eq!(sim.stats.coherence_transfers, 0);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        sim.write(0, Region::BufA, 0);
+        sim.flops(0, 50);
+        sim.barrier();
+        sim.reset();
+        assert_eq!(sim.cycles(), 0.0);
+        assert_eq!(sim.stats.reads + sim.stats.writes, 0);
+        assert_eq!(sim.stats.barriers, 0);
+    }
+
+    #[test]
+    fn pseudo_mflops_sane() {
+        let mut sim = SmpSim::new(core_duo(), 1024);
+        sim.flops(0, 51200); // 5·1024·10 = nominal flop count
+        let pm = sim.pseudo_mflops(1024);
+        // 51200 flops in 51200 cycles at 2 GHz = 25.6 µs → 2000 pMflop/s.
+        assert!((pm - 2000.0).abs() < 1.0, "{pm}");
+    }
+
+    #[test]
+    fn balance_ratio_reflects_imbalance() {
+        let mut sim = SmpSim::new(core_duo(), 64);
+        sim.flops(0, 1000);
+        assert!((sim.balance_ratio() - 2.0).abs() < 1e-9);
+        sim.flops(1, 1000);
+        assert!((sim.balance_ratio() - 1.0).abs() < 1e-9);
+    }
+}

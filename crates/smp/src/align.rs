@@ -1,0 +1,144 @@
+//! Cache-line aligned buffers.
+//!
+//! The paper assumes "all shared data vectors are aligned at cache line
+//! boundaries in the final program" (§3.1) — the `P ⊗̄ I_µ` false-sharing
+//! guarantee depends on it. `AlignedVec` provides that alignment.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+/// Default alignment: 64 bytes (one cache line on every platform the paper
+/// evaluates; with 16-byte complex doubles this is µ = 4).
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A fixed-size, zero-initialized, cache-line-aligned buffer of `T`.
+pub struct AlignedVec<T> {
+    ptr: *mut T,
+    len: usize,
+    layout: Layout,
+}
+
+// Safety: AlignedVec owns its allocation exclusively, like Vec.
+unsafe impl<T: Send> Send for AlignedVec<T> {}
+unsafe impl<T: Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    /// Allocate `len` zeroed elements aligned to `align` bytes.
+    /// `align` must be a power of two and at least `align_of::<T>()`.
+    pub fn with_alignment(len: usize, align: usize) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align.max(std::mem::align_of::<T>());
+        let bytes = len.max(1) * std::mem::size_of::<T>();
+        let layout = Layout::from_size_align(bytes, align).expect("bad layout");
+        // Safety: layout has nonzero size (len.max(1)).
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        AlignedVec { ptr, len, layout }
+    }
+
+    /// Allocate `len` zeroed elements aligned to a cache line.
+    pub fn new(len: usize) -> Self {
+        Self::with_alignment(len, CACHE_LINE_BYTES)
+    }
+
+    /// Copy from a slice (must have the same length).
+    pub fn copy_from(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.len);
+        self.as_mut_slice().copy_from_slice(src);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shared view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        // Safety: ptr valid for len elements, zero-initialized at alloc.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Exclusive view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // Safety: exclusive borrow of self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// Raw base pointer (for the unsafe shared-buffer executor).
+    pub fn as_ptr(&self) -> *mut T {
+        self.ptr
+    }
+}
+
+impl<T> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        // Safety: allocated with this layout in with_alignment.
+        unsafe { dealloc(self.ptr as *mut u8, self.layout) }
+    }
+}
+
+impl<T: Copy + Default> Deref for AlignedVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default> DerefMut for AlignedVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_respected() {
+        for _ in 0..10 {
+            let v: AlignedVec<f64> = AlignedVec::new(37);
+            assert_eq!(v.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+        }
+        let v: AlignedVec<u8> = AlignedVec::with_alignment(10, 4096);
+        assert_eq!(v.as_ptr() as usize % 4096, 0);
+    }
+
+    #[test]
+    fn zero_initialized_and_writable() {
+        let mut v: AlignedVec<f64> = AlignedVec::new(100);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v[3] = 1.5;
+        assert_eq!(v[3], 1.5);
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn copy_from_slice_roundtrip() {
+        let data: Vec<f64> = (0..64).map(|k| k as f64).collect();
+        let mut v: AlignedVec<f64> = AlignedVec::new(64);
+        v.copy_from(&data);
+        assert_eq!(v.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        let v: AlignedVec<f64> = AlignedVec::new(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice().len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_checks_length() {
+        let mut v: AlignedVec<f64> = AlignedVec::new(4);
+        v.copy_from(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Thread barriers.
+//!
+//! The paper's generated programs synchronize only between algorithm
+//! stages, and stress *low-latency, minimal-overhead* synchronization for
+//! in-cache problem sizes (§3.2). Two implementations are provided:
+//!
+//! * [`SpinBarrier`] — sense-reversing spin barrier: lowest latency when
+//!   every thread has its own core (the paper's machines);
+//! * [`ParkBarrier`] — parks waiting threads in the OS: the right choice
+//!   on oversubscribed hosts (e.g. more threads than cores).
+//!
+//! The barrier-overhead ablation bench (`ABL-BAR`) compares them.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Common interface so the executor can switch implementations.
+pub trait Barrier: Send + Sync {
+    /// Block until all `n` participants arrive. Returns `true` on exactly
+    /// one participant (the "leader") per phase.
+    fn wait(&self) -> bool;
+    /// Number of participants.
+    fn parties(&self) -> usize;
+}
+
+/// Sense-reversing centralized spin barrier.
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        SpinBarrier { n, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+}
+
+impl Barrier for SpinBarrier {
+    fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            // Release the others; publishes all pre-barrier writes.
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins = spins.wrapping_add(1);
+                if spins % 1024 == 0 {
+                    // Be polite on oversubscribed machines.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            false
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.n
+    }
+}
+
+/// Mutex/condvar barrier that parks waiting threads.
+pub struct ParkBarrier {
+    n: usize,
+    state: Mutex<ParkState>,
+    cv: Condvar,
+}
+
+struct ParkState {
+    count: usize,
+    generation: u64,
+}
+
+impl ParkBarrier {
+    /// Barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        ParkBarrier {
+            n,
+            state: Mutex::new(ParkState { count: 0, generation: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl Barrier for ParkBarrier {
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = st.generation;
+            let _st = self
+                .cv
+                .wait_while(st, |s| s.generation == gen)
+                .unwrap();
+            false
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.n
+    }
+}
+
+/// Which barrier implementation the executor should use.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Sense-reversing busy-wait barrier (lowest latency, needs a core
+    /// per thread).
+    Spin,
+    /// Mutex/condvar barrier that parks waiters (oversubscription-safe).
+    Park,
+}
+
+impl BarrierKind {
+    /// Construct a barrier of this kind for `n` participants.
+    pub fn build(self, n: usize) -> Box<dyn Barrier> {
+        match self {
+            BarrierKind::Spin => Box::new(SpinBarrier::new(n)),
+            BarrierKind::Park => Box::new(ParkBarrier::new(n)),
+        }
+    }
+
+    /// Sensible default for this host: spin when every thread can have a
+    /// core, park when oversubscribed.
+    pub fn auto(n: usize) -> BarrierKind {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        if n <= cores {
+            BarrierKind::Spin
+        } else {
+            BarrierKind::Park
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn exercise(barrier: Arc<dyn Barrier>, n: usize) {
+        const ROUNDS: usize = 200;
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let b = Arc::clone(&barrier);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let mut leader_count = 0u64;
+                for round in 0..ROUNDS {
+                    // Everyone must observe the same count at each round.
+                    let before = c.load(Ordering::SeqCst);
+                    assert!(before as usize >= round * n);
+                    c.fetch_add(1, Ordering::SeqCst);
+                    if b.wait() {
+                        leader_count += 1;
+                    }
+                    // After the barrier all n increments of this round
+                    // are visible.
+                    let after = c.load(Ordering::SeqCst);
+                    assert!(after as usize >= (round + 1) * n, "{after} round {round}");
+                    b.wait();
+                }
+                leader_count
+            }));
+        }
+        let leaders: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Exactly one leader per phase (two waits per round).
+        assert_eq!(leaders, ROUNDS as u64);
+        assert_eq!(counter.load(Ordering::SeqCst), (ROUNDS * n) as u64);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        exercise(Arc::new(SpinBarrier::new(4)), 4);
+    }
+
+    #[test]
+    fn park_barrier_synchronizes() {
+        exercise(Arc::new(ParkBarrier::new(4)), 4);
+    }
+
+    #[test]
+    fn single_party_barrier_is_trivial() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+        let p = ParkBarrier::new(1);
+        for _ in 0..10 {
+            assert!(p.wait());
+        }
+    }
+
+    #[test]
+    fn kind_builders() {
+        assert_eq!(BarrierKind::Spin.build(3).parties(), 3);
+        assert_eq!(BarrierKind::Park.build(2).parties(), 2);
+        // auto never panics
+        let _ = BarrierKind::auto(2);
+        let _ = BarrierKind::auto(64);
+    }
+}

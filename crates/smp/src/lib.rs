@@ -1,0 +1,23 @@
+//! # spiral-smp — shared-memory execution substrate
+//!
+//! The runtime layer under the generated programs:
+//!
+//! * [`align::AlignedVec`] — cache-line aligned buffers (the `P ⊗̄ I_µ`
+//!   false-sharing guarantee assumes line-aligned vectors, paper §3.1);
+//! * [`barrier`] — low-latency spin and parking barriers for the
+//!   per-stage synchronization of the generated parallel programs;
+//! * [`pool::Pool`] — a persistent worker pool ("thread pooling" in the
+//!   paper's comparison with FFTW) so small transforms do not pay thread
+//!   startup cost;
+//! * [`topology`] — host processor count and the cache-line parameter µ.
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod barrier;
+pub mod pool;
+pub mod topology;
+
+pub use align::{AlignedVec, CACHE_LINE_BYTES};
+pub use barrier::{Barrier, BarrierKind, ParkBarrier, SpinBarrier};
+pub use pool::Pool;

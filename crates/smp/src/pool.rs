@@ -1,0 +1,216 @@
+//! Persistent worker-thread pool.
+//!
+//! FFTW's experimental "thread pooling" (which the paper found broken on
+//! 4 processors) exists to avoid paying thread-creation cost per
+//! transform; Spiral-generated code assumes the same. This pool keeps
+//! `p-1` workers parked between calls; [`Pool::run`] executes a closure
+//! on all `p` logical threads (the caller participates as thread 0) and
+//! returns when every thread has finished.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased job pointer. Valid only while the publishing `run` call is
+/// blocked, which the completion protocol guarantees.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+}
+// Safety: the pointee is Sync and outlives all uses (see `run`).
+unsafe impl Send for Job {}
+
+struct Slot {
+    generation: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    start: Condvar,
+    /// Number of workers still running the current job.
+    remaining: AtomicUsize,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+/// A pool of `p` logical threads: `p - 1` parked workers plus the caller.
+pub struct Pool {
+    p: usize,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool presenting `p ≥ 1` logical threads.
+    pub fn new(p: usize) -> Pool {
+        assert!(p >= 1, "pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot { generation: 0, job: None, shutdown: false }),
+            start: Condvar::new(),
+            remaining: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        let handles = (1..p)
+            .map(|tid| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spiral-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, sh))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Pool { p, shared, handles }
+    }
+
+    /// Number of logical threads.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Run `f(tid)` for every `tid` in `0..p` concurrently; the caller
+    /// executes `f(0)`. Returns after all threads complete.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.p == 1 {
+            f(0);
+            return;
+        }
+        // Publish the job.
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            debug_assert!(slot.job.is_none(), "pool is not reentrant");
+            self.shared.remaining.store(self.p - 1, Ordering::Release);
+            slot.generation += 1;
+            // Safety: erase the borrow's lifetime; `run` blocks until all
+            // workers finish with the pointer, then clears the slot.
+            let erased: *const (dyn Fn(usize) + Sync + 'static) =
+                unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+            slot.job = Some(Job { f: erased });
+            self.shared.start.notify_all();
+        }
+        // Participate as thread 0.
+        f(0);
+        // Wait for the workers.
+        let mut guard = self.shared.done_lock.lock().unwrap();
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.shared.done.wait(guard).unwrap();
+        }
+        // Clear the job so the pointer cannot be observed after return.
+        self.shared.slot.lock().unwrap().job = None;
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+            slot.generation += 1;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, sh: Arc<Shared>) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut slot = sh.slot.lock().unwrap();
+            while slot.generation == seen_generation && !slot.shutdown {
+                slot = sh.start.wait(slot).unwrap();
+            }
+            if slot.shutdown {
+                return;
+            }
+            seen_generation = slot.generation;
+            match &slot.job {
+                Some(j) => Job { f: j.f },
+                None => continue,
+            }
+        };
+        // Safety: the publisher blocks in `run` until `remaining` hits 0,
+        // so the closure outlives this call.
+        let f = unsafe { &*job.f };
+        f(tid);
+        if sh.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = sh.done_lock.lock().unwrap();
+            sh.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::{Barrier, BarrierKind};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_threads() {
+        let pool = Pool::new(4);
+        let hits = AtomicU64::new(0);
+        pool.run(&|tid| {
+            assert!(tid < 4);
+            hits.fetch_add(1 << (tid * 8), Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0x01010101);
+    }
+
+    #[test]
+    fn reusable_across_many_jobs() {
+        let pool = Pool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(&|_tid| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let hit = AtomicU64::new(0);
+        pool.run(&|tid| {
+            assert_eq!(tid, 0);
+            hit.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn threads_can_synchronize_with_barriers() {
+        // The executor pattern: shared barrier between pipeline stages.
+        let p = 4;
+        let pool = Pool::new(p);
+        let barrier = BarrierKind::Park.build(p);
+        let barrier: &dyn Barrier = &*barrier;
+        let stage_data: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
+        pool.run(&|tid| {
+            stage_data[tid].store((tid + 1) as u64, Ordering::SeqCst);
+            barrier.wait();
+            // After the barrier every thread sees all stage-1 writes.
+            let sum: u64 = stage_data.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+            assert_eq!(sum, (1..=p as u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn writes_are_visible_after_run() {
+        let pool = Pool::new(4);
+        let data: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run(&|tid| {
+            for i in (tid..64).step_by(4) {
+                data[i].store(i as u64, Ordering::Relaxed);
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), i as u64);
+        }
+    }
+}

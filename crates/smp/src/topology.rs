@@ -1,0 +1,59 @@
+//! Host topology discovery: processor count and the cache-line parameter
+//! `µ` (measured in complex numbers, per the paper §3.1).
+
+/// Size of one interleaved complex double, in bytes.
+pub const COMPLEX_BYTES: usize = 16;
+
+/// Number of hardware threads available on this host.
+pub fn processors() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// Cache-line size in bytes, read from sysfs on Linux; falls back to 64.
+pub fn cache_line_bytes() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(s) = std::fs::read_to_string(
+            "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size",
+        ) {
+            if let Ok(v) = s.trim().parse::<usize>() {
+                if v.is_power_of_two() && (16..=1024).contains(&v) {
+                    return v;
+                }
+            }
+        }
+    }
+    64
+}
+
+/// The paper's `µ`: cache-line length measured in complex numbers.
+/// 64-byte lines with `double` data give µ = 4.
+pub fn mu() -> usize {
+    (cache_line_bytes() / COMPLEX_BYTES).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processors_at_least_one() {
+        assert!(processors() >= 1);
+    }
+
+    #[test]
+    fn cache_line_is_sane_power_of_two() {
+        let c = cache_line_bytes();
+        assert!(c.is_power_of_two());
+        assert!((16..=1024).contains(&c));
+    }
+
+    #[test]
+    fn mu_matches_paper_for_64_byte_lines() {
+        // On any 64-byte-line machine µ must be 4.
+        if cache_line_bytes() == 64 {
+            assert_eq!(mu(), 4);
+        }
+        assert!(mu() >= 1);
+    }
+}

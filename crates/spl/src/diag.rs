@@ -1,0 +1,164 @@
+//! Diagonal matrices: the Cooley–Tukey twiddle-factor diagonal `T^{mn}_n`
+//! (called `D_{m,n}` in the paper's eq. (1)) and its contiguous segments
+//! produced by parallelization rule (11), plus explicit diagonals for tests.
+
+use crate::cplx::Cplx;
+use crate::num::omega_pow2;
+use std::sync::Arc;
+
+/// Specification of a diagonal matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiagSpec {
+    /// Segment `[off, off+len)` of the twiddle diagonal `T^{mn}_n`, whose
+    /// full diagonal entry at position `i*n + j` (with `0 ≤ i < m`,
+    /// `0 ≤ j < n`) is `ω_{mn}^{i·j}`.
+    ///
+    /// The full diagonal is `off = 0, len = m*n`. Rule (11) splits it into
+    /// `p` segments `D_i` of length `m*n/p`.
+    Twiddle {
+        /// Row count `m` of the Cooley–Tukey split.
+        m: usize,
+        /// Column count `n` of the Cooley–Tukey split.
+        n: usize,
+        /// Start of the segment within the full diagonal.
+        off: usize,
+        /// Segment length.
+        len: usize,
+    },
+    /// An arbitrary explicit diagonal (mainly for tests and hand-built
+    /// formulas). Shared so that clones of formulas stay cheap.
+    Explicit(Arc<Vec<Cplx>>),
+}
+
+impl DiagSpec {
+    /// Full twiddle diagonal `T^{mn}_n` of the Cooley–Tukey rule.
+    pub fn twiddle(m: usize, n: usize) -> Self {
+        DiagSpec::Twiddle { m, n, off: 0, len: m * n }
+    }
+
+    /// Dimension (number of diagonal entries).
+    pub fn len(&self) -> usize {
+        match self {
+            DiagSpec::Twiddle { len, .. } => *len,
+            DiagSpec::Explicit(v) => v.len(),
+        }
+    }
+
+    /// True for a zero-length diagonal.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Diagonal entry at local position `k` (i.e. absolute position
+    /// `off + k` for twiddle segments).
+    #[inline]
+    pub fn entry(&self, k: usize) -> Cplx {
+        match self {
+            DiagSpec::Twiddle { m, n, off, len } => {
+                debug_assert!(k < *len);
+                let abs = off + k;
+                let i = abs / n;
+                let j = abs % n;
+                debug_assert!(i < *m);
+                omega_pow2(m * n, i, j)
+            }
+            DiagSpec::Explicit(v) => v[k],
+        }
+    }
+
+    /// Materialize all entries.
+    pub fn entries(&self) -> Vec<Cplx> {
+        (0..self.len()).map(|k| self.entry(k)).collect()
+    }
+
+    /// Split into `p` contiguous equal segments (rule (11)). Requires
+    /// `p | len`.
+    pub fn split(&self, p: usize) -> Vec<DiagSpec> {
+        let total = self.len();
+        assert!(p > 0 && total % p == 0, "diag split: {p} must divide {total}");
+        let seg = total / p;
+        (0..p)
+            .map(|i| match self {
+                DiagSpec::Twiddle { m, n, off, .. } => DiagSpec::Twiddle {
+                    m: *m,
+                    n: *n,
+                    off: off + i * seg,
+                    len: seg,
+                },
+                DiagSpec::Explicit(v) => {
+                    DiagSpec::Explicit(Arc::new(v[i * seg..(i + 1) * seg].to_vec()))
+                }
+            })
+            .collect()
+    }
+
+    /// Pointwise multiply a vector in place by this diagonal.
+    pub fn scale(&self, data: &mut [Cplx]) {
+        assert_eq!(data.len(), self.len(), "diag scale: dimension mismatch");
+        for (k, z) in data.iter_mut().enumerate() {
+            *z = *z * self.entry(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::omega_pow;
+
+    #[test]
+    fn twiddle_entries_match_definition() {
+        let d = DiagSpec::twiddle(2, 4);
+        assert_eq!(d.len(), 8);
+        for i in 0..2 {
+            for j in 0..4 {
+                let got = d.entry(i * 4 + j);
+                let want = omega_pow(8, i * j);
+                assert!(got.approx_eq(want, 1e-12), "i={i} j={j}");
+            }
+        }
+        // First row (i = 0) is all ones.
+        for j in 0..4 {
+            assert!(d.entry(j).approx_eq(Cplx::ONE, 1e-15));
+        }
+    }
+
+    #[test]
+    fn split_preserves_entries() {
+        let d = DiagSpec::twiddle(4, 4);
+        let parts = d.split(4);
+        assert_eq!(parts.len(), 4);
+        let mut recon = Vec::new();
+        for p in &parts {
+            assert_eq!(p.len(), 4);
+            recon.extend(p.entries());
+        }
+        let full = d.entries();
+        for (a, b) in full.iter().zip(&recon) {
+            assert!(a.approx_eq(*b, 0.0));
+        }
+    }
+
+    #[test]
+    fn split_explicit() {
+        let v: Vec<Cplx> = (0..6).map(|k| Cplx::real(k as f64)).collect();
+        let d = DiagSpec::Explicit(Arc::new(v.clone()));
+        let parts = d.split(3);
+        assert_eq!(parts[1].entries(), vec![Cplx::real(2.0), Cplx::real(3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn split_requires_divisibility() {
+        DiagSpec::twiddle(2, 3).split(4);
+    }
+
+    #[test]
+    fn scale_applies_pointwise() {
+        let d = DiagSpec::Explicit(Arc::new(vec![Cplx::real(2.0), Cplx::I]));
+        let mut v = vec![Cplx::ONE, Cplx::ONE];
+        d.scale(&mut v);
+        assert!(v[0].approx_eq(Cplx::real(2.0), 0.0));
+        assert!(v[1].approx_eq(Cplx::I, 0.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! # spiral-spl — the SPL formula language
+//!
+//! SPL (Signal Processing Language) expresses linear transform algorithms
+//! as formulas over structured matrices: identities, the DFT, twiddle
+//! diagonals, stride permutations, matrix products, tensor (Kronecker)
+//! products, and direct sums. This crate provides:
+//!
+//! * the AST ([`Spl`]) including the shared-memory *tagged* operators of
+//!   the SC'06 paper (`I_p ⊗∥ A`, `⊕∥`, `P ⊗̄ I_µ`, and the `smp(p,µ)` tag),
+//! * reference semantics ([`Spl::eval`], [`Spl::apply`]) — the testing
+//!   oracle for the rewriting system and the code generator,
+//! * dense materialization ([`Spl::to_matrix`]) for matrix-equality tests
+//!   of rewrite rules,
+//! * symbolic permutations ([`perm::Perm`]) and diagonals
+//!   ([`diag::DiagSpec`]) that downstream loop merging folds into
+//!   compute loops,
+//! * a printer/parser pair for the ASCII formula syntax.
+//!
+//! ## Example
+//!
+//! ```
+//! use spiral_spl::builder::*;
+//! use spiral_spl::cplx::Cplx;
+//!
+//! // Cooley–Tukey rule (1): DFT_8 = (DFT_2 ⊗ I_4) T^8_4 (I_2 ⊗ DFT_4) L^8_2
+//! let formula = cooley_tukey(2, 4);
+//! let x: Vec<Cplx> = (0..8).map(|k| Cplx::real(k as f64)).collect();
+//! let y = formula.eval(&x);
+//! let reference = dft(8).eval(&x);
+//! for (a, b) in y.iter().zip(&reference) {
+//!     assert!(a.approx_eq(*b, 1e-9));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod ast;
+pub mod builder;
+pub mod cplx;
+pub mod diag;
+pub mod display;
+pub mod matrix;
+pub mod num;
+pub mod parse;
+pub mod perm;
+
+pub use ast::{Spl, SplError};
+pub use cplx::Cplx;
+pub use diag::DiagSpec;
+pub use matrix::Mat;
+pub use parse::{parse, ParseError};
+pub use perm::Perm;

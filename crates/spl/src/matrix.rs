@@ -1,0 +1,249 @@
+//! Dense materialization of formulas for small sizes.
+//!
+//! Used by tests to assert *matrix equality* of the two sides of a rewrite
+//! rule — the strongest possible correctness statement for a rule.
+
+use crate::ast::Spl;
+use crate::cplx::Cplx;
+
+/// A dense row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Entries, row-major.
+    pub data: Vec<Cplx>,
+}
+
+impl Mat {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![Cplx::ZERO; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for k in 0..n {
+            m[(k, k)] = Cplx::ONE;
+        }
+        m
+    }
+
+    /// `y = M x`.
+    pub fn mul_vec(&self, x: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = Cplx::ZERO;
+                for c in 0..self.cols {
+                    acc = self[(r, c)].mul_add(x[c], acc);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Matrix product `self · other`.
+    pub fn mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matrix product dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Cplx::ZERO {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ other`.
+    pub fn kron(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows * other.rows, self.cols * other.cols);
+        for r1 in 0..self.rows {
+            for c1 in 0..self.cols {
+                let a = self[(r1, c1)];
+                for r2 in 0..other.rows {
+                    for c2 in 0..other.cols {
+                        out[(r1 * other.rows + r2, c1 * other.cols + c2)] =
+                            a * other[(r2, c2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum entrywise distance to another matrix.
+    pub fn dist(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        crate::cplx::max_dist(&self.data, &other.data)
+    }
+
+    /// True if every entry is within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols) && self.dist(other) <= tol
+    }
+
+    /// True if the matrix is a permutation matrix (exactly one 1 per
+    /// row/column, all else 0), within `tol`.
+    pub fn is_permutation(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let n = self.rows;
+        let mut col_seen = vec![false; n];
+        for r in 0..n {
+            let mut ones = 0;
+            for c in 0..n {
+                let z = self[(r, c)];
+                if z.approx_eq(Cplx::ONE, tol) {
+                    ones += 1;
+                    if col_seen[c] {
+                        return false;
+                    }
+                    col_seen[c] = true;
+                } else if !z.approx_eq(Cplx::ZERO, tol) {
+                    return false;
+                }
+            }
+            if ones != 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = Cplx;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Cplx {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Cplx {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Spl {
+    /// Materialize the formula as a dense matrix by applying it to the
+    /// standard basis. Intended for dims ≤ a few hundred (tests only).
+    pub fn to_matrix(&self) -> Mat {
+        let n = self.dim();
+        let mut m = Mat::zeros(n, n);
+        let mut e = vec![Cplx::ZERO; n];
+        for c in 0..n {
+            e[c] = Cplx::ONE;
+            let col = self.eval(&e);
+            e[c] = Cplx::ZERO;
+            for r in 0..n {
+                m[(r, c)] = col[r];
+            }
+        }
+        m
+    }
+}
+
+/// Assert two formulas denote the same matrix (strongest rule check).
+pub fn assert_formula_eq(a: &Spl, b: &Spl, tol: f64) {
+    assert_eq!(a.dim(), b.dim(), "formula dims differ: {} vs {}", a.dim(), b.dim());
+    let (ma, mb) = (a.to_matrix(), b.to_matrix());
+    let d = ma.dist(&mb);
+    assert!(d <= tol, "formulas differ: max entry distance {d} > {tol}\n  lhs={a}\n  rhs={b}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn identity_matrix() {
+        let m = Mat::identity(3);
+        assert!(m.is_permutation(1e-12));
+        let x = vec![Cplx::real(1.0), Cplx::real(2.0), Cplx::real(3.0)];
+        assert_eq!(m.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn to_matrix_of_f2() {
+        let m = f2().to_matrix();
+        assert!(m[(0, 0)].approx_eq(Cplx::ONE, 0.0));
+        assert!(m[(0, 1)].approx_eq(Cplx::ONE, 0.0));
+        assert!(m[(1, 0)].approx_eq(Cplx::ONE, 0.0));
+        assert!(m[(1, 1)].approx_eq(Cplx::real(-1.0), 0.0));
+    }
+
+    #[test]
+    fn stride_is_permutation_matrix() {
+        assert!(stride(12, 3).to_matrix().is_permutation(1e-12));
+        assert!(!dft(4).to_matrix().is_permutation(1e-12));
+    }
+
+    #[test]
+    fn kron_matches_tensor_formula() {
+        let a = dft(2).to_matrix();
+        let b = dft(3).to_matrix();
+        let via_kron = a.kron(&b);
+        let via_formula = tensor(dft(2), dft(3)).to_matrix();
+        assert!(via_kron.approx_eq(&via_formula, 1e-9));
+    }
+
+    #[test]
+    fn mul_matches_compose_formula() {
+        let f = compose(vec![tensor(dft(2), i(2)), stride(4, 2)]);
+        let m1 = tensor(dft(2), i(2)).to_matrix();
+        let m2 = stride(4, 2).to_matrix();
+        assert!(m1.mul(&m2).approx_eq(&f.to_matrix(), 1e-9));
+    }
+
+    #[test]
+    fn assert_formula_eq_accepts_ct() {
+        assert_formula_eq(&dft(6), &cooley_tukey(2, 3), 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "formulas differ")]
+    fn assert_formula_eq_rejects_wrong() {
+        assert_formula_eq(&dft(4), &stride(4, 2), 1e-9);
+    }
+
+    #[test]
+    fn dft_matrix_is_symmetric() {
+        let m = dft(5).to_matrix();
+        for r in 0..5 {
+            for c in 0..5 {
+                assert!(m[(r, c)].approx_eq(m[(c, r)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn dft_unitary_up_to_scale() {
+        // DFT_n · conj(DFT_n) = n·I
+        let n = 6;
+        let m = dft(n).to_matrix();
+        let mut conj = m.clone();
+        for z in &mut conj.data {
+            *z = z.conj();
+        }
+        let prod = m.mul(&conj);
+        let mut scaled_id = Mat::identity(n);
+        for z in &mut scaled_id.data {
+            *z = *z * n as f64;
+        }
+        assert!(prod.approx_eq(&scaled_id, 1e-9));
+    }
+}

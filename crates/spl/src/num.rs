@@ -1,0 +1,199 @@
+//! Integer and root-of-unity utilities shared across the generator.
+
+use crate::cplx::Cplx;
+use std::f64::consts::PI;
+
+/// Primitive `n`-th root of unity used by the DFT definition in the paper:
+/// `ω_n = e^{-2πi/n}` (note the **negative** sign — forward transform).
+#[inline]
+pub fn omega(n: usize) -> Cplx {
+    Cplx::cis(-2.0 * PI / n as f64)
+}
+
+/// `ω_n^k = e^{-2πik/n}`, computed directly from the angle for accuracy
+/// (repeated multiplication drifts for large `n`).
+#[inline]
+pub fn omega_pow(n: usize, k: usize) -> Cplx {
+    // Reduce k mod n first so the angle stays small.
+    let k = (k % n) as f64;
+    Cplx::cis(-2.0 * PI * k / n as f64)
+}
+
+/// `ω_n^{k}` for a possibly huge exponent `k = a*b` given as factors,
+/// reducing `a*b mod n` in u128 to avoid overflow for large transforms.
+#[inline]
+pub fn omega_pow2(n: usize, a: usize, b: usize) -> Cplx {
+    let k = ((a as u128 * b as u128) % n as u128) as usize;
+    omega_pow(n, k)
+}
+
+/// True if `n` is a power of two (and nonzero).
+#[inline]
+pub const fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// `log2(n)` for exact powers of two.
+#[inline]
+pub fn log2_exact(n: usize) -> Option<u32> {
+    if is_pow2(n) {
+        Some(n.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// All divisors of `n` in increasing order (n up to transform sizes, so
+/// trial division is fine).
+pub fn divisors(n: usize) -> Vec<usize> {
+    assert!(n > 0);
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Nontrivial factorizations `n = m * k` with `1 < m < n`, as `(m, n/m)`.
+pub fn splittings(n: usize) -> Vec<(usize, usize)> {
+    divisors(n)
+        .into_iter()
+        .filter(|&d| d > 1 && d < n)
+        .map(|d| (d, n / d))
+        .collect()
+}
+
+/// Prime factorization as (prime, multiplicity) pairs.
+pub fn factorize(mut n: usize) -> Vec<(usize, u32)> {
+    assert!(n > 0);
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            let mut e = 0;
+            while n % p == 0 {
+                n /= p;
+                e += 1;
+            }
+            out.push((p, e));
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Greatest common divisor.
+pub const fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Pseudo-Mflop/s metric from the paper's §4:
+/// `5 N log2(N) / t` with `t` in microseconds.
+pub fn pseudo_mflops(n: usize, runtime_us: f64) -> f64 {
+    assert!(runtime_us > 0.0, "runtime must be positive");
+    5.0 * n as f64 * (n as f64).log2() / runtime_us
+}
+
+/// The same metric from a cycle count and clock frequency in GHz
+/// (used with the machine simulator: `t_us = cycles / (GHz * 1000)`).
+pub fn pseudo_mflops_cycles(n: usize, cycles: f64, ghz: f64) -> f64 {
+    pseudo_mflops(n, cycles / (ghz * 1000.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_is_principal_root() {
+        for n in [1usize, 2, 3, 4, 8, 12, 16] {
+            let w = omega(n);
+            // ω^n = 1
+            let mut z = Cplx::ONE;
+            for _ in 0..n {
+                z = z * w;
+            }
+            assert!(z.approx_eq(Cplx::ONE, 1e-12), "n={n}: {z:?}");
+        }
+        // negative sign: ω_4 = -i
+        assert!(omega(4).approx_eq(Cplx::new(0.0, -1.0), 1e-15));
+    }
+
+    #[test]
+    fn omega_pow_reduces_modulo() {
+        for n in [3usize, 5, 8] {
+            for k in 0..3 * n {
+                assert!(omega_pow(n, k).approx_eq(omega_pow(n, k % n), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn omega_pow2_avoids_overflow() {
+        let n = 1 << 20;
+        let a = (1 << 19) + 3;
+        let b = (1 << 19) + 7;
+        let direct = omega_pow(n, (a * b) % n);
+        assert!(omega_pow2(n, a, b).approx_eq(direct, 1e-12));
+    }
+
+    #[test]
+    fn pow2_checks() {
+        assert!(is_pow2(1) && is_pow2(2) && is_pow2(1024));
+        assert!(!is_pow2(0) && !is_pow2(3) && !is_pow2(12));
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(256), Some(8));
+        assert_eq!(log2_exact(12), None);
+    }
+
+    #[test]
+    fn divisors_and_splittings() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(13), vec![1, 13]);
+        assert_eq!(splittings(8), vec![(2, 4), (4, 2)]);
+        assert!(splittings(7).is_empty());
+    }
+
+    #[test]
+    fn factorize_basic() {
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+    }
+
+    #[test]
+    fn pseudo_mflops_formula() {
+        // 5 * 1024 * 10 / 10us = 5120
+        let v = pseudo_mflops(1024, 10.0);
+        assert!((v - 5120.0).abs() < 1e-9);
+        // cycles variant: 20000 cycles at 2 GHz = 10 us
+        let v2 = pseudo_mflops_cycles(1024, 20000.0, 2.0);
+        assert!((v2 - 5120.0).abs() < 1e-9);
+    }
+}

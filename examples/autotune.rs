@@ -1,0 +1,45 @@
+//! Autotuning demo: dynamic programming vs. random vs. evolutionary
+//! search over recursion strategies, costed on a simulated Core Duo.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spiral_fft::search::{dp_search, evolve_search, random_search, CostModel, EvolveOpts, Tuner};
+use spiral_fft::sim::core_duo;
+
+fn main() {
+    let n = 4096;
+    let machine = core_duo();
+    let mu = machine.mu();
+    let model = CostModel::Sim { machine: machine.clone(), warm: true };
+
+    println!("autotuning DFT_{n} on simulated {}\n", machine.name);
+
+    let dp = dp_search(n, 8, mu, &model);
+    println!("DP search:        {:>12.0} cycles  (tree {}, {} plans evaluated)",
+        dp.cost, dp.tree, dp.evaluated);
+
+    let mut rng = StdRng::seed_from_u64(2006);
+    let rnd = random_search(n, 8, mu, dp.evaluated, &model, &mut rng);
+    println!("random search:    {:>12.0} cycles  (same evaluation budget)", rnd.cost);
+
+    let mut rng = StdRng::seed_from_u64(2006);
+    let evo = evolve_search(n, 8, mu, EvolveOpts::default(), &model, &mut rng);
+    println!("evolutionary:     {:>12.0} cycles  ({} plans evaluated)", evo.cost, evo.evaluated);
+
+    let radix2 = model
+        .cost_tree(&spiral_fft::rewrite::RuleTree::right_radix(n, 2), mu)
+        .unwrap();
+    println!("fixed radix-2:    {radix2:>12.0} cycles  (no search)\n");
+
+    // Full parallel tuning: search the (14) split too.
+    let tuner = Tuner::new(machine.p, mu, CostModel::Sim { machine: machine.clone(), warm: true });
+    if let Some(t) = tuner.tune_parallel(n) {
+        println!("parallel tuning picked: {}", t.choice);
+        println!("  simulated cycles: {:.0}", t.cost);
+        println!("  plan: {} steps, {} barriers", t.plan.steps.len(), t.plan.barriers());
+    }
+}

@@ -1,0 +1,26 @@
+//! Emit the generated C code (the paper's actual backend) for a parallel
+//! DFT and print it — OpenMP or pthreads flavor.
+//!
+//! ```text
+//! cargo run --release --example emit_c [n] [openmp|pthreads]
+//! ```
+
+use spiral_fft::codegen::CFlavor;
+use spiral_fft::SpiralFft;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let flavor = match std::env::args().nth(2).as_deref() {
+        Some("pthreads") => CFlavor::Pthreads,
+        _ => CFlavor::OpenMp,
+    };
+    let fft = match SpiralFft::parallel(n, 2, 4) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}; falling back to sequential");
+            SpiralFft::sequential(n)
+        }
+    };
+    println!("/* formula: {} */", fft.formula());
+    println!("{}", fft.emit_c(flavor));
+}

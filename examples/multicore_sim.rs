@@ -1,0 +1,60 @@
+//! Simulate the paper's four machines: run the generated parallel FFT
+//! and the FFTW-like baseline on each machine model and print the
+//! Figure 3 comparison for one size, plus coherence statistics.
+//!
+//! ```text
+//! cargo run --release --example multicore_sim [log2n]
+//! ```
+
+use spiral_fft::baselines::{FftwLikeConfig, FftwLikeFft};
+use spiral_fft::search::{CostModel, Tuner};
+use spiral_fft::sim::{paper_machines, simulate_plan, SmpSim};
+use spiral_fft::spl::num::pseudo_mflops;
+
+fn main() {
+    let log2n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let n = 1usize << log2n;
+    println!("DFT_{n} (2^{log2n}) on the paper's four machines\n");
+    println!(
+        "{:<42} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "machine", "seq pMF/s", "par pMF/s", "fftw pMF/s", "par FS", "fftw FS"
+    );
+
+    for machine in paper_machines() {
+        let mu = machine.mu();
+        // Spiral sequential.
+        let seq = Tuner::new(1, mu, CostModel::Analytic).tune_sequential(n);
+        let seq_rep = simulate_plan(&seq.plan, &machine, true);
+        // Spiral parallel (p = machine.p).
+        let par = Tuner::new(machine.p, mu, CostModel::Analytic).tune_parallel(n);
+        let (par_pm, par_fs) = match &par {
+            Some(t) => {
+                let rep = simulate_plan(&t.plan, &machine, true);
+                (rep.pseudo_mflops, rep.stats.false_sharing)
+            }
+            None => (f64::NAN, 0),
+        };
+        // FFTW-like at p threads.
+        let f = FftwLikeFft::new(n, FftwLikeConfig::default());
+        let mut sim = SmpSim::new(machine.clone(), n);
+        f.trace(machine.p, &mut sim);
+        sim.reset_timing();
+        f.trace(machine.p, &mut sim);
+        let fftw_pm = pseudo_mflops(n, machine.cycles_to_us(sim.cycles()));
+
+        println!(
+            "{:<42} {:>10.0} {:>10.0} {:>10.0} {:>8} {:>8}",
+            machine.name, seq_rep.pseudo_mflops, par_pm, fftw_pm, par_fs, sim.stats.false_sharing
+        );
+    }
+
+    println!(
+        "\n(pMF/s = pseudo-Mflop/s, 5·N·log2 N / t_µs; FS = false-sharing
+line transfers per transform. The generated code shows 0 by
+construction — Definition 1 — while the µ-oblivious baseline pays
+coherence traffic that scales with the bus cost of the machine.)"
+    );
+}

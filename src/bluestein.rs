@@ -1,0 +1,139 @@
+//! Bluestein's chirp-z algorithm: `DFT_n` for arbitrary `n` (including
+//! large primes) via a circular convolution of size `m = 2^k ≥ 2n-1`,
+//! computed with the generator's own power-of-two plans.
+//!
+//! This extends the generated library beyond the paper's power-of-two
+//! evaluation sizes — the inner transforms are still Spiral-tuned plans,
+//! so all the paper's machinery (rule trees, loop merging, codelets) is
+//! exercised underneath.
+
+use spiral_codegen::plan::Plan;
+use spiral_search::{CostModel, Tuner};
+use spiral_spl::cplx::Cplx;
+use std::f64::consts::PI;
+
+/// A Bluestein transform of size `n`.
+pub struct Bluestein {
+    n: usize,
+    m: usize,
+    /// Chirp `w_k = e^{-iπ k²/n}` for `k < n`.
+    chirp: Vec<Cplx>,
+    /// Forward FFT of the padded conjugate-chirp kernel.
+    kernel_hat: Vec<Cplx>,
+    /// Tuned power-of-two plan of size `m` (used forward and, via the
+    /// conjugation identity, inverse).
+    inner: Plan,
+}
+
+impl Bluestein {
+    /// Build the transform: tunes an inner `DFT_m` plan and precomputes
+    /// the chirp and the kernel spectrum.
+    pub fn new(n: usize) -> Bluestein {
+        assert!(n >= 1);
+        let m = (2 * n - 1).next_power_of_two();
+        let tuner = Tuner::new(1, spiral_smp::topology::mu(), CostModel::Analytic);
+        let inner = tuner.tune_sequential(m).plan;
+        // w_k = e^{-iπ k²/n}; the exponent is periodic with 2n, so reduce
+        // k² mod 2n to keep the angle accurate for large k.
+        let chirp: Vec<Cplx> = (0..n)
+            .map(|k| {
+                let e = ((k as u128 * k as u128) % (2 * n) as u128) as f64;
+                Cplx::cis(-PI * e / n as f64)
+            })
+            .collect();
+        // Kernel b: b_0 = w̄_0, b_j = b_{m-j} = w̄_j (wrap-around), 0 else.
+        let mut b = vec![Cplx::ZERO; m];
+        b[0] = chirp[0].conj();
+        for j in 1..n {
+            let c = chirp[j].conj();
+            b[j] = c;
+            b[m - j] = c;
+        }
+        let kernel_hat = inner.execute(&b);
+        Bluestein { n, m, chirp, kernel_hat, inner }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate size-0 case (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Size of the inner power-of-two convolution.
+    pub fn inner_size(&self) -> usize {
+        self.m
+    }
+
+    /// The tuned inner plan (size `m`).
+    pub fn inner_plan(&self) -> &Plan {
+        &self.inner
+    }
+
+    /// Forward DFT of `x` (length `n`).
+    pub fn run(&self, x: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        // a = chirp ⊙ x, zero-padded to m.
+        let mut a = vec![Cplx::ZERO; self.m];
+        for (k, (&xk, &wk)) in x.iter().zip(&self.chirp).enumerate() {
+            a[k] = xk * wk;
+        }
+        let a_hat = self.inner.execute(&a);
+        // Pointwise multiply with the kernel spectrum.
+        let prod: Vec<Cplx> = a_hat
+            .iter()
+            .zip(&self.kernel_hat)
+            .map(|(p, q)| *p * *q)
+            .collect();
+        // Inverse DFT_m via the conjugation identity on the same plan.
+        let conj_in: Vec<Cplx> = prod.iter().map(|z| z.conj()).collect();
+        let inv = self.inner.execute(&conj_in);
+        let scale = 1.0 / self.m as f64;
+        // y_k = w_k · conv_k
+        (0..self.n)
+            .map(|k| inv[k].conj() * scale * self.chirp[k])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_spl::builder::dft;
+    use spiral_spl::cplx::assert_slices_close;
+
+    fn ramp(n: usize) -> Vec<Cplx> {
+        (0..n).map(|k| Cplx::new((k as f64 * 0.71).sin(), (k as f64 * 0.31).cos())).collect()
+    }
+
+    #[test]
+    fn primes_match_definition() {
+        for n in [3usize, 5, 7, 11, 13, 97, 101, 127, 251] {
+            let b = Bluestein::new(n);
+            assert!(b.inner_size().is_power_of_two());
+            assert!(b.inner_size() >= 2 * n - 1);
+            let x = ramp(n);
+            let got = b.run(&x);
+            let want = dft(n).eval(&x);
+            assert_slices_close(&got, &want, 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn composite_and_power_of_two_sizes_also_work() {
+        for n in [1usize, 2, 6, 16, 194, 300] {
+            let b = Bluestein::new(n);
+            let x = ramp(n);
+            assert_slices_close(&b.run(&x), &dft(n).eval(&x), 1e-7 * n.max(4) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn checks_input_length() {
+        Bluestein::new(7).run(&ramp(8));
+    }
+}
