@@ -36,7 +36,11 @@ impl Default for FftwLikeConfig {
     fn default() -> Self {
         // ~100 µs at 2 GHz for create+join of a couple of threads —
         // consistent with FFTW's observed 2^13 crossover.
-        FftwLikeConfig { spawn_cycles: 200_000.0, thread_pool: false, grain: 0 }
+        FftwLikeConfig {
+            spawn_cycles: 200_000.0,
+            thread_pool: false,
+            grain: 0,
+        }
     }
 }
 
@@ -52,7 +56,11 @@ pub struct FftwLikeFft {
 impl FftwLikeFft {
     /// Build the modeled library for size `n`.
     pub fn new(n: usize, cfg: FftwLikeConfig) -> FftwLikeFft {
-        FftwLikeFft { n, fft: IterativeFft::new(n), cfg }
+        FftwLikeFft {
+            n,
+            fft: IterativeFft::new(n),
+            cfg,
+        }
     }
 
     /// Numerical execution (sequential; the parallel schedule only
@@ -68,11 +76,9 @@ impl FftwLikeFft {
     pub fn trace(&self, threads: usize, hook: &mut dyn MemHook) {
         let n = self.n;
         let threads = threads.max(1);
-        if threads > 1 {
-            if !self.cfg.thread_pool {
-                // Threads created for this execution, joined at the end.
-                hook.overhead(0, self.cfg.spawn_cycles);
-            }
+        if threads > 1 && !self.cfg.thread_pool {
+            // Threads created for this execution, joined at the end.
+            hook.overhead(0, self.cfg.spawn_cycles);
         }
         // Bit-reversal gather: BufA → BufB, contiguous writes per thread.
         for tid in 0..threads {
@@ -166,7 +172,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64, -2.0 + 0.5 * k as f64)).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64, -2.0 + 0.5 * k as f64))
+            .collect()
     }
 
     #[test]

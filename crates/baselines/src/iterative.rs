@@ -18,10 +18,19 @@ pub struct IterativeFft {
 impl IterativeFft {
     /// Precompute twiddles and the bit-reversal table for size `n`.
     pub fn new(n: usize) -> IterativeFft {
-        assert!(is_pow2(n), "iterative radix-2 needs a power of two, got {n}");
+        assert!(
+            is_pow2(n),
+            "iterative radix-2 needs a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| if n == 1 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         let twiddles = (0..n / 2).map(|k| omega_pow(n, k)).collect();
         IterativeFft { n, twiddles, rev }
@@ -69,7 +78,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(1.0 + k as f64, -0.25 * k as f64)).collect()
+        (0..n)
+            .map(|k| Cplx::new(1.0 + k as f64, -0.25 * k as f64))
+            .collect()
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn rec(x: &[Cplx]) -> Vec<Cplx> {
     if n == 1 {
         return x.to_vec();
     }
-    if n % 2 != 0 {
+    if !n.is_multiple_of(2) {
         let mut y = vec![Cplx::ZERO; n];
         naive_dft(n, x, &mut y);
         return y;
@@ -55,7 +55,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64, 0.5 * k as f64)).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64, 0.5 * k as f64))
+            .collect()
     }
 
     #[test]

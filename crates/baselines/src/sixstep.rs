@@ -25,7 +25,10 @@ pub struct SixStepFft {
 impl SixStepFft {
     /// Six-step transform for `N = m·n`.
     pub fn new(m: usize, n: usize, block: Option<usize>) -> SixStepFft {
-        assert!(is_pow2(m) && is_pow2(n), "six-step needs power-of-two factors");
+        assert!(
+            is_pow2(m) && is_pow2(n),
+            "six-step needs power-of-two factors"
+        );
         SixStepFft {
             m,
             n,
@@ -72,7 +75,7 @@ impl SixStepFft {
         }
         // 3. twiddle: b[i·n + j] *= ω_N^{i·j}
         for (i, v) in b.iter_mut().enumerate() {
-            *v = *v * self.twiddle[i];
+            *v *= self.twiddle[i];
         }
         // 4. a = L^{mn}_n b (transpose b viewed as m×n)
         self.xpose(&b, &mut a, m, n);
@@ -93,11 +96,11 @@ impl SixStepFft {
     pub fn trace(&self, threads: usize, hook: &mut dyn MemHook) {
         let (m, n) = (self.m, self.n);
         let (src, dst) = (Region::BufA, Region::BufB);
-        let tx = |rows: usize, cols: usize, s: Region, d: Region, hook: &mut dyn MemHook| {
-            match self.block {
-                Some(b) => trace_transpose_blocked(rows, cols, b, threads, s, d, hook),
-                None => trace_transpose(rows, cols, threads, s, d, hook),
-            }
+        let tx = |rows: usize, cols: usize, s: Region, d: Region, hook: &mut dyn MemHook| match self
+            .block
+        {
+            Some(b) => trace_transpose_blocked(rows, cols, b, threads, s, d, hook),
+            None => trace_transpose(rows, cols, threads, s, d, hook),
         };
         // 1. transpose x (n×m) : BufA → BufB
         tx(n, m, src, dst, hook);
@@ -164,7 +167,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64 * 0.3, 1.0 - k as f64 * 0.1)).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64 * 0.3, 1.0 - k as f64 * 0.1))
+            .collect()
     }
 
     #[test]

@@ -59,8 +59,9 @@ mod tests {
     #[test]
     fn matches_dft() {
         for n in [1usize, 2, 4, 8, 64, 256] {
-            let x: Vec<Cplx> =
-                (0..n).map(|k| Cplx::new(0.5 * k as f64, 2.0 - k as f64)).collect();
+            let x: Vec<Cplx> = (0..n)
+                .map(|k| Cplx::new(0.5 * k as f64, 2.0 - k as f64))
+                .collect();
             let y = StockhamFft::new(n).run(&x);
             let want = spiral_spl::builder::dft(n).eval(&x);
             assert_slices_close(&y, &want, 1e-8 * n.max(4) as f64);

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use spiral_baselines::{
-    FftwLikeConfig, FftwLikeFft, IterativeFft, NaiveDft, RecursiveFft, SixStepFft,
-    StockhamFft,
+    FftwLikeConfig, FftwLikeFft, IterativeFft, NaiveDft, RecursiveFft, SixStepFft, StockhamFft,
 };
 use spiral_codegen::hook::CountingHook;
 use spiral_spl::cplx::Cplx;

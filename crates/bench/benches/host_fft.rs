@@ -8,7 +8,9 @@ use spiral_search::{CostModel, Tuner};
 use spiral_spl::cplx::Cplx;
 
 fn input(n: usize) -> Vec<Cplx> {
-    (0..n).map(|k| Cplx::new(k as f64 * 0.7, 1.0 - k as f64 * 0.2)).collect()
+    (0..n)
+        .map(|k| Cplx::new(k as f64 * 0.7, 1.0 - k as f64 * 0.2))
+        .collect()
 }
 
 fn bench_sequential(c: &mut Criterion) {

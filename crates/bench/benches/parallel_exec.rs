@@ -27,9 +27,11 @@ fn bench_parallel(c: &mut Criterion) {
 
         let par_formula = multicore_dft_expanded(n, 2, 4, None, 8).unwrap();
         let par = Plan::from_formula(&par_formula, 2, 4).unwrap();
-        group.bench_with_input(BenchmarkId::new("parallel_schedule_1thread", k), &x, |b, x| {
-            b.iter(|| par.execute(x))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_schedule_1thread", k),
+            &x,
+            |b, x| b.iter(|| par.execute(x)),
+        );
 
         let exec = ParallelExecutor::new(2, BarrierKind::Park);
         group.bench_with_input(BenchmarkId::new("parallel_2threads", k), &x, |b, x| {

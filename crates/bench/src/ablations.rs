@@ -43,12 +43,20 @@ pub fn false_sharing_ablation(
         let (spiral_fs, spiral_co, spiral_cy) = match plans.parallel.last() {
             Some((_t, plan)) => {
                 let rep = simulate_plan(plan, machine, true);
-                (rep.stats.false_sharing, rep.stats.coherence_transfers, rep.cycles)
+                (
+                    rep.stats.false_sharing,
+                    rep.stats.coherence_transfers,
+                    rep.cycles,
+                )
             }
             None => continue,
         };
         // µ-oblivious: thread pooling ON so only the schedule differs.
-        let cfg = FftwLikeConfig { grain: 1, thread_pool: true, ..Default::default() };
+        let cfg = FftwLikeConfig {
+            grain: 1,
+            thread_pool: true,
+            ..Default::default()
+        };
         let f = FftwLikeFft::new(n, cfg);
         let mut sim = SmpSim::new(machine.clone(), n);
         f.trace(machine.p, &mut sim);
@@ -132,7 +140,11 @@ pub fn schedule_ablation(machine: &MachineSpec, log2n: u32, grains: &[usize]) ->
     let n = 1usize << log2n;
     let mut rows = Vec::new();
     for &grain in grains {
-        let cfg = FftwLikeConfig { grain, thread_pool: true, ..Default::default() };
+        let cfg = FftwLikeConfig {
+            grain,
+            thread_pool: true,
+            ..Default::default()
+        };
         let f = FftwLikeFft::new(n, cfg);
         let mut sim = SmpSim::new(machine.clone(), n);
         f.trace(machine.p, &mut sim);
@@ -164,11 +176,7 @@ pub struct SixStepRow {
 
 /// Multicore Cooley–Tukey (14) vs. six-step with explicit transposes
 /// (plain and blocked), all at `machine.p` threads, simulated.
-pub fn sixstep_ablation(
-    machine: &MachineSpec,
-    min_log2: u32,
-    max_log2: u32,
-) -> Vec<SixStepRow> {
+pub fn sixstep_ablation(machine: &MachineSpec, min_log2: u32, max_log2: u32) -> Vec<SixStepRow> {
     let mut rows = Vec::new();
     for k in min_log2..=max_log2 {
         let n = 1usize << k;
@@ -190,6 +198,81 @@ pub fn sixstep_ablation(
             multicore_ct_pmflops: mc,
             sixstep_pmflops: trace_six(None),
             sixstep_blocked_pmflops: trace_six(Some(machine.mu() * 4)),
+        });
+    }
+    rows
+}
+
+/// One row of the static-verification ablation (ABL-VERIFY).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VerifyRow {
+    /// Transform size as log2 n.
+    pub log2n: u32,
+    /// Analyzer findings on the tuned µ-aware multicore-CT plan.
+    pub spiral_diagnostics: usize,
+    /// Static false-sharing verdict for the tuned plan.
+    pub spiral_static_false_sharing: bool,
+    /// Dynamic false-sharing transfers of the tuned plan (simulator).
+    pub spiral_sim_false_sharing: u64,
+    /// Analyzer findings on the µ-oblivious FFTW-like schedule (grain 1).
+    pub naive_diagnostics: usize,
+    /// Static false-sharing verdict for the µ-oblivious schedule.
+    pub naive_static_false_sharing: bool,
+    /// Dynamic false-sharing transfers of the µ-oblivious baseline.
+    pub naive_sim_false_sharing: u64,
+    /// Static verdicts match the simulator on both schedules.
+    pub verdicts_agree: bool,
+}
+
+/// Static analyzer vs. dynamic simulator: the tuned µ-aware plan must
+/// verify clean, the µ-oblivious block-cyclic baseline must be rejected
+/// statically, and both verdicts must agree with the simulator's
+/// false-sharing counter — Definition 1 decided without running anything.
+pub fn verification_ablation(
+    machine: &MachineSpec,
+    min_log2: u32,
+    max_log2: u32,
+) -> Vec<VerifyRow> {
+    use spiral_verify::baseline::FftwLikeSchedule;
+    use spiral_verify::{verify_fftw_like, verify_plan, DiagKind, VerifyOptions};
+    let opts = VerifyOptions::default();
+    let mut rows = Vec::new();
+    for k in min_log2..=max_log2 {
+        let n = 1usize << k;
+        let plans = tune_spiral(n, machine);
+        let Some((_t, plan)) = plans.parallel.last() else {
+            continue;
+        };
+        let report = verify_plan(plan, &opts);
+        let spiral_sim = simulate_plan(plan, machine, false).stats.false_sharing;
+
+        let sched = FftwLikeSchedule {
+            n,
+            threads: machine.p,
+            grain: 1,
+        };
+        let naive_report = verify_fftw_like(&sched, machine.mu(), &opts);
+        let cfg = FftwLikeConfig {
+            grain: 1,
+            thread_pool: true,
+            ..Default::default()
+        };
+        let f = FftwLikeFft::new(n, cfg);
+        let mut sim = SmpSim::new(machine.clone(), n);
+        f.trace(machine.p, &mut sim);
+        let naive_sim = sim.stats.false_sharing;
+
+        let spiral_fs = report.has_kind(DiagKind::FalseSharing);
+        let naive_fs = naive_report.has_kind(DiagKind::FalseSharing);
+        rows.push(VerifyRow {
+            log2n: k,
+            spiral_diagnostics: report.diagnostics.len(),
+            spiral_static_false_sharing: spiral_fs,
+            spiral_sim_false_sharing: spiral_sim,
+            naive_diagnostics: naive_report.diagnostics.len(),
+            naive_static_false_sharing: naive_fs,
+            naive_sim_false_sharing: naive_sim,
+            verdicts_agree: spiral_fs == (spiral_sim > 0) && naive_fs == (naive_sim > 0),
         });
     }
     rows
@@ -218,7 +301,10 @@ pub fn search_comparison(machine: &MachineSpec, sizes_log2: &[u32]) -> Vec<Searc
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mu = machine.mu();
-    let model = CostModel::Sim { machine: machine.clone(), warm: true };
+    let model = CostModel::Sim {
+        machine: machine.clone(),
+        warm: true,
+    };
     let mut rows = Vec::new();
     for &k in sizes_log2 {
         let n = 1usize << k;
@@ -230,7 +316,11 @@ pub fn search_comparison(machine: &MachineSpec, sizes_log2: &[u32]) -> Vec<Searc
             n,
             8,
             mu,
-            EvolveOpts { population: 12, generations: 6, ..Default::default() },
+            EvolveOpts {
+                population: 12,
+                generations: 6,
+                ..Default::default()
+            },
             &model,
             &mut rng2,
         );
@@ -307,6 +397,18 @@ mod tests {
                 r.multicore_ct_pmflops,
                 r.sixstep_pmflops
             );
+        }
+    }
+
+    #[test]
+    fn analyzer_passes_spiral_rejects_naive_and_matches_simulator() {
+        let rows = verification_ablation(&core_duo(), 8, 10);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r.spiral_diagnostics, 0, "2^{}", r.log2n);
+            assert!(!r.spiral_static_false_sharing, "2^{}", r.log2n);
+            assert!(r.naive_static_false_sharing, "2^{}", r.log2n);
+            assert!(r.verdicts_agree, "2^{}: {r:?}", r.log2n);
         }
     }
 

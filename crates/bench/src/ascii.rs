@@ -132,13 +132,22 @@ mod tests {
             Series {
                 name: "A".into(),
                 points: vec![
-                    Point { log2n: 6, value: 100.0 },
-                    Point { log2n: 7, value: 200.0 },
+                    Point {
+                        log2n: 6,
+                        value: 100.0,
+                    },
+                    Point {
+                        log2n: 7,
+                        value: 200.0,
+                    },
                 ],
             },
             Series {
                 name: "B".into(),
-                points: vec![Point { log2n: 7, value: 50.0 }],
+                points: vec![Point {
+                    log2n: 7,
+                    value: 50.0,
+                }],
             },
         ]
     }

@@ -9,12 +9,13 @@
 //! figures ablation-sixstep [--machine core-duo]
 //! figures ablation-merge [--machine core-duo]
 //! figures search
+//! figures verify [--machine core-duo] [--min 8] [--max 14] [--out results/]
 //! figures all [--out results/]
 //! ```
 
 use spiral_bench::ablations::{
-    false_sharing_ablation, merge_ablation, schedule_ablation, search_comparison,
-    sixstep_ablation,
+    false_sharing_ablation, merge_ablation, schedule_ablation, search_comparison, sixstep_ablation,
+    verification_ablation,
 };
 use spiral_bench::ascii;
 use spiral_bench::series::{crossover, fig3_series, tune_spiral, Series};
@@ -60,6 +61,10 @@ fn main() {
             run_abl_merge(&m, &opts);
         }
         "search" => run_search(&opts),
+        "verify" => {
+            let m = machine_arg(&opts);
+            run_verify(&m, &opts, out_dir.as_deref());
+        }
         "all" => {
             let (min, max) = range(&opts, 6, 16);
             for m in paper_machines() {
@@ -75,6 +80,7 @@ fn main() {
             run_abl_sixstep(&m, &opts);
             run_abl_merge(&m, &opts);
             run_search(&opts);
+            run_verify(&m, &opts, out_dir.as_deref());
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -86,7 +92,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: figures <fig3|crossover|sequential|ablation-false-sharing|\
-         ablation-schedule|ablation-sixstep|ablation-merge|search|all> [--machine NAME] \
+         ablation-schedule|ablation-sixstep|ablation-merge|search|verify|all> [--machine NAME] \
          [--min K] [--max K] [--size K] [--out DIR]\n\
          machines: core-duo opteron pentium-d xeon-mp"
     );
@@ -114,7 +120,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn machine_arg(opts: &HashMap<String, String>) -> MachineSpec {
-    let key = opts.get("machine").map(String::as_str).unwrap_or("core-duo");
+    let key = opts
+        .get("machine")
+        .map(String::as_str)
+        .unwrap_or("core-duo");
     by_name(key).unwrap_or_else(|| {
         eprintln!("unknown machine {key}");
         usage_and_exit()
@@ -218,7 +227,9 @@ fn run_sequential_host(opts: &HashMap<String, String>) {
     };
     for k in min..=max {
         let n = 1usize << k;
-        let x: Vec<Cplx> = (0..n).map(|i| Cplx::new(i as f64, -0.5 * i as f64)).collect();
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
+            .collect();
         let tuner = Tuner::new(1, spiral_smp::topology::mu(), CostModel::Analytic);
         let plan = tuner.tune_sequential(n).plan;
         let t_spiral = time_us(&mut || {
@@ -254,7 +265,10 @@ fn run_sequential_host(opts: &HashMap<String, String>) {
 
 fn run_abl_fs(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&str>) {
     let (min, max) = range(opts, 8, 14);
-    println!("\nABL-FS on {} — false sharing: µ-aware (14) vs µ-oblivious", m.name);
+    println!(
+        "\nABL-FS on {} — false sharing: µ-aware (14) vs µ-oblivious",
+        m.name
+    );
     println!(
         "{:>7} {:>14} {:>14} {:>14} {:>14} {:>12}",
         "log2n", "spiral FS", "naive FS", "spiral cyc", "naive cyc", "slowdown"
@@ -280,8 +294,14 @@ fn run_abl_fs(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&
 
 fn run_abl_sched(m: &MachineSpec, opts: &HashMap<String, String>) {
     let k = opts.get("size").and_then(|s| s.parse().ok()).unwrap_or(12);
-    println!("\nABL-SCHED on {} — block-cyclic grain sweep at 2^{k}", m.name);
-    println!("{:>8} {:>16} {:>14} {:>14}", "grain", "false sharing", "cycles", "pMflop/s");
+    println!(
+        "\nABL-SCHED on {} — block-cyclic grain sweep at 2^{k}",
+        m.name
+    );
+    println!(
+        "{:>8} {:>16} {:>14} {:>14}",
+        "grain", "false sharing", "cycles", "pMflop/s"
+    );
     let mu = m.mu();
     let n = 1usize << k;
     let grains = [1, 2, mu, 4 * mu, n / (2 * m.p)];
@@ -295,7 +315,10 @@ fn run_abl_sched(m: &MachineSpec, opts: &HashMap<String, String>) {
 
 fn run_abl_sixstep(m: &MachineSpec, opts: &HashMap<String, String>) {
     let (min, max) = range(opts, 10, 16);
-    println!("\nABL-SIXSTEP on {} — multicore CT (14) vs explicit transposes", m.name);
+    println!(
+        "\nABL-SIXSTEP on {} — multicore CT (14) vs explicit transposes",
+        m.name
+    );
     println!(
         "{:>7} {:>18} {:>14} {:>18}",
         "log2n", "multicore CT", "six-step", "six-step blocked"
@@ -310,7 +333,10 @@ fn run_abl_sixstep(m: &MachineSpec, opts: &HashMap<String, String>) {
 
 fn run_abl_merge(m: &MachineSpec, opts: &HashMap<String, String>) {
     let (min, max) = range(opts, 8, 14);
-    println!("\nABL-MERGE on {} — explicit P ⊗̄ I_µ passes vs merged into compute", m.name);
+    println!(
+        "\nABL-MERGE on {} — explicit P ⊗̄ I_µ passes vs merged into compute",
+        m.name
+    );
     println!(
         "{:>7} {:>16} {:>10} {:>16} {:>10} {:>10}",
         "log2n", "explicit cyc", "barriers", "fused cyc", "barriers", "speedup"
@@ -328,9 +354,70 @@ fn run_abl_merge(m: &MachineSpec, opts: &HashMap<String, String>) {
     }
 }
 
+/// ABL-VERIFY: run the static analyzer on the tuned µ-aware plan and on
+/// the µ-oblivious baseline schedule, and cross-check both verdicts
+/// against the simulator's dynamic false-sharing counter.
+fn run_verify(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 8, 14);
+    println!(
+        "\nABL-VERIFY on {} — static analyzer vs dynamic simulator",
+        m.name
+    );
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "log2n",
+        "spiral diag",
+        "spiral sFS",
+        "spiral dFS",
+        "naive diag",
+        "naive sFS",
+        "naive dFS",
+        "agree"
+    );
+    let rows = verification_ablation(m, min, max);
+    for r in &rows {
+        println!(
+            "{:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            r.log2n,
+            r.spiral_diagnostics,
+            r.spiral_static_false_sharing,
+            r.spiral_sim_false_sharing,
+            r.naive_diagnostics,
+            r.naive_static_false_sharing,
+            r.naive_sim_false_sharing,
+            r.verdicts_agree
+        );
+    }
+    // Show what a rejection looks like: the analyzer's findings on the
+    // µ-oblivious schedule at the smallest size.
+    if let Some(r) = rows.first() {
+        let sched = spiral_verify::baseline::FftwLikeSchedule {
+            n: 1usize << r.log2n,
+            threads: m.p,
+            grain: 1,
+        };
+        let report = spiral_verify::verify_fftw_like(
+            &sched,
+            m.mu(),
+            &spiral_verify::VerifyOptions::default(),
+        );
+        for d in report.diagnostics.iter().take(3) {
+            println!("  naive 2^{}: {}", r.log2n, d.detail);
+        }
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/abl_verify_{}.json", machine_slug(m));
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        println!("wrote {path}");
+    }
+}
+
 fn run_search(opts: &HashMap<String, String>) {
     let m = machine_arg(opts);
-    println!("\nSEARCH-DP on {} — simulated cycles (lower=better)", m.name);
+    println!(
+        "\nSEARCH-DP on {} — simulated cycles (lower=better)",
+        m.name
+    );
     println!(
         "{:>7} {:>12} {:>10} {:>12} {:>12} {:>12}",
         "log2n", "DP", "(evals)", "random", "evolve", "radix-2"

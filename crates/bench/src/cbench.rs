@@ -52,8 +52,14 @@ int main(void) {{
     let src = dir.join("dft.c");
     let main_c = dir.join("main.c");
     let exe = dir.join("bench");
-    std::fs::File::create(&src).ok()?.write_all(code.as_bytes()).ok()?;
-    std::fs::File::create(&main_c).ok()?.write_all(main.as_bytes()).ok()?;
+    std::fs::File::create(&src)
+        .ok()?
+        .write_all(code.as_bytes())
+        .ok()?;
+    std::fs::File::create(&main_c)
+        .ok()?
+        .write_all(main.as_bytes())
+        .ok()?;
     let out = Command::new("cc")
         .args(["-O3", "-march=native", "-fopenmp", "-o"])
         .arg(&exe)

@@ -16,6 +16,6 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
-pub mod cbench;
 pub mod ascii;
+pub mod cbench;
 pub mod series;

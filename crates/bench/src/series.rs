@@ -36,7 +36,10 @@ pub struct Series {
 impl Series {
     /// The measured value at `2^log2n`, if present.
     pub fn value_at(&self, log2n: u32) -> Option<f64> {
-        self.points.iter().find(|p| p.log2n == log2n).map(|p| p.value)
+        self.points
+            .iter()
+            .find(|p| p.log2n == log2n)
+            .map(|p| p.value)
     }
 }
 
@@ -75,7 +78,10 @@ pub fn tune_spiral(n: usize, machine: &MachineSpec) -> SpiralPlans {
             }
         }
     }
-    SpiralPlans { sequential, parallel }
+    SpiralPlans {
+        sequential,
+        parallel,
+    }
 }
 
 /// Simulated pseudo-Mflop/s of a plan on a machine.
@@ -84,12 +90,7 @@ pub fn sim_pmflops(plan: &Plan, machine: &MachineSpec) -> f64 {
 }
 
 /// Simulated pseudo-Mflop/s of the FFTW-like baseline with `threads`.
-pub fn fftw_pmflops(
-    n: usize,
-    threads: usize,
-    machine: &MachineSpec,
-    cfg: FftwLikeConfig,
-) -> f64 {
+pub fn fftw_pmflops(n: usize, threads: usize, machine: &MachineSpec, cfg: FftwLikeConfig) -> f64 {
     let f = FftwLikeFft::new(n, cfg);
     let mut sim = SmpSim::new(machine.clone(), n);
     // Warm run, then measured run (same protocol as plans).
@@ -125,7 +126,10 @@ pub fn fig3_series(machine: &MachineSpec, min_log2: u32, max_log2: u32) -> Vec<S
         let n = 1usize << k;
         let plans = tune_spiral(n, machine);
         let seq_pm = sim_pmflops(&plans.sequential, machine);
-        spiral_seq.push(Point { log2n: k, value: seq_pm });
+        spiral_seq.push(Point {
+            log2n: k,
+            value: seq_pm,
+        });
 
         // Max over thread counts, including 1 (paper methodology).
         let mut best_pt = seq_pm;
@@ -134,24 +138,51 @@ pub fn fig3_series(machine: &MachineSpec, min_log2: u32, max_log2: u32) -> Vec<S
             best_pt = best_pt.max(sim_pmflops(plan, machine));
             best_omp = best_omp.max(sim_pmflops(plan, &omp_machine));
         }
-        spiral_pthreads.push(Point { log2n: k, value: best_pt });
-        spiral_openmp.push(Point { log2n: k, value: best_omp });
+        spiral_pthreads.push(Point {
+            log2n: k,
+            value: best_pt,
+        });
+        spiral_openmp.push(Point {
+            log2n: k,
+            value: best_omp,
+        });
 
         let f_seq = fftw_pmflops(n, 1, machine, fftw_cfg);
-        fftw_seq.push(Point { log2n: k, value: f_seq });
+        fftw_seq.push(Point {
+            log2n: k,
+            value: f_seq,
+        });
         let mut f_best = f_seq;
         for t in thread_choices(machine.p) {
             f_best = f_best.max(fftw_pmflops(n, t, machine, fftw_cfg));
         }
-        fftw_pthreads.push(Point { log2n: k, value: f_best });
+        fftw_pthreads.push(Point {
+            log2n: k,
+            value: f_best,
+        });
     }
 
     vec![
-        Series { name: "Spiral pthreads".into(), points: spiral_pthreads },
-        Series { name: "Spiral OpenMP".into(), points: spiral_openmp },
-        Series { name: "Spiral sequential".into(), points: spiral_seq },
-        Series { name: "FFTW-like pthreads".into(), points: fftw_pthreads },
-        Series { name: "FFTW-like sequential".into(), points: fftw_seq },
+        Series {
+            name: "Spiral pthreads".into(),
+            points: spiral_pthreads,
+        },
+        Series {
+            name: "Spiral OpenMP".into(),
+            points: spiral_openmp,
+        },
+        Series {
+            name: "Spiral sequential".into(),
+            points: spiral_seq,
+        },
+        Series {
+            name: "FFTW-like pthreads".into(),
+            points: fftw_pthreads,
+        },
+        Series {
+            name: "FFTW-like sequential".into(),
+            points: fftw_seq,
+        },
     ]
 }
 
@@ -186,7 +217,11 @@ mod tests {
         assert_eq!(s.len(), 5);
         for series in &s {
             assert_eq!(series.points.len(), 4);
-            assert!(series.points.iter().all(|p| p.value > 0.0), "{}", series.name);
+            assert!(
+                series.points.iter().all(|p| p.value > 0.0),
+                "{}",
+                series.name
+            );
         }
     }
 
@@ -204,9 +239,9 @@ mod tests {
         // (the paper observed 2^13).
         let s = fig3_series(&core_duo(), 8, 14);
         let x = crossover(&s[3], &s[4], 0.02);
-        match x {
-            Some(k) => assert!(k >= 12, "FFTW-like crossover at 2^{k}, expected ≥ 2^12"),
-            None => {} // no crossover in range is also "late"
+        // No crossover in range is also "late".
+        if let Some(k) = x {
+            assert!(k >= 12, "FFTW-like crossover at 2^{k}, expected ≥ 2^12");
         }
     }
 

@@ -103,7 +103,11 @@ impl<'a> Emitter<'a> {
                      {body}\
                      \x20   memcpy(y, {final_buf}, sizeof(bufA));\n\
                      }}\n",
-                    final_buf = if self.plan.steps.len() % 2 == 0 { "bufA" } else { "bufB" },
+                    final_buf = if self.plan.steps.len().is_multiple_of(2) {
+                        "bufA"
+                    } else {
+                        "bufB"
+                    },
                 );
             }
             CFlavor::Pthreads => {
@@ -129,7 +133,11 @@ impl<'a> Emitter<'a> {
                      \x20   pthread_barrier_destroy(&bar);\n\
                      \x20   memcpy(y, {final_buf}, sizeof(bufA));\n\
                      }}\n",
-                    final_buf = if self.plan.steps.len() % 2 == 0 { "bufA" } else { "bufB" },
+                    final_buf = if self.plan.steps.len().is_multiple_of(2) {
+                        "bufA"
+                    } else {
+                        "bufB"
+                    },
                 );
             }
         }
@@ -137,7 +145,11 @@ impl<'a> Emitter<'a> {
 
     /// Emit the code of one step (into the step body string).
     fn emit_step(&mut self, si: usize, step: &Step) -> String {
-        let (src, dst) = if si % 2 == 0 { ("bufA", "bufB") } else { ("bufB", "bufA") };
+        let (src, dst) = if si.is_multiple_of(2) {
+            ("bufA", "bufB")
+        } else {
+            ("bufB", "bufA")
+        };
         let mut s = String::new();
         match step {
             Step::Seq(prog) => {
@@ -149,7 +161,11 @@ impl<'a> Emitter<'a> {
                     }
                 }
             }
-            Step::Par { chunk, programs, gather } => {
+            Step::Par {
+                chunk,
+                programs,
+                gather,
+            } => {
                 // Chunks are identical in the homogeneous case; emit one
                 // body indexed by the chunk variable. Heterogeneous
                 // (⊕∥ D_i) chunks differ only in tables, which we emit
@@ -169,23 +185,26 @@ impl<'a> Emitter<'a> {
                         );
                     }
                     CFlavor::Pthreads => {
-                        let _ = write!(
+                        let _ = writeln!(
                             s,
-                            "    for (int c = tid; c < {np}; c += NTHREADS) {{\n",
+                            "    for (int c = tid; c < {np}; c += NTHREADS) {{",
                             np = programs.len()
                         );
                     }
                 }
-                let _ = write!(s, "        const int off = c * {chunk};\n");
+                let _ = writeln!(s, "        const int off = c * {chunk};");
                 if homogeneous(programs) {
                     let body =
                         self.emit_local(si, 0, &programs[0], src, dst, "off", gname.as_deref());
                     s.push_str(&indent(&body, 1));
                 } else {
                     for (c, prog) in programs.iter().enumerate() {
-                        let body =
-                            self.emit_local(si, c, prog, src, dst, "off", gname.as_deref());
-                        let _ = write!(s, "        if (c == {c}) {{\n{}        }}\n", indent(&body, 2));
+                        let body = self.emit_local(si, c, prog, src, dst, "off", gname.as_deref());
+                        let _ = write!(
+                            s,
+                            "        if (c == {c}) {{\n{}        }}\n",
+                            indent(&body, 2)
+                        );
                     }
                 }
                 s.push_str("    }\n");
@@ -203,10 +222,7 @@ impl<'a> Emitter<'a> {
                         );
                     }
                     CFlavor::Pthreads => {
-                        let _ = write!(
-                            s,
-                            "    for (int b = tid; b < {blocks}; b += NTHREADS)\n"
-                        );
+                        let _ = writeln!(s, "    for (int b = tid; b < {blocks}; b += NTHREADS)");
                     }
                 }
                 let _ = write!(
@@ -270,9 +286,9 @@ impl<'a> Emitter<'a> {
         if l == 0 {
             match gather {
                 None => {
-                    let _ = write!(
+                    let _ = writeln!(
                         s,
-                        "    memcpy({dst} + 2*({off_expr}), {src} + 2*({off_expr}), 2*{d}*sizeof(double));\n",
+                        "    memcpy({dst} + 2*({off_expr}), {src} + 2*({off_expr}), 2*{d}*sizeof(double));",
                         d = prog.dim
                     );
                 }
@@ -290,7 +306,7 @@ impl<'a> Emitter<'a> {
             return s;
         }
         for (k, stage) in prog.stages.iter().enumerate() {
-            let to_dst = (l - 1 - k) % 2 == 0;
+            let to_dst = (l - 1 - k).is_multiple_of(2);
             let (in_buf, in_off) = if k == 0 {
                 (src, off_expr)
             } else if to_dst {
@@ -393,12 +409,16 @@ impl<'a> Emitter<'a> {
         // Loop nest.
         s.push_str("    {\n        int ib, ob, flat = 0;\n        (void)flat;\n");
         let mut open = 0;
-        let _ = write!(s, "        ib = {}; ob = {};\n", ks.in_off, ks.out_off);
+        let _ = writeln!(s, "        ib = {}; ob = {};", ks.in_off, ks.out_off);
         let mut vars = Vec::new();
         for (d, l) in ks.loops.iter().enumerate() {
             let v = format!("i{d}");
             let pad = "    ".repeat(2 + open);
-            let _ = write!(s, "{pad}for (int {v} = 0; {v} < {c}; {v}++) {{\n", c = l.count);
+            let _ = writeln!(
+                s,
+                "{pad}for (int {v} = 0; {v} < {c}; {v}++) {{",
+                c = l.count
+            );
             vars.push((v, l));
             open += 1;
         }
@@ -419,22 +439,22 @@ impl<'a> Emitter<'a> {
             e
         };
         let _ = write!(s, "{pad}{{\n{pad}    double gin[2*{c}], gout[2*{c}];\n");
-        let _ = write!(s, "{pad}    int ibase = {ib_expr}, obase = {ob_expr};\n");
+        let _ = writeln!(s, "{pad}    int ibase = {ib_expr}, obase = {ob_expr};");
         // Flat (mixed-radix) iteration index for the twiddle tables.
         if ks.twiddle.is_some() || ks.twiddle_out.is_some() {
             let mut expr = String::from("0");
             for (v, l) in &vars {
                 expr = format!("(({expr}) * {} + {v})", l.count);
             }
-            let _ = write!(s, "{pad}    int fl = {expr};\n");
+            let _ = writeln!(s, "{pad}    int fl = {expr};");
         }
-        let _ = write!(s, "{pad}    for (int t = 0; t < {c}; t++) {{\n");
+        let _ = writeln!(s, "{pad}    for (int t = 0; t < {c}; t++) {{");
         let idx_in = if ks.in_map.is_some() {
             format!("gmap_{tag}[ibase + t*{}]", ks.in_t_stride)
         } else {
             format!("ibase + t*{}", ks.in_t_stride)
         };
-        let _ = write!(s, "{pad}        int ii = {idx_in};\n");
+        let _ = writeln!(s, "{pad}        int ii = {idx_in};");
         let in_expr = match gather {
             Some(g) => format!("{g}[({in_off})+ii]"),
             None => format!("(({in_off})+ii)"),
@@ -447,9 +467,9 @@ impl<'a> Emitter<'a> {
                  {pad}        gin[2*t] = re*wre - im*wim; gin[2*t+1] = re*wim + im*wre;\n"
             );
         } else {
-            let _ = write!(
+            let _ = writeln!(
                 s,
-                "{pad}        gin[2*t] = {in_buf}[2*{in_expr}]; gin[2*t+1] = {in_buf}[2*{in_expr}+1];\n"
+                "{pad}        gin[2*t] = {in_buf}[2*{in_expr}]; gin[2*t+1] = {in_buf}[2*{in_expr}+1];"
             );
         }
         let _ = write!(s, "{pad}    }}\n{pad}    {fname}(gin, gout);\n");
@@ -479,7 +499,7 @@ impl<'a> Emitter<'a> {
         }
         for d in (0..open).rev() {
             let pad = "    ".repeat(2 + d);
-            let _ = write!(s, "{pad}}}\n");
+            let _ = writeln!(s, "{pad}}}");
         }
         s.push_str("    }\n");
         s
@@ -493,49 +513,59 @@ impl<'a> Emitter<'a> {
             return name;
         }
         let mut body = String::new();
-        let _ = write!(
+        let _ = writeln!(
             body,
-            "static void {name}(const double *restrict x, double *restrict y) {{\n"
+            "static void {name}(const double *restrict x, double *restrict y) {{"
         );
         for (id, node) in dag.nodes.iter().enumerate() {
             let (re, im) = (format!("t{id}_re"), format!("t{id}_im"));
             match *node {
                 Node::Input(i) => {
-                    let _ = write!(body, "    double {re} = x[{}], {im} = x[{}];\n", 2 * i, 2 * i + 1);
+                    let _ = writeln!(
+                        body,
+                        "    double {re} = x[{}], {im} = x[{}];",
+                        2 * i,
+                        2 * i + 1
+                    );
                 }
                 Node::Add(a, b) => {
-                    let _ = write!(
+                    let _ = writeln!(
                         body,
-                        "    double {re} = t{a}_re + t{b}_re, {im} = t{a}_im + t{b}_im;\n"
+                        "    double {re} = t{a}_re + t{b}_re, {im} = t{a}_im + t{b}_im;"
                     );
                 }
                 Node::Sub(a, b) => {
-                    let _ = write!(
+                    let _ = writeln!(
                         body,
-                        "    double {re} = t{a}_re - t{b}_re, {im} = t{a}_im - t{b}_im;\n"
+                        "    double {re} = t{a}_re - t{b}_re, {im} = t{a}_im - t{b}_im;"
                     );
                 }
                 Node::Mul(a, w) => {
-                    let _ = write!(
+                    let _ = writeln!(
                         body,
-                        "    double {re} = t{a}_re * {wr:.17} - t{a}_im * {wi:.17}, {im} = t{a}_re * {wi:.17} + t{a}_im * {wr:.17};\n",
+                        "    double {re} = t{a}_re * {wr:.17} - t{a}_im * {wi:.17}, {im} = t{a}_re * {wi:.17} + t{a}_im * {wr:.17};",
                         wr = w.re,
                         wi = w.im
                     );
                 }
                 Node::MulI(a) => {
-                    let _ = write!(body, "    double {re} = -t{a}_im, {im} = t{a}_re;\n");
+                    let _ = writeln!(body, "    double {re} = -t{a}_im, {im} = t{a}_re;");
                 }
                 Node::MulNegI(a) => {
-                    let _ = write!(body, "    double {re} = t{a}_im, {im} = -t{a}_re;\n");
+                    let _ = writeln!(body, "    double {re} = t{a}_im, {im} = -t{a}_re;");
                 }
                 Node::Neg(a) => {
-                    let _ = write!(body, "    double {re} = -t{a}_re, {im} = -t{a}_im;\n");
+                    let _ = writeln!(body, "    double {re} = -t{a}_re, {im} = -t{a}_im;");
                 }
             }
         }
         for (k, o) in dag.outputs.iter().enumerate() {
-            let _ = write!(body, "    y[{}] = t{o}_re; y[{}] = t{o}_im;\n", 2 * k, 2 * k + 1);
+            let _ = writeln!(
+                body,
+                "    y[{}] = t{o}_re; y[{}] = t{o}_im;",
+                2 * k,
+                2 * k + 1
+            );
         }
         body.push_str("}\n\n");
         self.codelets.insert(name.clone(), body);
@@ -546,7 +576,11 @@ impl<'a> Emitter<'a> {
         if self.tables.contains(&format!(" {name}[")) {
             return;
         }
-        let _ = write!(self.tables, "static const unsigned {name}[{}] = {{", t.len());
+        let _ = write!(
+            self.tables,
+            "static const unsigned {name}[{}] = {{",
+            t.len()
+        );
         for (i, v) in t.iter().enumerate() {
             if i % 16 == 0 {
                 self.tables.push_str("\n    ");
@@ -560,7 +594,11 @@ impl<'a> Emitter<'a> {
         if self.tables.contains(&format!(" {name}[")) {
             return;
         }
-        let _ = write!(self.tables, "static const double {name}[{}] = {{", 2 * w.len());
+        let _ = write!(
+            self.tables,
+            "static const double {name}[{}] = {{",
+            2 * w.len()
+        );
         for (i, z) in w.iter().enumerate() {
             if i % 4 == 0 {
                 self.tables.push_str("\n    ");
@@ -573,10 +611,10 @@ impl<'a> Emitter<'a> {
 
 fn homogeneous(programs: &[LocalProgram]) -> bool {
     programs.len() <= 1
-        || programs
-            .windows(2)
-            .all(|w| format!("{:?}", w[0].stages.len()) == format!("{:?}", w[1].stages.len())
-                && same_structure(&w[0], &w[1]))
+        || programs.windows(2).all(|w| {
+            format!("{:?}", w[0].stages.len()) == format!("{:?}", w[1].stages.len())
+                && same_structure(&w[0], &w[1])
+        })
 }
 
 fn same_structure(a: &LocalProgram, b: &LocalProgram) -> bool {
@@ -592,8 +630,7 @@ fn same_structure(a: &LocalProgram, b: &LocalProgram) -> bool {
             }
             (LocalStage::Permute(t1), LocalStage::Permute(t2)) => t1 == t2,
             (LocalStage::Scale(w1), LocalStage::Scale(w2)) => {
-                w1.len() == w2.len()
-                    && w1.iter().zip(w2.iter()).all(|(a, b)| a.approx_eq(*b, 0.0))
+                w1.len() == w2.len() && w1.iter().zip(w2.iter()).all(|(a, b)| a.approx_eq(*b, 0.0))
             }
             _ => false,
         })
@@ -607,7 +644,10 @@ fn arc_eq(a: &Option<std::sync::Arc<Vec<u32>>>, b: &Option<std::sync::Arc<Vec<u3
     }
 }
 
-fn twiddle_eq(a: &Option<std::sync::Arc<Vec<Cplx>>>, b: &Option<std::sync::Arc<Vec<Cplx>>>) -> bool {
+fn twiddle_eq(
+    a: &Option<std::sync::Arc<Vec<Cplx>>>,
+    b: &Option<std::sync::Arc<Vec<Cplx>>>,
+) -> bool {
     match (a, b) {
         (None, None) => true,
         (Some(x), Some(y)) => {
@@ -620,12 +660,20 @@ fn twiddle_eq(a: &Option<std::sync::Arc<Vec<Cplx>>>, b: &Option<std::sync::Arc<V
 fn step_desc(step: &Step) -> String {
     match step {
         Step::Seq(p) => format!("sequential program, {} stages", p.stages.len()),
-        Step::Par { chunk, programs, gather } => {
+        Step::Par {
+            chunk,
+            programs,
+            gather,
+        } => {
             format!(
                 "parallel: {} chunks of {}{}",
                 programs.len(),
                 chunk,
-                if gather.is_some() { ", fused exchange gather" } else { "" }
+                if gather.is_some() {
+                    ", fused exchange gather"
+                } else {
+                    ""
+                }
             )
         }
         Step::Exchange { mu, .. } => format!("cache-line exchange (mu = {mu})"),
@@ -636,7 +684,13 @@ fn step_desc(step: &Step) -> String {
 fn indent(s: &str, levels: usize) -> String {
     let pad = "    ".repeat(levels);
     s.lines()
-        .map(|l| if l.is_empty() { l.to_string() } else { format!("{pad}{l}") })
+        .map(|l| {
+            if l.is_empty() {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
         .collect::<Vec<_>>()
         .join("\n")
         + "\n"
@@ -669,7 +723,10 @@ mod tests {
         assert!(c.contains("#include <pthread.h>"));
         assert!(c.contains("pthread_barrier_wait(&bar)"));
         assert!(c.contains("pthread_create"));
-        assert!(c.contains("for (int c = tid;"), "static block-cyclic split missing");
+        assert!(
+            c.contains("for (int c = tid;"),
+            "static block-cyclic split missing"
+        );
     }
 
     #[test]
@@ -704,9 +761,10 @@ mod tests {
         let c = emit_c(&parallel_plan(), CFlavor::OpenMp);
         // Each named table defined exactly once.
         for cap in ["exch0_tbl", "dft_codelet_8"] {
-            let defs = c.matches(&format!("{cap}[")).count().max(
-                c.matches(&format!("{cap}(")).count(),
-            );
+            let defs = c
+                .matches(&format!("{cap}["))
+                .count()
+                .max(c.matches(&format!("{cap}(")).count());
             assert!(defs >= 1, "{cap} missing");
         }
     }

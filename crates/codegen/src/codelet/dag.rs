@@ -127,8 +127,13 @@ fn key_of(n: &Node) -> NodeKey {
 impl DagBuilder {
     /// New builder with `n_inputs` input nodes; returns their ids.
     pub fn new(n_inputs: usize) -> (DagBuilder, Vec<Id>) {
-        let mut b = DagBuilder { nodes: Vec::new(), memo: HashMap::new() };
-        let inputs = (0..n_inputs as u32).map(|i| b.push(Node::Input(i))).collect();
+        let mut b = DagBuilder {
+            nodes: Vec::new(),
+            memo: HashMap::new(),
+        };
+        let inputs = (0..n_inputs as u32)
+            .map(|i| b.push(Node::Input(i)))
+            .collect();
         (b, inputs)
     }
 
@@ -172,7 +177,11 @@ impl DagBuilder {
 
     /// Seal the DAG with the given output nodes.
     pub fn finish(self, outputs: Vec<Id>, n_inputs: usize) -> Dag {
-        Dag { nodes: self.nodes, outputs, n_inputs }
+        Dag {
+            nodes: self.nodes,
+            outputs,
+            n_inputs,
+        }
     }
 }
 

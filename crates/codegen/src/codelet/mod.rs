@@ -98,7 +98,7 @@ impl Codelet {
                 const H: f64 = std::f64::consts::FRAC_1_SQRT_2;
                 let w8 = Cplx::new(H, -H); // ω_8
                 let w83 = Cplx::new(-H, -H); // ω_8³
-                // Stage 1: DFT_2 on (0,4),(2,6),(1,5),(3,7)
+                                             // Stage 1: DFT_2 on (0,4),(2,6),(1,5),(3,7)
                 let a0 = input[0] + input[4];
                 let a1 = input[0] - input[4];
                 let a2 = input[2] + input[6];

@@ -88,7 +88,11 @@ fn affine_of(k: &KernelStage, output: bool) -> Option<(usize, Vec<usize>, usize)
     let counts: Vec<usize> = k.loops.iter().map(|l| l.count).collect();
     let base = *idxs.first()?;
     // Candidate t-stride from the first iteration.
-    let t_stride = if c > 1 { idxs.get(1)?.checked_sub(base)? } else { 0 };
+    let t_stride = if c > 1 {
+        idxs.get(1)?.checked_sub(base)?
+    } else {
+        0
+    };
     // Candidate per-loop strides from the unit steps of each dimension.
     let mut strides = vec![0usize; counts.len()];
     let mut step = 1usize; // flat-iteration step of dimension d (innermost last)
@@ -125,14 +129,12 @@ fn fuse_once(prog: LocalProgram) -> LocalProgram {
         match (out.last_mut(), stage) {
             // Permute then Permute: y = P2(P1 x) ⇒ tbl[i] = t1[t2[i]].
             (Some(LocalStage::Permute(t1)), LocalStage::Permute(t2)) => {
-                let combined: Vec<u32> =
-                    t2.iter().map(|&i| t1[i as usize]).collect();
+                let combined: Vec<u32> = t2.iter().map(|&i| t1[i as usize]).collect();
                 *t1 = Arc::new(combined);
             }
             // Scale then Scale: pointwise product.
             (Some(LocalStage::Scale(w1)), LocalStage::Scale(w2)) => {
-                let combined: Vec<Cplx> =
-                    w1.iter().zip(w2.iter()).map(|(a, b)| *a * *b).collect();
+                let combined: Vec<Cplx> = w1.iter().zip(w2.iter()).map(|(a, b)| *a * *b).collect();
                 *w1 = Arc::new(combined);
             }
             // Permute then Kernel: fold into the kernel's gather.
@@ -140,9 +142,7 @@ fn fuse_once(prog: LocalProgram) -> LocalProgram {
                 let t = Arc::clone(t);
                 k.in_map = Some(match k.in_map.take() {
                     None => t,
-                    Some(old) => {
-                        Arc::new(old.iter().map(|&i| t[i as usize]).collect())
-                    }
+                    Some(old) => Arc::new(old.iter().map(|&i| t[i as usize]).collect()),
                 });
                 *out.last_mut().unwrap() = LocalStage::Kernel(k);
             }
@@ -153,9 +153,9 @@ fn fuse_once(prog: LocalProgram) -> LocalProgram {
                 let per_slot = twiddle_for_kernel(&k, w);
                 k.twiddle = Some(match k.twiddle.take() {
                     None => Arc::new(per_slot),
-                    Some(old) => Arc::new(
-                        old.iter().zip(&per_slot).map(|(a, b)| *a * *b).collect(),
-                    ),
+                    Some(old) => {
+                        Arc::new(old.iter().zip(&per_slot).map(|(a, b)| *a * *b).collect())
+                    }
                 });
                 *out.last_mut().unwrap() = LocalStage::Kernel(k);
             }
@@ -166,9 +166,9 @@ fn fuse_once(prog: LocalProgram) -> LocalProgram {
                 let mut k2 = k.clone();
                 k2.twiddle_out = Some(match k2.twiddle_out.take() {
                     None => Arc::new(per_slot),
-                    Some(old) => Arc::new(
-                        old.iter().zip(&per_slot).map(|(a, b)| *a * *b).collect(),
-                    ),
+                    Some(old) => {
+                        Arc::new(old.iter().zip(&per_slot).map(|(a, b)| *a * *b).collect())
+                    }
                 });
                 *out.last_mut().unwrap() = LocalStage::Kernel(k2);
             }
@@ -184,9 +184,7 @@ fn fuse_once(prog: LocalProgram) -> LocalProgram {
                 let mut k2 = k;
                 k2.out_map = Some(match k2.out_map.take() {
                     None => Arc::new(inv),
-                    Some(old) => {
-                        Arc::new(old.iter().map(|&o| inv[o as usize]).collect())
-                    }
+                    Some(old) => Arc::new(old.iter().map(|&o| inv[o as usize]).collect()),
                 });
                 *out.last_mut().unwrap() = LocalStage::Kernel(k2);
             }
@@ -202,9 +200,7 @@ fn drop_trivial(prog: LocalProgram) -> LocalProgram {
         .stages
         .into_iter()
         .filter(|s| match s {
-            LocalStage::Permute(t) => {
-                !t.iter().enumerate().all(|(i, &v)| v as usize == i)
-            }
+            LocalStage::Permute(t) => !t.iter().enumerate().all(|(i, &v)| v as usize == i),
             LocalStage::Scale(w) => !w.iter().all(|z| z.approx_eq(Cplx::ONE, 0.0)),
             LocalStage::Kernel(_) => true,
         })
@@ -229,7 +225,9 @@ mod tests {
     use spiral_spl::Spl;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|j| Cplx::new(0.25 * j as f64, 2.0 - j as f64)).collect()
+        (0..n)
+            .map(|j| Cplx::new(0.25 * j as f64, 2.0 - j as f64))
+            .collect()
     }
 
     fn check_fused(f: &Spl) -> LocalProgram {
@@ -316,9 +314,9 @@ mod tests {
         // order: [Scale, Permute, Kernel] ⇒ single kernel with twiddle
         // that respects the permuted gather order.
         let f = compose(vec![
-            tensor(i(2), f2()),   // kernel
-            stride(4, 2),          // permute (fuses as gather)
-            twiddle(2, 2),         // scale (fuses as twiddle through gather)
+            tensor(i(2), f2()), // kernel
+            stride(4, 2),       // permute (fuses as gather)
+            twiddle(2, 2),      // scale (fuses as twiddle through gather)
         ]);
         let fused = check_fused(&f);
         assert_eq!(fused.stages.len(), 1);

@@ -15,7 +15,9 @@
 //! * [`parallel`] — multithreaded execution on the `spiral-smp` pool;
 //! * [`hook`] — instrumentation interface replaying exact per-thread
 //!   memory-access streams into the machine simulator;
-//! * [`cemit`] — C source emission (OpenMP and pthreads flavors).
+//! * [`cemit`] — C source emission (OpenMP and pthreads flavors);
+//! * [`validate`] — registry hooking the `spiral-verify` static analyzer
+//!   into debug-build plan execution.
 //!
 //! ## Example
 //!
@@ -41,6 +43,7 @@ pub mod lower;
 pub mod parallel;
 pub mod plan;
 pub mod stage;
+pub mod validate;
 
 pub use cemit::{emit_c, CFlavor};
 pub use codelet::Codelet;

@@ -89,12 +89,18 @@ pub fn lower_seq(f: &Spl) -> Result<LocalProgram, LowerError> {
 
 fn kernel_program(c: Codelet) -> LocalProgram {
     let dim = c.size();
-    LocalProgram { dim, stages: vec![LocalStage::Kernel(KernelStage::unit(c))] }
+    LocalProgram {
+        dim,
+        stages: vec![LocalStage::Kernel(KernelStage::unit(c))],
+    }
 }
 
 fn perm_program(p: &Perm) -> LocalProgram {
     let table: Vec<u32> = p.table().iter().map(|&v| v as u32).collect();
-    LocalProgram { dim: p.dim(), stages: vec![LocalStage::Permute(Arc::new(table))] }
+    LocalProgram {
+        dim: p.dim(),
+        stages: vec![LocalStage::Permute(Arc::new(table))],
+    }
 }
 
 /// Direct sums are supported when all blocks are diagonals (twiddle
@@ -110,7 +116,10 @@ fn lower_direct_sum(fs: &[Spl]) -> Result<LocalProgram, LowerError> {
                 table.extend(d.entries());
             }
         }
-        return Ok(LocalProgram { dim, stages: vec![LocalStage::Scale(Arc::new(table))] });
+        return Ok(LocalProgram {
+            dim,
+            stages: vec![LocalStage::Scale(Arc::new(table))],
+        });
     }
     if fs.iter().all(|b| b.as_perm().is_some()) {
         let mut table = Vec::with_capacity(dim);
@@ -120,7 +129,10 @@ fn lower_direct_sum(fs: &[Spl]) -> Result<LocalProgram, LowerError> {
             table.extend(p.table().iter().map(|&v| off + v as u32));
             off += p.dim() as u32;
         }
-        return Ok(LocalProgram { dim, stages: vec![LocalStage::Permute(Arc::new(table))] });
+        return Ok(LocalProgram {
+            dim,
+            stages: vec![LocalStage::Permute(Arc::new(table))],
+        });
     }
     Err(LowerError(
         "direct sum of non-diagonal, non-permutation blocks".to_string(),
@@ -139,7 +151,14 @@ pub fn lift_block(prog: LocalProgram, m: usize) -> LocalProgram {
         .into_iter()
         .map(|s| match s {
             LocalStage::Kernel(mut k) => {
-                k.loops.insert(0, LoopDim { count: m, in_stride: d, out_stride: d });
+                k.loops.insert(
+                    0,
+                    LoopDim {
+                        count: m,
+                        in_stride: d,
+                        out_stride: d,
+                    },
+                );
                 k.in_map = k.in_map.map(|t| Arc::new(block_lift_table(&t, m, d)));
                 k.out_map = k.out_map.map(|t| Arc::new(block_lift_table(&t, m, d)));
                 let block_rep = |w: Arc<Vec<Cplx>>| {
@@ -195,7 +214,11 @@ pub fn lift_stride(prog: LocalProgram, k: usize) -> LocalProgram {
                 ks.out_off *= k;
                 ks.in_t_stride *= k;
                 ks.out_t_stride *= k;
-                ks.loops.push(LoopDim { count: k, in_stride: 1, out_stride: 1 });
+                ks.loops.push(LoopDim {
+                    count: k,
+                    in_stride: 1,
+                    out_stride: 1,
+                });
                 ks.in_map = ks.in_map.map(|t| Arc::new(stride_lift_table(&t, k)));
                 ks.out_map = ks.out_map.map(|t| Arc::new(stride_lift_table(&t, k)));
                 // New flat order interleaves the lane loop innermost:
@@ -271,7 +294,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|j| Cplx::new(j as f64 + 0.5, 1.0 - j as f64 * 0.3)).collect()
+        (0..n)
+            .map(|j| Cplx::new(j as f64 + 0.5, 1.0 - j as f64 * 0.3))
+            .collect()
     }
 
     /// Lowering must preserve semantics exactly.
@@ -366,7 +391,11 @@ mod tests {
         // Kernel (I_2 ⊗ F_2) with w = position index; gathered order is
         // identity here, so the twiddle table equals w.
         let mut k = KernelStage::unit(Codelet::F2);
-        k.loops.push(LoopDim { count: 2, in_stride: 2, out_stride: 2 });
+        k.loops.push(LoopDim {
+            count: 2,
+            in_stride: 2,
+            out_stride: 2,
+        });
         let w: Vec<Cplx> = (0..4).map(|i| Cplx::real(i as f64)).collect();
         let tw = twiddle_for_kernel(&k, &w);
         assert_eq!(tw.len(), 4);

@@ -19,9 +19,21 @@ pub struct ParallelExecutor {
     threads: usize,
 }
 
-/// Shared mutable buffer pointers for the workers. Safety: each step
-/// writes thread-disjoint index sets (chunks / block ranges), reads only
-/// from the other buffer, and steps are separated by barriers.
+/// Shared mutable buffer pointers for the workers.
+///
+/// # Safety
+///
+/// `Sync` is sound only for plans satisfying the invariant the
+/// `spiral-verify` analyzer checks statically over the stage IR: in every
+/// step, per-thread write index sets are pairwise disjoint and in bounds,
+/// and reads target only the opposite ping-pong buffer, whose contents
+/// were fixed before the barrier that opened the step. Under that
+/// invariant no two threads ever form a data race on `a`/`b` — writes are
+/// unaliased, and every read-after-write pair is ordered by a barrier.
+/// All plans produced by `Plan::from_formula` satisfy it; debug builds
+/// additionally re-verify each plan through the [`crate::validate`]
+/// registry when an analyzer is installed
+/// (`spiral_verify::install_executor_guard`).
 struct SharedBufs {
     a: *mut Cplx,
     b: *mut Cplx,
@@ -60,12 +72,25 @@ impl ParallelExecutor {
             plan.threads,
             self.threads
         );
+        // The soundness of the `unsafe` buffer sharing below is a static
+        // property of the plan (see `SharedBufs`); debug builds re-check
+        // it with the installed analyzer before running anything.
+        #[cfg(debug_assertions)]
+        if let Some(validate) = crate::validate::validator() {
+            if let Err(e) = validate(plan) {
+                panic!("plan failed static verification: {e}");
+            }
+        }
         let n = plan.n;
         let mut buf_a: AlignedVec<Cplx> = AlignedVec::new(n.max(1));
         let mut buf_b: AlignedVec<Cplx> = AlignedVec::new(n.max(1));
         buf_a.copy_from(x);
         let _ = &mut buf_b;
-        let shared = SharedBufs { a: buf_a.as_ptr(), b: buf_b.as_ptr(), n };
+        let shared = SharedBufs {
+            a: buf_a.as_ptr(),
+            b: buf_b.as_ptr(),
+            n,
+        };
         // Borrow the whole struct so the closure captures one `&SharedBufs`
         // (edition-2021 disjoint capture would otherwise grab `&*mut Cplx`,
         // which is not Sync).
@@ -88,12 +113,22 @@ impl ParallelExecutor {
                         (std::slice::from_raw_parts(shared.b, shared.n), shared.a)
                     }
                 };
-                run_step_portion(step, n, tid, threads, src, dst, &mut tmp, &mut scratch);
+                run_step_portion(
+                    step,
+                    n,
+                    plan.mu.max(1),
+                    tid,
+                    threads,
+                    src,
+                    dst,
+                    &mut tmp,
+                    &mut scratch,
+                );
                 barrier.wait();
             }
         });
 
-        let result_in_a = plan.steps.len() % 2 == 0;
+        let result_in_a = plan.steps.len().is_multiple_of(2);
         if result_in_a {
             buf_a.as_slice().to_vec()
         } else {
@@ -103,9 +138,11 @@ impl ParallelExecutor {
 }
 
 /// Execute thread `tid`'s statically scheduled portion of one step.
+#[allow(clippy::too_many_arguments)]
 fn run_step_portion(
     step: &Step,
     n: usize,
+    plan_mu: usize,
     tid: usize,
     threads: usize,
     src: &[Cplx],
@@ -121,7 +158,11 @@ fn run_step_portion(
                 prog.run(src, dst, tmp, scratch);
             }
         }
-        Step::Par { chunk, programs, gather } => {
+        Step::Par {
+            chunk,
+            programs,
+            gather,
+        } => {
             for (c, prog) in programs.iter().enumerate() {
                 if c % threads != tid {
                     continue;
@@ -130,10 +171,13 @@ fn run_step_portion(
                 // Safety: chunk ranges are disjoint across c, and each c
                 // is handled by exactly one thread. Gathered reads touch
                 // the whole (read-only this step) src buffer.
-                let dst_chunk =
-                    unsafe { std::slice::from_raw_parts_mut(dst.add(s), *chunk) };
+                let dst_chunk = unsafe { std::slice::from_raw_parts_mut(dst.add(s), *chunk) };
                 let view = match gather {
-                    Some(g) => crate::stage::SrcView::Gathered { buf: src, gather: g, off: s },
+                    Some(g) => crate::stage::SrcView::Gathered {
+                        buf: src,
+                        gather: g,
+                        off: s,
+                    },
                     None => crate::stage::SrcView::Local(&src[s..s + chunk]),
                 };
                 prog.run_view(view, dst_chunk, &mut tmp[..*chunk], scratch);
@@ -143,18 +187,30 @@ fn run_step_portion(
             let blocks = n / mu;
             let (lo, hi) = share(blocks, threads, tid);
             // Safety: [lo·µ, hi·µ) ranges are disjoint across threads.
-            let out = unsafe {
-                std::slice::from_raw_parts_mut(dst.add(lo * mu), (hi - lo) * mu)
-            };
+            let out = unsafe { std::slice::from_raw_parts_mut(dst.add(lo * mu), (hi - lo) * mu) };
             for (k, o) in out.iter_mut().enumerate() {
                 *o = src[table[lo * mu + k] as usize];
             }
         }
         Step::ScaleAll(w) => {
-            let (lo, hi) = share(n, threads, tid);
-            let out = unsafe { std::slice::from_raw_parts_mut(dst.add(lo), hi - lo) };
-            for (k, o) in out.iter_mut().enumerate() {
-                *o = src[lo + k] * w[lo + k];
+            // Split by whole cache lines, matching `Plan::run_traced` —
+            // an element-granular split would let two threads write-share
+            // a line. The last thread also takes the sub-line tail, if
+            // n is not a multiple of µ.
+            let blocks = n / plan_mu;
+            let (b_lo, b_hi) = share(blocks, threads, tid);
+            let lo = b_lo * plan_mu;
+            let hi = if tid == threads - 1 {
+                n
+            } else {
+                b_hi * plan_mu
+            };
+            if hi > lo {
+                // Safety: [lo, hi) ranges are disjoint across threads.
+                let out = unsafe { std::slice::from_raw_parts_mut(dst.add(lo), hi - lo) };
+                for (k, o) in out.iter_mut().enumerate() {
+                    *o = src[lo + k] * w[lo + k];
+                }
             }
         }
     }
@@ -176,7 +232,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|j| Cplx::new(j as f64 * 0.5, 3.0 - j as f64)).collect()
+        (0..n)
+            .map(|j| Cplx::new(j as f64 * 0.5, 3.0 - j as f64))
+            .collect()
     }
 
     #[test]

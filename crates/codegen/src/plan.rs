@@ -98,7 +98,12 @@ impl Plan {
             }
         }
         let steps = merge_par_steps(steps);
-        Ok(Plan { n, threads: threads.max(1), mu: mu.max(1), steps })
+        Ok(Plan {
+            n,
+            threads: threads.max(1),
+            mu: mu.max(1),
+            steps,
+        })
     }
 
     /// Total real flops of one execution.
@@ -119,12 +124,19 @@ impl Plan {
                 (None, Step::Exchange { table, mu: _ }) => pending = Some(table),
                 (
                     Some(table),
-                    Step::Par { chunk, programs, gather: None },
-                ) => out.push(Step::Par { chunk, programs, gather: Some(table) }),
+                    Step::Par {
+                        chunk,
+                        programs,
+                        gather: None,
+                    },
+                ) => out.push(Step::Par {
+                    chunk,
+                    programs,
+                    gather: Some(table),
+                }),
                 (Some(prev), Step::Exchange { table, mu }) => {
                     // Two exchanges in a row: compose, keep pending.
-                    let composed: Vec<u32> =
-                        table.iter().map(|&i| prev[i as usize]).collect();
+                    let composed: Vec<u32> = table.iter().map(|&i| prev[i as usize]).collect();
                     pending = Some(Arc::new(composed));
                     let _ = mu;
                 }
@@ -170,21 +182,22 @@ impl Plan {
         for step in &self.steps {
             match step {
                 Step::Seq(p) => p.run(&a, &mut b, &mut tmp, &mut scratch),
-                Step::Par { chunk, programs, gather } => {
+                Step::Par {
+                    chunk,
+                    programs,
+                    gather,
+                } => {
                     for (c, prog) in programs.iter().enumerate() {
                         let s = c * chunk;
                         let view = match gather {
-                            Some(g) => {
-                                crate::stage::SrcView::Gathered { buf: &a, gather: g, off: s }
-                            }
+                            Some(g) => crate::stage::SrcView::Gathered {
+                                buf: &a,
+                                gather: g,
+                                off: s,
+                            },
                             None => crate::stage::SrcView::Local(&a[s..s + chunk]),
                         };
-                        prog.run_view(
-                            view,
-                            &mut b[s..s + chunk],
-                            &mut tmp[..*chunk],
-                            &mut scratch,
-                        );
+                        prog.run_view(view, &mut b[s..s + chunk], &mut tmp[..*chunk], &mut scratch);
                     }
                 }
                 Step::Exchange { table, .. } => {
@@ -212,7 +225,11 @@ impl Plan {
         for step in &self.steps {
             match step {
                 Step::Seq(p) => trace_local(p, 0, src, 0, dst, 0, hook),
-                Step::Par { chunk, programs, gather } => {
+                Step::Par {
+                    chunk,
+                    programs,
+                    gather,
+                } => {
                     for (c, prog) in programs.iter().enumerate() {
                         let tid = c % self.threads;
                         trace_local_gathered(
@@ -308,7 +325,7 @@ fn trace_local_gathered(
     }
     let tmp = Region::Tmp(tid);
     for (k, stage) in prog.stages.iter().enumerate() {
-        let to_dst = (l - 1 - k) % 2 == 0;
+        let to_dst = (l - 1 - k).is_multiple_of(2);
         let first = k == 0;
         let (in_r, in_off) = if first {
             (src, 0) // offset applied via src_read
@@ -342,8 +359,16 @@ fn merge_par_steps(steps: Vec<Step>) -> Vec<Step> {
     for s in steps {
         let merged = match (out.last_mut(), &s) {
             (
-                Some(Step::Par { chunk: c1, programs: p1, gather: _ }),
-                Step::Par { chunk: c2, programs: p2, gather: None },
+                Some(Step::Par {
+                    chunk: c1,
+                    programs: p1,
+                    gather: _,
+                }),
+                Step::Par {
+                    chunk: c2,
+                    programs: p2,
+                    gather: None,
+                },
             ) if *c1 == *c2 && p1.len() == p2.len() => {
                 for (a, b) in p1.iter_mut().zip(p2) {
                     let mut combined = a.clone();
@@ -379,7 +404,11 @@ fn push_steps(f: &Spl, steps: &mut Vec<Step>) -> Result<(), LowerError> {
         Spl::I(_) => Ok(()),
         Spl::TensorPar { p, a } => {
             let prog = fuse(lower_seq(a)?);
-            steps.push(Step::Par { chunk: a.dim(), programs: vec![prog; *p], gather: None });
+            steps.push(Step::Par {
+                chunk: a.dim(),
+                programs: vec![prog; *p],
+                gather: None,
+            });
             Ok(())
         }
         Spl::DirectSumPar(blocks) => {
@@ -391,18 +420,28 @@ fn push_steps(f: &Spl, steps: &mut Vec<Step>) -> Result<(), LowerError> {
             }
             let programs: Result<Vec<_>, _> =
                 blocks.iter().map(|b| lower_seq(b).map(fuse)).collect();
-            steps.push(Step::Par { chunk: d0, programs: programs?, gather: None });
+            steps.push(Step::Par {
+                chunk: d0,
+                programs: programs?,
+                gather: None,
+            });
             Ok(())
         }
         Spl::PermBar { perm, mu } => {
             let full = Perm::TensorId(Box::new(perm.clone()), *mu);
             let table: Vec<u32> = full.table().iter().map(|&v| v as u32).collect();
-            steps.push(Step::Exchange { table: Arc::new(table), mu: *mu });
+            steps.push(Step::Exchange {
+                table: Arc::new(table),
+                mu: *mu,
+            });
             Ok(())
         }
         Spl::Perm(p) => {
             let table: Vec<u32> = p.table().iter().map(|&v| v as u32).collect();
-            steps.push(Step::Exchange { table: Arc::new(table), mu: 1 });
+            steps.push(Step::Exchange {
+                table: Arc::new(table),
+                mu: 1,
+            });
             Ok(())
         }
         Spl::Diag(d) => {
@@ -428,7 +467,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|j| Cplx::new(1.0 + j as f64, -0.5 * j as f64)).collect()
+        (0..n)
+            .map(|j| Cplx::new(1.0 + j as f64, -0.5 * j as f64))
+            .collect()
     }
 
     #[test]
@@ -458,7 +499,11 @@ mod tests {
         // merge into 2 fused parallel compute steps.
         let f = multicore_dft_expanded(64, 2, 4, None, 8).unwrap();
         let plan = Plan::from_formula(&f, 2, 4).unwrap();
-        let pars = plan.steps.iter().filter(|s| matches!(s, Step::Par { .. })).count();
+        let pars = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Par { .. }))
+            .count();
         let exch = plan
             .steps
             .iter()
@@ -467,8 +512,10 @@ mod tests {
         assert_eq!(exch, 3, "three P ⊗̄ I_µ exchanges");
         assert_eq!(pars, 2, "parallel factors merged into two compute steps");
         assert_eq!(plan.steps.len(), 5);
-        assert!(plan.steps.iter().all(|s| !matches!(s, Step::Seq(_))),
-            "no sequential step in a fully optimized plan");
+        assert!(
+            plan.steps.iter().all(|s| !matches!(s, Step::Seq(_))),
+            "no sequential step in a fully optimized plan"
+        );
     }
 
     #[test]
@@ -500,7 +547,10 @@ mod tests {
         // twiddles stays within a small factor.
         let nominal = 5.0 * 64.0 * 6.0;
         let actual = plan.flops() as f64;
-        assert!(actual < 4.0 * nominal, "flops {actual} vs nominal {nominal}");
+        assert!(
+            actual < 4.0 * nominal,
+            "flops {actual} vs nominal {nominal}"
+        );
     }
 
     #[test]
@@ -538,11 +588,23 @@ mod tests {
         let plan = Plan::from_formula(&f, 2, 4).unwrap();
         assert_eq!(plan.steps.len(), 5);
         let fused = plan.fuse_exchanges();
-        assert_eq!(fused.steps.len(), 3, "expected 2 fused Par + trailing Exchange");
+        assert_eq!(
+            fused.steps.len(),
+            3,
+            "expected 2 fused Par + trailing Exchange"
+        );
         let gathered = fused
             .steps
             .iter()
-            .filter(|s| matches!(s, Step::Par { gather: Some(_), .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Step::Par {
+                        gather: Some(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(gathered, 2);
         assert!(matches!(fused.steps.last(), Some(Step::Exchange { .. })));

@@ -89,7 +89,10 @@ impl KernelStage {
     /// Real flops of one full stage execution.
     pub fn flops(&self) -> u64 {
         let tw = self.twiddle.as_ref().map_or(0, |_| 6 * self.span() as u64)
-            + self.twiddle_out.as_ref().map_or(0, |_| 6 * self.span() as u64);
+            + self
+                .twiddle_out
+                .as_ref()
+                .map_or(0, |_| 6 * self.span() as u64);
         self.iterations() as u64 * self.codelet.flops() + tw
     }
 
@@ -133,12 +136,7 @@ impl KernelStage {
         }
     }
 
-    fn apply_inner<G: Fn(usize) -> Cplx>(
-        &self,
-        get: G,
-        dst: &mut [Cplx],
-        scratch: &mut Scratch,
-    ) {
+    fn apply_inner<G: Fn(usize) -> Cplx>(&self, get: G, dst: &mut [Cplx], scratch: &mut Scratch) {
         let c = self.codelet.size();
         scratch.gather.resize(c, Cplx::ZERO);
         scratch.result.resize(c, Cplx::ZERO);
@@ -157,20 +155,18 @@ impl KernelStage {
                 }
                 (Some(m), None) => {
                     for t in 0..c {
-                        scratch.gather[t] =
-                            get(m[in_base + t * self.in_t_stride] as usize);
+                        scratch.gather[t] = get(m[in_base + t * self.in_t_stride] as usize);
                     }
                 }
                 (None, Some(w)) => {
                     for t in 0..c {
-                        scratch.gather[t] =
-                            get(in_base + t * self.in_t_stride) * w[flat * c + t];
+                        scratch.gather[t] = get(in_base + t * self.in_t_stride) * w[flat * c + t];
                     }
                 }
                 (Some(m), Some(w)) => {
                     for t in 0..c {
-                        scratch.gather[t] = get(m[in_base + t * self.in_t_stride] as usize)
-                            * w[flat * c + t];
+                        scratch.gather[t] =
+                            get(m[in_base + t * self.in_t_stride] as usize) * w[flat * c + t];
                     }
                 }
             }
@@ -185,14 +181,12 @@ impl KernelStage {
                 }
                 (Some(m), None) => {
                     for t in 0..c {
-                        dst[m[out_base + t * self.out_t_stride] as usize] =
-                            scratch.result[t];
+                        dst[m[out_base + t * self.out_t_stride] as usize] = scratch.result[t];
                     }
                 }
                 (None, Some(w)) => {
                     for t in 0..c {
-                        dst[out_base + t * self.out_t_stride] =
-                            scratch.result[t] * w[flat * c + t];
+                        dst[out_base + t * self.out_t_stride] = scratch.result[t] * w[flat * c + t];
                     }
                 }
                 (Some(m), Some(w)) => {
@@ -379,7 +373,10 @@ pub struct LocalProgram {
 impl LocalProgram {
     /// The empty (identity) program.
     pub fn identity(dim: usize) -> LocalProgram {
-        LocalProgram { dim, stages: Vec::new() }
+        LocalProgram {
+            dim,
+            stages: Vec::new(),
+        }
     }
 
     /// Total real flops of one execution.
@@ -414,7 +411,7 @@ impl LocalProgram {
         let tmp = &mut tmp[..self.dim];
         // Targets alternate so that stage L-1 writes `dst`.
         for (k, stage) in self.stages.iter().enumerate() {
-            let to_dst = (l - 1 - k) % 2 == 0;
+            let to_dst = (l - 1 - k).is_multiple_of(2);
             match (k == 0, to_dst) {
                 (true, true) => stage.apply_view(src, dst, scratch),
                 (true, false) => stage.apply_view(src, tmp, scratch),
@@ -441,7 +438,9 @@ mod tests {
     use spiral_spl::perm::Perm;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64 + 1.0, -(k as f64))).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64 + 1.0, -(k as f64)))
+            .collect()
     }
 
     #[test]
@@ -459,16 +458,18 @@ mod tests {
     fn block_loop_matches_i_tensor_a() {
         // I_3 ⊗ F_2: 3 contiguous blocks.
         let mut stage = KernelStage::unit(Codelet::F2);
-        stage.loops.push(LoopDim { count: 3, in_stride: 2, out_stride: 2 });
+        stage.loops.push(LoopDim {
+            count: 3,
+            in_stride: 2,
+            out_stride: 2,
+        });
         assert_eq!(stage.span(), 6);
         let x = ramp(6);
         let mut y = vec![Cplx::ZERO; 6];
         stage.apply(&x, &mut y, &mut Scratch::default());
-        let want = spiral_spl::builder::tensor(
-            spiral_spl::builder::i(3),
-            spiral_spl::builder::f2(),
-        )
-        .eval(&x);
+        let want =
+            spiral_spl::builder::tensor(spiral_spl::builder::i(3), spiral_spl::builder::f2())
+                .eval(&x);
         assert_slices_close(&y, &want, 1e-12);
     }
 
@@ -478,15 +479,17 @@ mod tests {
         let mut stage = KernelStage::unit(Codelet::F2);
         stage.in_t_stride = 3;
         stage.out_t_stride = 3;
-        stage.loops.push(LoopDim { count: 3, in_stride: 1, out_stride: 1 });
+        stage.loops.push(LoopDim {
+            count: 3,
+            in_stride: 1,
+            out_stride: 1,
+        });
         let x = ramp(6);
         let mut y = vec![Cplx::ZERO; 6];
         stage.apply(&x, &mut y, &mut Scratch::default());
-        let want = spiral_spl::builder::tensor(
-            spiral_spl::builder::f2(),
-            spiral_spl::builder::i(3),
-        )
-        .eval(&x);
+        let want =
+            spiral_spl::builder::tensor(spiral_spl::builder::f2(), spiral_spl::builder::i(3))
+                .eval(&x);
         assert_slices_close(&y, &want, 1e-12);
     }
 
@@ -496,7 +499,11 @@ mod tests {
         let l = Perm::stride(4, 2);
         let table: Arc<Vec<u32>> = Arc::new(l.table().iter().map(|&v| v as u32).collect());
         let mut stage = KernelStage::unit(Codelet::F2);
-        stage.loops.push(LoopDim { count: 2, in_stride: 2, out_stride: 2 });
+        stage.loops.push(LoopDim {
+            count: 2,
+            in_stride: 2,
+            out_stride: 2,
+        });
         stage.in_map = Some(table);
         let x = ramp(4);
         let mut y = vec![Cplx::ZERO; 4];
@@ -514,7 +521,11 @@ mod tests {
         // (I_2 ⊗ F_2) · diag(w): twiddle applied on load.
         let w: Vec<Cplx> = (0..4).map(|k| Cplx::cis(0.3 * k as f64)).collect();
         let mut stage = KernelStage::unit(Codelet::F2);
-        stage.loops.push(LoopDim { count: 2, in_stride: 2, out_stride: 2 });
+        stage.loops.push(LoopDim {
+            count: 2,
+            in_stride: 2,
+            out_stride: 2,
+        });
         stage.twiddle = Some(Arc::new(w.clone()));
         let x = ramp(4);
         let mut y = vec![Cplx::ZERO; 4];
@@ -530,8 +541,7 @@ mod tests {
     #[test]
     fn permute_and_scale_stages() {
         let perm = Perm::stride(6, 2);
-        let table: Arc<Vec<u32>> =
-            Arc::new(perm.table().iter().map(|&v| v as u32).collect());
+        let table: Arc<Vec<u32>> = Arc::new(perm.table().iter().map(|&v| v as u32).collect());
         let x = ramp(6);
         let mut y = vec![Cplx::ZERO; 6];
         LocalStage::Permute(table).apply(&x, &mut y, &mut Scratch::default());
@@ -551,7 +561,11 @@ mod tests {
         // Four F2-block stages compose: (I2⊗F2)^4 = 4·(I2⊗I2)... i.e.
         // applying the same stage repeatedly; check against formula eval.
         let mut stage = KernelStage::unit(Codelet::F2);
-        stage.loops.push(LoopDim { count: 2, in_stride: 2, out_stride: 2 });
+        stage.loops.push(LoopDim {
+            count: 2,
+            in_stride: 2,
+            out_stride: 2,
+        });
         for len in 1..=4 {
             let prog = LocalProgram {
                 dim: 4,
@@ -559,10 +573,8 @@ mod tests {
             };
             let x = ramp(4);
             let got = prog.eval(&x);
-            let f = spiral_spl::builder::tensor(
-                spiral_spl::builder::i(2),
-                spiral_spl::builder::f2(),
-            );
+            let f =
+                spiral_spl::builder::tensor(spiral_spl::builder::i(2), spiral_spl::builder::f2());
             let mut want = x.clone();
             for _ in 0..len {
                 want = f.eval(&want);
@@ -582,7 +594,11 @@ mod tests {
     #[test]
     fn trace_covers_all_outputs_once() {
         let mut stage = KernelStage::unit(Codelet::F2);
-        stage.loops.push(LoopDim { count: 4, in_stride: 2, out_stride: 2 });
+        stage.loops.push(LoopDim {
+            count: 4,
+            in_stride: 2,
+            out_stride: 2,
+        });
         let mut writes = vec![0usize; 8];
         let mut reads = vec![0usize; 8];
         stage.trace(|is_write, idx| {
@@ -599,7 +615,11 @@ mod tests {
     #[test]
     fn flop_accounting() {
         let mut stage = KernelStage::unit(Codelet::F2);
-        stage.loops.push(LoopDim { count: 4, in_stride: 2, out_stride: 2 });
+        stage.loops.push(LoopDim {
+            count: 4,
+            in_stride: 2,
+            out_stride: 2,
+        });
         assert_eq!(stage.flops(), 16);
         let mut with_tw = stage.clone();
         with_tw.twiddle = Some(Arc::new(vec![Cplx::ONE; 8]));

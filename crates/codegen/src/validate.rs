@@ -1,0 +1,31 @@
+//! Plan-validator registry.
+//!
+//! The parallel executor's `unsafe` shared-buffer access is sound only
+//! for plans whose steps write thread-disjoint, in-bounds index sets.
+//! That property is checked statically by the `spiral-verify` crate,
+//! which sits *above* this one in the dependency graph — so the check is
+//! wired in through this registry instead of a direct call: a downstream
+//! crate installs a validator once (e.g.
+//! `spiral_verify::install_executor_guard()`), and debug builds of
+//! [`crate::ParallelExecutor`] then run it on every plan before touching
+//! the shared buffers.
+
+use crate::plan::Plan;
+use std::sync::OnceLock;
+
+/// A plan validator: `Err(description)` when `plan` violates the
+/// executor's soundness contract (races or out-of-bounds accesses).
+pub type PlanValidator = fn(&Plan) -> Result<(), String>;
+
+static VALIDATOR: OnceLock<PlanValidator> = OnceLock::new();
+
+/// Install the process-wide plan validator. The first installation wins;
+/// later calls are ignored (the registry is write-once).
+pub fn install_validator(v: PlanValidator) {
+    let _ = VALIDATOR.set(v);
+}
+
+/// The installed validator, if any.
+pub fn validator() -> Option<PlanValidator> {
+    VALIDATOR.get().copied()
+}

@@ -54,7 +54,12 @@ int main(void) {{
         .write_all(main.as_bytes())
         .unwrap();
     let mut cmd = Command::new("cc");
-    cmd.arg("-O2").arg("-o").arg(&exe).arg(&src).arg(&main_c).arg("-lm");
+    cmd.arg("-O2")
+        .arg("-o")
+        .arg(&exe)
+        .arg(&src)
+        .arg(&main_c)
+        .arg("-lm");
     match flavor {
         CFlavor::OpenMp => {
             cmd.arg("-fopenmp");
@@ -70,7 +75,9 @@ int main(void) {{
         String::from_utf8_lossy(&out.stderr),
         &code[..code.len().min(4000)]
     );
-    let run = Command::new(&exe).output().expect("running emitted binary failed");
+    let run = Command::new(&exe)
+        .output()
+        .expect("running emitted binary failed");
     assert!(run.status.success(), "emitted binary crashed");
     let text = String::from_utf8_lossy(&run.stdout);
     let vals: Vec<Cplx> = text

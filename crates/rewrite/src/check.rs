@@ -95,7 +95,11 @@ pub fn check_fully_optimized(f: &Spl, p: usize, mu: usize) -> Result<(), Violati
                 return Err(Violation::UnequalBlocks(f.to_string()));
             }
             if d0 % mu != 0 {
-                return Err(Violation::Misaligned { dim: d0, mu, at: f.to_string() });
+                return Err(Violation::Misaligned {
+                    dim: d0,
+                    mu,
+                    at: f.to_string(),
+                });
             }
             Ok(())
         }
@@ -103,7 +107,11 @@ pub fn check_fully_optimized(f: &Spl, p: usize, mu: usize) -> Result<(), Violati
             if *m == mu {
                 Ok(())
             } else {
-                Err(Violation::WrongWidth { found: *m, want: mu, at: f.to_string() })
+                Err(Violation::WrongWidth {
+                    found: *m,
+                    want: mu,
+                    at: f.to_string(),
+                })
             }
         }
         // Identities do no computation and touch no memory exclusively.
@@ -204,18 +212,8 @@ mod tests {
         let p = 2;
         let mu = 4;
         assert!(check_fully_optimized(&tensor_par(2, dft(8)), p, mu).is_ok());
-        assert!(check_fully_optimized(
-            &dsum_par(vec![dft(8), dft(8)]),
-            p,
-            mu
-        )
-        .is_ok());
-        assert!(check_fully_optimized(
-            &perm_bar(Perm::stride(4, 2), 4),
-            p,
-            mu
-        )
-        .is_ok());
+        assert!(check_fully_optimized(&dsum_par(vec![dft(8), dft(8)]), p, mu).is_ok());
+        assert!(check_fully_optimized(&perm_bar(Perm::stride(4, 2), 4), p, mu).is_ok());
         // Products and I_m ⊗ (…) of those.
         let f = compose(vec![
             tensor(i(4), tensor_par(2, dft(8))),
@@ -240,7 +238,11 @@ mod tests {
     fn rejects_wrong_width_and_misalignment() {
         assert!(matches!(
             check_fully_optimized(&tensor_par(4, dft(8)), 2, 4),
-            Err(Violation::WrongWidth { found: 4, want: 2, .. })
+            Err(Violation::WrongWidth {
+                found: 4,
+                want: 2,
+                ..
+            })
         ));
         // Block of dim 6 with µ=4: cache line would straddle processors.
         assert!(matches!(

@@ -57,7 +57,7 @@ pub fn default_split(n: usize, p: usize, mu: usize) -> Option<usize> {
     let pmu = p * mu;
     divisors(n)
         .into_iter()
-        .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m) % pmu == 0)
+        .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m).is_multiple_of(pmu))
         .min_by_key(|&m| {
             let k = n / m;
             (m as i64 - k as i64).unsigned_abs()
@@ -79,14 +79,17 @@ pub fn multicore_dft(
     assert!(p >= 1 && mu >= 1);
     if p == 1 {
         // Single processor: no parallelization; return DFT_n unchanged.
-        return Ok(Rewritten { formula: dft(n), trace: vec![] });
+        return Ok(Rewritten {
+            formula: dft(n),
+            trace: vec![],
+        });
     }
     let m = split
         .or_else(|| default_split(n, p, mu))
         .ok_or(DeriveError::NoValidSplit { n, p, mu })?;
     let k = n / m;
     let pmu = p * mu;
-    if m % pmu != 0 || k % pmu != 0 {
+    if m % pmu != 0 || !k.is_multiple_of(pmu) {
         return Err(DeriveError::NoValidSplit { n, p, mu });
     }
     let tagged = smp(p, mu, cooley_tukey(m, k));
@@ -99,7 +102,10 @@ pub fn multicore_dft(
 /// hand. Used to cross-check that the rewriting system derives exactly
 /// this structure. Requires `pµ | m` and `pµ | n`.
 pub fn formula_14(m: usize, n: usize, p: usize, mu: usize) -> Spl {
-    assert!(m % (p * mu) == 0 && n % (p * mu) == 0, "need pµ|m and pµ|n");
+    assert!(
+        m.is_multiple_of(p * mu) && n.is_multiple_of(p * mu),
+        "need pµ|m and pµ|n"
+    );
     let bar = |perm: Perm, blocks: usize| -> Spl {
         let q = if blocks == 1 {
             perm
@@ -194,7 +200,12 @@ mod tests {
 
     #[test]
     fn derivation_is_correct_fft() {
-        for (n, p, mu) in [(64usize, 2usize, 4usize), (64, 4, 2), (256, 2, 4), (256, 4, 2)] {
+        for (n, p, mu) in [
+            (64usize, 2usize, 4usize),
+            (64, 4, 2),
+            (256, 2, 4),
+            (256, 4, 2),
+        ] {
             let r = multicore_dft(n, p, mu, None).unwrap();
             assert_formula_eq(&dft(n), &r.formula, 1e-7);
         }
@@ -202,14 +213,23 @@ mod tests {
 
     #[test]
     fn formula_14_is_correct_fft() {
-        for (m, n, p, mu) in [(8usize, 8usize, 2usize, 4usize), (8, 8, 4, 2), (16, 8, 2, 4)] {
+        for (m, n, p, mu) in [
+            (8usize, 8usize, 2usize, 4usize),
+            (8, 8, 4, 2),
+            (16, 8, 2, 4),
+        ] {
             assert_formula_eq(&dft(m * n), &formula_14(m, n, p, mu), 1e-7);
         }
     }
 
     #[test]
     fn derived_formula_is_fully_optimized() {
-        for (n, p, mu) in [(64usize, 2usize, 4usize), (256, 4, 2), (1024, 2, 4), (4096, 4, 4)] {
+        for (n, p, mu) in [
+            (64usize, 2usize, 4usize),
+            (256, 4, 2),
+            (1024, 2, 4),
+            (4096, 4, 4),
+        ] {
             let r = multicore_dft(n, p, mu, None).unwrap();
             check_fully_optimized(&r.formula, p, mu)
                 .unwrap_or_else(|v| panic!("N={n} p={p} µ={mu}: {v}"));
@@ -254,7 +274,10 @@ mod tests {
         // After expansion, no DFT larger than max_leaf remains.
         fn max_dft(f: &Spl) -> usize {
             let own = if let Spl::Dft(k) = f { *k } else { 0 };
-            f.children().iter().map(|c| max_dft(c)).fold(own, usize::max)
+            f.children()
+                .iter()
+                .map(|c| max_dft(c))
+                .fold(own, usize::max)
         }
         assert!(max_dft(&f) <= 4, "{f}");
     }
@@ -277,7 +300,11 @@ mod tests {
     #[test]
     fn trace_is_nonempty_and_explains() {
         let r = multicore_dft(64, 2, 4, None).unwrap();
-        assert!(r.trace.len() >= 8, "expected a real derivation, got {}", r.trace.len());
+        assert!(
+            r.trace.len() >= 8,
+            "expected a real derivation, got {}",
+            r.trace.len()
+        );
         // The derivation must use every rule class of Table 1.
         let all: String = r.trace.iter().map(|s| s.rule).collect::<Vec<_>>().join(";");
         for tag in ["(6)", "(7)", "(8", "(9)", "(10)", "(11)"] {

@@ -31,10 +31,17 @@ pub fn multicore_dft2d(
     mu: usize,
 ) -> Result<Rewritten, DeriveError> {
     if p == 1 {
-        return Ok(Rewritten { formula: dft2d(rows, cols), trace: vec![] });
+        return Ok(Rewritten {
+            formula: dft2d(rows, cols),
+            trace: vec![],
+        });
     }
-    if rows % p != 0 || cols % (p * mu) != 0 {
-        return Err(DeriveError::NoValidSplit { n: rows * cols, p, mu });
+    if !rows.is_multiple_of(p) || !cols.is_multiple_of(p * mu) {
+        return Err(DeriveError::NoValidSplit {
+            n: rows * cols,
+            p,
+            mu,
+        });
     }
     let tagged = smp(p, mu, dft2d(rows, cols));
     let rewritten = parallelize(&tagged).map_err(DeriveError::Rewrite)?;
@@ -52,8 +59,7 @@ pub fn multicore_dft2d_expanded(
     max_leaf: usize,
 ) -> Result<Spl, DeriveError> {
     let r = multicore_dft2d(rows, cols, p, mu)?;
-    Ok(crate::derive::expand_dfts(&r.formula, &|k| RuleTree::balanced(k, max_leaf))
-        .normalized())
+    Ok(crate::derive::expand_dfts(&r.formula, &|k| RuleTree::balanced(k, max_leaf)).normalized())
 }
 
 #[cfg(test)]
@@ -63,7 +69,9 @@ mod tests {
     use spiral_spl::matrix::assert_formula_eq;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(0.3 * k as f64, 1.0 - 0.2 * k as f64)).collect()
+        (0..n)
+            .map(|k| Cplx::new(0.3 * k as f64, 1.0 - 0.2 * k as f64))
+            .collect()
     }
 
     /// Reference 2-D DFT: transform columns then rows (naively).
@@ -72,7 +80,11 @@ mod tests {
         // Rows first (contiguous), then columns.
         let mut mid = vec![Cplx::ZERO; rows * cols];
         for r in 0..rows {
-            naive_dft(cols, &x[r * cols..(r + 1) * cols], &mut mid[r * cols..(r + 1) * cols]);
+            naive_dft(
+                cols,
+                &x[r * cols..(r + 1) * cols],
+                &mut mid[r * cols..(r + 1) * cols],
+            );
         }
         let mut out = vec![Cplx::ZERO; rows * cols];
         let mut col_in = vec![Cplx::ZERO; rows];
@@ -101,7 +113,11 @@ mod tests {
 
     #[test]
     fn parallel_2d_matches_sequential() {
-        for (r, c, p, mu) in [(8usize, 16usize, 2usize, 4usize), (16, 16, 4, 2), (4, 32, 2, 4)] {
+        for (r, c, p, mu) in [
+            (8usize, 16usize, 2usize, 4usize),
+            (16, 16, 4, 2),
+            (4, 32, 2, 4),
+        ] {
             let derived = multicore_dft2d(r, c, p, mu)
                 .unwrap_or_else(|e| panic!("{r}x{c} p={p} µ={mu}: {e}"));
             assert_formula_eq(&dft2d(r, c), &derived.formula, 1e-8);
@@ -134,7 +150,12 @@ mod tests {
     #[test]
     fn trace_uses_rules_7_and_9() {
         let derived = multicore_dft2d(8, 16, 2, 4).unwrap();
-        let rules: String = derived.trace.iter().map(|s| s.rule).collect::<Vec<_>>().join(";");
+        let rules: String = derived
+            .trace
+            .iter()
+            .map(|s| s.rule)
+            .collect::<Vec<_>>()
+            .join(";");
         assert!(rules.contains("(7)"), "{rules}");
         assert!(rules.contains("(9)"), "{rules}");
         assert!(rules.contains("(10)"), "{rules}");

@@ -27,18 +27,18 @@
 #![warn(missing_docs)]
 
 pub mod check;
-pub mod dft2d;
 pub mod derive;
+pub mod dft2d;
 pub mod ruletree;
 pub mod smp_rules;
 pub mod wht;
 
-pub use dft2d::{dft2d, multicore_dft2d, multicore_dft2d_expanded};
 pub use check::{check_fully_optimized, load_balance_ratio, Violation};
 pub use derive::{
-    default_split, expand_dfts, formula_14, multicore_dft, multicore_dft_expanded,
-    sequential_dft, DeriveError,
+    default_split, expand_dfts, formula_14, multicore_dft, multicore_dft_expanded, sequential_dft,
+    DeriveError,
 };
+pub use dft2d::{dft2d, multicore_dft2d, multicore_dft2d_expanded};
 pub use ruletree::RuleTree;
-pub use wht::{multicore_wht, reference_wht, wht};
 pub use smp_rules::{parallelize, RewriteError, RewriteStep, Rewritten};
+pub use wht::{multicore_wht, reference_wht, wht};

@@ -70,7 +70,7 @@ impl RuleTree {
     /// leaf at the end.
     pub fn right_radix(n: usize, r: usize) -> RuleTree {
         assert!(n >= 2 && r >= 2);
-        if n % r == 0 && n / r > 1 {
+        if n.is_multiple_of(r) && n / r > 1 {
             RuleTree::Ct(
                 Box::new(RuleTree::Leaf(r)),
                 Box::new(RuleTree::right_radix(n / r, r)),
@@ -167,7 +167,9 @@ mod tests {
     use spiral_spl::cplx::{assert_slices_close, Cplx};
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64, 1.0 - k as f64 * 0.25)).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64, 1.0 - k as f64 * 0.25))
+            .collect()
     }
 
     #[test]

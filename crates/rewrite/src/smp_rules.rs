@@ -71,7 +71,12 @@ pub fn parallelize(f: &Spl) -> Result<Rewritten, RewriteError> {
     for _ in 0..MAX_STEPS {
         match rewrite_first_tag(&cur, &mut trace)? {
             Some(next) => cur = next.normalized(),
-            None => return Ok(Rewritten { formula: cur, trace }),
+            None => {
+                return Ok(Rewritten {
+                    formula: cur,
+                    trace,
+                })
+            }
         }
     }
     Err(RewriteError::TooManySteps(MAX_STEPS))
@@ -79,13 +84,12 @@ pub fn parallelize(f: &Spl) -> Result<Rewritten, RewriteError> {
 
 /// Find the leftmost-outermost `smp` tag and apply one rule to it.
 /// Returns `None` when no tags remain.
-fn rewrite_first_tag(
-    f: &Spl,
-    trace: &mut Vec<RewriteStep>,
-) -> Result<Option<Spl>, RewriteError> {
+fn rewrite_first_tag(f: &Spl, trace: &mut Vec<RewriteStep>) -> Result<Option<Spl>, RewriteError> {
     if let Spl::Smp { p, mu, a } = f {
-        let (name, replacement) = apply_rule(*p, *mu, a).ok_or_else(|| {
-            RewriteError::Stuck { subformula: a.to_string(), p: *p, mu: *mu }
+        let (name, replacement) = apply_rule(*p, *mu, a).ok_or_else(|| RewriteError::Stuck {
+            subformula: a.to_string(),
+            p: *p,
+            mu: *mu,
         })?;
         trace.push(RewriteStep {
             rule: name,
@@ -125,9 +129,7 @@ fn rewrite_first_tag(
 fn apply_rule(p: usize, mu: usize, a: &Spl) -> Option<(&'static str, Spl)> {
     match a {
         // Trivial: identity splits into p blocks directly.
-        Spl::I(n) if n % p == 0 => {
-            Some(("(id) I_n -> Ip (x)|| I_{n/p}", tensor_par(p, i(n / p))))
-        }
+        Spl::I(n) if n % p == 0 => Some(("(id) I_n -> Ip (x)|| I_{n/p}", tensor_par(p, i(n / p)))),
 
         // Rule (6): AB -> smp[A] smp[B] (factor-wise rewriting).
         Spl::Compose(fs) => Some((
@@ -166,16 +168,17 @@ fn apply_rule(p: usize, mu: usize, a: &Spl) -> Option<(&'static str, Spl)> {
             } else if mu == 1 {
                 // With single-element cache lines any permutation moves
                 // whole lines; P ⊗̄ I_1 = P.
-                Some(("(10') bare perm, µ=1", perm_bar(Perm::Stride { mn: *mn, m: *m }, 1)))
+                Some((
+                    "(10') bare perm, µ=1",
+                    perm_bar(Perm::Stride { mn: *mn, m: *m }, 1),
+                ))
             } else {
                 None
             }
         }
 
         // Other bare permutations: only line-granular with µ = 1.
-        Spl::Perm(q) if mu == 1 => {
-            Some(("(10') bare perm, µ=1", perm_bar(q.clone(), 1)))
-        }
+        Spl::Perm(q) if mu == 1 => Some(("(10') bare perm, µ=1", perm_bar(q.clone(), 1))),
 
         // Rule (9): I_m ⊗ A_n -> I_p ⊗∥ (I_{m/p} ⊗ A_n), requires p | m.
         Spl::Tensor(l, r) => {
@@ -209,7 +212,11 @@ fn apply_rule(p: usize, mu: usize, a: &Spl) -> Option<(&'static str, Spl)> {
                         "(7) A(x)I tiling",
                         compose(vec![
                             smp(p, mu, tensor(stride(m * p, m), i(q)).normalized()),
-                            smp(p, mu, tensor(i(p), tensor((**l).clone(), i(q)).normalized())),
+                            smp(
+                                p,
+                                mu,
+                                tensor(i(p), tensor((**l).clone(), i(q)).normalized()),
+                            ),
                             smp(p, mu, tensor(stride(m * p, p), i(q)).normalized()),
                         ]),
                     ));
@@ -240,7 +247,13 @@ fn apply_rule(p: usize, mu: usize, a: &Spl) -> Option<(&'static str, Spl)> {
             let per = fs.len() / p;
             let groups: Vec<Spl> = fs
                 .chunks(per)
-                .map(|c| if c.len() == 1 { c[0].clone() } else { dsum(c.to_vec()) })
+                .map(|c| {
+                    if c.len() == 1 {
+                        c[0].clone()
+                    } else {
+                        dsum(c.to_vec())
+                    }
+                })
                 .collect();
             Some(("(dsum) group summands", dsum_par(groups)))
         }
@@ -369,10 +382,7 @@ mod tests {
     #[test]
     fn nested_tags_in_larger_formula() {
         // Tag only part of a formula; the rest stays sequential.
-        let f = compose(vec![
-            tensor(i(2), dft(4)),
-            smp(2, 2, stride(8, 2)),
-        ]);
+        let f = compose(vec![tensor(i(2), dft(4)), smp(2, 2, stride(8, 2))]);
         let g = parallelize_ok(&f);
         assert_formula_eq(&compose(vec![tensor(i(2), dft(4)), stride(8, 2)]), &g, 1e-9);
     }

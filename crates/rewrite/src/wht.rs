@@ -39,7 +39,10 @@ pub fn multicore_wht(k: u32, p: usize, mu: usize) -> Result<Rewritten, DeriveErr
     assert!(k >= 1);
     let n = 1usize << k;
     if p == 1 {
-        return Ok(Rewritten { formula: wht(k), trace: vec![] });
+        return Ok(Rewritten {
+            formula: wht(k),
+            trace: vec![],
+        });
     }
     // Balanced split with the divisibility conditions of rules (7)/(9).
     let split = (1..k)
@@ -93,7 +96,9 @@ mod tests {
     use spiral_spl::matrix::assert_formula_eq;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|j| Cplx::new(j as f64 - 1.5, 0.5 * j as f64)).collect()
+        (0..n)
+            .map(|j| Cplx::new(j as f64 - 1.5, 0.5 * j as f64))
+            .collect()
     }
 
     #[test]
@@ -120,8 +125,7 @@ mod tests {
     #[test]
     fn parallel_wht_matches_and_verifies() {
         for (k, p, mu) in [(6u32, 2usize, 4usize), (8, 2, 4), (8, 4, 2), (10, 4, 4)] {
-            let r = multicore_wht(k, p, mu)
-                .unwrap_or_else(|e| panic!("k={k} p={p} µ={mu}: {e}"));
+            let r = multicore_wht(k, p, mu).unwrap_or_else(|e| panic!("k={k} p={p} µ={mu}: {e}"));
             assert_formula_eq(&wht(k), &r.formula, 1e-9);
             check_fully_optimized(&r.formula, p, mu).unwrap();
         }
@@ -135,9 +139,8 @@ mod tests {
             pub use spiral_spl::cplx::assert_slices_close;
         }
         let r = multicore_wht(8, 2, 4).unwrap();
-        let expanded = crate::derive::expand_dfts(&r.formula, &|k| {
-            crate::ruletree::RuleTree::balanced(k, 8)
-        });
+        let expanded =
+            crate::derive::expand_dfts(&r.formula, &|k| crate::ruletree::RuleTree::balanced(k, 8));
         // WHT formulas contain no DFT nonterminals — expansion is a no-op.
         assert_eq!(expanded.to_string(), r.formula.to_string());
         let x = ramp(256);

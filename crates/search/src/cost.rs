@@ -37,9 +37,7 @@ impl CostModel {
     pub fn cost(&self, plan: &Plan) -> f64 {
         match self {
             CostModel::Analytic => analytic_cost(plan),
-            CostModel::Sim { machine, warm } => {
-                simulate_plan(plan, machine, *warm).cycles
-            }
+            CostModel::Sim { machine, warm } => simulate_plan(plan, machine, *warm).cycles,
             CostModel::Host { reps, executor } => host_time(plan, *reps, executor.as_ref()),
         }
     }
@@ -66,7 +64,9 @@ fn analytic_cost(plan: &Plan) -> f64 {
 
 fn host_time(plan: &Plan, reps: usize, executor: Option<&ParallelExecutor>) -> f64 {
     let reps = reps.max(1);
-    let x: Vec<Cplx> = (0..plan.n).map(|k| Cplx::new(k as f64, -(k as f64))).collect();
+    let x: Vec<Cplx> = (0..plan.n)
+        .map(|k| Cplx::new(k as f64, -(k as f64)))
+        .collect();
     let mut best = f64::INFINITY;
     // Warm-up run.
     let _ = run_once(plan, &x, executor);
@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn sim_cost_is_deterministic() {
         let plan = Plan::from_formula(&sequential_dft(128, 8), 1, 4).unwrap();
-        let cm = CostModel::Sim { machine: spiral_sim::core_duo(), warm: true };
+        let cm = CostModel::Sim {
+            machine: spiral_sim::core_duo(),
+            warm: true,
+        };
         let a = cm.cost(&plan);
         let b = cm.cost(&plan);
         assert_eq!(a, b);
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn host_cost_runs() {
         let plan = Plan::from_formula(&sequential_dft(64, 8), 1, 4).unwrap();
-        let cm = CostModel::Host { reps: 2, executor: None };
+        let cm = CostModel::Host {
+            reps: 2,
+            executor: None,
+        };
         let c = cm.cost(&plan);
         assert!(c > 0.0 && c.is_finite());
     }

@@ -27,7 +27,11 @@ pub fn dp_search(n: usize, max_leaf: usize, mu: usize, model: &CostModel) -> Sea
     let mut memo: HashMap<usize, (RuleTree, f64)> = HashMap::new();
     let mut evaluated = 0usize;
     let (tree, cost) = best(n, max_leaf, mu, model, &mut memo, &mut evaluated);
-    SearchResult { tree, cost, evaluated }
+    SearchResult {
+        tree,
+        cost,
+        evaluated,
+    }
 }
 
 fn best(
@@ -57,7 +61,7 @@ fn best(
     for t in cands {
         if let Some(c) = model.cost_tree(&t, mu) {
             *evaluated += 1;
-            if bt.as_ref().map_or(true, |(_, bc)| c < *bc) {
+            if bt.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 bt = Some((t, c));
             }
         }
@@ -93,14 +97,18 @@ mod tests {
         use spiral_spl::cplx::assert_slices_close;
         let r = dp_search(48, 8, 4, &CostModel::Analytic);
         let f = r.tree.expand().normalized();
-        let x: Vec<spiral_spl::Cplx> =
-            (0..48).map(|k| spiral_spl::Cplx::new(k as f64, 1.0)).collect();
+        let x: Vec<spiral_spl::Cplx> = (0..48)
+            .map(|k| spiral_spl::Cplx::new(k as f64, 1.0))
+            .collect();
         assert_slices_close(&f.eval(&x), &spiral_spl::builder::dft(48).eval(&x), 1e-7);
     }
 
     #[test]
     fn dp_with_simulator_cost() {
-        let model = CostModel::Sim { machine: spiral_sim::core_duo(), warm: true };
+        let model = CostModel::Sim {
+            machine: spiral_sim::core_duo(),
+            warm: true,
+        };
         let r = dp_search(64, 8, 4, &model);
         assert_eq!(r.tree.size(), 64);
     }

@@ -66,8 +66,7 @@ pub fn evolve_search<R: Rng>(
     pop.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     for _gen in 0..opts.generations {
-        let mut next: Vec<(RuleTree, f64)> =
-            pop.iter().take(opts.elitism).cloned().collect();
+        let mut next: Vec<(RuleTree, f64)> = pop.iter().take(opts.elitism).cloned().collect();
         while next.len() < pop.len() {
             let p1 = tournament(&pop, opts.tournament, rng).clone();
             let mut child = if rng.gen_bool(opts.crossover_rate) {
@@ -86,7 +85,11 @@ pub fn evolve_search<R: Rng>(
         pop = next;
     }
     let (tree, cost) = pop.into_iter().next().unwrap();
-    SearchResult { tree, cost, evaluated }
+    SearchResult {
+        tree,
+        cost,
+        evaluated,
+    }
 }
 
 fn tournament<'a, R: Rng>(
@@ -118,8 +121,11 @@ pub fn crossover<R: Rng>(a: &RuleTree, b: &RuleTree, rng: &mut R) -> RuleTree {
     for _ in 0..8 {
         let target = rng.gen_range(0..count);
         if let Some(size) = nth_size(a, target) {
-            let donors: Vec<&RuleTree> =
-                sizes_b.iter().filter(|s| s.size() == size).cloned().collect();
+            let donors: Vec<&RuleTree> = sizes_b
+                .iter()
+                .filter(|s| s.size() == size)
+                .cloned()
+                .collect();
             if let Some(d) = donors.choose(rng) {
                 let donor = (*d).clone();
                 return replace_nth(a, target, &mut |_| donor.clone()).0;
@@ -213,7 +219,12 @@ mod tests {
         let first_cost = model.cost_tree(&first, 4).unwrap();
         let r = evolve_search(128, 8, 4, EvolveOpts::default(), &model, &mut rng);
         assert_eq!(r.tree.size(), 128);
-        assert!(r.cost <= first_cost, "GA {} vs random {}", r.cost, first_cost);
+        assert!(
+            r.cost <= first_cost,
+            "GA {} vs random {}",
+            r.cost,
+            first_cost
+        );
         assert!(r.evaluated >= 24);
     }
 
@@ -225,13 +236,18 @@ mod tests {
             64,
             8,
             4,
-            EvolveOpts { population: 8, generations: 4, ..Default::default() },
+            EvolveOpts {
+                population: 8,
+                generations: 4,
+                ..Default::default()
+            },
             &CostModel::Analytic,
             &mut rng,
         );
         let f = r.tree.expand().normalized();
-        let x: Vec<spiral_spl::Cplx> =
-            (0..64).map(|k| spiral_spl::Cplx::new(1.0, k as f64)).collect();
+        let x: Vec<spiral_spl::Cplx> = (0..64)
+            .map(|k| spiral_spl::Cplx::new(1.0, k as f64))
+            .collect();
         assert_slices_close(&f.eval(&x), &spiral_spl::builder::dft(64).eval(&x), 1e-7);
     }
 }

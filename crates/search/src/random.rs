@@ -38,13 +38,17 @@ pub fn random_search<R: Rng>(
         let t = random_tree(n, max_leaf, rng);
         if let Some(c) = model.cost_tree(&t, mu) {
             evaluated += 1;
-            if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 best = Some((t, c));
             }
         }
     }
     let (tree, cost) = best.expect("no valid random candidate");
-    SearchResult { tree, cost, evaluated }
+    SearchResult {
+        tree,
+        cost,
+        evaluated,
+    }
 }
 
 #[cfg(test)]

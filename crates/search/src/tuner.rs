@@ -37,15 +37,23 @@ pub struct Tuner {
 impl Tuner {
     /// Tuner for `p` processors and cache-line length `µ`.
     pub fn new(p: usize, mu: usize, model: CostModel) -> Tuner {
-        Tuner { p, mu, max_leaf: 8, model }
+        // Every plan the tuner measures or returns may be run on the
+        // parallel executor; arm its debug-build static verification.
+        spiral_verify::install_executor_guard();
+        Tuner {
+            p,
+            mu,
+            max_leaf: 8,
+            model,
+        }
     }
 
     /// Best sequential implementation of `DFT_n` (DP over rule trees).
     pub fn tune_sequential(&self, n: usize) -> Tuned {
         let r = dp_search(n, self.max_leaf, self.mu, &self.model);
         let formula = r.tree.expand().normalized();
-        let plan = Plan::from_formula(&formula, 1, self.mu)
-            .expect("sequential expansion always lowers");
+        let plan =
+            Plan::from_formula(&formula, 1, self.mu).expect("sequential expansion always lowers");
         Tuned {
             formula,
             cost: self.model.cost(&plan),
@@ -64,7 +72,7 @@ impl Tuner {
         let pmu = self.p * self.mu;
         let splits: Vec<usize> = divisors(n)
             .into_iter()
-            .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m) % pmu == 0)
+            .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m).is_multiple_of(pmu))
             .collect();
         if splits.is_empty() {
             return None;
@@ -92,8 +100,16 @@ impl Tuner {
                 Ok(p) => p.fuse_exchanges(),
                 Err(_) => continue,
             };
+            // Candidates that fail static verification (races, false
+            // sharing, out-of-bounds) never enter the search space: the
+            // analyzer enforces Definition 1 before any measurement.
+            if spiral_verify::verify_plan(&plan, &spiral_verify::VerifyOptions::default())
+                .has_errors()
+            {
+                continue;
+            }
             let cost = self.model.cost(&plan);
-            if best.as_ref().map_or(true, |b| cost < b.cost) {
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
                 best = Some(Tuned {
                     formula: expanded,
                     plan,
@@ -113,7 +129,9 @@ mod tests {
     use spiral_spl::Cplx;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64, 0.1 * k as f64)).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64, 0.1 * k as f64))
+            .collect()
     }
 
     #[test]
@@ -150,7 +168,10 @@ mod tests {
 
     #[test]
     fn parallel_tuning_with_simulator_picks_among_splits() {
-        let model = CostModel::Sim { machine: spiral_sim::core_duo(), warm: true };
+        let model = CostModel::Sim {
+            machine: spiral_sim::core_duo(),
+            warm: true,
+        };
         let t = Tuner::new(2, 4, model);
         let tuned = t.tune_parallel(1024).unwrap();
         assert!(tuned.choice.contains("multicore split"));
@@ -160,6 +181,21 @@ mod tests {
             &spiral_spl::builder::dft(1024).eval(&x),
             1e-5,
         );
+    }
+
+    #[test]
+    fn tuned_parallel_plans_verify_clean() {
+        for (n, p, mu) in [(256usize, 2usize, 4usize), (1024, 4, 4), (4096, 2, 8)] {
+            let t = Tuner::new(p, mu, CostModel::Analytic);
+            let tuned = t.tune_parallel(n).unwrap();
+            let report =
+                spiral_verify::verify_plan(&tuned.plan, &spiral_verify::VerifyOptions::default());
+            assert!(
+                report.is_clean(),
+                "n={n} p={p} µ={mu}: {:?}",
+                report.diagnostics
+            );
+        }
     }
 
     #[test]

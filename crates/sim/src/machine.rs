@@ -218,9 +218,7 @@ mod tests {
     #[test]
     fn cmp_machines_have_cheaper_coherence_than_bus_machines() {
         // The paper's central hardware observation.
-        assert!(
-            core_duo().costs.coherence_on_chip < pentium_d().costs.coherence_on_chip
-        );
+        assert!(core_duo().costs.coherence_on_chip < pentium_d().costs.coherence_on_chip);
         assert!(opteron().costs.coherence_on_chip < xeon_mp().costs.coherence_on_chip);
         assert!(core_duo().costs.barrier < pentium_d().costs.barrier);
     }

@@ -103,7 +103,12 @@ mod tests {
         let plan = parallel_plan(1024, 2); // 16 KiB working set: fits L1/L2
         let cold = simulate_plan(&plan, &spec, false);
         let warm = simulate_plan(&plan, &spec, true);
-        assert!(warm.cycles < cold.cycles, "warm {} vs cold {}", warm.cycles, cold.cycles);
+        assert!(
+            warm.cycles < cold.cycles,
+            "warm {} vs cold {}",
+            warm.cycles,
+            cold.cycles
+        );
     }
 
     #[test]

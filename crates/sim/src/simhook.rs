@@ -78,17 +78,23 @@ impl SmpSim {
         let mu = spec.mu();
         let l1_lines = spec.l1_bytes / spec.line_bytes;
         let l2_lines = spec.l2_bytes / spec.line_bytes;
-        let l1 = (0..spec.p).map(|_| Cache::new(l1_lines, spec.l1_assoc)).collect();
+        let l1 = (0..spec.p)
+            .map(|_| Cache::new(l1_lines, spec.l1_assoc))
+            .collect();
         let (l2, l2_of): (Vec<Cache>, Vec<usize>) = if spec.l2_shared {
             // One L2 per chip.
             let n_chips = spec.chip_of.iter().max().map_or(1, |&c| c + 1);
             (
-                (0..n_chips).map(|_| Cache::new(l2_lines, spec.l2_assoc)).collect(),
+                (0..n_chips)
+                    .map(|_| Cache::new(l2_lines, spec.l2_assoc))
+                    .collect(),
                 spec.chip_of.clone(),
             )
         } else {
             (
-                (0..spec.p).map(|_| Cache::new(l2_lines, spec.l2_assoc)).collect(),
+                (0..spec.p)
+                    .map(|_| Cache::new(l2_lines, spec.l2_assoc))
+                    .collect(),
                 (0..spec.p).collect(),
             )
         };
@@ -330,7 +336,10 @@ mod tests {
             }
         }
         // Same event counts, very different cycle costs.
-        assert_eq!(fast.stats.coherence_transfers, slow.stats.coherence_transfers);
+        assert_eq!(
+            fast.stats.coherence_transfers,
+            slow.stats.coherence_transfers
+        );
         assert!(slow.cycles() > 3.0 * fast.cycles());
     }
 

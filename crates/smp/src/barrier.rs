@@ -34,7 +34,11 @@ impl SpinBarrier {
     /// Barrier for `n` participants.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
-        SpinBarrier { n, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
     }
 }
 
@@ -51,7 +55,7 @@ impl Barrier for SpinBarrier {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
                 spins = spins.wrapping_add(1);
-                if spins % 1024 == 0 {
+                if spins.is_multiple_of(1024) {
                     // Be polite on oversubscribed machines.
                     std::thread::yield_now();
                 } else {
@@ -85,7 +89,10 @@ impl ParkBarrier {
         assert!(n > 0);
         ParkBarrier {
             n,
-            state: Mutex::new(ParkState { count: 0, generation: 0 }),
+            state: Mutex::new(ParkState {
+                count: 0,
+                generation: 0,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -102,10 +109,7 @@ impl Barrier for ParkBarrier {
             true
         } else {
             let gen = st.generation;
-            let _st = self
-                .cv
-                .wait_while(st, |s| s.generation == gen)
-                .unwrap();
+            let _st = self.cv.wait_while(st, |s| s.generation == gen).unwrap();
             false
         }
     }

@@ -46,7 +46,11 @@ impl Pool {
     pub fn new(p: usize) -> Pool {
         assert!(p >= 1, "pool needs at least one thread");
         let shared = Arc::new(Shared {
-            slot: Mutex::new(Slot { generation: 0, job: None, shutdown: false }),
+            slot: Mutex::new(Slot {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
             start: Condvar::new(),
             remaining: AtomicUsize::new(0),
             done_lock: Mutex::new(()),

@@ -13,9 +13,9 @@ pub fn processors() -> usize {
 pub fn cache_line_bytes() -> usize {
     #[cfg(target_os = "linux")]
     {
-        if let Ok(s) = std::fs::read_to_string(
-            "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size",
-        ) {
+        if let Ok(s) =
+            std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size")
+        {
             if let Ok(v) = s.trim().parse::<usize>() {
                 if v.is_power_of_two() && (16..=1024).contains(&v) {
                     return v;

@@ -85,12 +85,12 @@ impl Spl {
 pub fn naive_dft(n: usize, x: &[Cplx], y: &mut [Cplx]) {
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), n);
-    for k in 0..n {
+    for (k, yk) in y.iter_mut().enumerate() {
         let mut acc = Cplx::ZERO;
         for (l, &xl) in x.iter().enumerate() {
             acc = xl.mul_add(omega_pow2(n, k, l), acc);
         }
-        y[k] = acc;
+        *yk = acc;
     }
 }
 
@@ -100,7 +100,10 @@ fn apply_tensor(a: &Spl, b: &Spl, x: &[Cplx], y: &mut [Cplx]) {
         // I_m ⊗ B: contiguous blocks (paper §2.2: working set n, base += n).
         (true, _) => {
             for blk in 0..ma {
-                b.apply(&x[blk * nb..(blk + 1) * nb], &mut y[blk * nb..(blk + 1) * nb]);
+                b.apply(
+                    &x[blk * nb..(blk + 1) * nb],
+                    &mut y[blk * nb..(blk + 1) * nb],
+                );
             }
         }
         // A ⊗ I_n: interleaved working sets at stride n.
@@ -122,7 +125,10 @@ fn apply_tensor(a: &Spl, b: &Spl, x: &[Cplx], y: &mut [Cplx]) {
             let mid: Vec<Cplx> = {
                 let mut t = vec![Cplx::ZERO; ma * nb];
                 for blk in 0..ma {
-                    b.apply(&x[blk * nb..(blk + 1) * nb], &mut t[blk * nb..(blk + 1) * nb]);
+                    b.apply(
+                        &x[blk * nb..(blk + 1) * nb],
+                        &mut t[blk * nb..(blk + 1) * nb],
+                    );
                 }
                 t
             };
@@ -148,7 +154,9 @@ mod tests {
     use crate::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new(k as f64 + 1.0, -(k as f64) * 0.5)).collect()
+        (0..n)
+            .map(|k| Cplx::new(k as f64 + 1.0, -(k as f64) * 0.5))
+            .collect()
     }
 
     #[test]
@@ -169,14 +177,14 @@ mod tests {
         let ones = vec![Cplx::ONE; 4];
         let y = dft(4).eval(&ones);
         assert!(y[0].approx_eq(Cplx::real(4.0), 1e-12));
-        for k in 1..4 {
-            assert!(y[k].approx_eq(Cplx::ZERO, 1e-12));
+        for yk in &y[1..] {
+            assert!(yk.approx_eq(Cplx::ZERO, 1e-12));
         }
         let mut imp = vec![Cplx::ZERO; 4];
         imp[0] = Cplx::ONE;
         let y = dft(4).eval(&imp);
-        for k in 0..4 {
-            assert!(y[k].approx_eq(Cplx::ONE, 1e-12));
+        for yk in &y {
+            assert!(yk.approx_eq(Cplx::ONE, 1e-12));
         }
     }
 
@@ -192,7 +200,15 @@ mod tests {
 
     #[test]
     fn cooley_tukey_rule_1_matches_dft() {
-        for (m, n) in [(2usize, 2usize), (2, 4), (4, 2), (2, 3), (3, 2), (4, 4), (3, 5)] {
+        for (m, n) in [
+            (2usize, 2usize),
+            (2, 4),
+            (4, 2),
+            (2, 3),
+            (3, 2),
+            (4, 4),
+            (3, 5),
+        ] {
             let x = ramp(m * n);
             let lhs = dft(m * n).eval(&x);
             let rhs = cooley_tukey(m, n).eval(&x);
@@ -233,11 +249,7 @@ mod tests {
         let (m, n) = (3usize, 4usize);
         let x = ramp(m * n);
         let via_tensor = tensor(dft(m), dft(n)).eval(&x);
-        let via_stages = compose(vec![
-            tensor(dft(m), i(n)),
-            tensor(i(m), dft(n)),
-        ])
-        .eval(&x);
+        let via_stages = compose(vec![tensor(dft(m), i(n)), tensor(i(m), dft(n))]).eval(&x);
         assert_slices_close(&via_tensor, &via_stages, 1e-9);
     }
 

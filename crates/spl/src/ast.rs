@@ -103,9 +103,7 @@ impl Spl {
             Spl::Perm(p) => p.dim(),
             Spl::Compose(fs) => fs.first().map_or(0, |f| f.dim()),
             Spl::Tensor(a, b) => a.dim() * b.dim(),
-            Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => {
-                fs.iter().map(|f| f.dim()).sum()
-            }
+            Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => fs.iter().map(|f| f.dim()).sum(),
             Spl::TensorPar { p, a } => p * a.dim(),
             Spl::PermBar { perm, mu } => perm.dim() * mu,
             Spl::Smp { a, .. } => a.dim(),
@@ -141,12 +139,14 @@ impl Spl {
                 if fs.is_empty() {
                     return Err(SplError::Empty("composition"));
                 }
-                let dims: Result<Vec<usize>, _> =
-                    fs.iter().map(|f| f.validate()).collect();
+                let dims: Result<Vec<usize>, _> = fs.iter().map(|f| f.validate()).collect();
                 let dims = dims?;
                 for w in dims.windows(2) {
                     if w[0] != w[1] {
-                        return Err(SplError::ComposeDim { left: w[0], right: w[1] });
+                        return Err(SplError::ComposeDim {
+                            left: w[0],
+                            right: w[1],
+                        });
                     }
                 }
                 Ok(dims[0])
@@ -186,9 +186,7 @@ impl Spl {
     /// Immediate children, for generic traversals.
     pub fn children(&self) -> Vec<&Spl> {
         match self {
-            Spl::Compose(fs) | Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => {
-                fs.iter().collect()
-            }
+            Spl::Compose(fs) | Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => fs.iter().collect(),
             Spl::Tensor(a, b) => vec![a, b],
             Spl::TensorPar { a, .. } | Spl::Smp { a, .. } => vec![a],
             _ => vec![],
@@ -198,36 +196,41 @@ impl Spl {
     /// Rebuild this node with transformed children (bottom-up map helper).
     pub fn map_children(&self, f: &mut impl FnMut(&Spl) -> Spl) -> Spl {
         match self {
-            Spl::Compose(fs) => Spl::Compose(fs.iter().map(|x| f(x)).collect()),
-            Spl::DirectSum(fs) => Spl::DirectSum(fs.iter().map(|x| f(x)).collect()),
-            Spl::DirectSumPar(fs) => {
-                Spl::DirectSumPar(fs.iter().map(|x| f(x)).collect())
-            }
+            Spl::Compose(fs) => Spl::Compose(fs.iter().map(&mut *f).collect()),
+            Spl::DirectSum(fs) => Spl::DirectSum(fs.iter().map(&mut *f).collect()),
+            Spl::DirectSumPar(fs) => Spl::DirectSumPar(fs.iter().map(&mut *f).collect()),
             Spl::Tensor(a, b) => Spl::Tensor(Box::new(f(a)), Box::new(f(b))),
-            Spl::TensorPar { p, a } => Spl::TensorPar { p: *p, a: Box::new(f(a)) },
-            Spl::Smp { p, mu, a } => {
-                Spl::Smp { p: *p, mu: *mu, a: Box::new(f(a)) }
-            }
+            Spl::TensorPar { p, a } => Spl::TensorPar {
+                p: *p,
+                a: Box::new(f(a)),
+            },
+            Spl::Smp { p, mu, a } => Spl::Smp {
+                p: *p,
+                mu: *mu,
+                a: Box::new(f(a)),
+            },
             leaf => leaf.clone(),
         }
     }
 
     /// Number of nodes in the formula tree (Perm/Diag specs count as one).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// True if the formula contains an unexpanded `DFT_n` non-terminal.
     pub fn has_nonterminal(&self) -> bool {
-        matches!(self, Spl::Dft(_))
-            || self.children().iter().any(|c| c.has_nonterminal())
+        matches!(self, Spl::Dft(_)) || self.children().iter().any(|c| c.has_nonterminal())
     }
 
     /// True if the formula contains an `smp(p,µ)` tag (i.e. rewriting for
     /// shared memory is not finished).
     pub fn has_smp_tag(&self) -> bool {
-        matches!(self, Spl::Smp { .. })
-            || self.children().iter().any(|c| c.has_smp_tag())
+        matches!(self, Spl::Smp { .. }) || self.children().iter().any(|c| c.has_smp_tag())
     }
 
     /// If the formula denotes a permutation matrix built from the
@@ -238,12 +241,8 @@ impl Spl {
             Spl::I(n) => Some(Perm::Id(*n)),
             Spl::Perm(p) => Some(p.clone()),
             Spl::Tensor(a, b) => match (a.as_perm(), b.as_perm()) {
-                (Some(pa), Some(Perm::Id(r))) => {
-                    Some(Perm::TensorId(Box::new(pa), r))
-                }
-                (Some(Perm::Id(l)), Some(pb)) => {
-                    Some(Perm::IdTensor(l, Box::new(pb)))
-                }
+                (Some(pa), Some(Perm::Id(r))) => Some(Perm::TensorId(Box::new(pa), r)),
+                (Some(Perm::Id(l)), Some(pb)) => Some(Perm::IdTensor(l, Box::new(pb))),
                 // General perm ⊗ perm: (P ⊗ Q) = (P ⊗ I)(I ⊗ Q)
                 (Some(pa), Some(pb)) => {
                     let r = pb.dim();
@@ -255,9 +254,7 @@ impl Spl {
                 }
                 _ => None,
             },
-            Spl::PermBar { perm, mu } => {
-                Some(Perm::TensorId(Box::new(perm.clone()), *mu))
-            }
+            Spl::PermBar { perm, mu } => Some(Perm::TensorId(Box::new(perm.clone()), *mu)),
             Spl::Compose(fs) => {
                 let ps: Option<Vec<Perm>> = fs.iter().map(|f| f.as_perm()).collect();
                 ps.map(Perm::Compose)
@@ -364,7 +361,13 @@ mod tests {
         assert!(Spl::Compose(vec![]).validate().is_err());
         assert!(Spl::DirectSum(vec![]).validate().is_err());
         assert!(Spl::I(0).validate().is_err());
-        assert!(Spl::Smp { p: 0, mu: 4, a: Box::new(dft(4)) }.validate().is_err());
+        assert!(Spl::Smp {
+            p: 0,
+            mu: 4,
+            a: Box::new(dft(4))
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -388,9 +391,13 @@ mod tests {
         // A DFT is not
         assert!(dft(4).as_perm().is_none());
         // Composition of permutations is
-        assert!(compose(vec![stride(8, 2), stride(8, 4)]).as_perm().is_some());
+        assert!(compose(vec![stride(8, 2), stride(8, 4)])
+            .as_perm()
+            .is_some());
         // But a product containing a diag is not
-        assert!(compose(vec![stride(8, 2), twiddle(2, 4)]).as_perm().is_none());
+        assert!(compose(vec![stride(8, 2), twiddle(2, 4)])
+            .as_perm()
+            .is_none());
     }
 
     #[test]

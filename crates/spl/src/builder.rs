@@ -84,7 +84,11 @@ pub fn perm_bar(p: Perm, mu: usize) -> Spl {
 
 /// Rewriting tag `smp(p, µ)`.
 pub fn smp(p: usize, mu: usize, a: Spl) -> Spl {
-    Spl::Smp { p, mu, a: Box::new(a) }
+    Spl::Smp {
+        p,
+        mu,
+        a: Box::new(a),
+    }
 }
 
 /// The Cooley–Tukey right-hand side of rule (1):

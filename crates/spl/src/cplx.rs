@@ -48,7 +48,10 @@ impl Cplx {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Cplx { re: self.re, im: -self.im }
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -66,13 +69,19 @@ impl Cplx {
     /// Multiply by `i` (one rotation, no multiplications).
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        Cplx { re: -self.im, im: self.re }
+        Cplx {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiply by `-i`.
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        Cplx { re: self.im, im: -self.re }
+        Cplx {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Reciprocal `1/z`. Not hardened against overflow; inputs in FFT
@@ -80,7 +89,10 @@ impl Cplx {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Cplx { re: self.re / d, im: -self.im / d }
+        Cplx {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Fused `self * w + acc` convenience used by naive DFT kernels.
@@ -109,7 +121,10 @@ impl Add for Cplx {
     type Output = Cplx;
     #[inline(always)]
     fn add(self, rhs: Cplx) -> Cplx {
-        Cplx { re: self.re + rhs.re, im: self.im + rhs.im }
+        Cplx {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -117,7 +132,10 @@ impl Sub for Cplx {
     type Output = Cplx;
     #[inline(always)]
     fn sub(self, rhs: Cplx) -> Cplx {
-        Cplx { re: self.re - rhs.re, im: self.im - rhs.im }
+        Cplx {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -135,6 +153,7 @@ impl Mul for Cplx {
 impl Div for Cplx {
     type Output = Cplx;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
     fn div(self, rhs: Cplx) -> Cplx {
         self * rhs.recip()
     }
@@ -144,7 +163,10 @@ impl Neg for Cplx {
     type Output = Cplx;
     #[inline(always)]
     fn neg(self) -> Cplx {
-        Cplx { re: -self.re, im: -self.im }
+        Cplx {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -152,7 +174,10 @@ impl Mul<f64> for Cplx {
     type Output = Cplx;
     #[inline(always)]
     fn mul(self, rhs: f64) -> Cplx {
-        Cplx { re: self.re * rhs, im: self.im * rhs }
+        Cplx {
+            re: self.re * rhs,
+            im: self.im * rhs,
+        }
     }
 }
 
@@ -208,7 +233,13 @@ pub fn max_dist(a: &[Cplx], b: &[Cplx]) -> f64 {
 
 /// Assert two complex slices are equal within `tol`, with a useful message.
 pub fn assert_slices_close(a: &[Cplx], b: &[Cplx], tol: f64) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
         assert!(
             x.approx_eq(*y, tol),

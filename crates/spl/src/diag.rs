@@ -33,7 +33,12 @@ pub enum DiagSpec {
 impl DiagSpec {
     /// Full twiddle diagonal `T^{mn}_n` of the Cooley–Tukey rule.
     pub fn twiddle(m: usize, n: usize) -> Self {
-        DiagSpec::Twiddle { m, n, off: 0, len: m * n }
+        DiagSpec::Twiddle {
+            m,
+            n,
+            off: 0,
+            len: m * n,
+        }
     }
 
     /// Dimension (number of diagonal entries).
@@ -75,7 +80,10 @@ impl DiagSpec {
     /// `p | len`.
     pub fn split(&self, p: usize) -> Vec<DiagSpec> {
         let total = self.len();
-        assert!(p > 0 && total % p == 0, "diag split: {p} must divide {total}");
+        assert!(
+            p > 0 && total.is_multiple_of(p),
+            "diag split: {p} must divide {total}"
+        );
         let seg = total / p;
         (0..p)
             .map(|i| match self {
@@ -96,7 +104,7 @@ impl DiagSpec {
     pub fn scale(&self, data: &mut [Cplx]) {
         assert_eq!(data.len(), self.len(), "diag scale: dimension mismatch");
         for (k, z) in data.iter_mut().enumerate() {
-            *z = *z * self.entry(k);
+            *z *= self.entry(k);
         }
     }
 }

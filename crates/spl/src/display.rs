@@ -93,11 +93,17 @@ impl Spl {
             Spl::Tensor(a, b) => format!("({} ⊗ {})", a.pretty(), b.pretty()),
             Spl::DirectSum(fs) => format!(
                 "({})",
-                fs.iter().map(|x| x.pretty()).collect::<Vec<_>>().join(" ⊕ ")
+                fs.iter()
+                    .map(|x| x.pretty())
+                    .collect::<Vec<_>>()
+                    .join(" ⊕ ")
             ),
             Spl::DirectSumPar(fs) => format!(
                 "({})",
-                fs.iter().map(|x| x.pretty()).collect::<Vec<_>>().join(" ⊕∥ ")
+                fs.iter()
+                    .map(|x| x.pretty())
+                    .collect::<Vec<_>>()
+                    .join(" ⊕∥ ")
             ),
             Spl::TensorPar { p, a } => format!("(I{} ⊗∥ {})", sub(*p), a.pretty()),
             Spl::PermBar { perm, mu } => format!("({perm} ⊗̄ I{})", sub(*mu)),
@@ -152,7 +158,12 @@ mod tests {
     fn display_twiddle_segment() {
         use crate::ast::Spl;
         use crate::diag::DiagSpec;
-        let seg = Spl::Diag(DiagSpec::Twiddle { m: 2, n: 4, off: 4, len: 4 });
+        let seg = Spl::Diag(DiagSpec::Twiddle {
+            m: 2,
+            n: 4,
+            off: 4,
+            len: 4,
+        });
         assert_eq!(seg.to_string(), "T^8_4[4..8]");
     }
 

@@ -20,7 +20,11 @@ pub struct Mat {
 impl Mat {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Mat {
-        Mat { rows, cols, data: vec![Cplx::ZERO; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![Cplx::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -72,8 +76,7 @@ impl Mat {
                 let a = self[(r1, c1)];
                 for r2 in 0..other.rows {
                     for c2 in 0..other.cols {
-                        out[(r1 * other.rows + r2, c1 * other.cols + c2)] =
-                            a * other[(r2, c2)];
+                        out[(r1 * other.rows + r2, c1 * other.cols + c2)] = a * other[(r2, c2)];
                     }
                 }
             }
@@ -158,10 +161,19 @@ impl Spl {
 
 /// Assert two formulas denote the same matrix (strongest rule check).
 pub fn assert_formula_eq(a: &Spl, b: &Spl, tol: f64) {
-    assert_eq!(a.dim(), b.dim(), "formula dims differ: {} vs {}", a.dim(), b.dim());
+    assert_eq!(
+        a.dim(),
+        b.dim(),
+        "formula dims differ: {} vs {}",
+        a.dim(),
+        b.dim()
+    );
     let (ma, mb) = (a.to_matrix(), b.to_matrix());
     let d = ma.dist(&mb);
-    assert!(d <= tol, "formulas differ: max entry distance {d} > {tol}\n  lhs={a}\n  rhs={b}");
+    assert!(
+        d <= tol,
+        "formulas differ: max entry distance {d} > {tol}\n  lhs={a}\n  rhs={b}"
+    );
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ pub fn divisors(n: usize) -> Vec<usize> {
     let mut large = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);
@@ -79,9 +79,9 @@ pub fn factorize(mut n: usize) -> Vec<(usize, u32)> {
     let mut out = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             let mut e = 0;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 e += 1;
             }
@@ -129,7 +129,7 @@ mod tests {
             // ω^n = 1
             let mut z = Cplx::ONE;
             for _ in 0..n {
-                z = z * w;
+                z *= w;
             }
             assert!(z.approx_eq(Cplx::ONE, 1e-12), "n={n}: {z:?}");
         }

@@ -41,7 +41,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse an SPL formula from its ASCII syntax.
 pub fn parse(input: &str) -> Result<Spl, ParseError> {
-    let mut p = Parser { s: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+    };
     let e = p.expr()?;
     p.skip_ws();
     if p.pos != p.s.len() {
@@ -57,7 +60,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { pos: self.pos, msg: msg.into() }
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -170,9 +176,7 @@ impl<'a> Parser<'a> {
                 let p = match left {
                     Spl::I(p) => p,
                     other => {
-                        return Err(
-                            self.err(format!("@|| requires I_p on the left, got {other}"))
-                        )
+                        return Err(self.err(format!("@|| requires I_p on the left, got {other}")))
                     }
                 };
                 left = builder::tensor_par(p, right);
@@ -182,13 +186,13 @@ impl<'a> Parser<'a> {
                 let mu = match right {
                     Spl::I(mu) => mu,
                     other => {
-                        return Err(
-                            self.err(format!("@bar requires I_µ on the right, got {other}"))
-                        )
+                        return Err(self.err(format!("@bar requires I_µ on the right, got {other}")))
                     }
                 };
                 let perm = left.as_perm().ok_or_else(|| {
-                    self.err(format!("@bar requires a permutation on the left, got {left}"))
+                    self.err(format!(
+                        "@bar requires a permutation on the left, got {left}"
+                    ))
                 })?;
                 left = builder::perm_bar(perm, mu);
             } else {
@@ -253,7 +257,12 @@ impl<'a> Parser<'a> {
                     if end < off || end > mn {
                         return Err(self.err("bad twiddle segment range"));
                     }
-                    Ok(Spl::Diag(DiagSpec::Twiddle { m, n, off, len: end - off }))
+                    Ok(Spl::Diag(DiagSpec::Twiddle {
+                        m,
+                        n,
+                        off,
+                        len: end - off,
+                    }))
                 } else {
                     Ok(builder::twiddle(m, n))
                 }
@@ -354,7 +363,12 @@ mod tests {
         let f = parse("T^8_4[4..8]").unwrap();
         assert_eq!(
             f,
-            Spl::Diag(crate::diag::DiagSpec::Twiddle { m: 2, n: 4, off: 4, len: 4 })
+            Spl::Diag(crate::diag::DiagSpec::Twiddle {
+                m: 2,
+                n: 4,
+                off: 4,
+                len: 4
+            })
         );
     }
 

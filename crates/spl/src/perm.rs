@@ -35,7 +35,10 @@ pub enum Perm {
 impl Perm {
     /// Stride permutation `L^{mn}_m`; `m` must divide `mn`.
     pub fn stride(mn: usize, m: usize) -> Perm {
-        assert!(m > 0 && mn % m == 0, "L^{{{mn}}}_{{{m}}}: {m} must divide {mn}");
+        assert!(
+            m > 0 && mn.is_multiple_of(m),
+            "L^{{{mn}}}_{{{m}}}: {m} must divide {mn}"
+        );
         if m == 1 || m == mn {
             Perm::Id(mn)
         } else {
@@ -101,9 +104,7 @@ impl Perm {
             Perm::Stride { mn, m } => Perm::stride(*mn, mn / m),
             Perm::TensorId(p, r) => Perm::TensorId(Box::new(p.inverse()), *r),
             Perm::IdTensor(l, p) => Perm::IdTensor(*l, Box::new(p.inverse())),
-            Perm::Compose(ps) => {
-                Perm::Compose(ps.iter().rev().map(|p| p.inverse()).collect())
-            }
+            Perm::Compose(ps) => Perm::Compose(ps.iter().rev().map(|p| p.inverse()).collect()),
         }
     }
 
@@ -133,12 +134,12 @@ impl Perm {
     /// This is the paper's cache-line-safety condition for `P ⊗̄ I_µ`.
     pub fn is_block_perm(&self, mu: usize) -> bool {
         let n = self.dim();
-        if mu == 0 || n % mu != 0 {
+        if mu == 0 || !n.is_multiple_of(mu) {
             return false;
         }
         (0..n / mu).all(|b| {
             let base = self.src(b * mu);
-            base % mu == 0 && (1..mu).all(|k| self.src(b * mu + k) == base + k)
+            base.is_multiple_of(mu) && (1..mu).all(|k| self.src(b * mu + k) == base + k)
         })
     }
 }
@@ -214,10 +215,7 @@ mod tests {
         check_bijection(&l62);
         check_bijection(&Perm::TensorId(Box::new(l62.clone()), 4));
         check_bijection(&Perm::IdTensor(3, Box::new(l62.clone())));
-        check_bijection(&Perm::Compose(vec![
-            Perm::stride(6, 3),
-            Perm::stride(6, 2),
-        ]));
+        check_bijection(&Perm::Compose(vec![Perm::stride(6, 3), Perm::stride(6, 2)]));
     }
 
     #[test]
@@ -265,7 +263,7 @@ mod tests {
         let p = Perm::TensorId(Box::new(Perm::stride(8, 2)), mu);
         assert!(p.is_block_perm(mu));
         assert!(p.is_block_perm(2)); // coarser blocks still contiguous
-        // A raw stride permutation with stride not multiple of µ is not.
+                                     // A raw stride permutation with stride not multiple of µ is not.
         let q = Perm::stride(8, 2);
         assert!(!q.is_block_perm(4));
         assert!(q.is_block_perm(1)); // every permutation is 1-block

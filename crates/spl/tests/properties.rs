@@ -159,7 +159,7 @@ proptest! {
         let n = 4usize;
         let p = 1usize << pexp;
         let d = spiral_spl::DiagSpec::twiddle(m, n);
-        if d.len() % p == 0 {
+        if d.len().is_multiple_of(p) {
             let parts = d.split(p);
             let mut recon = Vec::new();
             for part in &parts {

@@ -1,0 +1,217 @@
+//! Cache-line tenure audit: an exact cross-step false-sharing decision
+//! procedure.
+//!
+//! The per-step footprint checks prove the *intra-step* half of
+//! Definition 1 (no cache line written by two threads between barriers).
+//! False sharing can additionally arise *across* steps at line
+//! granularity — a thread inheriting a line whose previous owner touched
+//! only other elements. That effect depends on access order, so it is
+//! decided by replaying the plan's statically known access schedule
+//! through a coherence-directory automaton: per line, the dirty owner,
+//! the sharer set, and the *tenure mask* of elements touched since the
+//! line last changed hands. A transfer whose incoming element was never
+//! touched in the previous tenure moves no needed data — false sharing.
+//!
+//! The automaton is exactly the directory logic of `spiral-sim`'s
+//! `SmpSim` (minus caches and clocks, which never affect the directory),
+//! so the verdict here agrees with the dynamic simulator's
+//! `false_sharing` counter by construction — an independent
+//! implementation cross-validated in this crate's test suite.
+
+use spiral_codegen::hook::{MemHook, Region};
+use spiral_codegen::plan::Plan;
+use std::collections::HashMap;
+
+/// Directory state of one cache line.
+#[derive(Clone, Copy, Default)]
+struct LineState {
+    /// Thread holding the line modified, if any.
+    dirty: Option<u32>,
+    /// Bitmask of threads with a copy.
+    sharers: u64,
+    /// Elements (bit `e mod µ`) touched during the current tenure.
+    tenure: u64,
+}
+
+/// One false-sharing event observed by the audit.
+#[derive(Clone, Copy, Debug)]
+pub struct FalseShareEvent {
+    /// Step (barrier interval) in which the transfer happened.
+    pub step: usize,
+    /// Thread that triggered the transfer.
+    pub tid: usize,
+    /// Line address (in the [`Region::base`] element address space).
+    pub line: u64,
+}
+
+/// A [`MemHook`] that runs the directory automaton over a traced
+/// schedule. Feed it via [`Plan::run_traced`] (see [`audit_plan`]) or any
+/// other schedule model (e.g. the FFTW-like baseline trace).
+pub struct LineTenureAudit {
+    n: usize,
+    mu: usize,
+    dir: HashMap<u64, LineState>,
+    step: usize,
+    /// Total line transfers between threads.
+    pub transfers: u64,
+    /// Transfers moving no needed data (disjoint elements).
+    pub false_sharing: u64,
+    /// First few false-sharing events, for diagnostics.
+    pub events: Vec<FalseShareEvent>,
+}
+
+const MAX_EVENTS: usize = 16;
+
+impl LineTenureAudit {
+    /// Fresh audit for an `n`-element transform with `mu`-element lines.
+    pub fn new(n: usize, mu: usize) -> LineTenureAudit {
+        let mu = mu.max(1);
+        assert!(mu <= 64, "tenure mask supports lines up to 64 elements");
+        LineTenureAudit {
+            n,
+            mu,
+            dir: HashMap::new(),
+            step: 0,
+            transfers: 0,
+            false_sharing: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn transfer(&mut self, tid: usize, line: u64, stale: bool) {
+        self.transfers += 1;
+        if stale {
+            self.false_sharing += 1;
+            if self.events.len() < MAX_EVENTS {
+                self.events.push(FalseShareEvent {
+                    step: self.step,
+                    tid,
+                    line,
+                });
+            }
+        }
+    }
+
+    fn access(&mut self, tid: usize, region: Region, idx: usize, is_write: bool) {
+        let elem = region.base(self.n, self.mu) + idx;
+        let line = (elem / self.mu) as u64;
+        let elem_bit = 1u64 << (elem % self.mu);
+        let my_bit = 1u64 << (tid % 64);
+        let entry = self.dir.entry(line).or_default();
+        let mut transfer_stale = None;
+        if is_write {
+            let others = (entry.sharers & !my_bit) != 0
+                || matches!(entry.dirty, Some(d) if d as usize != tid);
+            if others {
+                transfer_stale = Some(entry.tenure & elem_bit == 0);
+                entry.tenure = 0;
+            }
+            entry.dirty = Some(tid as u32);
+            entry.sharers = my_bit;
+        } else {
+            if let Some(d) = entry.dirty {
+                if d as usize != tid {
+                    transfer_stale = Some(entry.tenure & elem_bit == 0);
+                    entry.tenure = 0;
+                    entry.dirty = None;
+                }
+            }
+            entry.sharers |= my_bit;
+        }
+        entry.tenure |= elem_bit;
+        if let Some(stale) = transfer_stale {
+            self.transfer(tid, line, stale);
+        }
+    }
+}
+
+impl MemHook for LineTenureAudit {
+    fn read(&mut self, tid: usize, region: Region, idx: usize) {
+        self.access(tid, region, idx, false);
+    }
+    fn write(&mut self, tid: usize, region: Region, idx: usize) {
+        self.access(tid, region, idx, true);
+    }
+    fn flops(&mut self, _tid: usize, _count: u64) {}
+    fn barrier(&mut self) {
+        self.step += 1;
+    }
+}
+
+/// Run the audit over `plan`'s complete traced schedule with `mu`-element
+/// lines. `mu` may differ from `plan.mu` (verifying a µ-oblivious plan
+/// against a machine's real line length).
+pub fn audit_plan(plan: &Plan, mu: usize) -> LineTenureAudit {
+    let mut audit = LineTenureAudit::new(plan.n, mu);
+    plan.run_traced(&mut audit);
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_sharing_not_counted_as_false() {
+        let mut a = LineTenureAudit::new(64, 4);
+        a.write(0, Region::BufA, 0);
+        a.read(1, Region::BufA, 0);
+        assert_eq!(a.transfers, 1);
+        assert_eq!(a.false_sharing, 0);
+    }
+
+    #[test]
+    fn disjoint_elements_same_line_is_false_sharing() {
+        let mut a = LineTenureAudit::new(64, 4);
+        a.write(0, Region::BufA, 0);
+        a.write(1, Region::BufA, 1);
+        a.write(0, Region::BufA, 0);
+        assert!(a.false_sharing >= 2, "{}", a.false_sharing);
+    }
+
+    #[test]
+    fn line_boundary_isolates() {
+        let mut a = LineTenureAudit::new(64, 4);
+        a.write(0, Region::BufA, 0);
+        a.write(1, Region::BufA, 4);
+        assert_eq!(a.transfers, 0);
+    }
+
+    #[test]
+    fn tmp_regions_are_private() {
+        let mut a = LineTenureAudit::new(64, 4);
+        a.write(0, Region::Tmp(0), 0);
+        a.write(1, Region::Tmp(1), 0);
+        a.write(0, Region::Tmp(0), 0);
+        assert_eq!(a.transfers, 0);
+    }
+
+    #[test]
+    fn full_line_handoff_is_clean() {
+        // Thread 0 writes a whole line; thread 1 reads it entirely, then
+        // thread 0 rewrites it. All transfers move needed data.
+        let mut a = LineTenureAudit::new(64, 4);
+        for i in 0..4 {
+            a.write(0, Region::BufA, i);
+        }
+        for i in 0..4 {
+            a.read(1, Region::BufA, i);
+        }
+        for i in 0..4 {
+            a.write(0, Region::BufA, i);
+        }
+        assert!(a.transfers >= 2);
+        assert_eq!(a.false_sharing, 0);
+    }
+
+    #[test]
+    fn events_carry_step_attribution() {
+        let mut a = LineTenureAudit::new(64, 4);
+        a.write(0, Region::BufA, 0);
+        a.barrier();
+        a.write(1, Region::BufA, 1);
+        assert_eq!(a.false_sharing, 1);
+        assert_eq!(a.events[0].step, 1);
+        assert_eq!(a.events[0].tid, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Static schedule model of the µ-oblivious FFTW-like baseline.
+//!
+//! Reconstructs, as symbolic footprints, exactly the access schedule that
+//! `spiral_baselines::FftwLikeFft::trace` emits: a bit-reversal gather
+//! (BufA → BufB, contiguous writes per thread), then `log2 n` in-place
+//! butterfly passes over BufB, each split block-cyclically with a grain
+//! chosen without knowledge of the cache-line length µ. Running the
+//! generic footprint checks over this model demonstrates statically what
+//! the simulator shows dynamically: fine grains and small sub-blocks put
+//! two threads on one cache line (µ-granularity write overlap without any
+//! element-granularity race).
+
+use crate::footprint::{StepFootprint, ThreadFootprint};
+use crate::iset::IndexSet;
+use spiral_codegen::hook::Region;
+
+/// The baseline's schedule parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FftwLikeSchedule {
+    /// Transform size (power of two).
+    pub n: usize,
+    /// Worker count.
+    pub threads: usize,
+    /// Block-cyclic grain in loop iterations; `0` = contiguous split
+    /// (one chunk per thread), the library's default.
+    pub grain: usize,
+}
+
+fn effective_grain(grain: usize, iterations: usize, threads: usize) -> usize {
+    if grain == 0 {
+        iterations.div_ceil(threads).max(1)
+    } else {
+        grain
+    }
+}
+
+fn rev_index(n: usize, i: usize) -> usize {
+    let bits = n.trailing_zeros();
+    if bits == 0 {
+        0
+    } else {
+        (i as u32).reverse_bits() as usize >> (32 - bits)
+    }
+}
+
+/// Build the complete per-step, per-thread footprints of the baseline's
+/// parallel schedule (one step per barrier interval, matching
+/// `FftwLikeFft::trace`).
+pub fn fftw_like_footprints(sched: &FftwLikeSchedule) -> Vec<StepFootprint> {
+    let n = sched.n;
+    assert!(
+        n.is_power_of_two(),
+        "FFTW-like model requires a power of two"
+    );
+    let threads = sched.threads.max(1);
+    let mut steps = Vec::new();
+
+    // Step 0: bit-reversal gather, contiguous output split.
+    let mut tfs = vec![ThreadFootprint::default(); threads];
+    for (tid, tf) in tfs.iter_mut().enumerate() {
+        let lo = n * tid / threads;
+        let hi = n * (tid + 1) / threads;
+        if hi > lo {
+            let span = IndexSet::interval(lo, hi - lo);
+            tf.reads
+                .add(Region::BufA, span.map_indices(|i| rev_index(n, i)));
+            tf.writes.add(Region::BufB, span);
+        }
+    }
+    steps.push(StepFootprint {
+        index: 0,
+        kind: "bit-reversal",
+        threads: tfs,
+    });
+
+    // Butterfly passes, in place in BufB.
+    let mut len = 2;
+    let mut index = 1;
+    while len <= n {
+        let half = len / 2;
+        let groups = n / len;
+        let mut tfs = vec![ThreadFootprint::default(); threads];
+        if groups >= threads {
+            // Group loop split block-cyclically: each group's butterflies
+            // cover its whole `len`-element block.
+            let grain = effective_grain(sched.grain, groups, threads);
+            let chunks = groups.div_ceil(grain);
+            for chunk in 0..chunks {
+                let tid = chunk % threads;
+                let g_lo = chunk * grain;
+                let g_hi = (g_lo + grain).min(groups);
+                for g in g_lo..g_hi {
+                    let span = IndexSet::interval(g * len, len);
+                    tfs[tid].reads.add(Region::BufB, span.clone());
+                    tfs[tid].writes.add(Region::BufB, span);
+                    tfs[tid].flops += 10 * half as u64;
+                }
+            }
+        } else {
+            // k loop of each group split block-cyclically: butterfly k
+            // touches base+k and base+k+half — two intervals per chunk.
+            let grain = effective_grain(sched.grain, half, threads);
+            let chunks = half.div_ceil(grain);
+            for base in (0..groups).map(|g| g * len) {
+                for chunk in 0..chunks {
+                    let tid = chunk % threads;
+                    let k_lo = chunk * grain;
+                    let k_hi = (k_lo + grain).min(half);
+                    if k_hi > k_lo {
+                        let mut span = IndexSet::interval(base + k_lo, k_hi - k_lo);
+                        span.union_with(&IndexSet::interval(base + half + k_lo, k_hi - k_lo));
+                        tfs[tid].reads.add(Region::BufB, span.clone());
+                        tfs[tid].writes.add(Region::BufB, span);
+                        tfs[tid].flops += 10 * (k_hi - k_lo) as u64;
+                    }
+                }
+            }
+        }
+        steps.push(StepFootprint {
+            index,
+            kind: "butterfly",
+            threads: tfs,
+        });
+        index += 1;
+        len *= 2;
+    }
+    steps
+}

@@ -1,0 +1,356 @@
+//! Symbolic per-step, per-thread memory footprints of a compiled plan.
+//!
+//! Mirrors [`Plan::run_traced`] exactly — same buffer ping-pong, same
+//! chunk-to-thread assignment (`c mod threads`), same contiguous `share`
+//! splits for exchanges and scaling, same stage-level tmp/dst alternation
+//! and gather indirection — but computes each thread's read and write
+//! *index sets* from the affine loop nests instead of enumerating the
+//! access stream. Kernel stages stay symbolic (their loop dims fold into
+//! stride runs); permutation tables and gathers are mapped exactly and
+//! recompressed.
+
+use crate::iset::IndexSet;
+use spiral_codegen::hook::Region;
+use spiral_codegen::plan::{Plan, Step};
+use spiral_codegen::stage::{KernelStage, LocalProgram, LocalStage};
+
+/// Index sets grouped by buffer region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionSet {
+    entries: Vec<(Region, IndexSet)>,
+}
+
+impl RegionSet {
+    /// Union `set` into the entry for `region`.
+    pub fn add(&mut self, region: Region, set: IndexSet) {
+        if set.is_empty() {
+            return;
+        }
+        match self.entries.iter_mut().find(|(r, _)| *r == region) {
+            Some((_, s)) => s.union_with(&set),
+            None => self.entries.push((region, set)),
+        }
+    }
+
+    /// The set for `region`, if the thread touches it.
+    pub fn get(&self, region: Region) -> Option<&IndexSet> {
+        self.entries
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, s)| s)
+    }
+
+    /// All `(region, set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(Region, IndexSet)> {
+        self.entries.iter()
+    }
+
+    /// True when the thread touches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What one thread touches during one step.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadFootprint {
+    /// Elements read, per region.
+    pub reads: RegionSet,
+    /// Elements written, per region.
+    pub writes: RegionSet,
+    /// Real flops this thread executes in the step.
+    pub flops: u64,
+}
+
+/// The footprint of one synchronization-delimited step.
+#[derive(Clone, Debug)]
+pub struct StepFootprint {
+    /// Step index within the plan.
+    pub index: usize,
+    /// Step kind, for diagnostics ("seq", "par", "exchange", "scale", …).
+    pub kind: &'static str,
+    /// One footprint per thread id (length = thread count).
+    pub threads: Vec<ThreadFootprint>,
+}
+
+/// Contiguous share `[lo, hi)` of `total` items for thread `tid` of `p` —
+/// must match the executor's static schedule exactly.
+pub(crate) fn share(total: usize, p: usize, tid: usize) -> (usize, usize) {
+    let base = total / p;
+    let rem = total % p;
+    let lo = tid * base + tid.min(rem);
+    (lo, lo + base + usize::from(tid < rem))
+}
+
+/// Input/output index sets of one kernel stage, in stage-local terms
+/// (before any region offset), mirroring [`KernelStage::trace`].
+fn kernel_sets(k: &KernelStage) -> (IndexSet, IndexSet) {
+    let c = k.codelet.size();
+    let mut reads = IndexSet::run(k.in_off, k.in_t_stride.max(1), c);
+    let mut writes = IndexSet::run(k.out_off, k.out_t_stride.max(1), c);
+    for l in &k.loops {
+        reads = reads.fold_loop(l.count, l.in_stride);
+        writes = writes.fold_loop(l.count, l.out_stride);
+    }
+    // Fused permutations apply to the complete affine index. An index
+    // outside the table marks a malformed stage; map it far out of range
+    // so the bounds check reports it instead of panicking here.
+    if let Some(m) = &k.in_map {
+        reads = reads.map_indices(|i| m.get(i).map_or(usize::MAX / 2, |&v| v as usize));
+    }
+    if let Some(m) = &k.out_map {
+        writes = writes.map_indices(|i| m.get(i).map_or(usize::MAX / 2, |&v| v as usize));
+    }
+    (reads, writes)
+}
+
+/// Stage-local read/write sets of any stage kind.
+fn stage_sets(stage: &LocalStage, dim: usize) -> (IndexSet, IndexSet) {
+    match stage {
+        LocalStage::Kernel(k) => kernel_sets(k),
+        LocalStage::Permute(t) => (
+            IndexSet::from_elems(t.iter().map(|&v| v as usize).collect()),
+            IndexSet::interval(0, t.len()),
+        ),
+        LocalStage::Scale(_) => (IndexSet::interval(0, dim), IndexSet::interval(0, dim)),
+    }
+}
+
+/// Accumulate the footprint of one chunk program into `tf` — the symbolic
+/// twin of the tracer's `trace_local_gathered`.
+#[allow(clippy::too_many_arguments)]
+fn local_footprint(
+    prog: &LocalProgram,
+    tf: &mut ThreadFootprint,
+    tid: usize,
+    src: Region,
+    src_off: usize,
+    dst: Region,
+    dst_off: usize,
+    gather: Option<&[u32]>,
+) {
+    let map_src = |set: IndexSet| -> IndexSet {
+        match gather {
+            Some(g) => {
+                set.map_indices(|i| g.get(src_off + i).map_or(usize::MAX / 2, |&v| v as usize))
+            }
+            None => set.shift(src_off),
+        }
+    };
+    let l = prog.stages.len();
+    if l == 0 {
+        // Identity chunk: straight copy.
+        tf.reads.add(src, map_src(IndexSet::interval(0, prog.dim)));
+        tf.writes.add(dst, IndexSet::interval(dst_off, prog.dim));
+        return;
+    }
+    let tmp = Region::Tmp(tid);
+    for (k, stage) in prog.stages.iter().enumerate() {
+        let to_dst = (l - 1 - k).is_multiple_of(2);
+        let first = k == 0;
+        let (rset, wset) = stage_sets(stage, prog.dim);
+        if first {
+            tf.reads.add(src, map_src(rset));
+        } else if to_dst {
+            tf.reads.add(tmp, rset);
+        } else {
+            tf.reads.add(dst, rset.shift(dst_off));
+        }
+        if to_dst {
+            tf.writes.add(dst, wset.shift(dst_off));
+        } else {
+            tf.writes.add(tmp, wset);
+        }
+        tf.flops += stage.flops(prog.dim);
+    }
+}
+
+/// Compute the complete per-step, per-thread footprints of `plan`.
+pub fn plan_footprints(plan: &Plan) -> Vec<StepFootprint> {
+    let threads = plan.threads.max(1);
+    let (mut src, mut dst) = (Region::BufA, Region::BufB);
+    let mut out = Vec::with_capacity(plan.steps.len());
+    for (index, step) in plan.steps.iter().enumerate() {
+        let mut tfs = vec![ThreadFootprint::default(); threads];
+        let kind = match step {
+            Step::Seq(prog) => {
+                local_footprint(prog, &mut tfs[0], 0, src, 0, dst, 0, None);
+                "seq"
+            }
+            Step::Par {
+                chunk,
+                programs,
+                gather,
+            } => {
+                for (c, prog) in programs.iter().enumerate() {
+                    let tid = c % threads;
+                    local_footprint(
+                        prog,
+                        &mut tfs[tid],
+                        tid,
+                        src,
+                        c * chunk,
+                        dst,
+                        c * chunk,
+                        gather.as_ref().map(|g| g.as_slice()),
+                    );
+                }
+                "par"
+            }
+            Step::Exchange { table, mu } => {
+                let blocks = plan.n / mu;
+                for (tid, tf) in tfs.iter_mut().enumerate() {
+                    let (lo, hi) = share(blocks, threads, tid);
+                    if hi > lo {
+                        let span = IndexSet::interval(lo * mu, (hi - lo) * mu);
+                        tf.reads.add(
+                            src,
+                            span.map_indices(|e| {
+                                table.get(e).map_or(usize::MAX / 2, |&v| v as usize)
+                            }),
+                        );
+                        tf.writes.add(dst, span);
+                    }
+                }
+                "exchange"
+            }
+            Step::ScaleAll(_) => {
+                let blocks = plan.n / plan.mu;
+                for (tid, tf) in tfs.iter_mut().enumerate() {
+                    let (lo, hi) = share(blocks, threads, tid);
+                    if hi > lo {
+                        let span = IndexSet::interval(lo * plan.mu, (hi - lo) * plan.mu);
+                        tf.reads.add(src, span.clone());
+                        tf.writes.add(dst, span);
+                        tf.flops += 6 * ((hi - lo) * plan.mu) as u64;
+                    }
+                }
+                "scale"
+            }
+        };
+        out.push(StepFootprint {
+            index,
+            kind,
+            threads: tfs,
+        });
+        std::mem::swap(&mut src, &mut dst);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_codegen::hook::MemHook;
+    use spiral_rewrite::{multicore_dft_expanded, sequential_dft};
+    use std::collections::{BTreeSet, HashMap};
+
+    /// Collects exact (step, tid, region, index) access sets from the
+    /// tracer, for cross-checking the symbolic footprints.
+    #[derive(Default)]
+    struct SetHook {
+        step: usize,
+        reads: HashMap<(usize, usize, String), BTreeSet<usize>>,
+        writes: HashMap<(usize, usize, String), BTreeSet<usize>>,
+        flops: HashMap<(usize, usize), u64>,
+    }
+
+    impl MemHook for SetHook {
+        fn read(&mut self, tid: usize, region: Region, idx: usize) {
+            self.reads
+                .entry((self.step, tid, format!("{region:?}")))
+                .or_default()
+                .insert(idx);
+        }
+        fn write(&mut self, tid: usize, region: Region, idx: usize) {
+            self.writes
+                .entry((self.step, tid, format!("{region:?}")))
+                .or_default()
+                .insert(idx);
+        }
+        fn flops(&mut self, tid: usize, count: u64) {
+            *self.flops.entry((self.step, tid)).or_default() += count;
+        }
+        fn barrier(&mut self) {
+            self.step += 1;
+        }
+    }
+
+    fn footprint_sets(
+        steps: &[StepFootprint],
+        writes: bool,
+    ) -> HashMap<(usize, usize, String), BTreeSet<usize>> {
+        let mut out: HashMap<(usize, usize, String), BTreeSet<usize>> = HashMap::new();
+        for sf in steps {
+            for (tid, tf) in sf.threads.iter().enumerate() {
+                let rs = if writes { &tf.writes } else { &tf.reads };
+                for (region, set) in rs.iter() {
+                    let e = out
+                        .entry((sf.index, tid, format!("{region:?}")))
+                        .or_default();
+                    set.for_each(|x| {
+                        e.insert(x);
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn footprints_equal_traced_access_sets() {
+        use spiral_codegen::plan::Plan;
+        let cases: Vec<Plan> = vec![
+            Plan::from_formula(&sequential_dft(64, 8), 1, 4).unwrap(),
+            Plan::from_formula(&multicore_dft_expanded(64, 2, 4, None, 8).unwrap(), 2, 4).unwrap(),
+            Plan::from_formula(&multicore_dft_expanded(256, 4, 4, None, 8).unwrap(), 4, 4).unwrap(),
+            Plan::from_formula(&multicore_dft_expanded(256, 2, 4, None, 8).unwrap(), 2, 4)
+                .unwrap()
+                .fuse_exchanges(),
+            Plan::from_formula(&multicore_dft_expanded(1024, 4, 8, None, 8).unwrap(), 4, 8)
+                .unwrap()
+                .fuse_exchanges(),
+        ];
+        for plan in &cases {
+            let mut hook = SetHook::default();
+            plan.run_traced(&mut hook);
+            let fps = plan_footprints(plan);
+            assert_eq!(
+                footprint_sets(&fps, false),
+                hook.reads,
+                "reads n={}",
+                plan.n
+            );
+            assert_eq!(
+                footprint_sets(&fps, true),
+                hook.writes,
+                "writes n={}",
+                plan.n
+            );
+            // Per-thread flops agree step by step.
+            for sf in &fps {
+                for (tid, tf) in sf.threads.iter().enumerate() {
+                    let traced = hook.flops.get(&(sf.index, tid)).copied().unwrap_or(0);
+                    assert_eq!(tf.flops, traced, "step {} tid {tid}", sf.index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn share_matches_plan_splitting() {
+        for total in [0usize, 1, 7, 64, 100] {
+            for p in [1usize, 2, 3, 4] {
+                let mut covered = 0;
+                let mut prev = 0;
+                for tid in 0..p {
+                    let (lo, hi) = share(total, p, tid);
+                    assert_eq!(lo, prev);
+                    prev = hi;
+                    covered += hi - lo;
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Exact index sets as unions of arithmetic progressions.
+//!
+//! Every access set a plan step generates is a union of *runs*
+//! `{start + i·stride : i < count}` — the loop nests of the stage IR are
+//! affine, so their footprints close under the operations the analyzer
+//! needs: shifting (region offsets), folding another loop dimension in
+//! (Cartesian sum), mapping through a permutation table, and reduction to
+//! cache-line granularity. Disjointness of two runs is decided exactly
+//! with gcd/CRT arithmetic and yields a witness element on overlap.
+
+/// One arithmetic progression `{start + i·stride : 0 ≤ i < count}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// First element.
+    pub start: usize,
+    /// Distance between consecutive elements (≥ 1).
+    pub stride: usize,
+    /// Number of elements (≥ 1).
+    pub count: usize,
+}
+
+impl Run {
+    /// Normalized constructor: a single-element run has stride 1, and a
+    /// zero stride collapses the run to its single distinct element.
+    pub fn new(start: usize, stride: usize, count: usize) -> Run {
+        debug_assert!(count >= 1, "empty run");
+        if count == 1 || stride == 0 {
+            Run {
+                start,
+                stride: 1,
+                count: if stride == 0 { 1 } else { count },
+            }
+        } else {
+            Run {
+                start,
+                stride,
+                count,
+            }
+        }
+    }
+
+    /// Last element of the progression.
+    pub fn last(&self) -> usize {
+        self.start + self.stride * (self.count - 1)
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, x: usize) -> bool {
+        x >= self.start && {
+            let d = x - self.start;
+            d.is_multiple_of(self.stride) && d / self.stride < self.count
+        }
+    }
+
+    /// Smallest common element of two runs, if any (CRT intersection).
+    pub fn intersect(&self, o: &Run) -> Option<usize> {
+        if self.count == 1 {
+            return o.contains(self.start).then_some(self.start);
+        }
+        if o.count == 1 {
+            return self.contains(o.start).then_some(o.start);
+        }
+        let (a, s) = (self.start as i128, self.stride as i128);
+        let (b, t) = (o.start as i128, o.stride as i128);
+        let (g, u, _) = egcd(s, t);
+        if (b - a) % g != 0 {
+            return None;
+        }
+        // x = a + s·k with k ≡ (b−a)/g · u (mod t/g) solves both
+        // congruences; lift the smallest such x into the overlap window.
+        let tg = t / g;
+        let k0 = ((((b - a) / g % tg) * (u % tg)) % tg + tg) % tg;
+        let x0 = a + s * k0;
+        let lcm = s / g * t;
+        let lo = a.max(b);
+        let x = if x0 >= lo {
+            x0
+        } else {
+            x0 + (lo - x0 + lcm - 1) / lcm * lcm
+        };
+        let hi = (self.last() as i128).min(o.last() as i128);
+        // x ≡ a (mod s) and x ≡ b (mod t), so bounds membership suffices.
+        (x <= hi).then_some(x as usize)
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// A finite index set: union of [`Run`]s (runs may overlap; the set is
+/// their union).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexSet {
+    /// Constituent progressions.
+    pub runs: Vec<Run>,
+}
+
+impl IndexSet {
+    /// The empty set.
+    pub fn empty() -> IndexSet {
+        IndexSet { runs: Vec::new() }
+    }
+
+    /// A single progression.
+    pub fn run(start: usize, stride: usize, count: usize) -> IndexSet {
+        IndexSet {
+            runs: vec![Run::new(start, stride, count)],
+        }
+    }
+
+    /// The contiguous interval `[start, start + len)`; empty when `len = 0`.
+    pub fn interval(start: usize, len: usize) -> IndexSet {
+        if len == 0 {
+            IndexSet::empty()
+        } else {
+            IndexSet::run(start, 1, len)
+        }
+    }
+
+    /// Build from an arbitrary element list (sorted, deduplicated, then
+    /// greedily recompressed into maximal runs).
+    pub fn from_elems(mut v: Vec<usize>) -> IndexSet {
+        v.sort_unstable();
+        v.dedup();
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < v.len() {
+            if i + 1 == v.len() {
+                runs.push(Run::new(v[i], 1, 1));
+                break;
+            }
+            let stride = v[i + 1] - v[i];
+            let mut j = i + 1;
+            while j + 1 < v.len() && v[j + 1] - v[j] == stride {
+                j += 1;
+            }
+            runs.push(Run::new(v[i], stride, j - i + 1));
+            i = j + 1;
+        }
+        IndexSet { runs }
+    }
+
+    /// True when the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Largest element, if any.
+    pub fn max(&self) -> Option<usize> {
+        self.runs.iter().map(|r| r.last()).max()
+    }
+
+    /// All elements, in run order (duplicates across runs possible).
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for r in &self.runs {
+            for i in 0..r.count {
+                f(r.start + i * r.stride);
+            }
+        }
+    }
+
+    /// Distinct element count (enumerates).
+    pub fn distinct_len(&self) -> usize {
+        let mut v = Vec::new();
+        self.for_each(|x| v.push(x));
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Union in place.
+    pub fn union_with(&mut self, other: &IndexSet) {
+        self.runs.extend_from_slice(&other.runs);
+    }
+
+    /// The set shifted by `off`.
+    pub fn shift(&self, off: usize) -> IndexSet {
+        IndexSet {
+            runs: self
+                .runs
+                .iter()
+                .map(|r| Run {
+                    start: r.start + off,
+                    ..*r
+                })
+                .collect(),
+        }
+    }
+
+    /// Cartesian sum with the progression `{i·stride : i < count}` — one
+    /// more loop dimension folded into the footprint. Symbolic when the
+    /// loop extends or interleaves existing runs; otherwise `count`
+    /// shifted copies.
+    pub fn fold_loop(&self, count: usize, stride: usize) -> IndexSet {
+        if count <= 1 || stride == 0 {
+            // A degenerate loop dimension adds no new elements (stride 0
+            // revisits the same indices `count` times).
+            return self.clone();
+        }
+        let mut runs = Vec::new();
+        for r in &self.runs {
+            if r.count == 1 {
+                runs.push(Run::new(r.start, stride, count));
+            } else if stride == r.stride * r.count {
+                // The loop appends run-sized blocks end to end.
+                runs.push(Run::new(r.start, r.stride, r.count * count));
+            } else if r.stride == stride * count {
+                // The loop interleaves inside each gap of the run.
+                runs.push(Run::new(r.start, stride, count * r.count));
+            } else {
+                for k in 0..count {
+                    runs.push(Run::new(r.start + k * stride, r.stride, r.count));
+                }
+            }
+        }
+        IndexSet { runs }
+    }
+
+    /// The image of the set under an arbitrary index map (enumerated and
+    /// recompressed — used for permutation tables and gathers).
+    pub fn map_indices(&self, f: impl Fn(usize) -> usize) -> IndexSet {
+        let mut v = Vec::new();
+        self.for_each(|x| v.push(f(x)));
+        IndexSet::from_elems(v)
+    }
+
+    /// The set of cache lines (`index / mu`) the set touches. Exact:
+    /// strides divisible by `mu` stay symbolic, contiguous runs become
+    /// line intervals, anything else is enumerated and recompressed.
+    pub fn lines(&self, mu: usize) -> IndexSet {
+        if mu <= 1 {
+            return self.clone();
+        }
+        let mut out = IndexSet::empty();
+        let mut leftovers = Vec::new();
+        for r in &self.runs {
+            if r.stride % mu == 0 && r.count > 1 {
+                // (start + i·stride)/µ = start/µ + i·(stride/µ), exactly.
+                out.runs
+                    .push(Run::new(r.start / mu, r.stride / mu, r.count));
+            } else if r.stride == 1 {
+                let first = r.start / mu;
+                let last = r.last() / mu;
+                out.runs.push(Run::new(first, 1, last - first + 1));
+            } else {
+                for i in 0..r.count {
+                    leftovers.push((r.start + i * r.stride) / mu);
+                }
+            }
+        }
+        if !leftovers.is_empty() {
+            out.union_with(&IndexSet::from_elems(leftovers));
+        }
+        out
+    }
+
+    /// A common element of the two sets, if any.
+    pub fn intersect(&self, other: &IndexSet) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for a in &self.runs {
+            for b in &other.runs {
+                if let Some(w) = a.intersect(b) {
+                    best = Some(best.map_or(w, |x| x.min(w)));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn elems(s: &IndexSet) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        s.for_each(|x| {
+            out.insert(x);
+        });
+        out
+    }
+
+    #[test]
+    fn run_membership_and_last() {
+        let r = Run::new(3, 4, 5); // {3, 7, 11, 15, 19}
+        assert_eq!(r.last(), 19);
+        for x in [3usize, 7, 11, 15, 19] {
+            assert!(r.contains(x));
+        }
+        for x in [0usize, 4, 20, 23, 2] {
+            assert!(!r.contains(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn crt_intersection_matches_enumeration() {
+        let cases = [
+            (Run::new(0, 3, 10), Run::new(1, 5, 8)),
+            (Run::new(0, 2, 16), Run::new(1, 2, 16)), // parity-disjoint
+            (Run::new(4, 6, 7), Run::new(10, 9, 5)),
+            (Run::new(0, 1, 32), Run::new(17, 4, 3)),
+            (Run::new(5, 7, 3), Run::new(5, 11, 3)),
+            (Run::new(100, 12, 4), Run::new(0, 8, 10)),
+        ];
+        for (a, b) in cases {
+            let brute: BTreeSet<usize> = (0..a.count)
+                .map(|i| a.start + i * a.stride)
+                .filter(|&x| b.contains(x))
+                .collect();
+            match a.intersect(&b) {
+                Some(w) => {
+                    assert!(a.contains(w) && b.contains(w), "{a:?} {b:?} {w}");
+                    assert_eq!(Some(&w), brute.iter().next(), "{a:?} {b:?}");
+                }
+                None => assert!(brute.is_empty(), "{a:?} {b:?} missed {brute:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fold_loop_merges_blocks_and_interleaves() {
+        // Contiguous extension: {0,1} folded over count=3 stride=2 →
+        // {0..6} as one run.
+        let s = IndexSet::interval(0, 2).fold_loop(3, 2);
+        assert_eq!(s.runs.len(), 1);
+        assert_eq!(elems(&s), (0..6).collect());
+        // Interleave: {0, 6} (stride 6) folded over count=3 stride=2 →
+        // {0,2,4,6,8,10} as one run.
+        let s = IndexSet::run(0, 6, 2).fold_loop(3, 2);
+        assert_eq!(s.runs.len(), 1);
+        assert_eq!(elems(&s), (0..6).map(|i| 2 * i).collect());
+        // General case: copies.
+        let s = IndexSet::run(0, 4, 2).fold_loop(2, 1);
+        assert_eq!(elems(&s), [0usize, 1, 4, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn from_elems_compresses_progressions() {
+        let s = IndexSet::from_elems(vec![9, 1, 3, 5, 7, 9]);
+        assert_eq!(s.runs, vec![Run::new(1, 2, 5)]);
+        let s = IndexSet::from_elems(vec![0, 1, 2, 10, 20, 30]);
+        assert_eq!(elems(&s), [0usize, 1, 2, 10, 20, 30].into_iter().collect());
+    }
+
+    #[test]
+    fn lines_exact_on_all_shapes() {
+        // stride % mu == 0.
+        let s = IndexSet::run(8, 8, 4).lines(4);
+        assert_eq!(elems(&s), [2usize, 4, 6, 8].into_iter().collect());
+        // contiguous.
+        let s = IndexSet::interval(3, 7).lines(4); // elems 3..10 → lines 0,1,2
+        assert_eq!(elems(&s), [0usize, 1, 2].into_iter().collect());
+        // irregular stride: enumerate.
+        let s = IndexSet::run(0, 3, 5).lines(4); // {0,3,6,9,12} → {0,1,2,3}
+        assert_eq!(elems(&s), [0usize, 1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn set_intersection_witness() {
+        let a = IndexSet::run(0, 4, 8); // multiples of 4 below 32
+        let b = IndexSet::run(2, 4, 8); // ≡ 2 (mod 4)
+        assert_eq!(a.intersect(&b), None);
+        let c = IndexSet::run(12, 6, 4); // {12, 18, 24, 30}
+        let w = a.intersect(&c).unwrap();
+        assert_eq!(w, 12);
+    }
+
+    #[test]
+    fn map_indices_through_table() {
+        let table: Vec<usize> = vec![3, 1, 2, 0];
+        let s = IndexSet::interval(0, 4).map_indices(|i| table[i]);
+        assert_eq!(elems(&s), (0..4).collect());
+    }
+}

@@ -1,0 +1,149 @@
+//! Acceptance sweeps: every plan compiled from the paper's formula (14)
+//! must verify with zero findings — fused or not, across (n, p, µ) — in
+//! agreement with the rewrite-level structural checker; and the analyzer
+//! must reject the µ-oblivious baseline schedule whenever its slices
+//! undercut a cache line.
+
+use spiral_codegen::plan::Plan;
+use spiral_rewrite::{check_fully_optimized, multicore_dft_expanded, sequential_dft};
+use spiral_verify::baseline::FftwLikeSchedule;
+use spiral_verify::{verify_fftw_like, verify_plan, DiagKind, VerifyOptions};
+
+/// The (n, p, µ) grid: every point with (pµ)² | n up to 4096.
+fn grid() -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for k in 6..=12u32 {
+        let n = 1usize << k;
+        for p in [2usize, 4] {
+            for mu in [2usize, 4, 8] {
+                let pmu = p * mu;
+                if n.is_multiple_of(pmu * pmu) {
+                    out.push((n, p, mu));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn formula_14_plans_verify_with_zero_findings() {
+    let grid = grid();
+    assert!(grid.len() >= 10, "sweep too small: {grid:?}");
+    for &(n, p, mu) in &grid {
+        let f = multicore_dft_expanded(n, p, mu, None, 8).unwrap();
+        // The rewrite-level checker and the IR-level analyzer must agree
+        // that this program is fully optimized.
+        check_fully_optimized(&f, p, mu).unwrap();
+        let unfused = Plan::from_formula(&f, p, mu).unwrap();
+        let fused = unfused.clone().fuse_exchanges();
+        for (label, plan) in [("unfused", &unfused), ("fused", &fused)] {
+            let report = verify_plan(plan, &VerifyOptions::default());
+            assert!(
+                report.is_clean(),
+                "n={n} p={p} µ={mu} {label}: {:?}",
+                report.diagnostics
+            );
+            assert_eq!(report.per_thread_flops.len(), p);
+            // Definition 1's load balance shows up as equal flop shares.
+            let max = report.per_thread_flops.iter().max().unwrap();
+            let min = report.per_thread_flops.iter().min().unwrap();
+            assert!(
+                *max as f64 <= *min as f64 * 1.05,
+                "n={n} p={p} µ={mu} {label}: flops {:?}",
+                report.per_thread_flops
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_plans_verify_clean() {
+    for k in [4u32, 6, 8, 10] {
+        let n = 1usize << k;
+        let f = sequential_dft(n, 8);
+        let plan = Plan::from_formula(&f, 1, 4).unwrap();
+        let report = verify_plan(&plan, &VerifyOptions::default());
+        assert!(report.is_clean(), "n={n}: {:?}", report.diagnostics);
+    }
+}
+
+#[test]
+fn explicit_mu_override_keeps_generated_plans_clean() {
+    // A plan generated for µ is line-clean at every µ' ≤ µ as well
+    // (coarser-grained blocks stay block-aligned for finer lines).
+    let f = multicore_dft_expanded(1024, 2, 8, None, 8).unwrap();
+    let plan = Plan::from_formula(&f, 2, 8).unwrap().fuse_exchanges();
+    for line in [1usize, 2, 4, 8] {
+        let opts = VerifyOptions {
+            line: Some(line),
+            ..Default::default()
+        };
+        let report = verify_plan(&plan, &opts);
+        assert!(!report.has_errors(), "µ'={line}: {:?}", report.diagnostics);
+    }
+}
+
+#[test]
+fn block_cyclic_baseline_is_rejected_at_machine_mu() {
+    // Grain-1 block-cyclic scheduling hands adjacent iterations to
+    // different threads: sub-line write sharing at every size.
+    for k in [3u32, 4, 5, 6, 8, 10] {
+        let sched = FftwLikeSchedule {
+            n: 1usize << k,
+            threads: 2,
+            grain: 1,
+        };
+        let report = verify_fftw_like(&sched, 4, &VerifyOptions::default());
+        assert!(
+            report.has_kind(DiagKind::FalseSharing),
+            "n=2^{k}: {:?}",
+            report.diagnostics
+        );
+        assert!(report.has_errors());
+    }
+}
+
+#[test]
+fn contiguous_baseline_fails_when_slices_undercut_a_line() {
+    // Even the library's default contiguous split false-shares once
+    // n/(2p) < µ — the per-thread k-slices of the last butterfly passes
+    // land inside one cache line.
+    for (n, threads, mu) in [(16usize, 2usize, 8usize), (32, 4, 8), (16, 4, 4)] {
+        let sched = FftwLikeSchedule {
+            n,
+            threads,
+            grain: 0,
+        };
+        let report = verify_fftw_like(&sched, mu, &VerifyOptions::default());
+        assert!(
+            report.has_kind(DiagKind::FalseSharing),
+            "n={n} p={threads} µ={mu}: {:?}",
+            report.diagnostics
+        );
+    }
+    // …and is clean of line conflicts when every slice covers whole
+    // lines (large n, µ-aligned boundaries).
+    let sched = FftwLikeSchedule {
+        n: 1024,
+        threads: 2,
+        grain: 0,
+    };
+    let report = verify_fftw_like(&sched, 4, &VerifyOptions::default());
+    assert!(
+        !report.has_kind(DiagKind::FalseSharing),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn reports_serialize_for_tooling() {
+    let f = multicore_dft_expanded(256, 2, 4, None, 8).unwrap();
+    let plan = Plan::from_formula(&f, 2, 4).unwrap().fuse_exchanges();
+    let report = verify_plan(&plan, &VerifyOptions::default());
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let back: spiral_verify::Report = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.n, 256);
+    assert!(back.is_clean());
+}

@@ -14,21 +14,32 @@ fn main() {
     let n = 4096;
     let machine = core_duo();
     let mu = machine.mu();
-    let model = CostModel::Sim { machine: machine.clone(), warm: true };
+    let model = CostModel::Sim {
+        machine: machine.clone(),
+        warm: true,
+    };
 
     println!("autotuning DFT_{n} on simulated {}\n", machine.name);
 
     let dp = dp_search(n, 8, mu, &model);
-    println!("DP search:        {:>12.0} cycles  (tree {}, {} plans evaluated)",
-        dp.cost, dp.tree, dp.evaluated);
+    println!(
+        "DP search:        {:>12.0} cycles  (tree {}, {} plans evaluated)",
+        dp.cost, dp.tree, dp.evaluated
+    );
 
     let mut rng = StdRng::seed_from_u64(2006);
     let rnd = random_search(n, 8, mu, dp.evaluated, &model, &mut rng);
-    println!("random search:    {:>12.0} cycles  (same evaluation budget)", rnd.cost);
+    println!(
+        "random search:    {:>12.0} cycles  (same evaluation budget)",
+        rnd.cost
+    );
 
     let mut rng = StdRng::seed_from_u64(2006);
     let evo = evolve_search(n, 8, mu, EvolveOpts::default(), &model, &mut rng);
-    println!("evolutionary:     {:>12.0} cycles  ({} plans evaluated)", evo.cost, evo.evaluated);
+    println!(
+        "evolutionary:     {:>12.0} cycles  ({} plans evaluated)",
+        evo.cost, evo.evaluated
+    );
 
     let radix2 = model
         .cost_tree(&spiral_fft::rewrite::RuleTree::right_radix(n, 2), mu)
@@ -36,10 +47,21 @@ fn main() {
     println!("fixed radix-2:    {radix2:>12.0} cycles  (no search)\n");
 
     // Full parallel tuning: search the (14) split too.
-    let tuner = Tuner::new(machine.p, mu, CostModel::Sim { machine: machine.clone(), warm: true });
+    let tuner = Tuner::new(
+        machine.p,
+        mu,
+        CostModel::Sim {
+            machine: machine.clone(),
+            warm: true,
+        },
+    );
     if let Some(t) = tuner.tune_parallel(n) {
         println!("parallel tuning picked: {}", t.choice);
         println!("  simulated cycles: {:.0}", t.cost);
-        println!("  plan: {} steps, {} barriers", t.plan.steps.len(), t.plan.barriers());
+        println!(
+            "  plan: {} steps, {} barriers",
+            t.plan.steps.len(),
+            t.plan.barriers()
+        );
     }
 }

@@ -25,8 +25,7 @@ fn direct_convolution(a: &[Cplx], b: &[Cplx]) -> Vec<Cplx> {
 
 fn main() {
     let n = 1024;
-    let fft = SpiralFft::parallel(n, 2, 4)
-        .unwrap_or_else(|_| SpiralFft::sequential(n));
+    let fft = SpiralFft::parallel(n, 2, 4).unwrap_or_else(|_| SpiralFft::sequential(n));
 
     // A noisy pulse train and a smoothing kernel.
     let signal: Vec<Cplx> = (0..n)
@@ -54,11 +53,16 @@ fn main() {
     let slow = direct_convolution(&signal, &kernel);
     let err = spiral_fft::spl::cplx::max_dist(&fast, &slow);
     println!("circular convolution of n = {n} points");
-    println!("  FFT path:    3 transforms of the generated plan ({} flops each)", fft.plan().flops());
+    println!(
+        "  FFT path:    3 transforms of the generated plan ({} flops each)",
+        fft.plan().flops()
+    );
     println!("  direct path: {n}² = {} multiply-adds", n * n);
     println!("  max |Δ| fast vs direct: {err:.3e}");
     assert!(err < 1e-8, "convolution mismatch");
-    println!("  smoothed pulse peak: {:.4} (raw pulse was 1.0)",
-        fast.iter().map(|z| z.re).fold(f64::MIN, f64::max));
+    println!(
+        "  smoothed pulse peak: {:.4} (raw pulse was 1.0)",
+        fast.iter().map(|z| z.re).fold(f64::MIN, f64::max)
+    );
     println!("ok ✓");
 }

@@ -9,7 +9,10 @@ use spiral_fft::codegen::CFlavor;
 use spiral_fft::SpiralFft;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let flavor = match std::env::args().nth(2).as_deref() {
         Some("pthreads") => CFlavor::Pthreads,
         _ => CFlavor::OpenMp,

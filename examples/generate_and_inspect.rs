@@ -13,7 +13,10 @@ fn main() {
     let (n, p, mu) = (64usize, 2usize, 4usize);
     let m = 8; // split 64 = 8 × 8 (pµ = 8 divides both factors)
 
-    println!("input:   smp({p},{mu})[ DFT_{n} → CT rule (1) with {m}×{} ]\n", n / m);
+    println!(
+        "input:   smp({p},{mu})[ DFT_{n} → CT rule (1) with {m}×{} ]\n",
+        n / m
+    );
     let tagged = smp(p, mu, cooley_tukey(m, n / m));
     println!("tagged formula:\n  {}\n", tagged.pretty());
 

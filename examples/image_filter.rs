@@ -15,8 +15,7 @@ fn main() {
     let fft = SpiralFft::parallel_2d(rows, cols, 2, 4).expect("valid 2-D split");
     println!("parallel 2-D DFT on {rows}×{cols}, p = 2, µ = 4");
     println!("  formula: {}", fft.formula().pretty());
-    spiral_fft::rewrite::check_fully_optimized(fft.formula(), 2, 4)
-        .expect("Definition 1");
+    spiral_fft::rewrite::check_fully_optimized(fft.formula(), 2, 4).expect("Definition 1");
     println!("  Definition 1: load-balanced, no false sharing ✓\n");
 
     // Synthetic image: smooth gradient + checkerboard "noise".
@@ -56,13 +55,17 @@ fn main() {
         })
         .sum::<f64>()
         / (rows * cols) as f64;
-    let mean: f64 =
-        filtered.iter().map(|z| z.re).sum::<f64>() / (rows * cols) as f64;
+    let mean: f64 = filtered.iter().map(|z| z.re).sum::<f64>() / (rows * cols) as f64;
 
-    println!("low-pass filter: zeroed {zeroed}/{} spectrum bins", rows * cols);
+    println!(
+        "low-pass filter: zeroed {zeroed}/{} spectrum bins",
+        rows * cols
+    );
     println!("  residual checkerboard amplitude: {checker_energy:.2e} (was 0.5)");
-    println!("  image mean preserved: {mean:.4} (expected ≈ {:.4})",
-        (rows as f64 - 1.0) / (2.0 * rows as f64) + (cols as f64 - 1.0) / (2.0 * cols as f64));
+    println!(
+        "  image mean preserved: {mean:.4} (expected ≈ {:.4})",
+        (rows as f64 - 1.0) / (2.0 * rows as f64) + (cols as f64 - 1.0) / (2.0 * cols as f64)
+    );
     assert!(checker_energy.abs() < 1e-10, "checkerboard not removed");
     println!("ok ✓");
 }

@@ -15,7 +15,11 @@ fn main() {
     // --- sequential ---------------------------------------------------
     let fft = SpiralFft::sequential(n);
     println!("generated sequential DFT_{n}");
-    println!("  plan: {} steps, {} flops", fft.plan().steps.len(), fft.plan().flops());
+    println!(
+        "  plan: {} steps, {} flops",
+        fft.plan().steps.len(),
+        fft.plan().flops()
+    );
 
     // A test signal: two tones plus a DC offset.
     let x: Vec<Cplx> = (0..n)
@@ -32,7 +36,10 @@ fn main() {
     // Peaks must sit at bins 0, 3, 17 (and mirrors).
     let mut mags: Vec<(usize, f64)> = y.iter().enumerate().map(|(k, z)| (k, z.abs())).collect();
     mags.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("  strongest bins: {:?}", &mags[..5].iter().map(|m| m.0).collect::<Vec<_>>());
+    println!(
+        "  strongest bins: {:?}",
+        &mags[..5].iter().map(|m| m.0).collect::<Vec<_>>()
+    );
 
     // Cross-check against the defining O(n²) DFT.
     let reference = dft(n).eval(&x);
@@ -46,7 +53,10 @@ fn main() {
             println!("\ngenerated parallel DFT_{n} for p = {p}, µ = {mu}");
             println!("  formula: {}", pfft.formula().pretty());
             let yp = pfft.forward(&x);
-            println!("  max |Δ| parallel vs sequential: {:.3e}", max_dist(&y, &yp));
+            println!(
+                "  max |Δ| parallel vs sequential: {:.3e}",
+                max_dist(&y, &yp)
+            );
             // The generated formula is provably fully optimized:
             spiral_fft::rewrite::check_fully_optimized(pfft.formula(), p, mu)
                 .expect("Definition 1 violated?!");

@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the harness API the workspace's benches use — groups,
+//! `bench_function`/`bench_with_input`, `iter`/`iter_custom`,
+//! `Throughput::Elements`, the `criterion_group!`/`criterion_main!`
+//! macros — and reports a simple best-of-samples wall-clock time per
+//! benchmark on stdout. No statistics machinery, plots, or baselines;
+//! the numbers are honest `Instant` measurements over the configured
+//! sample count.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// The harness: holds sampling configuration, spawns groups.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples measured per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark (cap on total sampling time).
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id().name;
+        run_benchmark(&name, self.sample_size, self.measurement_time, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        run_benchmark(
+            &name,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Time a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records one sample per call.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` repetitions of `f`, guarding the result from the
+    /// optimizer.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the closure time itself: it receives the iteration count and
+    /// returns the measured duration (used for setup-heavy benchmarks).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one sample takes ≳1% of
+    // the budget, so short closures aren't dominated by timer noise.
+    let mut iters = 1u64;
+    let per_sample = budget.div_f64(sample_size as f64);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed * 100 >= per_sample || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let spent = Instant::now();
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        best = best.min(b.elapsed.max(Duration::from_nanos(1)) / iters as u32);
+        if spent.elapsed() > budget {
+            break;
+        }
+    }
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "bench {name:50} {best:>12?}/iter  {:>10.1} Melem/s",
+            n as f64 / best.as_secs_f64() / 1e6
+        ),
+        Some(Throughput::Bytes(n)) => println!(
+            "bench {name:50} {best:>12?}/iter  {:>10.1} MiB/s",
+            n as f64 / best.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+        None => println!("bench {name:50} {best:>12?}/iter"),
+    }
+}
+
+/// Define a benchmark group entry point, with or without custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with
+            // `--test`; compile-check only in that case, like criterion.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("touch", 4), &4usize, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<usize>()
+            })
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(10 * iters))
+        });
+        group.finish();
+        assert!(runs >= 2, "closure never sampled");
+    }
+}

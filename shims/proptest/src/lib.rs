@@ -1,0 +1,527 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace uses —
+//! ranges, tuples, `prop_map`, `prop_recursive`, `boxed`,
+//! `collection::vec`, `sample::select`, `any`, `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!` — over a deterministic per-test RNG
+//! (seeded from the test name), so property tests are reproducible
+//! case-for-case across runs. No shrinking: a failing case reports its
+//! case number and message and panics immediately.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream, seeded per test.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (FNV-1a) so each test gets an
+        /// independent but stable stream.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; panics if `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling range");
+            let zone = u64::MAX - u64::MAX % bound;
+            loop {
+                let x = self.next_u64();
+                if x < zone {
+                    return x % bound;
+                }
+            }
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Test-loop configuration (`cases` = iterations per property).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` iterations.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build recursive structures: `recurse` wraps an inner strategy
+        /// into one layer of structure; sampled depth is `0..=depth`
+        /// layers over `self`. The size-hint arguments of real proptest
+        /// are accepted and ignored (no shrinking here).
+        fn prop_recursive<F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value> + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                depth,
+                recurse: Rc::new(recurse),
+            }
+        }
+
+        /// Type-erase into a clonable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    /// Clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        depth: u32,
+        recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    impl<T> Strategy for Recursive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let layers = rng.below(self.depth as u64 + 1) as u32;
+            let mut strat = self.base.clone();
+            for _ in 0..layers {
+                strat = (self.recurse)(strat);
+            }
+            strat.sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // i128 holds the full span of every <=64-bit integer
+                    // type, signed or not.
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(width) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    if width > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(width as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Bounded domain: property tests here want "some number",
+            // not bit-pattern adversaries like NaN.
+            (rng.unit_f64() - 0.5) * 2.0e6
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element drawn from `elem`, length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among fixed alternatives.
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniform choice from `items` (must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The glob-import surface: strategies, config, `any`, macros, and
+/// `prop` as an alias of this crate (for `prop::collection::vec` paths).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define deterministic property tests:
+/// `proptest! { #![proptest_config(cfg)] fn name(x in strat, ...) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let outcome = (move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("property {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, msg);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// `assert!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} ({:?} != {:?})", ::std::format!($($fmt)+), l, r,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn ranges_and_tuples(
+            n in 2u32..=8,
+            x in -10.0f64..10.0,
+            pair in (0usize..100, any::<bool>()),
+        ) {
+            prop_assert!((2..=8).contains(&n));
+            prop_assert!((-10.0..10.0).contains(&x));
+            prop_assert!(pair.0 < 100);
+        }
+
+        fn vec_lengths(v in prop::collection::vec(0u64..512, 1..200)) {
+            prop_assert!(!v.is_empty() && v.len() < 200);
+            prop_assert!(v.iter().all(|&x| x < 512));
+        }
+
+        fn select_and_map(
+            n in prop::sample::select(vec![8usize, 16, 32]).prop_map(|k| k * 2),
+        ) {
+            prop_assert!(n == 16 || n == 32 || n == 64, "unexpected {n}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use crate::test_runner::TestRng;
+        let depth_strategy = prop::sample::select(vec![1usize])
+            .prop_recursive(3, 12, 3, |inner| {
+                prop::collection::vec(inner, 1..4)
+                    .prop_map(|parts| parts.iter().sum::<usize>() + 1)
+                    .boxed()
+            })
+            .boxed();
+        let mut rng = TestRng::from_name("recursive_strategies_terminate");
+        let mut max_seen = 0usize;
+        for _ in 0..200 {
+            max_seen = max_seen.max(depth_strategy.sample(&mut rng));
+        }
+        assert!(max_seen > 1, "recursion never took a deep branch");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..50 {
+            assert_eq!((0usize..1000).sample(&mut a), (0usize..1000).sample(&mut b));
+        }
+    }
+}

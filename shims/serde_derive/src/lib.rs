@@ -1,0 +1,222 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes: structs with
+//! named fields and enums whose variants carry no data. The input is
+//! parsed directly from the `proc_macro` token stream (no `syn`/`quote`
+//! — those are unavailable offline); generated impls target the
+//! `Value`-based traits in the sibling `serde` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derive `serde::Serialize` (shim: `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (shim: `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::Error(\
+                                 format!(\"field {f}: {{}}\", e.0)))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error(\
+                                     format!(\"unknown {name} variant {{}}\", other))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error(\
+                                 String::from(\"expected string for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input ended before `struct`/`enum`"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive does not support generic types")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde shim derive does not support tuple/unit structs")
+            }
+            Some(_) => {}
+            None => panic!("derive input for `{name}` has no braced body"),
+        }
+    };
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: split_items(body.stream(), parse_field),
+        }
+    } else {
+        Shape::Enum {
+            name,
+            variants: split_items(body.stream(), parse_variant),
+        }
+    }
+}
+
+/// Split a braced body at depth-0 commas (tracking `<...>` nesting, which
+/// is made of plain puncts, unlike bracketed groups) and parse each chunk.
+fn split_items(body: TokenStream, parse: fn(&[TokenTree]) -> Option<String>) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                items.extend(parse(&chunk));
+                chunk.clear();
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(tok);
+    }
+    items.extend(parse(&chunk));
+    items
+}
+
+/// Name of a named struct field: skip attributes and visibility, then the
+/// first ident before `:` is the field name.
+fn parse_field(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            other => panic!("unsupported token in struct field: {other:?}"),
+        }
+    }
+    None // trailing comma leaves an empty chunk
+}
+
+/// Name of a fieldless enum variant; data-carrying variants are rejected.
+fn parse_variant(chunk: &[TokenTree]) -> Option<String> {
+    let mut name = None;
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr
+            TokenTree::Ident(id) if name.is_none() => {
+                name = Some(id.to_string());
+                i += 1;
+            }
+            TokenTree::Group(_) => {
+                panic!("serde shim derive does not support enum variants with data")
+            }
+            other => panic!("unsupported token in enum variant: {other:?}"),
+        }
+    }
+    name
+}

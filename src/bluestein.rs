@@ -50,7 +50,13 @@ impl Bluestein {
             b[m - j] = c;
         }
         let kernel_hat = inner.execute(&b);
-        Bluestein { n, m, chirp, kernel_hat, inner }
+        Bluestein {
+            n,
+            m,
+            chirp,
+            kernel_hat,
+            inner,
+        }
     }
 
     /// Transform size.
@@ -106,7 +112,9 @@ mod tests {
     use spiral_spl::cplx::assert_slices_close;
 
     fn ramp(n: usize) -> Vec<Cplx> {
-        (0..n).map(|k| Cplx::new((k as f64 * 0.71).sin(), (k as f64 * 0.31).cos())).collect()
+        (0..n)
+            .map(|k| Cplx::new((k as f64 * 0.71).sin(), (k as f64 * 0.31).cos()))
+            .collect()
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub struct SpiralFft {
 /// How a transform executes.
 enum Backend {
     /// A compiled plan (optionally on the thread pool).
-    Plan { plan: Plan, executor: Option<ParallelExecutor> },
+    Plan {
+        plan: Plan,
+        executor: Option<ParallelExecutor>,
+    },
     /// Bluestein chirp-z fallback for sizes with prime factors larger
     /// than the codelet bound (runs a tuned power-of-two plan inside).
     Bluestein(bluestein::Bluestein),
@@ -113,7 +116,10 @@ impl SpiralFft {
         let tuned = Tuner::new(1, mu, CostModel::Analytic).tune_sequential(n);
         SpiralFft {
             formula: tuned.formula,
-            backend: Backend::Plan { plan: tuned.plan, executor: None },
+            backend: Backend::Plan {
+                plan: tuned.plan,
+                executor: None,
+            },
         }
     }
 
@@ -132,7 +138,10 @@ impl SpiralFft {
         };
         Ok(SpiralFft {
             formula: tuned.formula,
-            backend: Backend::Plan { plan: tuned.plan, executor },
+            backend: Backend::Plan {
+                plan: tuned.plan,
+                executor,
+            },
         })
     }
 
@@ -140,30 +149,37 @@ impl SpiralFft {
     /// (paper §2.2: multidimensional transforms are tensor products; the
     /// Table 1 rules parallelize the row-column factorization directly).
     /// Requires `p | rows` and `pµ | cols`.
-    pub fn parallel_2d(
-        rows: usize,
-        cols: usize,
-        p: usize,
-        mu: usize,
-    ) -> Result<SpiralFft, Error> {
-        let formula = spiral_rewrite::multicore_dft2d_expanded(rows, cols, p, mu, 8)
-            .map_err(|_| Error::NoParallelSplit { n: rows * cols, p, mu })?;
-        let plan = Plan::from_formula(&formula, p, mu)
-            .expect("2-D expansion always lowers");
+    pub fn parallel_2d(rows: usize, cols: usize, p: usize, mu: usize) -> Result<SpiralFft, Error> {
+        let formula =
+            spiral_rewrite::multicore_dft2d_expanded(rows, cols, p, mu, 8).map_err(|_| {
+                Error::NoParallelSplit {
+                    n: rows * cols,
+                    p,
+                    mu,
+                }
+            })?;
+        let plan = Plan::from_formula(&formula, p, mu).expect("2-D expansion always lowers");
         let executor = if plan.threads > 1 {
             Some(ParallelExecutor::with_auto_barrier(plan.threads))
         } else {
             None
         };
-        Ok(SpiralFft { formula, backend: Backend::Plan { plan, executor } })
+        Ok(SpiralFft {
+            formula,
+            backend: Backend::Plan { plan, executor },
+        })
     }
 
     /// Generate a `p`-thread Walsh–Hadamard transform `WHT_{2^k}` — the
     /// rewriting rules are transform-generic (paper §2.2: SPL expresses
     /// a large class of linear transforms).
     pub fn parallel_wht(k: u32, p: usize, mu: usize) -> Result<SpiralFft, Error> {
-        let derived = spiral_rewrite::multicore_wht(k, p, mu)
-            .map_err(|_| Error::NoParallelSplit { n: 1usize << k, p, mu })?;
+        let derived =
+            spiral_rewrite::multicore_wht(k, p, mu).map_err(|_| Error::NoParallelSplit {
+                n: 1usize << k,
+                p,
+                mu,
+            })?;
         let plan = Plan::from_formula(&derived.formula, p, mu)
             .expect("WHT formulas always lower")
             .fuse_exchanges();
@@ -181,13 +197,18 @@ impl SpiralFft {
     /// Sequential 2-D DFT on a `rows × cols` row-major array.
     pub fn sequential_2d(rows: usize, cols: usize) -> SpiralFft {
         let f2d = spiral_rewrite::dft2d(rows, cols);
-        let formula = spiral_rewrite::expand_dfts(&f2d, &|k| {
-            spiral_rewrite::RuleTree::balanced(k, 8)
-        })
-        .normalized();
+        let formula =
+            spiral_rewrite::expand_dfts(&f2d, &|k| spiral_rewrite::RuleTree::balanced(k, 8))
+                .normalized();
         let plan = Plan::from_formula(&formula, 1, spiral_smp::topology::mu())
             .expect("2-D expansion always lowers");
-        SpiralFft { formula, backend: Backend::Plan { plan, executor: None } }
+        SpiralFft {
+            formula,
+            backend: Backend::Plan {
+                plan,
+                executor: None,
+            },
+        }
     }
 
     /// The SPL formula this implementation executes.
@@ -218,8 +239,14 @@ impl SpiralFft {
     /// Compute the forward DFT of `x` (length must equal [`len`](Self::len)).
     pub fn forward(&self, x: &[Cplx]) -> Vec<Cplx> {
         match &self.backend {
-            Backend::Plan { plan, executor: Some(e) } => e.execute(plan, x),
-            Backend::Plan { plan, executor: None } => plan.execute(x),
+            Backend::Plan {
+                plan,
+                executor: Some(e),
+            } => e.execute(plan, x),
+            Backend::Plan {
+                plan,
+                executor: None,
+            } => plan.execute(x),
             Backend::Bluestein(b) => b.run(x),
         }
     }
@@ -278,7 +305,10 @@ mod tests {
 
     #[test]
     fn inverse_roundtrips() {
-        for fft in [SpiralFft::sequential(64), SpiralFft::parallel(256, 2, 4).unwrap()] {
+        for fft in [
+            SpiralFft::sequential(64),
+            SpiralFft::parallel(256, 2, 4).unwrap(),
+        ] {
             let n = fft.len();
             let x = ramp(n);
             let back = fft.inverse(&fft.forward(&x));

@@ -26,7 +26,7 @@ fn full_pipeline_for_all_valid_configs() {
             let pmu2 = (p * mu) * (p * mu);
             for logn in 6..=12 {
                 let n = 1usize << logn;
-                if n % pmu2 != 0 {
+                if !n.is_multiple_of(pmu2) {
                     continue;
                 }
                 // 1. derive
@@ -96,7 +96,11 @@ fn linearity_and_parseval_of_generated_transforms() {
     // Parseval: ||y||² = n ||x||².
     let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
     let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
-    assert!((ey - n as f64 * ex).abs() < 1e-6 * ey.max(1.0), "{ey} vs {}", n as f64 * ex);
+    assert!(
+        (ey - n as f64 * ex).abs() < 1e-6 * ey.max(1.0),
+        "{ey} vs {}",
+        n as f64 * ex
+    );
     // Impulse response is flat.
     let mut imp = vec![Cplx::ZERO; n];
     imp[0] = Cplx::ONE;

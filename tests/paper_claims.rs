@@ -5,9 +5,7 @@
 //! these verify *shapes and relations*, not absolute numbers.
 
 use spiral_bench::series::{crossover, fig3_series, tune_spiral};
-use spiral_fft::rewrite::{
-    check_fully_optimized, formula_14, load_balance_ratio, multicore_dft,
-};
+use spiral_fft::rewrite::{check_fully_optimized, formula_14, load_balance_ratio, multicore_dft};
 use spiral_fft::sim::{core_duo, opteron, paper_machines, pentium_d, simulate_plan, xeon_mp};
 use spiral_fft::spl::builder::dft;
 use spiral_fft::spl::matrix::assert_formula_eq;
@@ -15,10 +13,18 @@ use spiral_fft::spl::matrix::assert_formula_eq;
 #[test]
 fn claim_s32_formula_14_is_derived_and_exact() {
     // §3.2: "The final expression output by our rewriting system, (14)".
-    for (n, p, mu, m) in [(64usize, 2usize, 4usize, 8usize), (256, 4, 2, 16), (1024, 2, 4, 32)] {
+    for (n, p, mu, m) in [
+        (64usize, 2usize, 4usize, 8usize),
+        (256, 4, 2, 16),
+        (1024, 2, 4, 32),
+    ] {
         let r = multicore_dft(n, p, mu, Some(m)).unwrap();
         let hand = formula_14(m, n / m, p, mu).normalized();
-        assert_eq!(r.formula.to_string(), hand.to_string(), "n={n} p={p} µ={mu}");
+        assert_eq!(
+            r.formula.to_string(),
+            hand.to_string(),
+            "n={n} p={p} µ={mu}"
+        );
         assert_formula_eq(&dft(n), &r.formula, 1e-7);
     }
 }
@@ -69,7 +75,11 @@ fn claim_s1_speedup_for_in_l1_sizes_on_cmp() {
     );
     // Paper: "less than 10,000 cycles" — holds with exchanges merged
     // into the compute stages (EXPERIMENTS.md records the exact value).
-    assert!(par.cycles < 10_000.0, "2^8 parallel run at {} cycles", par.cycles);
+    assert!(
+        par.cycles < 10_000.0,
+        "2^8 parallel run at {} cycles",
+        par.cycles
+    );
 }
 
 #[test]
@@ -81,12 +91,11 @@ fn claim_s4_fftw_crossover_is_much_later_than_spirals() {
     let spiral_x = crossover(&series[0], &series[2], 0.02).expect("Spiral crossover");
     let fftw_x = crossover(&series[3], &series[4], 0.02);
     assert!(spiral_x <= 8, "Spiral crossover 2^{spiral_x} > 2^8");
-    match fftw_x {
-        Some(k) => {
-            assert!(k >= 11, "FFTW-like crossover 2^{k} too early");
-            assert!(k > spiral_x + 2, "crossover gap too small");
-        }
-        None => {} // even later than the sweep: consistent with the claim
+    // `None` (crossover even later than the sweep) is consistent with
+    // the claim; only an observed crossover is constrained.
+    if let Some(k) = fftw_x {
+        assert!(k >= 11, "FFTW-like crossover 2^{k} too early");
+        assert!(k > spiral_x + 2, "crossover gap too small");
     }
 }
 
@@ -147,7 +156,10 @@ fn claim_s4_four_way_speedup_on_opteron() {
     for (k, factor) in [(10u32, 1.1), (12, 1.8), (13, 2.0)] {
         let par = series[0].value_at(k).unwrap();
         let seq = series[2].value_at(k).unwrap();
-        assert!(par > factor * seq, "2^{k}: par {par} vs seq {seq} (want {factor}x)");
+        assert!(
+            par > factor * seq,
+            "2^{k}: par {par} vs seq {seq} (want {factor}x)"
+        );
     }
 }
 
