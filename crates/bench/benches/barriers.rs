@@ -12,7 +12,7 @@ fn bench_barriers(c: &mut Criterion) {
         for kind in [BarrierKind::Spin, BarrierKind::Park] {
             let pool = Pool::new(p);
             let name = format!("{kind:?}_p{p}");
-            group.bench_function(BenchmarkId::new("barrier", name), |b| {
+            group.bench_function(BenchmarkId::new("barrier", name.clone()), |b| {
                 b.iter_custom(|iters| {
                     let barrier = kind.build(p);
                     let barrier: &dyn Barrier = &*barrier;
@@ -20,6 +20,23 @@ fn bench_barriers(c: &mut Criterion) {
                     pool.run(&|_tid| {
                         for _ in 0..iters {
                             barrier.wait();
+                        }
+                    });
+                    start.elapsed()
+                })
+            });
+            // The watchdog path the executor actually uses: same
+            // round-trip with a (never-expiring) deadline armed, so the
+            // comparison quantifies what deadline accounting costs.
+            group.bench_function(BenchmarkId::new("barrier_deadline", name), |b| {
+                b.iter_custom(|iters| {
+                    let barrier = kind.build(p);
+                    let barrier: &dyn Barrier = &*barrier;
+                    let deadline = std::time::Duration::from_secs(60);
+                    let start = std::time::Instant::now();
+                    pool.run(&|_tid| {
+                        for _ in 0..iters {
+                            let _ = barrier.wait_deadline(deadline);
                         }
                     });
                     start.elapsed()

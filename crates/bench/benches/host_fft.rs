@@ -21,7 +21,7 @@ fn bench_sequential(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
 
         let tuner = Tuner::new(1, 4, CostModel::Analytic);
-        let plan = tuner.tune_sequential(n).plan;
+        let plan = tuner.tune_sequential(n).expect("analytic tuning").plan;
         group.bench_with_input(BenchmarkId::new("spiral_tuned", k), &x, |b, x| {
             b.iter(|| plan.execute(x))
         });

@@ -278,6 +278,95 @@ pub fn verification_ablation(
     rows
 }
 
+/// One row of the fault-tolerance overhead ablation (ABL-FAULT).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultOverheadRow {
+    /// Transform size as log2 n.
+    pub log2n: u32,
+    /// Wall-clock µs per transform through the fault-tolerant parallel
+    /// path (`try_execute`: panic isolation, deadline-bounded barriers,
+    /// output finiteness scan) — min over reps.
+    pub exec_us: f64,
+    /// µs of the output finiteness scan alone (min over reps).
+    pub scan_us: f64,
+    /// Scan cost as a percentage of the transform time.
+    pub scan_pct: f64,
+    /// µs of one deadline-bounded barrier round-trip at `threads`.
+    pub barrier_wait_us: f64,
+}
+
+/// Measure what the fault-tolerant execution layer costs on the happy
+/// path: per-transform time through `try_execute` (all guards active),
+/// the output finiteness scan in isolation, and the deadline-bounded
+/// barrier round-trip. The paper's design point — "low-latency minimal
+/// overhead synchronization" (§3.2) — must survive the watchdogs.
+pub fn fault_overhead_ablation(
+    threads: usize,
+    min_log2: u32,
+    max_log2: u32,
+    reps: usize,
+) -> Vec<FaultOverheadRow> {
+    use spiral_codegen::ParallelExecutor;
+    use spiral_search::Tuner;
+    use spiral_smp::barrier::BarrierKind;
+    use spiral_smp::pool::Pool;
+    use spiral_spl::cplx::{first_non_finite, Cplx};
+    use std::time::Instant;
+
+    let reps = reps.max(1);
+    let mu = spiral_smp::topology::mu();
+    let exec = ParallelExecutor::new(threads, BarrierKind::Park);
+
+    // Deadline-bounded barrier round-trip, amortized over many waits.
+    let barrier_wait_us = {
+        let pool = Pool::new(threads);
+        let barrier = BarrierKind::Park.build(threads);
+        let barrier = &*barrier;
+        let iters = 2000u32;
+        let t0 = Instant::now();
+        pool.run(&|_tid| {
+            for _ in 0..iters {
+                let _ = barrier.wait_deadline(std::time::Duration::from_secs(10));
+            }
+        });
+        t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+    };
+
+    let mut rows = Vec::new();
+    for k in min_log2..=max_log2 {
+        let n = 1usize << k;
+        let Ok(Some(tuned)) = Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) else {
+            continue;
+        };
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
+            .collect();
+        let mut exec_us = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..=reps {
+            let t0 = Instant::now();
+            out = exec
+                .try_execute(&tuned.plan, &x)
+                .expect("healthy plan must execute");
+            exec_us = exec_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        let mut scan_us = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(first_non_finite(&out));
+            scan_us = scan_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        rows.push(FaultOverheadRow {
+            log2n: k,
+            exec_us,
+            scan_us,
+            scan_pct: 100.0 * scan_us / exec_us,
+            barrier_wait_us,
+        });
+    }
+    rows
+}
+
 /// One row of the search comparison (SEARCH-DP).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SearchRow {
@@ -409,6 +498,17 @@ mod tests {
             assert!(!r.spiral_static_false_sharing, "2^{}", r.log2n);
             assert!(r.naive_static_false_sharing, "2^{}", r.log2n);
             assert!(r.verdicts_agree, "2^{}: {r:?}", r.log2n);
+        }
+    }
+
+    #[test]
+    fn fault_overhead_rows_complete() {
+        let rows = fault_overhead_ablation(2, 8, 9, 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.exec_us > 0.0 && r.exec_us.is_finite(), "{r:?}");
+            assert!(r.scan_us >= 0.0 && r.scan_pct >= 0.0, "{r:?}");
+            assert!(r.barrier_wait_us > 0.0, "{r:?}");
         }
     }
 

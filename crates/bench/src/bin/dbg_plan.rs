@@ -5,7 +5,7 @@ use spiral_search::{CostModel, Tuner};
 
 fn main() {
     let tuner = Tuner::new(1, 4, CostModel::Analytic);
-    let plan = tuner.tune_sequential(1024).plan;
+    let plan = tuner.tune_sequential(1024).expect("analytic tuning").plan;
     for (si, step) in plan.steps.iter().enumerate() {
         if let Step::Seq(p) = step {
             for (ki, st) in p.stages.iter().enumerate() {

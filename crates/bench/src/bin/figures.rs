@@ -14,8 +14,8 @@
 //! ```
 
 use spiral_bench::ablations::{
-    false_sharing_ablation, merge_ablation, schedule_ablation, search_comparison, sixstep_ablation,
-    verification_ablation,
+    false_sharing_ablation, fault_overhead_ablation, merge_ablation, schedule_ablation,
+    search_comparison, sixstep_ablation, verification_ablation,
 };
 use spiral_bench::ascii;
 use spiral_bench::series::{crossover, fig3_series, tune_spiral, Series};
@@ -60,6 +60,7 @@ fn main() {
             let m = machine_arg(&opts);
             run_abl_merge(&m, &opts);
         }
+        "ablation-fault" => run_abl_fault(&opts, out_dir.as_deref()),
         "search" => run_search(&opts),
         "verify" => {
             let m = machine_arg(&opts);
@@ -79,6 +80,7 @@ fn main() {
             run_abl_sched(&m, &opts);
             run_abl_sixstep(&m, &opts);
             run_abl_merge(&m, &opts);
+            run_abl_fault(&opts, out_dir.as_deref());
             run_search(&opts);
             run_verify(&m, &opts, out_dir.as_deref());
         }
@@ -92,8 +94,8 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: figures <fig3|crossover|sequential|ablation-false-sharing|\
-         ablation-schedule|ablation-sixstep|ablation-merge|search|verify|all> [--machine NAME] \
-         [--min K] [--max K] [--size K] [--out DIR]\n\
+         ablation-schedule|ablation-sixstep|ablation-merge|ablation-fault|search|verify|all> \
+         [--machine NAME] [--min K] [--max K] [--size K] [--out DIR]\n\
          machines: core-duo opteron pentium-d xeon-mp"
     );
     std::process::exit(2);
@@ -231,7 +233,7 @@ fn run_sequential_host(opts: &HashMap<String, String>) {
             .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
             .collect();
         let tuner = Tuner::new(1, spiral_smp::topology::mu(), CostModel::Analytic);
-        let plan = tuner.tune_sequential(n).plan;
+        let plan = tuner.tune_sequential(n).expect("analytic tuning").plan;
         let t_spiral = time_us(&mut || {
             std::hint::black_box(plan.execute(&x));
         });
@@ -351,6 +353,31 @@ fn run_abl_merge(m: &MachineSpec, opts: &HashMap<String, String>) {
             r.fused_barriers,
             r.explicit_cycles / r.fused_cycles
         );
+    }
+}
+
+/// ABL-FAULT: what the fault-tolerant execution layer costs on the
+/// happy path — per-transform time with all guards active, the output
+/// finiteness scan alone, and the deadline-bounded barrier round-trip.
+fn run_abl_fault(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 8, 14);
+    let threads = 2;
+    println!("\nABL-FAULT — fault-tolerance overhead on the happy path (p={threads}, host)");
+    println!(
+        "{:>7} {:>12} {:>10} {:>9} {:>16}",
+        "log2n", "exec µs", "scan µs", "scan %", "barrier wait µs"
+    );
+    let rows = fault_overhead_ablation(threads, min, max, 5);
+    for r in &rows {
+        println!(
+            "{:>7} {:>12.1} {:>10.2} {:>8.2}% {:>16.2}",
+            r.log2n, r.exec_us, r.scan_us, r.scan_pct, r.barrier_wait_us
+        );
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/abl_fault_overhead.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        println!("wrote {path}");
     }
 }
 

@@ -68,11 +68,14 @@ pub struct SpiralPlans {
 pub fn tune_spiral(n: usize, machine: &MachineSpec) -> SpiralPlans {
     let mu = machine.mu();
     let seq_tuner = Tuner::new(1, mu, CostModel::Analytic);
-    let sequential = seq_tuner.tune_sequential(n).plan;
+    let sequential = seq_tuner
+        .tune_sequential(n)
+        .unwrap_or_else(|e| panic!("sequential tuning of DFT_{n} failed: {e}"))
+        .plan;
     let mut parallel = Vec::new();
     for t in thread_choices(machine.p) {
         let tuner = Tuner::new(t, mu, CostModel::Analytic);
-        if let Some(tuned) = tuner.tune_parallel(n) {
+        if let Ok(Some(tuned)) = tuner.tune_parallel(n) {
             if tuned.plan.threads > 1 {
                 parallel.push((t, tuned.plan));
             }

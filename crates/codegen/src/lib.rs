@@ -49,5 +49,6 @@ pub use cemit::{emit_c, CFlavor};
 pub use codelet::Codelet;
 pub use hook::{MemHook, NullHook, Region};
 pub use lower::{lower_seq, LowerError};
-pub use parallel::ParallelExecutor;
+pub use parallel::{ExecOutcome, ParallelExecutor};
 pub use plan::{Plan, Step};
+pub use spiral_smp::SpiralError;

@@ -4,19 +4,63 @@
 //! worker pool, one statically scheduled portion per thread per step, one
 //! barrier per step, cache-line aligned shared buffers, and per-thread
 //! private scratch.
+//!
+//! ## Failure model
+//!
+//! [`ParallelExecutor::try_execute`] is the fallible entry point:
+//!
+//! * a panic on any logical thread (including the caller) is caught by
+//!   the pool and surfaces as [`SpiralError::WorkerPanic`];
+//! * a dead peer is bounded by the stage-barrier watchdog
+//!   ([`ParallelExecutor::set_watchdog`]): survivors observe
+//!   [`SpiralError::BarrierTimeout`] within the deadline, mark the run
+//!   failed, and drain, so the caller gets an `Err` instead of a
+//!   deadlock;
+//! * results are scanned before they leave the executor — non-finite
+//!   output yields [`SpiralError::NonFinite`], never a silently
+//!   corrupted `Ok`;
+//! * after any failed run the stage barrier is reset, so the same
+//!   executor (and pool) runs subsequent healthy plans;
+//! * [`ParallelExecutor::execute_resilient`] additionally degrades to
+//!   the verified sequential interpreter (`Plan::execute`) when the pool
+//!   is unhealthy or the parallel run hits a runtime fault.
+//!
+//! With the `faults` feature, deterministic faults (panics, delays, NaN
+//! corruption) can be injected at any `(stage, thread)` point via
+//! `spiral_smp::faults` to exercise all of the above.
 
 use crate::plan::{Plan, Step};
 use crate::stage::Scratch;
 use spiral_smp::align::AlignedVec;
 use spiral_smp::barrier::{Barrier, BarrierKind};
+use spiral_smp::error::{lock_recover, SpiralError};
 use spiral_smp::pool::Pool;
-use spiral_spl::cplx::Cplx;
+use spiral_spl::cplx::{first_non_finite, Cplx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default stage-barrier watchdog. Generous: a healthy stage never takes
+/// seconds, so tripping it means a peer is dead or wedged.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Result of [`ParallelExecutor::execute_resilient`].
+pub struct ExecOutcome {
+    /// The transform output.
+    pub output: Vec<Cplx>,
+    /// `None` when the parallel path succeeded; `Some(cause)` when the
+    /// executor degraded to the sequential interpreter because of this
+    /// runtime fault.
+    pub degraded: Option<SpiralError>,
+}
 
 /// Reusable parallel executor: owns the pool, barrier, and buffers.
 pub struct ParallelExecutor {
     pool: Pool,
     barrier: Box<dyn Barrier>,
     threads: usize,
+    watchdog: Duration,
 }
 
 /// Shared mutable buffer pointers for the workers.
@@ -41,14 +85,31 @@ struct SharedBufs {
 }
 unsafe impl Sync for SharedBufs {}
 
+/// The pool must outwait the stage barrier: when a run fails, survivors
+/// each burn at most one barrier deadline before draining, and a delayed
+/// straggler can burn one more.
+fn pool_watchdog(stage_watchdog: Duration) -> Duration {
+    stage_watchdog * 2 + Duration::from_millis(250)
+}
+
 impl ParallelExecutor {
     /// Build an executor with `threads` workers and the given barrier.
     pub fn new(threads: usize, kind: BarrierKind) -> ParallelExecutor {
+        ParallelExecutor::with_watchdog(threads, kind, DEFAULT_WATCHDOG)
+    }
+
+    /// Build an executor with an explicit stage-barrier watchdog.
+    pub fn with_watchdog(
+        threads: usize,
+        kind: BarrierKind,
+        watchdog: Duration,
+    ) -> ParallelExecutor {
         let threads = threads.max(1);
         ParallelExecutor {
-            pool: Pool::new(threads),
+            pool: Pool::with_watchdog(threads, pool_watchdog(watchdog)),
             barrier: kind.build(threads),
             threads,
+            watchdog,
         }
     }
 
@@ -62,28 +123,68 @@ impl ParallelExecutor {
         self.threads
     }
 
+    /// The configured stage-barrier watchdog.
+    pub fn watchdog(&self) -> Duration {
+        self.watchdog
+    }
+
+    /// Change the stage-barrier watchdog (the pool-level watchdog is
+    /// derived from it).
+    pub fn set_watchdog(&mut self, watchdog: Duration) {
+        self.watchdog = watchdog;
+        self.pool.set_watchdog(pool_watchdog(watchdog));
+    }
+
+    /// True when the worker pool is in a runnable state.
+    pub fn healthy(&self) -> bool {
+        self.pool.healthy()
+    }
+
     /// Execute `plan` on `x`. The plan's `threads` must not exceed the
-    /// executor's. Returns the transform output.
+    /// executor's. Returns the transform output. Panics on any execution
+    /// failure; see [`try_execute`](Self::try_execute) for the fallible
+    /// variant.
     pub fn execute(&self, plan: &Plan, x: &[Cplx]) -> Vec<Cplx> {
-        assert_eq!(x.len(), plan.n, "input length mismatch");
-        assert!(
-            plan.threads <= self.threads,
-            "plan wants {} threads, executor has {}",
-            plan.threads,
-            self.threads
-        );
+        match self.try_execute(plan, x) {
+            Ok(y) => y,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Execute `plan` on `x`, propagating failures instead of panicking
+    /// or deadlocking: worker panics, barrier watchdog expiries, failed
+    /// allocations, and non-finite output all return `Err` in bounded
+    /// time, and the executor remains usable afterwards.
+    pub fn try_execute(&self, plan: &Plan, x: &[Cplx]) -> Result<Vec<Cplx>, SpiralError> {
+        if x.len() != plan.n {
+            return Err(SpiralError::Plan(format!(
+                "input length {} does not match plan size {}",
+                x.len(),
+                plan.n
+            )));
+        }
+        if plan.threads > self.threads {
+            return Err(SpiralError::Plan(format!(
+                "plan wants {} threads, executor has {}",
+                plan.threads, self.threads
+            )));
+        }
         // The soundness of the `unsafe` buffer sharing below is a static
         // property of the plan (see `SharedBufs`); debug builds re-check
         // it with the installed analyzer before running anything.
         #[cfg(debug_assertions)]
         if let Some(validate) = crate::validate::validator() {
             if let Err(e) = validate(plan) {
-                panic!("plan failed static verification: {e}");
+                return Err(SpiralError::Plan(format!(
+                    "plan failed static verification: {e}"
+                )));
             }
         }
         let n = plan.n;
-        let mut buf_a: AlignedVec<Cplx> = AlignedVec::new(n.max(1));
-        let mut buf_b: AlignedVec<Cplx> = AlignedVec::new(n.max(1));
+        let mut buf_a: AlignedVec<Cplx> =
+            AlignedVec::try_with_alignment(n.max(1), spiral_smp::CACHE_LINE_BYTES)?;
+        let mut buf_b: AlignedVec<Cplx> =
+            AlignedVec::try_with_alignment(n.max(1), spiral_smp::CACHE_LINE_BYTES)?;
         buf_a.copy_from(x);
         let _ = &mut buf_b;
         let shared = SharedBufs {
@@ -97,12 +198,25 @@ impl ParallelExecutor {
         let shared = &shared;
         let barrier = &*self.barrier;
         let threads = self.threads;
+        let watchdog = self.watchdog;
         let tmp_dim = plan.max_local_dim().max(1);
 
-        self.pool.run(&|tid| {
+        #[cfg(feature = "faults")]
+        spiral_smp::faults::begin_run();
+
+        // First stage-level failure (barrier timeout) observed by any
+        // thread; `failed` lets the other threads drain at the next
+        // stage boundary instead of waiting out their own deadline.
+        let stage_err: Mutex<Option<SpiralError>> = Mutex::new(None);
+        let failed = AtomicBool::new(false);
+
+        let run_result = self.pool.try_run(&|tid| {
             let mut tmp: AlignedVec<Cplx> = AlignedVec::new(tmp_dim);
             let mut scratch = Scratch::default();
             for (si, step) in plan.steps.iter().enumerate() {
+                if failed.load(Ordering::Acquire) {
+                    break;
+                }
                 // Ping-pong: even steps read A write B.
                 // Safety: see SharedBufs — disjoint writes, barrier-ordered
                 // reads.
@@ -112,6 +226,18 @@ impl ParallelExecutor {
                     } else {
                         (std::slice::from_raw_parts(shared.b, shared.n), shared.a)
                     }
+                };
+                #[cfg(feature = "faults")]
+                let corrupt = match spiral_smp::faults::at(si, tid) {
+                    Some(spiral_smp::faults::Fault::Panic) => {
+                        panic!("injected fault: panic at stage {si}, thread {tid}")
+                    }
+                    Some(spiral_smp::faults::Fault::Delay(d)) => {
+                        std::thread::sleep(d);
+                        false
+                    }
+                    Some(spiral_smp::faults::Fault::CorruptNan) => true,
+                    None => false,
                 };
                 run_step_portion(
                     step,
@@ -124,16 +250,129 @@ impl ParallelExecutor {
                     &mut tmp,
                     &mut scratch,
                 );
-                barrier.wait();
+                #[cfg(feature = "faults")]
+                if corrupt {
+                    inject_nan(step, n, plan.mu.max(1), tid, threads, dst);
+                }
+                if let Err(e) = barrier.wait_deadline(watchdog) {
+                    failed.store(true, Ordering::Release);
+                    let mut slot = lock_recover(&stage_err);
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
             }
         });
 
+        // A failed run can leave the stage barrier mid-phase (retracted
+        // arrivals, stale count); restore it before anyone reuses us.
+        if run_result.is_err() || failed.load(Ordering::Acquire) {
+            self.barrier.reset();
+        }
+        run_result?;
+        if let Some(e) = lock_recover(&stage_err).take() {
+            return Err(e);
+        }
+
         let result_in_a = plan.steps.len().is_multiple_of(2);
-        if result_in_a {
+        let out = if result_in_a {
             buf_a.as_slice().to_vec()
         } else {
             buf_b.as_slice().to_vec()
+        };
+        // Corruption guard: non-finite values never leave the executor.
+        if let Some(index) = first_non_finite(&out) {
+            return Err(SpiralError::NonFinite {
+                index,
+                context: format!("parallel execution of a {n}-point plan"),
+            });
         }
+        Ok(out)
+    }
+
+    /// Execute `plan` with graceful degradation: when the pool is
+    /// unhealthy, or the parallel run fails with a runtime fault (panic,
+    /// watchdog expiry, corrupted output), fall back to the verified
+    /// sequential interpreter and report the cause in
+    /// [`ExecOutcome::degraded`]. Deterministic misuse (size mismatch,
+    /// failed static verification) is returned as `Err` — retrying
+    /// cannot fix it.
+    pub fn execute_resilient(&self, plan: &Plan, x: &[Cplx]) -> Result<ExecOutcome, SpiralError> {
+        if self.pool.healthy() {
+            match self.try_execute(plan, x) {
+                Ok(output) => {
+                    return Ok(ExecOutcome {
+                        output,
+                        degraded: None,
+                    })
+                }
+                Err(e) if e.is_runtime_fault() => return self.sequential_rescue(plan, x, e),
+                Err(e) => return Err(e),
+            }
+        }
+        self.sequential_rescue(plan, x, SpiralError::PoolUnhealthy)
+    }
+
+    fn sequential_rescue(
+        &self,
+        plan: &Plan,
+        x: &[Cplx],
+        cause: SpiralError,
+    ) -> Result<ExecOutcome, SpiralError> {
+        let output = catch_unwind(AssertUnwindSafe(|| plan.execute(x))).map_err(|p| {
+            SpiralError::WorkerPanic {
+                thread: 0,
+                payload: spiral_smp::panic_payload(p),
+            }
+        })?;
+        if let Some(index) = first_non_finite(&output) {
+            return Err(SpiralError::NonFinite {
+                index,
+                context: format!("sequential fallback of a {}-point plan", plan.n),
+            });
+        }
+        Ok(ExecOutcome {
+            output,
+            degraded: Some(cause),
+        })
+    }
+}
+
+/// Write one NaN into an element of `dst` that thread `tid` owns in this
+/// step (fault injection: models silent corruption of the thread's
+/// output portion). No-op when the thread writes nothing this step.
+#[cfg(feature = "faults")]
+fn inject_nan(step: &Step, n: usize, plan_mu: usize, tid: usize, threads: usize, dst: *mut Cplx) {
+    let idx = match step {
+        Step::Seq(_) => (tid == 0 && n > 0).then_some(0),
+        Step::Par {
+            chunk, programs, ..
+        } => {
+            // Chunk `c` runs on thread `c % threads`, so the first chunk
+            // owned by `tid` is chunk `tid` itself.
+            (tid < programs.len() && *chunk > 0).then(|| tid * *chunk)
+        }
+        Step::Exchange { mu, .. } => {
+            let (lo, hi) = share(n / mu, threads, tid);
+            (hi > lo).then(|| lo * mu)
+        }
+        Step::ScaleAll(_) => {
+            let blocks = n / plan_mu;
+            let (b_lo, b_hi) = share(blocks, threads, tid);
+            let lo = b_lo * plan_mu;
+            let hi = if tid == threads - 1 {
+                n
+            } else {
+                b_hi * plan_mu
+            };
+            (hi > lo).then_some(lo)
+        }
+    };
+    if let Some(i) = idx {
+        // Safety: `i` is within thread `tid`'s disjoint write portion of
+        // this step (same ownership argument as `run_step_portion`).
+        unsafe { *dst.add(i) = Cplx::new(f64::NAN, f64::NAN) };
     }
 }
 
@@ -304,5 +543,33 @@ mod tests {
         let plan = Plan::from_formula(&f, 4, 2).unwrap();
         let exec = ParallelExecutor::new(2, BarrierKind::Park);
         exec.execute(&plan, &ramp(64));
+    }
+
+    #[test]
+    fn try_execute_rejects_bad_input_as_err() {
+        let f = multicore_dft_expanded(64, 2, 4, None, 8).unwrap();
+        let plan = Plan::from_formula(&f, 2, 4).unwrap();
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        // Wrong input length.
+        let err = exec.try_execute(&plan, &ramp(63)).unwrap_err();
+        assert!(matches!(err, SpiralError::Plan(_)));
+        // Undersized executor.
+        let big =
+            Plan::from_formula(&multicore_dft_expanded(64, 4, 2, None, 8).unwrap(), 4, 2).unwrap();
+        let err = exec.try_execute(&big, &ramp(64)).unwrap_err();
+        assert!(matches!(err, SpiralError::Plan(_)));
+        // Neither is a runtime fault: the resilient path must not retry.
+        assert!(!err.is_runtime_fault());
+    }
+
+    #[test]
+    fn resilient_path_matches_plain_execution_when_healthy() {
+        let f = multicore_dft_expanded(256, 2, 4, None, 8).unwrap();
+        let plan = Plan::from_formula(&f, 2, 4).unwrap();
+        let exec = ParallelExecutor::new(2, BarrierKind::Park);
+        let x = ramp(256);
+        let outcome = exec.execute_resilient(&plan, &x).unwrap();
+        assert!(outcome.degraded.is_none());
+        assert_slices_close(&outcome.output, &plan.execute(&x), 1e-12);
     }
 }

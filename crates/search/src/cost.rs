@@ -2,11 +2,13 @@
 //! "the actual runtime is measured", plus cheaper surrogates).
 
 use spiral_codegen::plan::Plan;
-use spiral_codegen::ParallelExecutor;
+use spiral_codegen::{ParallelExecutor, SpiralError};
 use spiral_rewrite::RuleTree;
 use spiral_sim::{simulate_plan, MachineSpec};
-use spiral_spl::cplx::Cplx;
+use spiral_smp::panic_payload;
+use spiral_spl::cplx::{first_non_finite, Cplx};
 use spiral_spl::Spl;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// How candidate implementations are costed.
@@ -33,19 +35,43 @@ pub enum CostModel {
 
 impl CostModel {
     /// Cost of executing `plan` once (lower is better; units depend on
-    /// the model — they are only compared within one model).
+    /// the model — they are only compared within one model). Failed
+    /// measurements (panics, watchdog expiries, non-finite results) cost
+    /// `+∞`, so comparisons against healthy candidates stay valid; use
+    /// [`try_cost`](Self::try_cost) when the failure reason matters.
     pub fn cost(&self, plan: &Plan) -> f64 {
-        match self {
+        self.try_cost(plan).unwrap_or(f64::INFINITY)
+    }
+
+    /// Cost of executing `plan` once, propagating measurement failures.
+    /// A candidate whose measurement panics, trips the executor
+    /// watchdog, or yields a non-finite time/result returns `Err`
+    /// instead of poisoning the search with a bogus number.
+    pub fn try_cost(&self, plan: &Plan) -> Result<f64, SpiralError> {
+        let c = match self {
             CostModel::Analytic => analytic_cost(plan),
-            CostModel::Sim { machine, warm } => simulate_plan(plan, machine, *warm).cycles,
-            CostModel::Host { reps, executor } => host_time(plan, *reps, executor.as_ref()),
+            CostModel::Sim { machine, warm } => catch_unwind(AssertUnwindSafe(|| {
+                simulate_plan(plan, machine, *warm).cycles
+            }))
+            .map_err(|p| SpiralError::WorkerPanic {
+                thread: 0,
+                payload: panic_payload(p),
+            })?,
+            CostModel::Host { reps, executor } => try_host_time(plan, *reps, executor.as_ref())?,
+        };
+        if !c.is_finite() {
+            return Err(SpiralError::Search(format!(
+                "cost model produced a non-finite value for a {}-point plan",
+                plan.n
+            )));
         }
+        Ok(c)
     }
 
     /// Compile a sequential formula and cost it.
     pub fn cost_formula(&self, f: &Spl, threads: usize, mu: usize) -> Option<f64> {
         let plan = Plan::from_formula(f, threads, mu).ok()?;
-        Some(self.cost(&plan))
+        self.try_cost(&plan).ok()
     }
 
     /// Cost a sequential rule tree.
@@ -62,28 +88,53 @@ fn analytic_cost(plan: &Plan) -> f64 {
     plan.flops() as f64 + 1.5 * mem_ops + 200.0 * plan.barriers() as f64
 }
 
-fn host_time(plan: &Plan, reps: usize, executor: Option<&ParallelExecutor>) -> f64 {
+fn try_host_time(
+    plan: &Plan,
+    reps: usize,
+    executor: Option<&ParallelExecutor>,
+) -> Result<f64, SpiralError> {
     let reps = reps.max(1);
     let x: Vec<Cplx> = (0..plan.n)
         .map(|k| Cplx::new(k as f64, -(k as f64)))
         .collect();
     let mut best = f64::INFINITY;
-    // Warm-up run.
-    let _ = run_once(plan, &x, executor);
+    // Warm-up run: a candidate that panics, times out, or corrupts its
+    // output fails here, before any timing is recorded.
+    let _ = try_run_once(plan, &x, executor)?;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let out = run_once(plan, &x, executor);
+        let out = try_run_once(plan, &x, executor)?;
         let dt = t0.elapsed().as_secs_f64() * 1e6;
         std::hint::black_box(&out);
         best = best.min(dt);
     }
-    best
+    Ok(best)
 }
 
-fn run_once(plan: &Plan, x: &[Cplx], executor: Option<&ParallelExecutor>) -> Vec<Cplx> {
+fn try_run_once(
+    plan: &Plan,
+    x: &[Cplx],
+    executor: Option<&ParallelExecutor>,
+) -> Result<Vec<Cplx>, SpiralError> {
     match executor {
-        Some(e) if plan.threads > 1 => e.execute(plan, x),
-        _ => plan.execute(x),
+        // The executor's fallible path already isolates panics, bounds
+        // barrier waits, and scans the output for non-finite values.
+        Some(e) if plan.threads > 1 => e.try_execute(plan, x),
+        _ => {
+            let out = catch_unwind(AssertUnwindSafe(|| plan.execute(x))).map_err(|p| {
+                SpiralError::WorkerPanic {
+                    thread: 0,
+                    payload: panic_payload(p),
+                }
+            })?;
+            if let Some(index) = first_non_finite(&out) {
+                return Err(SpiralError::NonFinite {
+                    index,
+                    context: format!("sequential measurement of a {}-point plan", plan.n),
+                });
+            }
+            Ok(out)
+        }
     }
 }
 

@@ -24,4 +24,5 @@ pub use cost::CostModel;
 pub use dp::{dp_search, SearchResult};
 pub use evolve::{evolve_search, EvolveOpts};
 pub use random::{random_search, random_tree};
-pub use tuner::{Tuned, Tuner};
+pub use spiral_codegen::SpiralError;
+pub use tuner::{QuarantineEntry, TuneOutcome, TuneReport, Tuned, Tuner};

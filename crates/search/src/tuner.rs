@@ -4,6 +4,7 @@
 use crate::cost::CostModel;
 use crate::dp::dp_search;
 use spiral_codegen::plan::Plan;
+use spiral_codegen::SpiralError;
 use spiral_rewrite::{expand_dfts, multicore_dft, RuleTree};
 use spiral_spl::num::divisors;
 use spiral_spl::Spl;
@@ -20,6 +21,37 @@ pub struct Tuned {
     pub cost: f64,
     /// Human-readable description of the choice (split, trees).
     pub choice: String,
+}
+
+/// A candidate the search excluded, and why.
+#[derive(Debug)]
+pub struct QuarantineEntry {
+    /// The candidate's description (same format as [`Tuned::choice`]).
+    pub choice: String,
+    /// Why it was excluded (derivation/lowering failure, failed static
+    /// verification, or a measurement fault: panic, watchdog expiry,
+    /// non-finite cost or output).
+    pub reason: String,
+}
+
+/// What the parallel search saw: how many candidates were measured and
+/// which were quarantined.
+#[derive(Debug, Default)]
+pub struct TuneReport {
+    /// Candidates that reached the cost model.
+    pub evaluated: usize,
+    /// Candidates excluded from the search, with reasons.
+    pub quarantined: Vec<QuarantineEntry>,
+}
+
+/// Result of [`Tuner::tune_parallel_report`]: the winner (if any
+/// candidate survived) plus the search report.
+pub struct TuneOutcome {
+    /// The best surviving candidate; `None` when `(pµ)² ∤ n` or every
+    /// candidate was quarantined.
+    pub best: Option<Tuned>,
+    /// What the search evaluated and quarantined.
+    pub report: TuneReport,
 }
 
 /// Autotuner for a fixed machine configuration.
@@ -49,42 +81,68 @@ impl Tuner {
     }
 
     /// Best sequential implementation of `DFT_n` (DP over rule trees).
-    pub fn tune_sequential(&self, n: usize) -> Tuned {
+    /// `Err` when the DP-chosen expansion fails to lower or its
+    /// measurement faults — both indicate a broken toolchain rather than
+    /// a bad candidate, so there is nothing to quarantine.
+    pub fn tune_sequential(&self, n: usize) -> Result<Tuned, SpiralError> {
         let r = dp_search(n, self.max_leaf, self.mu, &self.model);
         let formula = r.tree.expand().normalized();
-        let plan =
-            Plan::from_formula(&formula, 1, self.mu).expect("sequential expansion always lowers");
-        Tuned {
+        let plan = Plan::from_formula(&formula, 1, self.mu).map_err(|e| {
+            SpiralError::Lower(format!("sequential expansion failed to lower: {e}"))
+        })?;
+        Ok(Tuned {
             formula,
-            cost: self.model.cost(&plan),
+            cost: self.model.try_cost(&plan)?,
             plan,
             choice: format!("sequential tree {}", r.tree),
-        }
+        })
     }
 
     /// Best parallel implementation: searches the top-level split `m` of
     /// the multicore Cooley–Tukey (14) and reuses DP-best sequential
-    /// trees for the sub-DFTs. Returns `None` when `(pµ)² ∤ n`.
-    pub fn tune_parallel(&self, n: usize) -> Option<Tuned> {
+    /// trees for the sub-DFTs. `Ok(None)` when `(pµ)² ∤ n` or every
+    /// candidate was quarantined; see
+    /// [`tune_parallel_report`](Self::tune_parallel_report) for the
+    /// search report.
+    pub fn tune_parallel(&self, n: usize) -> Result<Option<Tuned>, SpiralError> {
+        Ok(self.tune_parallel_report(n)?.best)
+    }
+
+    /// Like [`tune_parallel`](Self::tune_parallel), but also reports
+    /// what the search saw. Candidates whose measurement panics, trips
+    /// the executor watchdog, or produces non-finite cost/output are
+    /// *quarantined* — recorded with a reason and excluded — and the
+    /// search continues with the remaining candidates.
+    pub fn tune_parallel_report(&self, n: usize) -> Result<TuneOutcome, SpiralError> {
+        let mut report = TuneReport::default();
         if self.p == 1 {
-            return Some(self.tune_sequential(n));
+            let tuned = self.tune_sequential(n)?;
+            report.evaluated = 1;
+            return Ok(TuneOutcome {
+                best: Some(tuned),
+                report,
+            });
         }
         let pmu = self.p * self.mu;
         let splits: Vec<usize> = divisors(n)
             .into_iter()
             .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m).is_multiple_of(pmu))
             .collect();
-        if splits.is_empty() {
-            return None;
-        }
         // DP-best sequential trees, shared across split candidates.
         let tree_cache: std::cell::RefCell<HashMap<usize, RuleTree>> =
             std::cell::RefCell::new(HashMap::new());
         let mut best: Option<Tuned> = None;
         for m in splits {
+            let choice = format!("multicore split {m}x{}", n / m);
             let derived = match multicore_dft(n, self.p, self.mu, Some(m)) {
                 Ok(d) => d,
-                Err(_) => continue,
+                Err(e) => {
+                    report.quarantined.push(QuarantineEntry {
+                        choice,
+                        reason: format!("derivation failed: {e:?}"),
+                    });
+                    continue;
+                }
             };
             let expanded = expand_dfts(&derived.formula, &|k| {
                 tree_cache
@@ -98,7 +156,13 @@ impl Tuner {
                 // Loop merging across the parallel boundary: fold the
                 // P ⊗̄ I_µ exchanges into the compute steps (§3.1).
                 Ok(p) => p.fuse_exchanges(),
-                Err(_) => continue,
+                Err(e) => {
+                    report.quarantined.push(QuarantineEntry {
+                        choice,
+                        reason: format!("failed to lower: {e}"),
+                    });
+                    continue;
+                }
             };
             // Candidates that fail static verification (races, false
             // sharing, out-of-bounds) never enter the search space: the
@@ -106,19 +170,35 @@ impl Tuner {
             if spiral_verify::verify_plan(&plan, &spiral_verify::VerifyOptions::default())
                 .has_errors()
             {
+                report.quarantined.push(QuarantineEntry {
+                    choice,
+                    reason: "failed static verification".to_string(),
+                });
                 continue;
             }
-            let cost = self.model.cost(&plan);
+            report.evaluated += 1;
+            let cost = match self.model.try_cost(&plan) {
+                Ok(c) => c,
+                Err(e) => {
+                    // A faulting measurement disqualifies the candidate,
+                    // not the search: record it and keep going.
+                    report.quarantined.push(QuarantineEntry {
+                        choice,
+                        reason: e.to_string(),
+                    });
+                    continue;
+                }
+            };
             if best.as_ref().is_none_or(|b| cost < b.cost) {
                 best = Some(Tuned {
                     formula: expanded,
                     plan,
                     cost,
-                    choice: format!("multicore split {m}x{}", n / m),
+                    choice,
                 });
             }
         }
-        best
+        Ok(TuneOutcome { best, report })
     }
 }
 
@@ -137,7 +217,7 @@ mod tests {
     #[test]
     fn sequential_tuning_produces_correct_plan() {
         let t = Tuner::new(1, 4, CostModel::Analytic);
-        let tuned = t.tune_sequential(128);
+        let tuned = t.tune_sequential(128).unwrap();
         let x = ramp(128);
         assert_slices_close(
             &tuned.plan.execute(&x),
@@ -149,7 +229,10 @@ mod tests {
     #[test]
     fn parallel_tuning_produces_correct_balanced_plan() {
         let t = Tuner::new(2, 4, CostModel::Analytic);
-        let tuned = t.tune_parallel(256).expect("256 admits p=2 µ=4 splits");
+        let tuned = t
+            .tune_parallel(256)
+            .unwrap()
+            .expect("256 admits p=2 µ=4 splits");
         assert_eq!(tuned.plan.threads, 2);
         let x = ramp(256);
         assert_slices_close(
@@ -163,7 +246,7 @@ mod tests {
     #[test]
     fn parallel_tuning_rejects_invalid_sizes() {
         let t = Tuner::new(2, 4, CostModel::Analytic);
-        assert!(t.tune_parallel(32).is_none()); // (pµ)² = 64 > 32
+        assert!(t.tune_parallel(32).unwrap().is_none()); // (pµ)² = 64 > 32
     }
 
     #[test]
@@ -173,7 +256,7 @@ mod tests {
             warm: true,
         };
         let t = Tuner::new(2, 4, model);
-        let tuned = t.tune_parallel(1024).unwrap();
+        let tuned = t.tune_parallel(1024).unwrap().unwrap();
         assert!(tuned.choice.contains("multicore split"));
         let x = ramp(1024);
         assert_slices_close(
@@ -187,7 +270,7 @@ mod tests {
     fn tuned_parallel_plans_verify_clean() {
         for (n, p, mu) in [(256usize, 2usize, 4usize), (1024, 4, 4), (4096, 2, 8)] {
             let t = Tuner::new(p, mu, CostModel::Analytic);
-            let tuned = t.tune_parallel(n).unwrap();
+            let tuned = t.tune_parallel(n).unwrap().unwrap();
             let report =
                 spiral_verify::verify_plan(&tuned.plan, &spiral_verify::VerifyOptions::default());
             assert!(
@@ -201,7 +284,20 @@ mod tests {
     #[test]
     fn p1_tuner_falls_back_to_sequential() {
         let t = Tuner::new(1, 4, CostModel::Analytic);
-        let tuned = t.tune_parallel(64).unwrap();
+        let tuned = t.tune_parallel(64).unwrap().unwrap();
         assert_eq!(tuned.plan.threads, 1);
+    }
+
+    #[test]
+    fn report_counts_evaluated_candidates() {
+        let t = Tuner::new(2, 4, CostModel::Analytic);
+        let outcome = t.tune_parallel_report(256).unwrap();
+        assert!(outcome.best.is_some());
+        assert!(outcome.report.evaluated >= 1);
+        assert!(
+            outcome.report.quarantined.is_empty(),
+            "healthy candidates quarantined: {:?}",
+            outcome.report.quarantined
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! boundaries in the final program" (§3.1) — the `P ⊗̄ I_µ` false-sharing
 //! guarantee depends on it. `AlignedVec` provides that alignment.
 
-use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use crate::error::SpiralError;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::ops::{Deref, DerefMut};
 
 /// Default alignment: 64 bytes (one cache line on every platform the paper
@@ -23,19 +24,43 @@ unsafe impl<T: Send> Send for AlignedVec<T> {}
 unsafe impl<T: Sync> Sync for AlignedVec<T> {}
 
 impl<T: Copy + Default> AlignedVec<T> {
-    /// Allocate `len` zeroed elements aligned to `align` bytes.
-    /// `align` must be a power of two and at least `align_of::<T>()`.
-    pub fn with_alignment(len: usize, align: usize) -> Self {
-        assert!(align.is_power_of_two(), "alignment must be a power of two");
+    /// Allocate `len` zeroed elements aligned to `align` bytes, or
+    /// return [`SpiralError::Alloc`] when the request is unsatisfiable:
+    /// a non-power-of-two alignment, a byte size that overflows, a
+    /// layout beyond `isize::MAX`, or allocator failure. `len == 0` is
+    /// explicitly supported (one element is reserved so the base pointer
+    /// stays aligned and deallocatable).
+    pub fn try_with_alignment(len: usize, align: usize) -> Result<Self, SpiralError> {
+        let fail = |reason: &'static str| SpiralError::Alloc {
+            elems: len,
+            align,
+            reason,
+        };
+        if !align.is_power_of_two() {
+            return Err(fail("alignment must be a power of two"));
+        }
         let align = align.max(std::mem::align_of::<T>());
-        let bytes = len.max(1) * std::mem::size_of::<T>();
-        let layout = Layout::from_size_align(bytes, align).expect("bad layout");
+        let bytes = len
+            .max(1)
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| fail("byte size overflows usize"))?;
+        let layout =
+            Layout::from_size_align(bytes, align).map_err(|_| fail("layout exceeds isize::MAX"))?;
         // Safety: layout has nonzero size (len.max(1)).
         let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
         if ptr.is_null() {
-            handle_alloc_error(layout);
+            return Err(fail("allocator returned null"));
         }
-        AlignedVec { ptr, len, layout }
+        Ok(AlignedVec { ptr, len, layout })
+    }
+
+    /// Allocate `len` zeroed elements aligned to `align` bytes.
+    /// `align` must be a power of two and at least `align_of::<T>()`.
+    /// Panics when the request is unsatisfiable; see
+    /// [`try_with_alignment`](Self::try_with_alignment) for the fallible
+    /// variant.
+    pub fn with_alignment(len: usize, align: usize) -> Self {
+        Self::try_with_alignment(len, align).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocate `len` zeroed elements aligned to a cache line.
@@ -140,5 +165,27 @@ mod tests {
     fn copy_from_checks_length() {
         let mut v: AlignedVec<f64> = AlignedVec::new(4);
         v.copy_from(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn oversized_requests_return_err_instead_of_aborting() {
+        // Byte size overflows usize.
+        let r = AlignedVec::<f64>::try_with_alignment(usize::MAX, 64);
+        assert!(matches!(r, Err(SpiralError::Alloc { .. })));
+        // Byte size fits usize but the layout exceeds isize::MAX.
+        let r = AlignedVec::<f64>::try_with_alignment(usize::MAX / 8, 64);
+        assert!(matches!(r, Err(SpiralError::Alloc { .. })));
+        // Bad alignment.
+        let r = AlignedVec::<f64>::try_with_alignment(8, 48);
+        assert!(matches!(r, Err(SpiralError::Alloc { .. })));
+    }
+
+    #[test]
+    fn try_path_handles_zero_and_normal_sizes() {
+        let v = AlignedVec::<f64>::try_with_alignment(0, 64).unwrap();
+        assert!(v.is_empty());
+        let v = AlignedVec::<f64>::try_with_alignment(33, 64).unwrap();
+        assert_eq!(v.len(), 33);
+        assert_eq!(v.as_ptr() as usize % 64, 0);
     }
 }

@@ -10,64 +10,157 @@
 //!   on oversubscribed hosts (e.g. more threads than cores).
 //!
 //! The barrier-overhead ablation bench (`ABL-BAR`) compares them.
+//!
+//! ## Failure model
+//!
+//! [`Barrier::wait_deadline`] bounds how long a waiter can be held by a
+//! dead or wedged peer: past the deadline it *retracts its arrival* (so
+//! the barrier stays consistent for the surviving parties) and returns
+//! [`SpiralError::BarrierTimeout`]. Together with the pool's panic
+//! isolation this turns "one worker died mid-stage" from a permanent
+//! deadlock into an `Err` within bounded time. Internal locks recover
+//! from poisoning ([`lock_recover`]) so one panicked waiter does not turn
+//! every later barrier call into a panic cascade.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use crate::error::{lock_recover, SpiralError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Common interface so the executor can switch implementations.
 pub trait Barrier: Send + Sync {
     /// Block until all `n` participants arrive. Returns `true` on exactly
     /// one participant (the "leader") per phase.
     fn wait(&self) -> bool;
+
+    /// Like [`wait`](Barrier::wait), but give up after `deadline`: the
+    /// waiter retracts its arrival and returns
+    /// [`SpiralError::BarrierTimeout`]. Arrival retraction keeps the
+    /// barrier usable by the remaining parties (and by everyone, once
+    /// the failed run is cleaned up).
+    fn wait_deadline(&self, deadline: Duration) -> Result<bool, SpiralError>;
+
     /// Number of participants.
     fn parties(&self) -> usize;
+
+    /// Restore the barrier to its pristine between-phases state. Call
+    /// only when no thread is inside [`wait`](Barrier::wait) — e.g.
+    /// after a failed run has fully drained.
+    fn reset(&self);
 }
 
+const SENSE_SHIFT: u32 = usize::BITS - 1;
+const SENSE_BIT: usize = 1usize << SENSE_SHIFT;
+const COUNT_MASK: usize = SENSE_BIT - 1;
+
 /// Sense-reversing centralized spin barrier.
+///
+/// The phase sense and arrival count are packed into one atomic word so
+/// a timed-out waiter can retract its arrival with a single CAS that
+/// also verifies the phase has not been released meanwhile — retraction
+/// can never steal an arrival from a later phase.
 pub struct SpinBarrier {
     n: usize,
-    count: AtomicUsize,
-    sense: AtomicBool,
+    /// Bit `usize::BITS-1`: phase sense; low bits: arrival count.
+    state: AtomicUsize,
 }
 
 impl SpinBarrier {
     /// Barrier for `n` participants.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0);
+        assert!(n > 0 && n < COUNT_MASK);
         SpinBarrier {
             n,
-            count: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
+            state: AtomicUsize::new(0),
         }
+    }
+
+    fn arrive(&self) -> (usize, usize) {
+        let old = self.state.fetch_add(1, Ordering::AcqRel);
+        let sense = old & SENSE_BIT;
+        let count = (old & COUNT_MASK) + 1;
+        if count == self.n {
+            // Release the others; publishes all pre-barrier writes.
+            self.state.store(sense ^ SENSE_BIT, Ordering::Release);
+        }
+        (sense, count)
     }
 }
 
 impl Barrier for SpinBarrier {
     fn wait(&self) -> bool {
-        let my_sense = !self.sense.load(Ordering::Relaxed);
-        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
-        if arrived == self.n {
-            self.count.store(0, Ordering::Relaxed);
-            // Release the others; publishes all pre-barrier writes.
-            self.sense.store(my_sense, Ordering::Release);
-            true
-        } else {
-            let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != my_sense {
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(1024) {
-                    // Be polite on oversubscribed machines.
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+        let (sense, count) = self.arrive();
+        if count == self.n {
+            return true;
+        }
+        let mut spins = 0u32;
+        while self.state.load(Ordering::Acquire) & SENSE_BIT == sense {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                // Be polite on oversubscribed machines.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
             }
-            false
+        }
+        false
+    }
+
+    fn wait_deadline(&self, deadline: Duration) -> Result<bool, SpiralError> {
+        let (sense, count) = self.arrive();
+        if count == self.n {
+            return Ok(true);
+        }
+        let limit = Instant::now() + deadline;
+        let mut spins = 0u32;
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            if cur & SENSE_BIT != sense {
+                return Ok(false);
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                std::thread::yield_now();
+                if Instant::now() >= limit {
+                    // Retract our arrival. The CAS covers the sense bit,
+                    // so it can only succeed while this phase is still
+                    // open — a release flips the sense and the CAS fails,
+                    // in which case the phase completed and we're done.
+                    let cnt = cur & COUNT_MASK;
+                    if cnt > 0
+                        && self
+                            .state
+                            .compare_exchange(
+                                cur,
+                                sense | (cnt - 1),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                    {
+                        return Err(SpiralError::BarrierTimeout {
+                            parties: self.n,
+                            waited: deadline,
+                        });
+                    }
+                    // Lost the race (another arrival/retraction or the
+                    // release): loop and re-evaluate.
+                }
+            } else {
+                std::hint::spin_loop();
+            }
         }
     }
 
     fn parties(&self) -> usize {
         self.n
+    }
+
+    fn reset(&self) {
+        // Keep the current sense (waiters derive theirs fresh per
+        // phase), clear any stale arrivals.
+        let sense = self.state.load(Ordering::Acquire) & SENSE_BIT;
+        self.state.store(sense, Ordering::Release);
     }
 }
 
@@ -100,7 +193,7 @@ impl ParkBarrier {
 
 impl Barrier for ParkBarrier {
     fn wait(&self) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         st.count += 1;
         if st.count == self.n {
             st.count = 0;
@@ -109,13 +202,59 @@ impl Barrier for ParkBarrier {
             true
         } else {
             let gen = st.generation;
-            let _st = self.cv.wait_while(st, |s| s.generation == gen).unwrap();
+            let _st = self
+                .cv
+                .wait_while(st, |s| s.generation == gen)
+                .unwrap_or_else(PoisonError::into_inner);
             false
+        }
+    }
+
+    fn wait_deadline(&self, deadline: Duration) -> Result<bool, SpiralError> {
+        let mut st = lock_recover(&self.state);
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return Ok(true);
+        }
+        let gen = st.generation;
+        let limit = Instant::now() + deadline;
+        loop {
+            if st.generation != gen {
+                return Ok(false);
+            }
+            let now = Instant::now();
+            if now >= limit {
+                // Retract our arrival (we hold the lock; the phase is
+                // still open because the generation has not advanced).
+                st.count = st.count.saturating_sub(1);
+                return Err(SpiralError::BarrierTimeout {
+                    parties: self.n,
+                    waited: deadline,
+                });
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(st, limit - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
         }
     }
 
     fn parties(&self) -> usize {
         self.n
+    }
+
+    fn reset(&self) {
+        let mut st = lock_recover(&self.state);
+        st.count = 0;
+        // Advance the generation and wake any straggler still parked
+        // from a failed phase; it observes the new generation and leaves
+        // as a non-leader.
+        st.generation += 1;
+        self.cv.notify_all();
     }
 }
 
@@ -217,5 +356,72 @@ mod tests {
         // auto never panics
         let _ = BarrierKind::auto(2);
         let _ = BarrierKind::auto(64);
+    }
+
+    fn timeout_then_recover(barrier: Arc<dyn Barrier>) {
+        // A lone waiter at a 2-party barrier must time out in bounded
+        // time (its peer is "dead")...
+        let err = barrier
+            .wait_deadline(Duration::from_millis(30))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpiralError::BarrierTimeout { parties: 2, .. }
+        ));
+        // ...and the retraction must leave the barrier consistent: a
+        // full 2-party round on the same instance completes.
+        for _ in 0..3 {
+            let b2 = Arc::clone(&barrier);
+            let peer = std::thread::spawn(move || b2.wait_deadline(Duration::from_secs(5)));
+            let mine = barrier.wait_deadline(Duration::from_secs(5)).unwrap();
+            let theirs = peer.join().unwrap().unwrap();
+            // Exactly one leader.
+            assert!(mine ^ theirs);
+        }
+    }
+
+    #[test]
+    fn spin_barrier_timeout_retracts_arrival() {
+        timeout_then_recover(Arc::new(SpinBarrier::new(2)));
+    }
+
+    #[test]
+    fn park_barrier_timeout_retracts_arrival() {
+        timeout_then_recover(Arc::new(ParkBarrier::new(2)));
+    }
+
+    fn reset_restores(barrier: Arc<dyn Barrier>) {
+        let _ = barrier.wait_deadline(Duration::from_millis(10));
+        barrier.reset();
+        let b2 = Arc::clone(&barrier);
+        let peer = std::thread::spawn(move || b2.wait());
+        barrier.wait();
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn reset_after_failure_restores_both_kinds() {
+        reset_restores(Arc::new(SpinBarrier::new(2)));
+        reset_restores(Arc::new(ParkBarrier::new(2)));
+    }
+
+    #[test]
+    fn wait_deadline_succeeds_when_all_arrive() {
+        let b = Arc::new(SpinBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let b2 = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                b2.wait_deadline(Duration::from_secs(5)).unwrap()
+            }));
+        }
+        let mine = b.wait_deadline(Duration::from_secs(5)).unwrap();
+        let leaders = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&l| l)
+            .count()
+            + usize::from(mine);
+        assert_eq!(leaders, 1);
     }
 }

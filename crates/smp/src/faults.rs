@@ -1,0 +1,222 @@
+//! Deterministic fault injection (compiled only with the `faults`
+//! feature).
+//!
+//! The failure model of the execution layer — panic isolation in the
+//! pool, barrier watchdogs, NaN guards — is only trustworthy if it can
+//! be *exercised*. This registry lets tests inject worker panics,
+//! artificial stage delays, and NaN corruption of plan output at chosen
+//! `(stage, thread)` points, deterministically (seeded) so failures are
+//! reproducible.
+//!
+//! The executor queries [`at`] once per `(stage, thread)` pair per run;
+//! it calls [`begin_run`] at the start of every parallel execution so
+//! specs can target a specific run in a sequence (e.g. "fail only the
+//! second candidate the tuner measures"). Installation returns a guard
+//! holding a global session lock, so concurrent tests serialize instead
+//! of observing each other's faults.
+
+use crate::error::lock_recover;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// A fault to inject at a matched site.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Panic on the matched thread at the start of the matched stage.
+    Panic,
+    /// Sleep for the given duration before running the stage portion
+    /// (models a descheduled or wedged peer).
+    Delay(Duration),
+    /// Overwrite one element of the thread's output portion with NaN
+    /// after the stage portion runs (models silent data corruption).
+    CorruptNan,
+}
+
+/// Matcher + fault. `None` fields match everything.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Match a specific plan stage index (`None` = any stage).
+    pub stage: Option<usize>,
+    /// Match a specific logical thread (`None` = any thread).
+    pub thread: Option<usize>,
+    /// Match a specific run index since installation (`None` = any run).
+    /// Runs are counted by [`begin_run`].
+    pub run: Option<usize>,
+    /// Fire probability in `[0, 1]`, decided by a hash of
+    /// `(seed, stage, thread, run)` — deterministic per site.
+    pub probability: f64,
+    /// The fault to inject when the matcher fires.
+    pub fault: Fault,
+}
+
+impl FaultSpec {
+    /// A spec that always fires at exactly `(stage, thread)`, every run.
+    pub fn always(stage: usize, thread: usize, fault: Fault) -> FaultSpec {
+        FaultSpec {
+            stage: Some(stage),
+            thread: Some(thread),
+            run: None,
+            probability: 1.0,
+            fault,
+        }
+    }
+
+    /// Restrict this spec to the given run index.
+    pub fn on_run(mut self, run: usize) -> FaultSpec {
+        self.run = Some(run);
+        self
+    }
+}
+
+/// A seeded set of fault specs.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for probabilistic specs.
+    pub seed: u64,
+    /// Specs checked in order; the first match fires.
+    pub specs: Vec<FaultSpec>,
+}
+
+struct Registry {
+    plan: FaultPlan,
+    runs: AtomicUsize,
+}
+
+static ACTIVE: Mutex<Option<Registry>> = Mutex::new(None);
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Guard returned by [`install`]; clears the registry on drop and holds
+/// the session lock so concurrent installers serialize.
+pub struct FaultGuard {
+    _session: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        *lock_recover(&ACTIVE) = None;
+    }
+}
+
+/// Install a fault plan for the duration of the returned guard.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    let session = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+    *lock_recover(&ACTIVE) = Some(Registry {
+        plan,
+        runs: AtomicUsize::new(0),
+    });
+    FaultGuard { _session: session }
+}
+
+/// True when a fault plan is installed.
+pub fn active() -> bool {
+    lock_recover(&ACTIVE).is_some()
+}
+
+/// Mark the start of a new run (called by the executor once per
+/// `try_execute`). Returns the index of the run that just started.
+pub fn begin_run() -> usize {
+    match lock_recover(&ACTIVE).as_ref() {
+        Some(reg) => reg.runs.fetch_add(1, Ordering::SeqCst),
+        None => 0,
+    }
+}
+
+/// Query the registry at a `(stage, thread)` site of the current run.
+pub fn at(stage: usize, thread: usize) -> Option<Fault> {
+    let guard = lock_recover(&ACTIVE);
+    let reg = guard.as_ref()?;
+    let run = reg.runs.load(Ordering::SeqCst).saturating_sub(1);
+    for spec in &reg.plan.specs {
+        if spec.stage.is_some_and(|s| s != stage)
+            || spec.thread.is_some_and(|t| t != thread)
+            || spec.run.is_some_and(|r| r != run)
+        {
+            continue;
+        }
+        if spec.probability < 1.0 {
+            let h = splitmix64(
+                reg.plan
+                    .seed
+                    .wrapping_add((stage as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add((thread as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                    .wrapping_add((run as u64).wrapping_mul(0x94D0_49BB_1331_11EB)),
+            );
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit >= spec.probability {
+                continue;
+            }
+        }
+        return Some(spec.fault.clone());
+    }
+    None
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matchers_select_sites() {
+        let _g = install(FaultPlan {
+            seed: 7,
+            specs: vec![FaultSpec::always(2, 1, Fault::Panic)],
+        });
+        begin_run();
+        assert!(matches!(at(2, 1), Some(Fault::Panic)));
+        assert!(at(2, 0).is_none());
+        assert!(at(1, 1).is_none());
+    }
+
+    #[test]
+    fn run_matcher_counts_runs() {
+        let _g = install(FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec::always(0, 0, Fault::CorruptNan).on_run(1)],
+        });
+        begin_run(); // run 0
+        assert!(at(0, 0).is_none());
+        begin_run(); // run 1
+        assert!(matches!(at(0, 0), Some(Fault::CorruptNan)));
+        begin_run(); // run 2
+        assert!(at(0, 0).is_none());
+    }
+
+    #[test]
+    fn probability_is_deterministic() {
+        let spec = FaultSpec {
+            stage: None,
+            thread: None,
+            run: None,
+            probability: 0.5,
+            fault: Fault::Panic,
+        };
+        let _g = install(FaultPlan {
+            seed: 42,
+            specs: vec![spec],
+        });
+        begin_run();
+        let first: Vec<bool> = (0..32).map(|s| at(s, 0).is_some()).collect();
+        let second: Vec<bool> = (0..32).map(|s| at(s, 0).is_some()).collect();
+        assert_eq!(first, second);
+        // With p = 0.5 over 32 sites, both outcomes must occur.
+        assert!(first.iter().any(|&b| b) && first.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn uninstalled_registry_is_silent() {
+        // Hold the session lock so a concurrently running test's
+        // installation cannot be observed.
+        let _s = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(!active());
+        assert!(at(0, 0).is_none());
+        assert_eq!(begin_run(), 0);
+    }
+}

@@ -9,15 +9,24 @@
 //! * [`pool::Pool`] — a persistent worker pool ("thread pooling" in the
 //!   paper's comparison with FFTW) so small transforms do not pay thread
 //!   startup cost;
-//! * [`topology`] — host processor count and the cache-line parameter µ.
+//! * [`topology`] — host processor count and the cache-line parameter µ;
+//! * [`error::SpiralError`] — the workspace-wide structured error of the
+//!   fault-tolerant execution layer (panic isolation, barrier watchdogs,
+//!   poison recovery);
+//! * [`faults`] *(feature `faults`)* — deterministic fault injection for
+//!   exercising the failure model.
 
 #![warn(missing_docs)]
 
 pub mod align;
 pub mod barrier;
+pub mod error;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod pool;
 pub mod topology;
 
 pub use align::{AlignedVec, CACHE_LINE_BYTES};
 pub use barrier::{Barrier, BarrierKind, ParkBarrier, SpinBarrier};
+pub use error::{lock_recover, panic_payload, SpiralError};
 pub use pool::Pool;

@@ -222,6 +222,15 @@ impl From<f64> for Cplx {
     }
 }
 
+/// Index of the first non-finite (NaN/∞) value in a complex slice, or
+/// `None` when every element is finite. The execution layer scans
+/// results with this before they leave the executor, and the tuner uses
+/// it to quarantine candidates producing corrupted output.
+pub fn first_non_finite(xs: &[Cplx]) -> Option<usize> {
+    xs.iter()
+        .position(|z| !z.re.is_finite() || !z.im.is_finite())
+}
+
 /// Maximum infinity-norm distance between two complex slices.
 pub fn max_dist(a: &[Cplx], b: &[Cplx]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_dist: length mismatch");

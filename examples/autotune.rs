@@ -55,7 +55,7 @@ fn main() {
             warm: true,
         },
     );
-    if let Some(t) = tuner.tune_parallel(n) {
+    if let Ok(Some(t)) = tuner.tune_parallel(n) {
         println!("parallel tuning picked: {}", t.choice);
         println!("  simulated cycles: {:.0}", t.cost);
         println!(

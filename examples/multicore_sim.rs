@@ -26,10 +26,14 @@ fn main() {
     for machine in paper_machines() {
         let mu = machine.mu();
         // Spiral sequential.
-        let seq = Tuner::new(1, mu, CostModel::Analytic).tune_sequential(n);
+        let seq = Tuner::new(1, mu, CostModel::Analytic)
+            .tune_sequential(n)
+            .expect("sequential tuning cannot fault on the analytic model");
         let seq_rep = simulate_plan(&seq.plan, &machine, true);
         // Spiral parallel (p = machine.p).
-        let par = Tuner::new(machine.p, mu, CostModel::Analytic).tune_parallel(n);
+        let par = Tuner::new(machine.p, mu, CostModel::Analytic)
+            .tune_parallel(n)
+            .expect("parallel tuning cannot fault on the analytic model");
         let (par_pm, par_fs) = match &par {
             Some(t) => {
                 let rep = simulate_plan(&t.plan, &machine, true);

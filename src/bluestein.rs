@@ -32,7 +32,10 @@ impl Bluestein {
         assert!(n >= 1);
         let m = (2 * n - 1).next_power_of_two();
         let tuner = Tuner::new(1, spiral_smp::topology::mu(), CostModel::Analytic);
-        let inner = tuner.tune_sequential(m).plan;
+        let inner = tuner
+            .tune_sequential(m)
+            .unwrap_or_else(|e| panic!("inner DFT_{m} tuning failed: {e}"))
+            .plan;
         // w_k = e^{-iπ k²/n}; the exponent is periodic with 2n, so reduce
         // k² mod 2n to keep the angle accurate for large k.
         let chirp: Vec<Cplx> = (0..n)

@@ -69,7 +69,7 @@ enum Backend {
     Bluestein(bluestein::Bluestein),
 }
 
-/// Errors from the high-level constructors.
+/// Errors from the high-level constructors and fallible execution paths.
 #[derive(Debug)]
 pub enum Error {
     /// No parallel factorization exists: the paper's multicore
@@ -82,6 +82,9 @@ pub enum Error {
         /// Requested cache-line length.
         mu: usize,
     },
+    /// The execution layer reported a fault (tuning measurement failure,
+    /// worker panic, watchdog expiry, corrupted output, …).
+    Fault(spiral_smp::SpiralError),
 }
 
 impl std::fmt::Display for Error {
@@ -91,11 +94,18 @@ impl std::fmt::Display for Error {
                 f,
                 "DFT_{n} has no p={p}, µ={mu} multicore factorization (need (pµ)² | n)"
             ),
+            Error::Fault(e) => write!(f, "execution layer fault: {e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<spiral_smp::SpiralError> for Error {
+    fn from(e: spiral_smp::SpiralError) -> Error {
+        Error::Fault(e)
+    }
+}
 
 impl SpiralFft {
     /// Generate and tune a sequential `DFT_n`. Sizes whose prime factors
@@ -113,7 +123,9 @@ impl SpiralFft {
             };
         }
         let mu = spiral_smp::topology::mu();
-        let tuned = Tuner::new(1, mu, CostModel::Analytic).tune_sequential(n);
+        let tuned = Tuner::new(1, mu, CostModel::Analytic)
+            .tune_sequential(n)
+            .unwrap_or_else(|e| panic!("sequential tuning of DFT_{n} failed: {e}"));
         SpiralFft {
             formula: tuned.formula,
             backend: Backend::Plan {
@@ -129,7 +141,7 @@ impl SpiralFft {
     /// sense: load-balanced and free of false sharing.
     pub fn parallel(n: usize, p: usize, mu: usize) -> Result<SpiralFft, Error> {
         let tuned = Tuner::new(p, mu, CostModel::Analytic)
-            .tune_parallel(n)
+            .tune_parallel(n)?
             .ok_or(Error::NoParallelSplit { n, p, mu })?;
         let executor = if tuned.plan.threads > 1 {
             Some(ParallelExecutor::with_auto_barrier(tuned.plan.threads))
@@ -158,7 +170,8 @@ impl SpiralFft {
                     mu,
                 }
             })?;
-        let plan = Plan::from_formula(&formula, p, mu).expect("2-D expansion always lowers");
+        let plan = Plan::from_formula(&formula, p, mu)
+            .map_err(|e| spiral_smp::SpiralError::Lower(format!("2-D expansion: {e}")))?;
         let executor = if plan.threads > 1 {
             Some(ParallelExecutor::with_auto_barrier(plan.threads))
         } else {
@@ -181,7 +194,7 @@ impl SpiralFft {
                 mu,
             })?;
         let plan = Plan::from_formula(&derived.formula, p, mu)
-            .expect("WHT formulas always lower")
+            .map_err(|e| spiral_smp::SpiralError::Lower(format!("WHT formula: {e}")))?
             .fuse_exchanges();
         let executor = if plan.threads > 1 {
             Some(ParallelExecutor::with_auto_barrier(plan.threads))
@@ -237,6 +250,9 @@ impl SpiralFft {
     }
 
     /// Compute the forward DFT of `x` (length must equal [`len`](Self::len)).
+    /// Panics on execution failure; see [`try_forward`](Self::try_forward)
+    /// and [`forward_resilient`](Self::forward_resilient) for fallible
+    /// and self-healing variants.
     pub fn forward(&self, x: &[Cplx]) -> Vec<Cplx> {
         match &self.backend {
             Backend::Plan {
@@ -248,6 +264,47 @@ impl SpiralFft {
                 executor: None,
             } => plan.execute(x),
             Backend::Bluestein(b) => b.run(x),
+        }
+    }
+
+    /// Compute the forward DFT of `x`, propagating execution-layer
+    /// faults (worker panics, watchdog expiries, non-finite output) as
+    /// [`Error::Fault`] instead of panicking.
+    pub fn try_forward(&self, x: &[Cplx]) -> Result<Vec<Cplx>, Error> {
+        match &self.backend {
+            Backend::Plan {
+                plan,
+                executor: Some(e),
+            } => Ok(e.try_execute(plan, x)?),
+            Backend::Plan {
+                plan,
+                executor: None,
+            } => Ok(plan.execute(x)),
+            Backend::Bluestein(b) => Ok(b.run(x)),
+        }
+    }
+
+    /// Compute the forward DFT of `x` with graceful degradation: when
+    /// the parallel executor is unhealthy or hits a runtime fault, fall
+    /// back to the verified sequential interpreter. Returns the output
+    /// plus the fault that forced the fallback, if any.
+    pub fn forward_resilient(
+        &self,
+        x: &[Cplx],
+    ) -> Result<(Vec<Cplx>, Option<spiral_smp::SpiralError>), Error> {
+        match &self.backend {
+            Backend::Plan {
+                plan,
+                executor: Some(e),
+            } => {
+                let outcome = e.execute_resilient(plan, x)?;
+                Ok((outcome.output, outcome.degraded))
+            }
+            Backend::Plan {
+                plan,
+                executor: None,
+            } => Ok((plan.execute(x), None)),
+            Backend::Bluestein(b) => Ok((b.run(x), None)),
         }
     }
 
@@ -354,6 +411,19 @@ mod tests {
         // inverse() works for the WHT too (real symmetric matrix).
         assert_slices_close(&fft.inverse(&y), &x, 1e-9);
         spiral_rewrite::check_fully_optimized(fft.formula(), 2, 4).unwrap();
+    }
+
+    #[test]
+    fn fallible_and_resilient_forward() {
+        let fft = SpiralFft::parallel(256, 2, 4).unwrap();
+        let x = ramp(256);
+        let want = dft(256).eval(&x);
+        assert_slices_close(&fft.try_forward(&x).unwrap(), &want, 1e-6);
+        let (y, degraded) = fft.forward_resilient(&x).unwrap();
+        assert!(degraded.is_none());
+        assert_slices_close(&y, &want, 1e-6);
+        // Misuse surfaces as a structured error, not a panic.
+        assert!(matches!(fft.try_forward(&x[..100]), Err(Error::Fault(_))));
     }
 
     #[test]
