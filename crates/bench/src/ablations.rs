@@ -293,6 +293,15 @@ pub struct FaultOverheadRow {
     pub scan_pct: f64,
     /// µs of one deadline-bounded barrier round-trip at `threads`.
     pub barrier_wait_us: f64,
+    /// Trace-attributed per-transform compute µs (sum over threads and
+    /// stages, from a traced run). `0.0` when built without `trace`.
+    pub compute_us: f64,
+    /// Trace-attributed per-transform barrier-wait µs (sum over threads
+    /// and stages). `0.0` when built without `trace`.
+    pub barrier_us: f64,
+    /// Barrier-wait share of thread busy time, in percent
+    /// (`RunProfile::barrier_share`). `0.0` when built without `trace`.
+    pub barrier_share_pct: f64,
 }
 
 /// Measure what the fault-tolerant execution layer costs on the happy
@@ -356,12 +365,126 @@ pub fn fault_overhead_ablation(
             std::hint::black_box(first_non_finite(&out));
             scan_us = scan_us.min(t0.elapsed().as_secs_f64() * 1e6);
         }
+        // Trace-based attribution: split the run into measured compute
+        // and measured barrier wait instead of inferring barrier cost
+        // from a standalone round-trip microbenchmark.
+        #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+        let (mut compute_us, mut barrier_us, mut barrier_share_pct) = (0.0, 0.0, 0.0);
+        #[cfg(feature = "trace")]
+        {
+            let mut merged: Option<spiral_trace::RunProfile> = None;
+            for _ in 0..reps {
+                if let Ok((_, p)) = exec.try_execute_traced(&tuned.plan, &x) {
+                    merged = Some(match merged.take() {
+                        Some(m) => m.try_merge(&p).unwrap_or(p),
+                        None => p,
+                    });
+                }
+            }
+            if let Some(p) = merged {
+                let runs = p.runs.max(1) as f64;
+                compute_us = p.total_compute_ns() as f64 / 1e3 / runs;
+                barrier_us = p.total_barrier_wait_ns() as f64 / 1e3 / runs;
+                barrier_share_pct = 100.0 * p.barrier_share();
+            }
+        }
         rows.push(FaultOverheadRow {
             log2n: k,
             exec_us,
             scan_us,
             scan_pct: 100.0 * scan_us / exec_us,
             barrier_wait_us,
+            compute_us,
+            barrier_us,
+            barrier_share_pct,
+        });
+    }
+    rows
+}
+
+/// One row of the tracing-overhead ablation (ABL-TRACE).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceOverheadRow {
+    /// Transform size as log2 n.
+    pub log2n: u32,
+    /// Wall-clock µs per transform through the plain fallible path
+    /// (`try_execute`) — min over reps.
+    pub plain_us: f64,
+    /// Wall-clock µs per transform through the traced path
+    /// (`try_execute_traced`) when built with `trace`; a second plain
+    /// pass otherwise (so the row doubles as a noise floor).
+    pub traced_us: f64,
+    /// `100 · (traced - plain) / plain`.
+    pub overhead_pct: f64,
+    /// Whether the traced column really measured the instrumented path
+    /// (`false` = built without the `trace` feature).
+    pub traced_available: bool,
+}
+
+/// Measure what the observability layer costs when it is ON: tuned plan,
+/// plain `try_execute` vs `try_execute_traced`, min-of-reps. Built
+/// without the `trace` feature, the second pass is plain again — the
+/// delta then shows the noise floor of the comparison itself, which is
+/// the relevant claim for the disabled configuration (the instrumented
+/// code does not exist, so the overhead is structurally zero).
+pub fn trace_overhead_ablation(
+    threads: usize,
+    min_log2: u32,
+    max_log2: u32,
+    reps: usize,
+) -> Vec<TraceOverheadRow> {
+    use spiral_codegen::ParallelExecutor;
+    use spiral_search::Tuner;
+    use spiral_smp::barrier::BarrierKind;
+    use spiral_spl::cplx::Cplx;
+    use std::time::Instant;
+
+    let reps = reps.max(1);
+    let mu = spiral_smp::topology::mu();
+    let exec = ParallelExecutor::new(threads, BarrierKind::Park);
+    let mut rows = Vec::new();
+    for k in min_log2..=max_log2 {
+        let n = 1usize << k;
+        let Ok(Some(tuned)) = Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) else {
+            continue;
+        };
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
+            .collect();
+        let time_plain = || {
+            let mut best = f64::INFINITY;
+            for _ in 0..=reps {
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    exec.try_execute(&tuned.plan, &x)
+                        .expect("healthy plan must execute"),
+                );
+                best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            best
+        };
+        let plain_us = time_plain();
+        #[cfg(feature = "trace")]
+        let traced_us = {
+            let mut best = f64::INFINITY;
+            for _ in 0..=reps {
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    exec.try_execute_traced(&tuned.plan, &x)
+                        .expect("healthy plan must execute"),
+                );
+                best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            best
+        };
+        #[cfg(not(feature = "trace"))]
+        let traced_us = time_plain();
+        rows.push(TraceOverheadRow {
+            log2n: k,
+            plain_us,
+            traced_us,
+            overhead_pct: 100.0 * (traced_us - plain_us) / plain_us,
+            traced_available: cfg!(feature = "trace"),
         });
     }
     rows
@@ -510,6 +633,29 @@ mod tests {
             assert!(r.scan_us >= 0.0 && r.scan_pct >= 0.0, "{r:?}");
             assert!(r.barrier_wait_us > 0.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn trace_overhead_rows_complete() {
+        let rows = trace_overhead_ablation(2, 8, 9, 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.plain_us > 0.0 && r.plain_us.is_finite(), "{r:?}");
+            assert!(r.traced_us > 0.0 && r.traced_us.is_finite(), "{r:?}");
+            assert!(r.overhead_pct.is_finite(), "{r:?}");
+            assert_eq!(r.traced_available, cfg!(feature = "trace"), "{r:?}");
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn fault_rows_carry_trace_attribution() {
+        let rows = fault_overhead_ablation(2, 8, 8, 2);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.compute_us > 0.0, "{r:?}");
+        assert!(r.barrier_us >= 0.0, "{r:?}");
+        assert!((0.0..=100.0).contains(&r.barrier_share_pct), "{r:?}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! figures ablation-schedule [--machine core-duo] [--size 12]
 //! figures ablation-sixstep [--machine core-duo]
 //! figures ablation-merge [--machine core-duo]
+//! figures ablation-trace [--min 8] [--max 14] [--out results/]
+//! figures trace [--size 12] [--threads 2] [--out results/]   (needs --features trace)
 //! figures search
 //! figures verify [--machine core-duo] [--min 8] [--max 14] [--out results/]
 //! figures all [--out results/]
@@ -15,7 +17,7 @@
 
 use spiral_bench::ablations::{
     false_sharing_ablation, fault_overhead_ablation, merge_ablation, schedule_ablation,
-    search_comparison, sixstep_ablation, verification_ablation,
+    search_comparison, sixstep_ablation, trace_overhead_ablation, verification_ablation,
 };
 use spiral_bench::ascii;
 use spiral_bench::series::{crossover, fig3_series, tune_spiral, Series};
@@ -61,6 +63,8 @@ fn main() {
             run_abl_merge(&m, &opts);
         }
         "ablation-fault" => run_abl_fault(&opts, out_dir.as_deref()),
+        "ablation-trace" => run_abl_trace(&opts, out_dir.as_deref()),
+        "trace" => run_trace(&opts, out_dir.as_deref()),
         "search" => run_search(&opts),
         "verify" => {
             let m = machine_arg(&opts);
@@ -81,6 +85,7 @@ fn main() {
             run_abl_sixstep(&m, &opts);
             run_abl_merge(&m, &opts);
             run_abl_fault(&opts, out_dir.as_deref());
+            run_abl_trace(&opts, out_dir.as_deref());
             run_search(&opts);
             run_verify(&m, &opts, out_dir.as_deref());
         }
@@ -94,9 +99,11 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: figures <fig3|crossover|sequential|ablation-false-sharing|\
-         ablation-schedule|ablation-sixstep|ablation-merge|ablation-fault|search|verify|all> \
-         [--machine NAME] [--min K] [--max K] [--size K] [--out DIR]\n\
-         machines: core-duo opteron pentium-d xeon-mp"
+         ablation-schedule|ablation-sixstep|ablation-merge|ablation-fault|\
+         ablation-trace|trace|search|verify|all> \
+         [--machine NAME] [--min K] [--max K] [--size K] [--threads P] [--out DIR]\n\
+         machines: core-duo opteron pentium-d xeon-mp\n\
+         trace needs the instrumented build: --features trace"
     );
     std::process::exit(2);
 }
@@ -364,14 +371,33 @@ fn run_abl_fault(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     let threads = 2;
     println!("\nABL-FAULT — fault-tolerance overhead on the happy path (p={threads}, host)");
     println!(
-        "{:>7} {:>12} {:>10} {:>9} {:>16}",
-        "log2n", "exec µs", "scan µs", "scan %", "barrier wait µs"
+        "{:>7} {:>12} {:>10} {:>9} {:>16} {:>12} {:>12} {:>10}",
+        "log2n",
+        "exec µs",
+        "scan µs",
+        "scan %",
+        "barrier wait µs",
+        "compute µs",
+        "barrier µs",
+        "bar shr %"
     );
     let rows = fault_overhead_ablation(threads, min, max, 5);
     for r in &rows {
         println!(
-            "{:>7} {:>12.1} {:>10.2} {:>8.2}% {:>16.2}",
-            r.log2n, r.exec_us, r.scan_us, r.scan_pct, r.barrier_wait_us
+            "{:>7} {:>12.1} {:>10.2} {:>8.2}% {:>16.2} {:>12.1} {:>12.1} {:>9.2}%",
+            r.log2n,
+            r.exec_us,
+            r.scan_us,
+            r.scan_pct,
+            r.barrier_wait_us,
+            r.compute_us,
+            r.barrier_us,
+            r.barrier_share_pct
+        );
+    }
+    if rows.iter().all(|r| r.compute_us == 0.0) {
+        println!(
+            "  (trace-attributed columns need: cargo run -p spiral-bench --features trace ...)"
         );
     }
     if let Some(dir) = out_dir {
@@ -379,6 +405,158 @@ fn run_abl_fault(opts: &HashMap<String, String>, out_dir: Option<&str>) {
         std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
         println!("wrote {path}");
     }
+}
+
+/// ABL-TRACE: wall-clock cost of the observability layer when it is ON
+/// (`try_execute` vs `try_execute_traced`). Built without the `trace`
+/// feature, the comparison degenerates to plain-vs-plain and shows the
+/// noise floor instead (the disabled configuration has no instrumented
+/// code at all, so its overhead is structurally zero).
+fn run_abl_trace(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 8, 14);
+    let threads = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let reps = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let mode = if cfg!(feature = "trace") {
+        "traced vs plain"
+    } else {
+        "plain vs plain (noise floor; rebuild with --features trace)"
+    };
+    println!("\nABL-TRACE — tracing overhead, p={threads}, host ({mode})");
+    println!(
+        "{:>7} {:>12} {:>12} {:>10}",
+        "log2n", "plain µs", "traced µs", "overhead"
+    );
+    let rows = trace_overhead_ablation(threads, min, max, reps);
+    for r in &rows {
+        println!(
+            "{:>7} {:>12.1} {:>12.1} {:>9.2}%",
+            r.log2n, r.plain_us, r.traced_us, r.overhead_pct
+        );
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/abl_trace_overhead.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        println!("wrote {path}");
+    }
+}
+
+/// `figures trace`: execute the tuned plan for `--size` with per-stage
+/// instrumentation and print the waterfall table of where the run's
+/// time went. Requires the `trace` build; prints a rebuild hint
+/// otherwise.
+#[cfg(not(feature = "trace"))]
+fn run_trace(_opts: &HashMap<String, String>, _out_dir: Option<&str>) {
+    eprintln!("figures trace needs the instrumented build:");
+    eprintln!("  cargo run --release -p spiral-bench --features trace --bin figures -- trace");
+    std::process::exit(2);
+}
+
+/// `figures trace`: execute the tuned plan for `--size` with per-stage
+/// instrumentation and print the waterfall table of where the run's
+/// time went.
+#[cfg(feature = "trace")]
+fn run_trace(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    use spiral_codegen::ParallelExecutor;
+    use spiral_search::{CostModel, Tuner};
+    use spiral_spl::cplx::Cplx;
+
+    let k: u32 = opts.get("size").and_then(|s| s.parse().ok()).unwrap_or(12);
+    let threads = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let reps = 5usize;
+    let n = 1usize << k;
+    let mu = spiral_smp::topology::mu();
+    let tuned = match Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) {
+        Ok(Some(t)) => t,
+        _ => {
+            eprintln!("no tunable parallel plan for n=2^{k}, p={threads}, µ={mu}");
+            std::process::exit(2);
+        }
+    };
+    let x: Vec<Cplx> = (0..n)
+        .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
+        .collect();
+    let exec = ParallelExecutor::with_auto_barrier(threads);
+    let mut merged: Option<spiral_trace::RunProfile> = None;
+    for _ in 0..reps {
+        let (_, p) = exec
+            .try_execute_traced(&tuned.plan, &x)
+            .expect("healthy plan must execute");
+        merged = Some(match merged.take() {
+            Some(m) => m.try_merge(&p).expect("same plan, same shape"),
+            None => p,
+        });
+    }
+    let profile = merged.expect("reps >= 1");
+    print_waterfall(&profile, &tuned.choice);
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/trace_profile_2e{k}_p{threads}.json");
+        std::fs::write(&path, profile.to_json()).unwrap();
+        println!("wrote {path}");
+    }
+}
+
+/// Per-stage waterfall of a measured profile: compute/barrier split,
+/// imbalance, throughput, and a bar proportional to the stage's share of
+/// critical-path compute time.
+#[cfg(feature = "trace")]
+fn print_waterfall(p: &spiral_trace::RunProfile, choice: &str) {
+    println!(
+        "\nTRACE — n={} p={} runs={} ({choice})",
+        p.n, p.threads, p.runs
+    );
+    println!(
+        "{:>5} {:<20} {:>10} {:>11} {:>11} {:>7} {:>9} {:>10}  waterfall",
+        "stage", "label", "elems", "max µs", "mean µs", "imbal", "bar-wait%", "Melem/s"
+    );
+    let crit_total: u64 = p
+        .stages
+        .iter()
+        .map(|s| s.threads.iter().map(|t| t.compute_ns).max().unwrap_or(0))
+        .sum();
+    for s in &p.stages {
+        let max_ns = s.threads.iter().map(|t| t.compute_ns).max().unwrap_or(0);
+        let mean_ns = s.compute_ns() as f64 / s.threads.len().max(1) as f64;
+        let wait = s.barrier_wait_ns();
+        let busy = s.compute_ns() + wait;
+        let wait_pct = if busy > 0 {
+            100.0 * wait as f64 / busy as f64
+        } else {
+            0.0
+        };
+        let bar_len = if crit_total > 0 {
+            (max_ns as f64 / crit_total as f64 * 40.0).round() as usize
+        } else {
+            0
+        };
+        println!(
+            "{:>5} {:<20} {:>10} {:>11.1} {:>11.1} {:>7.3} {:>8.2}% {:>10.1}  {}",
+            s.index,
+            s.label,
+            s.elements() / p.runs.max(1),
+            max_ns as f64 / 1e3 / p.runs.max(1) as f64,
+            mean_ns / 1e3 / p.runs.max(1) as f64,
+            s.imbalance(),
+            wait_pct,
+            s.throughput_eps() / 1e6,
+            "#".repeat(bar_len)
+        );
+    }
+    println!(
+        "totals: compute {:.1} µs, barrier wait {:.1} µs (share {:.2}%), wall {:.1} µs/run, \
+         load imbalance {:.3}, worst stage imbalance {:.3}",
+        p.total_compute_ns() as f64 / 1e3 / p.runs.max(1) as f64,
+        p.total_barrier_wait_ns() as f64 / 1e3 / p.runs.max(1) as f64,
+        100.0 * p.barrier_share(),
+        p.wall_ns as f64 / 1e3 / p.runs.max(1) as f64,
+        p.load_imbalance(),
+        p.max_stage_imbalance()
+    );
 }
 
 /// ABL-VERIFY: run the static analyzer on the tuned µ-aware plan and on

@@ -63,6 +63,28 @@ impl Step {
             Step::ScaleAll(_) => 6 * n as u64,
         }
     }
+
+    /// Short stage-IR label of this step, used by the observability
+    /// layer (`spiral-trace`) to annotate per-stage profiles.
+    pub fn label(&self) -> String {
+        match self {
+            Step::Seq(_) => "seq".to_string(),
+            Step::Par {
+                chunk,
+                programs,
+                gather,
+            } => {
+                let base = format!("par[{}x{}]", programs.len(), chunk);
+                if gather.is_some() {
+                    format!("{base}+gather")
+                } else {
+                    base
+                }
+            }
+            Step::Exchange { mu, .. } => format!("exchange(mu={mu})"),
+            Step::ScaleAll(_) => "scale".to_string(),
+        }
+    }
 }
 
 /// A compiled transform.

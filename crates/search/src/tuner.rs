@@ -42,6 +42,12 @@ pub struct TuneReport {
     pub evaluated: usize,
     /// Candidates excluded from the search, with reasons.
     pub quarantined: Vec<QuarantineEntry>,
+    /// Measured per-stage/per-thread profile of one execution of the
+    /// winning plan (feature `trace`): load-imbalance and barrier-wait
+    /// diagnostics for the implementation the search selected. `None`
+    /// when no candidate survived or the diagnostic run faulted.
+    #[cfg(feature = "trace")]
+    pub profile: Option<spiral_trace::RunProfile>,
 }
 
 /// Result of [`Tuner::tune_parallel_report`]: the winner (if any
@@ -197,6 +203,17 @@ impl Tuner {
                     choice,
                 });
             }
+        }
+        #[cfg(feature = "trace")]
+        if let Some(b) = &best {
+            // Diagnostic run of the winner: where its time actually goes,
+            // per stage and per thread. A faulting run only drops the
+            // diagnostic, never the tuning result.
+            let exec = spiral_codegen::parallel::ParallelExecutor::with_auto_barrier(self.p);
+            let x: Vec<spiral_spl::Cplx> = (0..n)
+                .map(|k| spiral_spl::Cplx::new(k as f64 / n as f64, -(k as f64) / n as f64))
+                .collect();
+            report.profile = exec.try_execute_traced(&b.plan, &x).ok().map(|(_, p)| p);
         }
         Ok(TuneOutcome { best, report })
     }

@@ -14,7 +14,10 @@
 //!   fault-tolerant execution layer (panic isolation, barrier watchdogs,
 //!   poison recovery);
 //! * [`faults`] *(feature `faults`)* — deterministic fault injection for
-//!   exercising the failure model.
+//!   exercising the failure model;
+//! * [`trace`] *(feature `trace`)* — the [`trace::TraceSink`] hook the
+//!   execution layers report per-thread timing events through (the
+//!   collector lives in `spiral-trace`).
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,8 @@ pub mod error;
 pub mod faults;
 pub mod pool;
 pub mod topology;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use align::{AlignedVec, CACHE_LINE_BYTES};
 pub use barrier::{Barrier, BarrierKind, ParkBarrier, SpinBarrier};

@@ -138,6 +138,23 @@ impl Pool {
         }
     }
 
+    /// Like [`Pool::try_run`], but report each thread's whole-job span
+    /// to `sink` (compiled only with the `trace` feature). A panicking
+    /// job reports no span — the panic unwinds past the timing point —
+    /// which matches the failed run being unusable for profiling anyway.
+    #[cfg(feature = "trace")]
+    pub fn try_run_traced(
+        &self,
+        f: &(dyn Fn(usize) + Sync),
+        sink: &dyn crate::trace::TraceSink,
+    ) -> Result<(), SpiralError> {
+        self.try_run(&|tid| {
+            let t0 = Instant::now();
+            f(tid);
+            sink.pool_job(tid, t0.elapsed());
+        })
+    }
+
     /// Run `f(tid)` on all `p` threads, isolating panics: a panic on any
     /// thread is caught, the run completes on the other threads, and the
     /// first recorded panic returns as [`SpiralError::WorkerPanic`]. The

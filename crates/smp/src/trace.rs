@@ -1,0 +1,103 @@
+//! The substrate-level tracing hook (compiled only with the `trace`
+//! feature).
+//!
+//! The execution layer reports per-thread timing events through the
+//! [`TraceSink`] trait: the pool reports whole-job spans, the stage
+//! executor above reports per-(stage, thread) compute and barrier-wait
+//! spans. The trait lives here — below every consumer — so the pool can
+//! accept a sink without depending on the collector crate
+//! (`spiral-trace`), which provides the canonical implementation.
+//!
+//! Mirroring the `faults` feature, none of this exists in a default
+//! build: the hook methods, the extra `Pool` entry point, and every
+//! call site compile out entirely, so the disabled-feature overhead is
+//! exactly zero by construction.
+
+use std::time::Duration;
+
+/// Receiver for execution timing events.
+///
+/// Implementations are written to concurrently from all pool threads;
+/// each `(stage, tid)` pair is only ever reported by thread `tid`, so a
+/// sink can keep per-thread slots free of write sharing (see
+/// `spiral-trace`'s cache-line-padded collector).
+pub trait TraceSink: Sync {
+    /// Thread `tid` spent `compute` executing its statically scheduled
+    /// portion of stage `stage`: `jobs` schedulable units covering
+    /// `elements` output elements, then `barrier_wait` blocked at the
+    /// stage barrier (arrival through release).
+    fn stage(
+        &self,
+        tid: usize,
+        stage: usize,
+        compute: Duration,
+        barrier_wait: Duration,
+        jobs: u64,
+        elements: u64,
+    );
+
+    /// Thread `tid`'s whole pool job (all stages plus barrier waits)
+    /// took `total`.
+    fn pool_job(&self, tid: usize, total: Duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Pool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingSink {
+        jobs: AtomicU64,
+        total_ns: AtomicU64,
+    }
+
+    impl TraceSink for CountingSink {
+        fn stage(&self, _: usize, _: usize, _: Duration, _: Duration, _: u64, _: u64) {}
+        fn pool_job(&self, _tid: usize, total: Duration) {
+            self.jobs.fetch_add(1, Ordering::Relaxed);
+            self.total_ns
+                .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn pool_reports_one_job_span_per_thread() {
+        let sink = CountingSink {
+            jobs: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        };
+        let pool = Pool::new(3);
+        pool.try_run_traced(&|_tid| std::thread::sleep(Duration::from_millis(2)), &sink)
+            .unwrap();
+        assert_eq!(sink.jobs.load(Ordering::Relaxed), 3);
+        // Every span covers at least the sleep.
+        assert!(sink.total_ns.load(Ordering::Relaxed) >= 3 * 2_000_000);
+    }
+
+    #[test]
+    fn traced_run_preserves_panic_isolation() {
+        let sink = CountingSink {
+            jobs: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        };
+        let pool = Pool::new(2);
+        let err = pool
+            .try_run_traced(
+                &|tid| {
+                    if tid == 1 {
+                        panic!("traced boom");
+                    }
+                },
+                &sink,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SpiralError::WorkerPanic { thread: 1, .. }
+        ));
+        // The surviving thread still reported its span.
+        assert!(sink.jobs.load(Ordering::Relaxed) >= 1);
+        assert!(pool.healthy());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the profile algebra: merging run profiles is
+//! associative and commutative (they are sums of per-slot counters), and
+//! every derived metric is invariant under permutation of the thread
+//! slots (physical thread identity carries no schedule meaning).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spiral_trace::{RunProfile, StageProfile, ThreadStageStats, SCHEMA_VERSION};
+
+/// Build a profile of fixed shape from a flat counter vector
+/// (`threads * stages * 4` entries) plus per-thread pool spans.
+fn profile(threads: usize, stages: usize, counters: &[u64], pool: &[u64], wall: u64) -> RunProfile {
+    let stage_profiles = (0..stages)
+        .map(|si| StageProfile {
+            index: si as u64,
+            label: format!("stage-{si}"),
+            threads: (0..threads)
+                .map(|tid| {
+                    let base = (si * threads + tid) * 4;
+                    ThreadStageStats {
+                        compute_ns: counters[base],
+                        barrier_wait_ns: counters[base + 1],
+                        jobs: counters[base + 2],
+                        elements: counters[base + 3],
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    RunProfile {
+        schema: SCHEMA_VERSION,
+        n: 1 << 10,
+        threads: threads as u64,
+        runs: 1,
+        wall_ns: wall,
+        pool_job_ns: pool.to_vec(),
+        stages: stage_profiles,
+    }
+}
+
+/// Deterministic permutation of `0..len` from a seed (Fisher–Yates with
+/// a splitmix-style step).
+fn perm_from_seed(len: usize, mut seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+const C: u64 = 1 << 40; // counter bound: sums of 3 stay far below u64::MAX
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `a ⊕ b = b ⊕ a`: profiles of the same shape merge to the same
+    /// profile regardless of argument order.
+    fn merge_is_commutative(
+        threads in 1usize..=4,
+        stages in 1usize..=4,
+        raw in vec(0u64..C, 4 * 4 * 4 * 2 + 2 * 4 + 2),
+    ) {
+        let len = threads * stages * 4;
+        let a = profile(threads, stages, &raw[..len], &raw[len..len + threads], raw[raw.len() - 2]);
+        let b = profile(threads, stages, &raw[len..2 * len], &raw[2 * len..2 * len + threads], raw[raw.len() - 1]);
+        prop_assert_eq!(a.try_merge(&b).unwrap(), b.try_merge(&a).unwrap());
+    }
+
+    /// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`.
+    fn merge_is_associative(
+        threads in 1usize..=4,
+        stages in 1usize..=4,
+        raw in vec(0u64..C, 4 * 4 * 4 * 3 + 3 * 4 + 3),
+    ) {
+        let len = threads * stages * 4;
+        let pool0 = 3 * len;
+        let a = profile(threads, stages, &raw[..len], &raw[pool0..pool0 + threads], raw[raw.len() - 3]);
+        let b = profile(threads, stages, &raw[len..2 * len], &raw[pool0..pool0 + threads], raw[raw.len() - 2]);
+        let c = profile(threads, stages, &raw[2 * len..3 * len], &raw[pool0..pool0 + threads], raw[raw.len() - 1]);
+        let left = a.try_merge(&b).unwrap().try_merge(&c).unwrap();
+        let right = a.try_merge(&b.try_merge(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Relabeling threads changes no derived metric: imbalance ratios,
+    /// barrier share, throughput, and totals are all permutation
+    /// invariant (they are built from u64 sums and maxima, so equality
+    /// is exact, not approximate).
+    fn metrics_invariant_under_thread_permutation(
+        threads in 1usize..=4,
+        stages in 1usize..=4,
+        raw in vec(0u64..C, 4 * 4 * 4 + 4 + 1),
+        seed in 0u64..u64::MAX,
+    ) {
+        let len = threads * stages * 4;
+        let p = profile(threads, stages, &raw[..len], &raw[len..len + threads], raw[raw.len() - 1]);
+        let q = p.permute_threads(&perm_from_seed(threads, seed));
+        prop_assert_eq!(p.max_stage_imbalance(), q.max_stage_imbalance());
+        prop_assert_eq!(p.load_imbalance(), q.load_imbalance());
+        prop_assert_eq!(p.barrier_share(), q.barrier_share());
+        prop_assert_eq!(p.barrier_share_of_wall(), q.barrier_share_of_wall());
+        prop_assert_eq!(p.total_compute_ns(), q.total_compute_ns());
+        prop_assert_eq!(p.total_barrier_wait_ns(), q.total_barrier_wait_ns());
+        for (sp, sq) in p.stages.iter().zip(&q.stages) {
+            prop_assert_eq!(sp.imbalance(), sq.imbalance());
+            prop_assert_eq!(sp.element_imbalance(), sq.element_imbalance());
+            prop_assert_eq!(sp.throughput_eps(), sq.throughput_eps());
+            prop_assert_eq!(sp.compute_ns(), sq.compute_ns());
+            prop_assert_eq!(sp.elements(), sq.elements());
+        }
+    }
+
+    /// Merging then deriving equals deriving on scaled counters: ratios
+    /// are invariant under merging a profile with itself k times.
+    fn ratios_stable_under_self_merge(
+        threads in 1usize..=4,
+        stages in 1usize..=4,
+        raw in vec(0u64..C, 4 * 4 * 4 + 4 + 1),
+        k in 1usize..=4,
+    ) {
+        let len = threads * stages * 4;
+        let p = profile(threads, stages, &raw[..len], &raw[len..len + threads], raw[raw.len() - 1]);
+        let mut m = p.clone();
+        for _ in 0..k {
+            m = m.try_merge(&p).unwrap();
+        }
+        prop_assert_eq!(m.runs, 1 + k as u64);
+        // max/mean of (c·x_i) equals max/mean of (x_i) exactly: the
+        // ratio divides out the common factor before any rounding.
+        prop_assert_eq!(p.max_stage_imbalance(), m.max_stage_imbalance());
+        prop_assert_eq!(p.load_imbalance(), m.load_imbalance());
+        prop_assert_eq!(p.barrier_share(), m.barrier_share());
+    }
+
+    /// JSON round-trip is lossless for arbitrary profiles.
+    fn json_roundtrip_lossless(
+        threads in 1usize..=4,
+        stages in 1usize..=4,
+        raw in vec(0u64..C, 4 * 4 * 4 + 4 + 1),
+    ) {
+        let len = threads * stages * 4;
+        let p = profile(threads, stages, &raw[..len], &raw[len..len + threads], raw[raw.len() - 1]);
+        prop_assert_eq!(RunProfile::from_json(&p.to_json()).unwrap(), p);
+    }
+}

@@ -430,6 +430,34 @@ pub fn per_thread_flops(steps: &[StepFootprint], threads: usize) -> Vec<u64> {
     per
 }
 
+/// Static per-stage load-imbalance ratios of a plan: for each step, the
+/// `max/mean` of per-thread flops under the executor's static schedule
+/// (thread `t` runs footprint entries `t, t+p, …`). A stage with zero
+/// flops (pure data movement) reports `1.0` — it is bounded by memory,
+/// not compute, so flop balance is not meaningful for it.
+///
+/// This is the static counterpart of the *measured* per-stage imbalance
+/// a `spiral_trace::RunProfile` reports; the observability layer
+/// cross-validates the two.
+pub fn static_stage_balance(plan: &Plan) -> Vec<f64> {
+    let threads = plan.threads.max(1);
+    plan_footprints(plan)
+        .iter()
+        .map(|sf| {
+            let mut per = vec![0u64; threads];
+            for (tid, tf) in sf.threads.iter().enumerate() {
+                per[tid % threads] += tf.flops;
+            }
+            let total: u64 = per.iter().sum();
+            if total == 0 {
+                return 1.0;
+            }
+            let max = *per.iter().max().unwrap() as f64;
+            max * threads as f64 / total as f64
+        })
+        .collect()
+}
+
 /// Check that every step fully writes its expected destination region
 /// (the ping-pong invariant: stale elements would be read downstream).
 pub fn check_coverage(
