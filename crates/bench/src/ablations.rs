@@ -278,6 +278,54 @@ pub fn verification_ablation(
     rows
 }
 
+/// A tuned parallel plan on the host paired with its input vector —
+/// the setup every host-side overhead ablation repeats.
+struct HostCase {
+    log2n: u32,
+    plan: spiral_codegen::plan::Plan,
+    x: Vec<spiral_spl::cplx::Cplx>,
+}
+
+/// Tune one parallel plan per size in `min_log2..=max_log2` for
+/// `threads` workers (analytic cost model) and build the standard
+/// deterministic input. Sizes with no tunable parallel plan are
+/// skipped, matching each ablation's `continue` behaviour.
+fn tuned_host_cases(threads: usize, min_log2: u32, max_log2: u32) -> Vec<HostCase> {
+    use spiral_search::Tuner;
+    use spiral_spl::cplx::Cplx;
+    let mu = spiral_smp::topology::mu();
+    let mut cases = Vec::new();
+    for k in min_log2..=max_log2 {
+        let n = 1usize << k;
+        let Ok(Some(tuned)) = Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) else {
+            continue;
+        };
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
+            .collect();
+        cases.push(HostCase {
+            log2n: k,
+            plan: tuned.plan,
+            x,
+        });
+    }
+    cases
+}
+
+/// Minimum wall-clock µs of `f` over `reps + 1` invocations; the extra
+/// first call doubles as warm-up, and min-of-reps suppresses scheduler
+/// noise the same way the paper's timing loops do.
+fn min_time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    let mut best = f64::INFINITY;
+    for _ in 0..=reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
 /// One row of the fault-tolerance overhead ablation (ABL-FAULT).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FaultOverheadRow {
@@ -316,14 +364,12 @@ pub fn fault_overhead_ablation(
     reps: usize,
 ) -> Vec<FaultOverheadRow> {
     use spiral_codegen::ParallelExecutor;
-    use spiral_search::Tuner;
     use spiral_smp::barrier::BarrierKind;
     use spiral_smp::pool::Pool;
-    use spiral_spl::cplx::{first_non_finite, Cplx};
+    use spiral_spl::cplx::first_non_finite;
     use std::time::Instant;
 
     let reps = reps.max(1);
-    let mu = spiral_smp::topology::mu();
     let exec = ParallelExecutor::new(threads, BarrierKind::Park);
 
     // Deadline-bounded barrier round-trip, amortized over many waits.
@@ -342,29 +388,16 @@ pub fn fault_overhead_ablation(
     };
 
     let mut rows = Vec::new();
-    for k in min_log2..=max_log2 {
-        let n = 1usize << k;
-        let Ok(Some(tuned)) = Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) else {
-            continue;
-        };
-        let x: Vec<Cplx> = (0..n)
-            .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
-            .collect();
-        let mut exec_us = f64::INFINITY;
+    for case in tuned_host_cases(threads, min_log2, max_log2) {
         let mut out = Vec::new();
-        for _ in 0..=reps {
-            let t0 = Instant::now();
+        let exec_us = min_time_us(reps, || {
             out = exec
-                .try_execute(&tuned.plan, &x)
+                .try_execute(&case.plan, &case.x)
                 .expect("healthy plan must execute");
-            exec_us = exec_us.min(t0.elapsed().as_secs_f64() * 1e6);
-        }
-        let mut scan_us = f64::INFINITY;
-        for _ in 0..reps {
-            let t0 = Instant::now();
+        });
+        let scan_us = min_time_us(reps, || {
             std::hint::black_box(first_non_finite(&out));
-            scan_us = scan_us.min(t0.elapsed().as_secs_f64() * 1e6);
-        }
+        });
         // Trace-based attribution: split the run into measured compute
         // and measured barrier wait instead of inferring barrier cost
         // from a standalone round-trip microbenchmark.
@@ -374,7 +407,7 @@ pub fn fault_overhead_ablation(
         {
             let mut merged: Option<spiral_trace::RunProfile> = None;
             for _ in 0..reps {
-                if let Ok((_, p)) = exec.try_execute_traced(&tuned.plan, &x) {
+                if let Ok((_, p)) = exec.try_execute_traced(&case.plan, &case.x) {
                     merged = Some(match merged.take() {
                         Some(m) => m.try_merge(&p).unwrap_or(p),
                         None => p,
@@ -389,7 +422,7 @@ pub fn fault_overhead_ablation(
             }
         }
         rows.push(FaultOverheadRow {
-            log2n: k,
+            log2n: case.log2n,
             exec_us,
             scan_us,
             scan_pct: 100.0 * scan_us / exec_us,
@@ -434,57 +467,109 @@ pub fn trace_overhead_ablation(
     reps: usize,
 ) -> Vec<TraceOverheadRow> {
     use spiral_codegen::ParallelExecutor;
-    use spiral_search::Tuner;
     use spiral_smp::barrier::BarrierKind;
-    use spiral_spl::cplx::Cplx;
-    use std::time::Instant;
 
     let reps = reps.max(1);
-    let mu = spiral_smp::topology::mu();
     let exec = ParallelExecutor::new(threads, BarrierKind::Park);
     let mut rows = Vec::new();
-    for k in min_log2..=max_log2 {
-        let n = 1usize << k;
-        let Ok(Some(tuned)) = Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) else {
-            continue;
-        };
-        let x: Vec<Cplx> = (0..n)
-            .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
-            .collect();
+    for case in tuned_host_cases(threads, min_log2, max_log2) {
         let time_plain = || {
-            let mut best = f64::INFINITY;
-            for _ in 0..=reps {
-                let t0 = Instant::now();
+            min_time_us(reps, || {
                 std::hint::black_box(
-                    exec.try_execute(&tuned.plan, &x)
+                    exec.try_execute(&case.plan, &case.x)
                         .expect("healthy plan must execute"),
                 );
-                best = best.min(t0.elapsed().as_secs_f64() * 1e6);
-            }
-            best
+            })
         };
         let plain_us = time_plain();
         #[cfg(feature = "trace")]
-        let traced_us = {
-            let mut best = f64::INFINITY;
-            for _ in 0..=reps {
-                let t0 = Instant::now();
-                std::hint::black_box(
-                    exec.try_execute_traced(&tuned.plan, &x)
-                        .expect("healthy plan must execute"),
-                );
-                best = best.min(t0.elapsed().as_secs_f64() * 1e6);
-            }
-            best
-        };
+        let traced_us = min_time_us(reps, || {
+            std::hint::black_box(
+                exec.try_execute_traced(&case.plan, &case.x)
+                    .expect("healthy plan must execute"),
+            );
+        });
         #[cfg(not(feature = "trace"))]
         let traced_us = time_plain();
         rows.push(TraceOverheadRow {
-            log2n: k,
+            log2n: case.log2n,
             plain_us,
             traced_us,
             overhead_pct: 100.0 * (traced_us - plain_us) / plain_us,
             traced_available: cfg!(feature = "trace"),
+        });
+    }
+    rows
+}
+
+/// One row of the timeline-overhead ablation (ABL-TIMELINE).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineOverheadRow {
+    /// Transform size as log2 n.
+    pub log2n: u32,
+    /// Wall-clock µs per transform through the plain fallible path
+    /// (`try_execute`) — min over reps.
+    pub plain_us: f64,
+    /// Wall-clock µs per transform with full event-timeline recording
+    /// (`try_execute_observed` into a `spiral_trace::Timeline`) when
+    /// built with `trace`; a second plain pass otherwise.
+    pub observed_us: f64,
+    /// `100 · (observed - plain) / plain`.
+    pub overhead_pct: f64,
+    /// Whether the observed column really streamed timeline events
+    /// (`false` = built without the `trace` feature).
+    pub observed_available: bool,
+}
+
+/// Measure what event-timeline recording costs when it is ON: tuned
+/// plan, plain `try_execute` vs `try_execute_observed` streaming every
+/// pool-job/compute/barrier span into a lock-free `Timeline` ring,
+/// min-of-reps. The per-event cost is two `Instant::now()` calls and
+/// three relaxed atomic stores, so the overhead should stay within the
+/// noise floor (≲1%) from `n = 2^14` up. Built without `trace`, the
+/// second pass is plain again and the delta shows that noise floor.
+pub fn timeline_overhead_ablation(
+    threads: usize,
+    min_log2: u32,
+    max_log2: u32,
+    reps: usize,
+) -> Vec<TimelineOverheadRow> {
+    use spiral_codegen::ParallelExecutor;
+    use spiral_smp::barrier::BarrierKind;
+
+    let reps = reps.max(1);
+    let exec = ParallelExecutor::new(threads, BarrierKind::Park);
+    let mut rows = Vec::new();
+    for case in tuned_host_cases(threads, min_log2, max_log2) {
+        let time_plain = || {
+            min_time_us(reps, || {
+                std::hint::black_box(
+                    exec.try_execute(&case.plan, &case.x)
+                        .expect("healthy plan must execute"),
+                );
+            })
+        };
+        let plain_us = time_plain();
+        #[cfg(feature = "trace")]
+        let observed_us = {
+            // One ring set for all reps: the bounded ring wraps, so
+            // steady-state cost is what a long-running service would see.
+            let timeline = spiral_trace::Timeline::new(threads);
+            min_time_us(reps, || {
+                std::hint::black_box(
+                    exec.try_execute_observed(&case.plan, &case.x, &timeline)
+                        .expect("healthy plan must execute"),
+                );
+            })
+        };
+        #[cfg(not(feature = "trace"))]
+        let observed_us = time_plain();
+        rows.push(TimelineOverheadRow {
+            log2n: case.log2n,
+            plain_us,
+            observed_us,
+            overhead_pct: 100.0 * (observed_us - plain_us) / plain_us,
+            observed_available: cfg!(feature = "trace"),
         });
     }
     rows
@@ -644,6 +729,18 @@ mod tests {
             assert!(r.traced_us > 0.0 && r.traced_us.is_finite(), "{r:?}");
             assert!(r.overhead_pct.is_finite(), "{r:?}");
             assert_eq!(r.traced_available, cfg!(feature = "trace"), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn timeline_overhead_rows_complete() {
+        let rows = timeline_overhead_ablation(2, 8, 9, 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.plain_us > 0.0 && r.plain_us.is_finite(), "{r:?}");
+            assert!(r.observed_us > 0.0 && r.observed_us.is_finite(), "{r:?}");
+            assert!(r.overhead_pct.is_finite(), "{r:?}");
+            assert_eq!(r.observed_available, cfg!(feature = "trace"), "{r:?}");
         }
     }
 

@@ -1,6 +1,7 @@
 //! `figures` — regenerate the paper's evaluation.
 //!
 //! ```text
+//! figures list                                  (every command, described)
 //! figures fig3 --machine core-duo [--min 6] [--max 18] [--out results/]
 //! figures crossover [--machine core-duo]
 //! figures sequential [--min 8] [--max 14]       (host wall-clock)
@@ -8,29 +9,140 @@
 //! figures ablation-schedule [--machine core-duo] [--size 12]
 //! figures ablation-sixstep [--machine core-duo]
 //! figures ablation-merge [--machine core-duo]
+//! figures ablation-fault [--min 8] [--max 14] [--out results/]
 //! figures ablation-trace [--min 8] [--max 14] [--out results/]
-//! figures trace [--size 12] [--threads 2] [--out results/]   (needs --features trace)
+//! figures ablation-timeline [--min 8] [--max 14] [--out results/]
+//! figures trace [--size 12] [--threads 2] [--out results/]      (needs --features trace)
+//! figures timeline [--size 12] [--threads 2] [--out results/]   (needs --features trace)
 //! figures search
 //! figures verify [--machine core-duo] [--min 8] [--max 14] [--out results/]
 //! figures all [--out results/]
 //! ```
+//!
+//! Flags are validated per command: an unknown flag, a missing value,
+//! or a stray positional argument is an error, not a silent no-op.
 
 use spiral_bench::ablations::{
     false_sharing_ablation, fault_overhead_ablation, merge_ablation, schedule_ablation,
-    search_comparison, sixstep_ablation, trace_overhead_ablation, verification_ablation,
+    search_comparison, sixstep_ablation, timeline_overhead_ablation, trace_overhead_ablation,
+    verification_ablation,
 };
 use spiral_bench::ascii;
 use spiral_bench::series::{crossover, fig3_series, tune_spiral, Series};
 use spiral_sim::{by_name, paper_machines, simulate_plan, MachineSpec};
 use std::collections::HashMap;
 
+/// One dispatchable `figures` command: its name, what it reproduces,
+/// and exactly which flags it accepts.
+struct CmdSpec {
+    name: &'static str,
+    desc: &'static str,
+    flags: &'static [&'static str],
+}
+
+const COMMANDS: &[CmdSpec] = &[
+    CmdSpec {
+        name: "fig3",
+        desc: "Figure 3 — the five pseudo-Mflop/s curves on a simulated machine",
+        flags: &["machine", "min", "max", "out"],
+    },
+    CmdSpec {
+        name: "crossover",
+        desc: "CLAIM-XOVER — where parallelization starts to pay off",
+        flags: &["machine", "min", "max"],
+    },
+    CmdSpec {
+        name: "sequential",
+        desc: "CLAIM-SEQ — host wall-clock sequential comparison vs baselines",
+        flags: &["min", "max"],
+    },
+    CmdSpec {
+        name: "ablation-false-sharing",
+        desc: "ABL-FS — µ-aware formula (14) vs µ-oblivious false sharing",
+        flags: &["machine", "min", "max", "out"],
+    },
+    CmdSpec {
+        name: "ablation-schedule",
+        desc: "ABL-SCHED — block-cyclic grain sweep at one size",
+        flags: &["machine", "size"],
+    },
+    CmdSpec {
+        name: "ablation-sixstep",
+        desc: "ABL-SIXSTEP — multicore CT vs explicit six-step transposes",
+        flags: &["machine", "min", "max"],
+    },
+    CmdSpec {
+        name: "ablation-merge",
+        desc: "ABL-MERGE — explicit exchange passes vs merged into compute",
+        flags: &["machine", "min", "max"],
+    },
+    CmdSpec {
+        name: "ablation-fault",
+        desc: "ABL-FAULT — fault-tolerance overhead on the happy path (host)",
+        flags: &["min", "max", "out"],
+    },
+    CmdSpec {
+        name: "ablation-trace",
+        desc: "ABL-TRACE — per-stage profiling overhead when ON (host)",
+        flags: &["min", "max", "threads", "reps", "out"],
+    },
+    CmdSpec {
+        name: "ablation-timeline",
+        desc: "ABL-TIMELINE — event-timeline recording overhead when ON (host)",
+        flags: &["min", "max", "threads", "reps", "out"],
+    },
+    CmdSpec {
+        name: "trace",
+        desc: "per-stage waterfall of one traced run (needs --features trace)",
+        flags: &["size", "threads", "out"],
+    },
+    CmdSpec {
+        name: "timeline",
+        desc: "Chrome/Perfetto event timeline of one observed run (needs --features trace)",
+        flags: &["size", "threads", "out"],
+    },
+    CmdSpec {
+        name: "search",
+        desc: "SEARCH-DP — DP vs random vs evolutionary vs fixed radix-2",
+        flags: &["machine"],
+    },
+    CmdSpec {
+        name: "verify",
+        desc: "ABL-VERIFY — static analyzer vs dynamic simulator verdicts",
+        flags: &["machine", "min", "max", "out"],
+    },
+    CmdSpec {
+        name: "all",
+        desc: "every simulated figure and ablation in sequence",
+        flags: &["machine", "min", "max", "out"],
+    },
+    CmdSpec {
+        name: "list",
+        desc: "enumerate every command with its description and flags",
+        flags: &[],
+    },
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let Some(cmd) = args.first().map(String::as_str) else {
         usage_and_exit();
+    };
+    if cmd == "list" || cmd == "--list" {
+        print_list();
+        return;
     }
-    let cmd = args[0].as_str();
-    let opts = parse_flags(&args[1..]);
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == cmd) else {
+        eprintln!("unknown command: {cmd}");
+        usage_and_exit();
+    };
+    let opts = match parse_flags(&args[1..], spec.flags) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("figures {cmd}: {e}");
+            usage_and_exit();
+        }
+    };
     let out_dir = opts.get("out").cloned();
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("cannot create output dir");
@@ -64,7 +176,9 @@ fn main() {
         }
         "ablation-fault" => run_abl_fault(&opts, out_dir.as_deref()),
         "ablation-trace" => run_abl_trace(&opts, out_dir.as_deref()),
+        "ablation-timeline" => run_abl_timeline(&opts, out_dir.as_deref()),
         "trace" => run_trace(&opts, out_dir.as_deref()),
+        "timeline" => run_timeline(&opts, out_dir.as_deref()),
         "search" => run_search(&opts),
         "verify" => {
             let m = machine_arg(&opts);
@@ -86,46 +200,70 @@ fn main() {
             run_abl_merge(&m, &opts);
             run_abl_fault(&opts, out_dir.as_deref());
             run_abl_trace(&opts, out_dir.as_deref());
+            run_abl_timeline(&opts, out_dir.as_deref());
             run_search(&opts);
             run_verify(&m, &opts, out_dir.as_deref());
         }
-        other => {
-            eprintln!("unknown command: {other}");
-            usage_and_exit();
-        }
+        _ => unreachable!("command table covers every dispatched name"),
     }
+}
+
+fn print_list() {
+    println!("figures — commands (flags take a value: --flag VALUE)\n");
+    for c in COMMANDS {
+        let flags = if c.flags.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "  [{}]",
+                c.flags
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        };
+        println!("  {:<24} {}{}", c.name, c.desc, flags);
+    }
+    println!("\nmachines: core-duo opteron pentium-d xeon-mp");
+    println!("trace/timeline need the instrumented build: --features trace");
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: figures <fig3|crossover|sequential|ablation-false-sharing|\
-         ablation-schedule|ablation-sixstep|ablation-merge|ablation-fault|\
-         ablation-trace|trace|search|verify|all> \
-         [--machine NAME] [--min K] [--max K] [--size K] [--threads P] [--out DIR]\n\
-         machines: core-duo opteron pentium-d xeon-mp\n\
-         trace needs the instrumented build: --features trace"
+        "usage: figures <command> [--flag VALUE ...]\n\
+         run `figures list` for every command, its description, and its flags"
     );
     std::process::exit(2);
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Strict flag parsing: every flag must be known to the command and
+/// must take a value; stray positional arguments are errors.
+fn parse_flags(args: &[String], known: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() {
-                out.insert(key.to_string(), args[i + 1].clone());
-                i += 2;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("stray argument `{a}` (flags are --name VALUE)"));
+        };
+        if !known.contains(&key) {
+            let accepted = if known.is_empty() {
+                "no flags".to_string()
             } else {
-                out.insert(key.to_string(), String::new());
-                i += 1;
-            }
-        } else {
-            eprintln!("ignoring stray argument {}", args[i]);
-            i += 1;
+                known
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            return Err(format!("unknown flag --{key} (accepted: {accepted})"));
         }
+        let v = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} requires a value"))?;
+        out.insert(key.to_string(), v.clone());
     }
-    out
+    Ok(out)
 }
 
 fn machine_arg(opts: &HashMap<String, String>) -> MachineSpec {
@@ -443,6 +581,42 @@ fn run_abl_trace(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     }
 }
 
+/// ABL-TIMELINE: wall-clock cost of event-timeline recording when it is
+/// ON (`try_execute` vs `try_execute_observed` streaming into a
+/// lock-free ring). Built without the `trace` feature, the comparison
+/// degenerates to plain-vs-plain and shows the noise floor (the
+/// disabled configuration has no instrumented code at all).
+fn run_abl_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 8, 14);
+    let threads = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let reps = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let mode = if cfg!(feature = "trace") {
+        "observed vs plain"
+    } else {
+        "plain vs plain (noise floor; rebuild with --features trace)"
+    };
+    println!("\nABL-TIMELINE — event-timeline overhead, p={threads}, host ({mode})");
+    println!(
+        "{:>7} {:>12} {:>12} {:>10}",
+        "log2n", "plain µs", "observed µs", "overhead"
+    );
+    let rows = timeline_overhead_ablation(threads, min, max, reps);
+    for r in &rows {
+        println!(
+            "{:>7} {:>12.1} {:>12.1} {:>9.2}%",
+            r.log2n, r.plain_us, r.observed_us, r.overhead_pct
+        );
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/abl_timeline_overhead.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        println!("wrote {path}");
+    }
+}
+
 /// `figures trace`: execute the tuned plan for `--size` with per-stage
 /// instrumentation and print the waterfall table of where the run's
 /// time went. Requires the `trace` build; prints a rebuild hint
@@ -557,6 +731,128 @@ fn print_waterfall(p: &spiral_trace::RunProfile, choice: &str) {
         p.load_imbalance(),
         p.max_stage_imbalance()
     );
+}
+
+/// `figures timeline`: record the tuner search and one observed run
+/// into an event timeline and export it as Chrome trace-event JSON.
+/// Requires the `trace` build; prints a rebuild hint otherwise.
+#[cfg(not(feature = "trace"))]
+fn run_timeline(_opts: &HashMap<String, String>, _out_dir: Option<&str>) {
+    eprintln!("figures timeline needs the instrumented build:");
+    eprintln!("  cargo run --release -p spiral-bench --features trace --bin figures -- timeline");
+    std::process::exit(2);
+}
+
+/// `figures timeline`: record the tuner search (candidate spans,
+/// quarantine marks) and one observed execution (pool jobs, per-stage
+/// compute, barrier waits and releases) for `--size` into an event
+/// timeline, cross-check the timeline against the run's aggregated
+/// `RunProfile` and the static timeline checker, and export Chrome
+/// trace-event JSON loadable in Perfetto / `chrome://tracing`.
+#[cfg(feature = "trace")]
+fn run_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    use spiral_codegen::ParallelExecutor;
+    use spiral_search::{CostModel, Tuner};
+    use spiral_spl::cplx::Cplx;
+    use spiral_trace::{Timeline, TimelineEventKind};
+    use spiral_verify::timeline::{verify_timeline, TlEvent, TlKind};
+
+    let k: u32 = opts.get("size").and_then(|s| s.parse().ok()).unwrap_or(12);
+    let threads = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let n = 1usize << k;
+    let mu = spiral_smp::topology::mu();
+    let timeline = Timeline::new(threads);
+
+    let outcome = Tuner::new(threads, mu, CostModel::Analytic)
+        .tune_parallel_report_observed(n, &timeline)
+        .unwrap_or_else(|e| {
+            eprintln!("tuning failed for n=2^{k}, p={threads}: {e}");
+            std::process::exit(2);
+        });
+    let Some(tuned) = outcome.best else {
+        eprintln!("no tunable parallel plan for n=2^{k}, p={threads}, µ={mu}");
+        std::process::exit(2);
+    };
+    let x: Vec<Cplx> = (0..n)
+        .map(|i| Cplx::new(i as f64, -0.5 * i as f64))
+        .collect();
+    let exec = ParallelExecutor::with_auto_barrier(threads);
+    let (_, profile) = exec
+        .try_execute_observed(&tuned.plan, &x, &timeline)
+        .expect("healthy plan must execute");
+
+    let events = timeline.events();
+    println!(
+        "\nTIMELINE — n={n} p={threads} ({}): {} events, {} dropped",
+        tuned.choice,
+        events.len(),
+        timeline.total_dropped()
+    );
+    println!(
+        "  search: {} candidate span(s), {} quarantine mark(s)",
+        outcome.report.evaluated,
+        outcome.report.quarantined.len()
+    );
+
+    // Cross-check the streamed spans against the independently
+    // aggregated RunProfile of the same run: the two instruments must
+    // tell the same story (within clock-read jitter).
+    let tl_compute = timeline.total_ns(TimelineEventKind::StageCompute);
+    let tl_barrier = timeline.total_ns(TimelineEventKind::BarrierWait);
+    let agree = |name: &str, tl: u64, prof: u64| {
+        let rel = if prof > 0 {
+            100.0 * (tl as f64 - prof as f64) / prof as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {name}: timeline {:.1} µs vs profile {:.1} µs ({rel:+.2}%)",
+            tl as f64 / 1e3,
+            prof as f64 / 1e3
+        );
+    };
+    agree("compute", tl_compute, profile.total_compute_ns());
+    agree("barrier wait", tl_barrier, profile.total_barrier_wait_ns());
+
+    // Static sanity: non-overlapping per-thread spans, nesting, and one
+    // barrier release per thread per synchronized stage.
+    let tl_events: Vec<TlEvent> = events
+        .iter()
+        .map(|e| TlEvent {
+            tid: e.tid,
+            kind: match e.kind {
+                TimelineEventKind::PoolJob => TlKind::PoolJob,
+                TimelineEventKind::StageCompute => TlKind::StageCompute,
+                TimelineEventKind::BarrierWait => TlKind::BarrierWait,
+                TimelineEventKind::TunerCandidate => TlKind::TunerCandidate,
+                TimelineEventKind::BarrierRelease => TlKind::BarrierRelease,
+                TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
+                TimelineEventKind::TunerReject => TlKind::TunerReject,
+            },
+            stage: e.stage,
+            start_ns: e.start_ns,
+            end_ns: e.end_ns,
+        })
+        .collect();
+    let diags = verify_timeline(&tl_events, threads, tuned.plan.steps.len());
+    if diags.is_empty() {
+        println!("  checker: timeline is well-formed");
+    } else {
+        println!("  checker: {} finding(s)", diags.len());
+        for d in diags.iter().take(5) {
+            println!("    {}", d.detail);
+        }
+    }
+
+    if let Some(dir) = out_dir {
+        let labels: Vec<String> = tuned.plan.steps.iter().map(|s| s.label()).collect();
+        let path = format!("{dir}/timeline_2e{k}_p{threads}.json");
+        std::fs::write(&path, timeline.chrome_trace(&labels)).unwrap();
+        println!("wrote {path} (load in Perfetto or chrome://tracing)");
+    }
 }
 
 /// ABL-VERIFY: run the static analyzer on the tuned µ-aware plan and on

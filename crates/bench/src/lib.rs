@@ -5,7 +5,9 @@
 //!   methodology;
 //! * [`ascii`] — terminal tables/charts and CSV output;
 //! * [`ablations`] — false-sharing, scheduling-grain, six-step, and
-//!   search-strategy ablations.
+//!   search-strategy ablations;
+//! * [`history`] — longitudinal `BENCH_<host>.json` benchmark history
+//!   with noise-aware regression comparison (the `bench` binary).
 //!
 //! The `figures` binary drives everything:
 //! ```text
@@ -18,4 +20,5 @@
 pub mod ablations;
 pub mod ascii;
 pub mod cbench;
+pub mod history;
 pub mod series;

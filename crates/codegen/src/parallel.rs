@@ -101,7 +101,18 @@ struct ExecTrace<'a> {
     /// Where per-(stage, thread) timings go, when tracing this run.
     #[cfg(feature = "trace")]
     sink: Option<&'a dyn spiral_smp::trace::TraceSink>,
+    /// Where timestamped spans/instants go, when timelining this run.
+    #[cfg(feature = "trace")]
+    timeline: Option<&'a dyn spiral_smp::trace::TimelineSink>,
     _marker: std::marker::PhantomData<&'a ()>,
+}
+
+#[cfg(feature = "trace")]
+impl ExecTrace<'_> {
+    /// Any sink attached — timestamps must be taken for this run.
+    fn observing(&self) -> bool {
+        self.sink.is_some() || self.timeline.is_some()
+    }
 }
 
 impl ParallelExecutor {
@@ -185,6 +196,35 @@ impl ParallelExecutor {
         plan: &Plan,
         x: &[Cplx],
     ) -> Result<(Vec<Cplx>, spiral_trace::RunProfile), SpiralError> {
+        self.observed_impl(plan, x, None)
+    }
+
+    /// Like [`try_execute_traced`](Self::try_execute_traced), but
+    /// additionally stream timestamped spans and instants (pool job,
+    /// per-stage compute, barrier arrive→release, watchdog fires) into
+    /// `timeline` — the event source for Chrome-trace/Perfetto export
+    /// (`spiral_trace::Timeline`). The returned [`spiral_trace::RunProfile`]
+    /// aggregates the *same* run, so timeline durations can be
+    /// cross-checked against profile totals.
+    ///
+    /// Only available with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn try_execute_observed(
+        &self,
+        plan: &Plan,
+        x: &[Cplx],
+        timeline: &dyn spiral_smp::trace::TimelineSink,
+    ) -> Result<(Vec<Cplx>, spiral_trace::RunProfile), SpiralError> {
+        self.observed_impl(plan, x, Some(timeline))
+    }
+
+    #[cfg(feature = "trace")]
+    fn observed_impl(
+        &self,
+        plan: &Plan,
+        x: &[Cplx],
+        timeline: Option<&dyn spiral_smp::trace::TimelineSink>,
+    ) -> Result<(Vec<Cplx>, spiral_trace::RunProfile), SpiralError> {
         let collector = spiral_trace::Collector::new(self.threads, plan.steps.len());
         let wall_t0 = std::time::Instant::now();
         let out = self.exec_impl(
@@ -192,6 +232,7 @@ impl ParallelExecutor {
             x,
             ExecTrace {
                 sink: Some(&collector),
+                timeline,
                 _marker: std::marker::PhantomData,
             },
         )?;
@@ -291,7 +332,7 @@ impl ParallelExecutor {
                     None => false,
                 };
                 #[cfg(feature = "trace")]
-                let compute_t0 = tr.sink.map(|_| std::time::Instant::now());
+                let compute_t0 = tr.observing().then(std::time::Instant::now);
                 run_step_portion(
                     step,
                     n,
@@ -304,21 +345,34 @@ impl ParallelExecutor {
                     &mut scratch,
                 );
                 #[cfg(feature = "trace")]
-                let compute = compute_t0.map(|t| t.elapsed());
+                let compute_t1 = tr.observing().then(std::time::Instant::now);
                 #[cfg(feature = "faults")]
                 if corrupt {
                     inject_nan(step, n, plan.mu.max(1), tid, threads, dst);
                 }
                 #[cfg(feature = "trace")]
-                let barrier_t0 = tr.sink.map(|_| std::time::Instant::now());
+                let barrier_t0 = tr.observing().then(std::time::Instant::now);
                 let waited = barrier.wait_deadline(watchdog);
                 #[cfg(feature = "trace")]
-                if let (Some(sink), Some(compute)) = (tr.sink, compute) {
+                if let (Some(t0), Some(t1), Some(b0)) = (compute_t0, compute_t1, barrier_t0) {
                     // Arrival → release span: on a clean stage this is the
                     // time spent blocked waiting for slower peers.
-                    let wait = barrier_t0.map(|t| t.elapsed()).unwrap_or_default();
-                    let (jobs, elements) = portion_stats(step, n, plan.mu.max(1), tid, threads);
-                    sink.stage(tid, si, compute, wait, jobs, elements);
+                    let b1 = std::time::Instant::now();
+                    if let Some(sink) = tr.sink {
+                        let (jobs, elements) = portion_stats(step, n, plan.mu.max(1), tid, threads);
+                        sink.stage(tid, si, t1 - t0, b1 - b0, jobs, elements);
+                    }
+                    if let Some(tl) = tr.timeline {
+                        use spiral_smp::trace::{MarkKind, SpanKind};
+                        let si = si as u32;
+                        tl.span(tid, SpanKind::StageCompute, si, t0, t1);
+                        tl.span(tid, SpanKind::BarrierWait, si, b0, b1);
+                        let mark = match &waited {
+                            Ok(_) => MarkKind::BarrierRelease,
+                            Err(_) => MarkKind::WatchdogFire,
+                        };
+                        tl.mark(tid, mark, si, b1);
+                    }
                 }
                 if let Err(e) = waited {
                     failed.store(true, Ordering::Release);
@@ -331,9 +385,10 @@ impl ParallelExecutor {
             }
         };
         #[cfg(feature = "trace")]
-        let run_result = match tr.sink {
-            Some(sink) => self.pool.try_run_traced(&job, sink),
-            None => self.pool.try_run(&job),
+        let run_result = if tr.observing() {
+            self.pool.try_run_observed(&job, tr.sink, tr.timeline)
+        } else {
+            self.pool.try_run(&job)
         };
         #[cfg(not(feature = "trace"))]
         let run_result = self.pool.try_run(&job);

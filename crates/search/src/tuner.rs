@@ -60,6 +60,66 @@ pub struct TuneOutcome {
     pub report: TuneReport,
 }
 
+/// Optional observation context threaded through the parallel search.
+/// Mirrors the executor's `ExecTrace`: a ZST without the `trace`
+/// feature, so the uninstrumented search carries no observation state
+/// at all.
+#[derive(Clone, Copy, Default)]
+struct TuneObs<'a> {
+    /// Timeline sink receiving a `TunerCandidate` span per measured
+    /// candidate and a `TunerReject` mark per quarantine (feature
+    /// `trace`). Events are recorded for tid 0 — the coordinating
+    /// thread — with `stage` carrying the candidate index.
+    #[cfg(feature = "trace")]
+    timeline: Option<&'a dyn spiral_smp::trace::TimelineSink>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl TuneObs<'_> {
+    /// Whether anything is listening (a `false` constant without the
+    /// `trace` feature, so every observation branch folds away).
+    fn active(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.timeline.is_some()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Record the span of evaluating candidate `index` (derivation
+    /// through costing), `[start, now]`.
+    #[allow(unused_variables)]
+    fn candidate(&self, index: usize, start: std::time::Instant) {
+        #[cfg(feature = "trace")]
+        if let Some(tl) = self.timeline {
+            tl.span(
+                0,
+                spiral_smp::trace::SpanKind::TunerCandidate,
+                index as u32,
+                start,
+                std::time::Instant::now(),
+            );
+        }
+    }
+
+    /// Mark candidate `index` as quarantined.
+    #[allow(unused_variables)]
+    fn reject(&self, index: usize) {
+        #[cfg(feature = "trace")]
+        if let Some(tl) = self.timeline {
+            tl.mark(
+                0,
+                spiral_smp::trace::MarkKind::TunerReject,
+                index as u32,
+                std::time::Instant::now(),
+            );
+        }
+    }
+}
+
 /// Autotuner for a fixed machine configuration.
 pub struct Tuner {
     /// Worker/processor count for parallel code.
@@ -120,6 +180,30 @@ impl Tuner {
     /// *quarantined* — recorded with a reason and excluded — and the
     /// search continues with the remaining candidates.
     pub fn tune_parallel_report(&self, n: usize) -> Result<TuneOutcome, SpiralError> {
+        self.tune_report_impl(n, TuneObs::default())
+    }
+
+    /// Like [`tune_parallel_report`](Self::tune_parallel_report), but
+    /// records the search itself onto `timeline`: one `TunerCandidate`
+    /// span per split candidate (derivation through costing, indexed in
+    /// candidate order) and one `TunerReject` mark per quarantine, all
+    /// attributed to tid 0, the coordinating thread.
+    #[cfg(feature = "trace")]
+    pub fn tune_parallel_report_observed(
+        &self,
+        n: usize,
+        timeline: &dyn spiral_smp::trace::TimelineSink,
+    ) -> Result<TuneOutcome, SpiralError> {
+        self.tune_report_impl(
+            n,
+            TuneObs {
+                timeline: Some(timeline),
+                _marker: std::marker::PhantomData,
+            },
+        )
+    }
+
+    fn tune_report_impl(&self, n: usize, obs: TuneObs<'_>) -> Result<TuneOutcome, SpiralError> {
         let mut report = TuneReport::default();
         if self.p == 1 {
             let tuned = self.tune_sequential(n)?;
@@ -138,8 +222,9 @@ impl Tuner {
         let tree_cache: std::cell::RefCell<HashMap<usize, RuleTree>> =
             std::cell::RefCell::new(HashMap::new());
         let mut best: Option<Tuned> = None;
-        for m in splits {
+        for (ci, m) in splits.into_iter().enumerate() {
             let choice = format!("multicore split {m}x{}", n / m);
+            let t0 = obs.active().then(std::time::Instant::now);
             let derived = match multicore_dft(n, self.p, self.mu, Some(m)) {
                 Ok(d) => d,
                 Err(e) => {
@@ -147,6 +232,7 @@ impl Tuner {
                         choice,
                         reason: format!("derivation failed: {e:?}"),
                     });
+                    obs.reject(ci);
                     continue;
                 }
             };
@@ -167,6 +253,7 @@ impl Tuner {
                         choice,
                         reason: format!("failed to lower: {e}"),
                     });
+                    obs.reject(ci);
                     continue;
                 }
             };
@@ -180,6 +267,7 @@ impl Tuner {
                     choice,
                     reason: "failed static verification".to_string(),
                 });
+                obs.reject(ci);
                 continue;
             }
             report.evaluated += 1;
@@ -192,9 +280,16 @@ impl Tuner {
                         choice,
                         reason: e.to_string(),
                     });
+                    if let Some(t0) = t0 {
+                        obs.candidate(ci, t0);
+                    }
+                    obs.reject(ci);
                     continue;
                 }
             };
+            if let Some(t0) = t0 {
+                obs.candidate(ci, t0);
+            }
             if best.as_ref().is_none_or(|b| cost < b.cost) {
                 best = Some(Tuned {
                     formula: expanded,
@@ -303,6 +398,30 @@ mod tests {
         let t = Tuner::new(1, 4, CostModel::Analytic);
         let tuned = t.tune_parallel(64).unwrap().unwrap();
         assert_eq!(tuned.plan.threads, 1);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn observed_search_records_candidate_spans() {
+        use spiral_trace::{Timeline, TimelineEventKind};
+        let tl = Timeline::new(1);
+        let t = Tuner::new(2, 4, CostModel::Analytic);
+        let outcome = t.tune_parallel_report_observed(256, &tl).unwrap();
+        assert!(outcome.best.is_some());
+        let events = tl.events();
+        let spans = events
+            .iter()
+            .filter(|e| e.kind == TimelineEventKind::TunerCandidate)
+            .count();
+        // One span per candidate that passed static verification.
+        assert_eq!(spans, outcome.report.evaluated);
+        let rejects = events
+            .iter()
+            .filter(|e| e.kind == TimelineEventKind::TunerReject)
+            .count();
+        assert_eq!(rejects, outcome.report.quarantined.len());
+        // All attributed to the coordinating thread, chronological.
+        assert!(events.iter().all(|e| e.tid == 0));
     }
 
     #[test]

@@ -32,6 +32,21 @@ pub fn mu() -> usize {
     (cache_line_bytes() / COMPLEX_BYTES).max(1)
 }
 
+/// Names of the optional instrumentation features compiled into this
+/// build of the substrate, in a fixed order (`"trace"`, `"faults"`).
+/// Recorded into profile/bench artifacts so a reader can tell an
+/// instrumented measurement from a bare one.
+pub fn enabled_features() -> Vec<String> {
+    let mut v = Vec::new();
+    if cfg!(feature = "trace") {
+        v.push("trace".to_string());
+    }
+    if cfg!(feature = "faults") {
+        v.push("faults".to_string());
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +70,14 @@ mod tests {
             assert_eq!(mu(), 4);
         }
         assert!(mu() >= 1);
+    }
+
+    #[test]
+    fn enabled_features_reflect_compilation() {
+        let f = enabled_features();
+        assert_eq!(f.contains(&"trace".to_string()), cfg!(feature = "trace"));
+        assert_eq!(f.contains(&"faults".to_string()), cfg!(feature = "faults"));
+        // Fixed order keeps serialized artifacts stable.
+        assert!(f.windows(2).all(|w| w[0] == "trace" && w[1] == "faults"));
     }
 }

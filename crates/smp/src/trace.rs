@@ -1,19 +1,29 @@
-//! The substrate-level tracing hook (compiled only with the `trace`
+//! The substrate-level tracing hooks (compiled only with the `trace`
 //! feature).
 //!
-//! The execution layer reports per-thread timing events through the
-//! [`TraceSink`] trait: the pool reports whole-job spans, the stage
-//! executor above reports per-(stage, thread) compute and barrier-wait
-//! spans. The trait lives here — below every consumer — so the pool can
-//! accept a sink without depending on the collector crate
-//! (`spiral-trace`), which provides the canonical implementation.
+//! The execution layer reports per-thread timing events through two
+//! traits:
+//!
+//! * [`TraceSink`] — *aggregate* per-(stage, thread) durations: the pool
+//!   reports whole-job spans, the stage executor above reports compute
+//!   and barrier-wait totals. Enough for load-imbalance and barrier-share
+//!   metrics, but order- and gap-blind.
+//! * [`TimelineSink`] — *temporal* events: timestamped spans
+//!   (pool job, per-stage compute, barrier wait, tuner candidate) and
+//!   instants (barrier release, watchdog fire, candidate rejection).
+//!   This is what a Chrome-trace/Perfetto timeline is built from —
+//!   scheduling gaps and barrier convoys are visible only here.
+//!
+//! Both traits live here — below every consumer — so the pool can accept
+//! a sink without depending on the collector crate (`spiral-trace`),
+//! which provides the canonical implementations.
 //!
 //! Mirroring the `faults` feature, none of this exists in a default
-//! build: the hook methods, the extra `Pool` entry point, and every
+//! build: the hook methods, the extra `Pool` entry points, and every
 //! call site compile out entirely, so the disabled-feature overhead is
 //! exactly zero by construction.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Receiver for execution timing events.
 ///
@@ -39,6 +49,50 @@ pub trait TraceSink: Sync {
     /// Thread `tid`'s whole pool job (all stages plus barrier waits)
     /// took `total`.
     fn pool_job(&self, tid: usize, total: Duration);
+}
+
+/// What a timeline span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A thread's whole pool job (stage 0; spans every stage).
+    PoolJob,
+    /// One thread's statically scheduled portion of one stage.
+    StageCompute,
+    /// Blocked at the stage barrier, arrival through release.
+    BarrierWait,
+    /// The tuner evaluating one candidate (stage = candidate index).
+    TunerCandidate,
+}
+
+/// What a timeline instant marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkKind {
+    /// The stage barrier released this thread (one per thread per stage
+    /// on a clean run, so a stage's marks must count exactly `p`).
+    BarrierRelease,
+    /// A barrier/pool watchdog expired on this thread.
+    WatchdogFire,
+    /// The tuner quarantined the candidate (stage = candidate index).
+    TunerReject,
+}
+
+/// Receiver for timestamped execution events — the temporal counterpart
+/// of [`TraceSink`].
+///
+/// Implementations are written to concurrently from all pool threads;
+/// every event for thread `tid` is reported *by* thread `tid`, so a sink
+/// can keep per-thread ring buffers free of write sharing (see
+/// `spiral-trace`'s `Timeline`). Timestamps are the caller's
+/// [`Instant`]s, taken at the event boundary itself; the sink anchors
+/// them to its own epoch.
+pub trait TimelineSink: Sync {
+    /// Thread `tid` spent `[start, end]` in a `kind` span of `stage`
+    /// (stage index for executor spans, candidate index for tuner spans,
+    /// 0 for pool jobs).
+    fn span(&self, tid: usize, kind: SpanKind, stage: u32, start: Instant, end: Instant);
+
+    /// Thread `tid` hit a `kind` instant for `stage` at `at`.
+    fn mark(&self, tid: usize, kind: MarkKind, stage: u32, at: Instant);
 }
 
 #[cfg(test)]

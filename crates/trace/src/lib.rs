@@ -34,6 +34,10 @@
 
 #![warn(missing_docs)]
 
+pub mod timeline;
+
+pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};
+
 use serde::{Deserialize, Serialize};
 use spiral_smp::trace::TraceSink;
 use spiral_smp::CACHE_LINE_BYTES;
@@ -43,7 +47,43 @@ use std::time::Duration;
 /// Version stamp of the serialized [`RunProfile`] layout; bumped on any
 /// field change so downstream readers (`figures trace`, the golden
 /// snapshot under `results/`) can detect drift.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — initial layout (PR 3).
+/// * v2 — added the [`HostMeta`] `host` block.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The host a profile was measured on. Timing artifacts are meaningless
+/// without this context: a 2-thread run on a 1-core container and on a
+/// 32-core server produce structurally identical profiles with wildly
+/// different barrier shares.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostMeta {
+    /// Hardware threads available ([`spiral_smp::topology::processors`]).
+    pub cores: u64,
+    /// The paper's µ: cache-line length in complex numbers.
+    pub mu: u64,
+    /// Cache-line size in bytes.
+    pub cache_line_bytes: u64,
+    /// Optional instrumentation features compiled into the build
+    /// (`"trace"`, `"faults"`), in fixed order.
+    pub features: Vec<String>,
+}
+
+impl HostMeta {
+    /// Metadata of the current host/build (cached after the first call —
+    /// topology discovery reads sysfs).
+    pub fn current() -> HostMeta {
+        static CACHE: std::sync::OnceLock<HostMeta> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| HostMeta {
+                cores: spiral_smp::topology::processors() as u64,
+                mu: spiral_smp::topology::mu() as u64,
+                cache_line_bytes: spiral_smp::topology::cache_line_bytes() as u64,
+                features: spiral_smp::topology::enabled_features(),
+            })
+            .clone()
+    }
+}
 
 /// One `(stage, thread)` accumulation slot, padded to a full cache line
 /// so concurrent writers never share a line (the same guarantee the
@@ -142,6 +182,7 @@ impl Collector {
             threads: self.threads as u64,
             runs: 1,
             wall_ns: wall.as_nanos() as u64,
+            host: HostMeta::current(),
             pool_job_ns: self
                 .jobs
                 .iter()
@@ -269,6 +310,8 @@ pub struct RunProfile {
     pub runs: u64,
     /// Wall-clock nanoseconds summed over the accumulated runs.
     pub wall_ns: u64,
+    /// Host/build the profile was measured on.
+    pub host: HostMeta,
     /// Whole-job nanoseconds per thread (pool-level spans).
     pub pool_job_ns: Vec<u64>,
     /// Per-stage measurements, in plan order.
@@ -365,6 +408,13 @@ impl RunProfile {
                 other.stages.len()
             ));
         }
+        if self.host != other.host {
+            return Err(format!(
+                "host mismatch: {:?} vs {:?} (merging profiles from \
+                 different hosts would average incomparable clocks)",
+                self.host, other.host
+            ));
+        }
         let stages = self
             .stages
             .iter()
@@ -408,6 +458,7 @@ impl RunProfile {
             threads: self.threads,
             runs: self.runs + other.runs,
             wall_ns: self.wall_ns + other.wall_ns,
+            host: self.host.clone(),
             pool_job_ns,
             stages,
         })
@@ -429,6 +480,7 @@ impl RunProfile {
             threads: self.threads,
             runs: self.runs,
             wall_ns: self.wall_ns,
+            host: self.host.clone(),
             pool_job_ns: remap_u64(&self.pool_job_ns),
             stages: self
                 .stages
@@ -549,6 +601,21 @@ mod tests {
         let mut r = p.clone();
         r.stages[0].label = "other".to_string();
         assert!(p.try_merge(&r).is_err());
+        let mut h = p.clone();
+        h.host.cores += 1;
+        assert!(p.try_merge(&h).is_err());
+    }
+
+    #[test]
+    fn finish_stamps_current_host() {
+        let p = sample();
+        assert_eq!(p.schema, SCHEMA_VERSION);
+        assert_eq!(p.host, HostMeta::current());
+        assert!(p.host.cores >= 1);
+        assert!(p.host.mu >= 1);
+        assert!(p.host.cache_line_bytes.is_power_of_two());
+        // spiral-trace linked in implies the trace layer is compiled in.
+        assert!(p.host.features.iter().any(|f| f == "trace"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `SCHEMA_VERSION` and regenerate with `UPDATE_GOLDEN=1 cargo test -p
 //! spiral-trace --test golden`.
 
-use spiral_trace::{RunProfile, StageProfile, ThreadStageStats, SCHEMA_VERSION};
+use spiral_trace::{HostMeta, RunProfile, StageProfile, ThreadStageStats, SCHEMA_VERSION};
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/trace_profile_schema.json")
@@ -19,6 +19,14 @@ fn representative_profile() -> RunProfile {
         threads: 2,
         runs: 3,
         wall_ns: 123_456,
+        // Fixed literal, NOT `HostMeta::current()`: the golden must be
+        // byte-identical on every machine that runs this test.
+        host: HostMeta {
+            cores: 4,
+            mu: 4,
+            cache_line_bytes: 64,
+            features: vec!["trace".to_string()],
+        },
         pool_job_ns: vec![120_000, 118_500],
         stages: vec![
             StageProfile {

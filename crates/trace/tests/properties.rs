@@ -5,7 +5,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use spiral_trace::{RunProfile, StageProfile, ThreadStageStats, SCHEMA_VERSION};
+use spiral_trace::{HostMeta, RunProfile, StageProfile, ThreadStageStats, SCHEMA_VERSION};
 
 /// Build a profile of fixed shape from a flat counter vector
 /// (`threads * stages * 4` entries) plus per-thread pool spans.
@@ -33,6 +33,7 @@ fn profile(threads: usize, stages: usize, counters: &[u64], pool: &[u64], wall: 
         threads: threads as u64,
         runs: 1,
         wall_ns: wall,
+        host: HostMeta::current(),
         pool_job_ns: pool.to_vec(),
         stages: stage_profiles,
     }

@@ -1,0 +1,153 @@
+//! End-to-end timeline checks on real observed executions: the event
+//! stream recorded by `try_execute_observed` must agree with the
+//! independently aggregated `RunProfile` of the same run, satisfy the
+//! static timeline checker, count one barrier release per thread per
+//! synchronized stage, and export as well-formed Chrome trace JSON.
+
+use serde_json::Value;
+use spiral_codegen::plan::Plan;
+use spiral_codegen::ParallelExecutor;
+use spiral_rewrite::multicore_dft_expanded;
+use spiral_spl::cplx::Cplx;
+use spiral_trace::{RunProfile, Timeline, TimelineEvent, TimelineEventKind};
+use spiral_verify::timeline::{verify_timeline, TlEvent, TlKind};
+
+fn ramp(n: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|j| Cplx::new(0.5 + j as f64, -(j as f64) * 0.25))
+        .collect()
+}
+
+fn balanced_plan(n: usize, p: usize) -> Plan {
+    let f = multicore_dft_expanded(n, p, 4, None, 8).unwrap();
+    Plan::from_formula(&f, p, 4).unwrap().fuse_exchanges()
+}
+
+fn observed_run(n: usize, p: usize) -> (Timeline, RunProfile, Plan) {
+    let plan = balanced_plan(n, p);
+    let exec = ParallelExecutor::with_auto_barrier(p);
+    let timeline = Timeline::new(p);
+    let (out, profile) = exec
+        .try_execute_observed(&plan, &ramp(n), &timeline)
+        .expect("healthy plan must execute");
+    assert_eq!(out.len(), n);
+    (timeline, profile, plan)
+}
+
+fn to_tl(events: &[TimelineEvent]) -> Vec<TlEvent> {
+    events
+        .iter()
+        .map(|e| TlEvent {
+            tid: e.tid,
+            kind: match e.kind {
+                TimelineEventKind::PoolJob => TlKind::PoolJob,
+                TimelineEventKind::StageCompute => TlKind::StageCompute,
+                TimelineEventKind::BarrierWait => TlKind::BarrierWait,
+                TimelineEventKind::TunerCandidate => TlKind::TunerCandidate,
+                TimelineEventKind::BarrierRelease => TlKind::BarrierRelease,
+                TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
+                TimelineEventKind::TunerReject => TlKind::TunerReject,
+            },
+            stage: e.stage,
+            start_ns: e.start_ns,
+            end_ns: e.end_ns,
+        })
+        .collect()
+}
+
+#[test]
+fn barrier_release_marks_count_threads_per_synchronized_stage() {
+    for p in [2usize, 4] {
+        let (timeline, profile, _) = observed_run(1 << 10, p);
+        let mut synchronized = 0;
+        for s in 0..profile.stages.len() {
+            let releases = timeline.count(TimelineEventKind::BarrierRelease, s as u32);
+            assert!(
+                releases == 0 || releases == p,
+                "p={p} stage {s}: {releases} release marks (want 0 or {p})"
+            );
+            if releases == p {
+                synchronized += 1;
+            }
+        }
+        assert!(
+            synchronized > 0,
+            "p={p}: a parallel run must cross at least one barrier"
+        );
+        assert_eq!(timeline.total_dropped(), 0);
+    }
+}
+
+#[test]
+fn timeline_totals_agree_with_profile_aggregates() {
+    // Both instruments observe the same run, so the sums must agree to
+    // well within the 5% acceptance bound — they differ only by
+    // clock-read placement.
+    let (timeline, profile, _) = observed_run(1 << 12, 2);
+    let within = |name: &str, tl: u64, prof: u64| {
+        let rel = (tl as f64 - prof as f64).abs() / prof.max(1) as f64;
+        assert!(
+            rel <= 0.05,
+            "{name}: timeline {tl} ns vs profile {prof} ns ({:.1}% apart)",
+            100.0 * rel
+        );
+    };
+    within(
+        "compute",
+        timeline.total_ns(TimelineEventKind::StageCompute),
+        profile.total_compute_ns(),
+    );
+    within(
+        "barrier wait",
+        timeline.total_ns(TimelineEventKind::BarrierWait),
+        profile.total_barrier_wait_ns(),
+    );
+}
+
+#[test]
+fn static_timeline_checker_passes_a_real_run() {
+    let (timeline, profile, _) = observed_run(1 << 11, 2);
+    let diags = verify_timeline(&to_tl(&timeline.events()), 2, profile.stages.len());
+    assert!(
+        diags.is_empty(),
+        "real observed run must satisfy the timeline checker: {:?}",
+        diags.iter().map(|d| d.detail.as_str()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn chrome_export_of_real_run_is_well_formed() {
+    let (timeline, _, plan) = observed_run(1 << 10, 2);
+    let labels: Vec<String> = plan.steps.iter().map(|s| s.label()).collect();
+    let json = timeline.chrome_trace(&labels);
+    let doc: Value = serde_json::from_str(&json).expect("export must parse");
+    let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let ph = |e: &Value| match e.get("ph") {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("ph must be a string, got {other:?}"),
+    };
+    let b = events.iter().filter(|e| ph(e) == "B").count();
+    let e_count = events.iter().filter(|e| ph(e) == "E").count();
+    assert_eq!(b, e_count, "B/E phases must be balanced");
+    assert!(b > 0, "a real run must record spans");
+    for ev in events.iter().filter(|e| ph(e) == "i") {
+        assert_eq!(
+            ev.get("s").and_then(|v| match v {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            }),
+            Some("t"),
+            "instants must be thread-scoped"
+        );
+    }
+    // Per-thread timestamps of B events are monotone (ring order).
+    let mut last = std::collections::HashMap::new();
+    for ev in events.iter().filter(|e| ph(e) == "B") {
+        let tid = ev.get("tid").and_then(Value::as_f64).unwrap() as usize;
+        let ts = ev.get("ts").and_then(Value::as_f64).unwrap();
+        let prev = last.insert(tid, ts).unwrap_or(-1.0);
+        assert!(ts >= prev, "tid {tid}: B at {ts} after {prev}");
+    }
+}

@@ -36,6 +36,7 @@ pub mod audit;
 pub mod baseline;
 pub mod footprint;
 pub mod iset;
+pub mod timeline;
 
 use crate::audit::audit_plan;
 use crate::baseline::{fftw_like_footprints, FftwLikeSchedule};
@@ -62,6 +63,17 @@ pub enum DiagKind {
     RedundantBarrier,
     /// A step leaves part of its destination buffer unwritten.
     IncompleteWrite,
+    /// A recorded timeline event is internally inconsistent (inverted
+    /// span, out-of-range thread or stage).
+    TimelineMalformed,
+    /// One thread's activity spans (compute / barrier wait / tuner
+    /// candidate) overlap in time.
+    TimelineOverlap,
+    /// An activity span lies outside every pool-job span of its thread.
+    TimelineNesting,
+    /// A stage's barrier accounting is off (release count != threads),
+    /// or a watchdog fired during the recorded run.
+    TimelineBarrier,
 }
 
 /// How serious a diagnostic is.
