@@ -1,7 +1,7 @@
 //! `bench` — the benchmark-history CLI.
 //!
 //! ```text
-//! bench history record  [--out FILE] [--sizes 8,10] [--threads 1,2] [--reps 5]
+//! bench history record  [--out FILE] [--sizes 8,10] [--threads 1,2] [--reps 5] [--batch 32]
 //! bench history compare [--file FILE] [--mad-factor 4.0] [--min-drop 0.05]
 //! bench history show    [--file FILE]
 //! ```
@@ -32,7 +32,7 @@ fn main() {
 }
 
 const USAGE: &str = "usage:
-  bench history record  [--out FILE] [--sizes 8,10] [--threads 1,2] [--reps 5]
+  bench history record  [--out FILE] [--sizes 8,10] [--threads 1,2] [--reps 5] [--batch 32]
   bench history compare [--file FILE] [--mad-factor 4.0] [--min-drop 0.05]
   bench history show    [--file FILE]";
 
@@ -63,7 +63,7 @@ fn history_cmd(args: &[String]) -> Result<i32, String> {
 
 fn flag_names(sub: &str) -> Result<&'static [&'static str], String> {
     match sub {
-        "record" => Ok(&["--out", "--sizes", "--threads", "--reps"]),
+        "record" => Ok(&["--out", "--sizes", "--threads", "--reps", "--batch"]),
         "compare" => Ok(&["--file", "--mad-factor", "--min-drop"]),
         "show" => Ok(&["--file"]),
         other => Err(format!(
@@ -133,8 +133,21 @@ fn record(flags: &[(String, String)]) -> Result<i32, String> {
         .parse()
         .map_err(|_| "bad --reps value".to_string())?;
 
+    let batch: Option<usize> = match flag(flags, "--batch") {
+        Some(v) => Some(v.parse().map_err(|_| "bad --batch value".to_string())?),
+        None => None,
+    };
+
     let mut history = BenchHistory::load(&path)?;
-    let run = measure_grid(&sizes, &threads, reps);
+    let mut run = measure_grid(&sizes, &threads, reps);
+    if let Some(b) = batch {
+        // Batched grid points ride along in the same run, keyed by
+        // (log2n, threads, batch) so compare/trajectory track them
+        // separately from the batch=1 grid.
+        let rows = spiral_bench::batch::measure_batch_rows(&sizes, &threads, b, reps);
+        run.entries
+            .extend(spiral_bench::batch::rows_to_entries(&rows, reps));
+    }
     if run.entries.is_empty() {
         return Err("no grid point was measurable (sizes too small for the thread counts?)".into());
     }
@@ -146,8 +159,8 @@ fn record(flags: &[(String, String)]) -> Result<i32, String> {
     );
     for e in &run.entries {
         println!(
-            "  n=2^{:<2} p={}  {:>8.1} µs (±{:.1})  {:>6.3} GF/s (±{:.3})  [{}]",
-            e.log2n, e.threads, e.median_us, e.mad_us, e.gflops, e.gflops_mad, e.plan_kind
+            "  n=2^{:<2} p={} b={:<3} {:>8.1} µs (±{:.1})  {:>6.3} GF/s (±{:.3})  [{}]",
+            e.log2n, e.threads, e.batch, e.median_us, e.mad_us, e.gflops, e.gflops_mad, e.plan_kind
         );
     }
     history.append(run);
@@ -201,9 +214,10 @@ fn compare(flags: &[(String, String)]) -> Result<i32, String> {
     );
     for l in &report.lines {
         println!(
-            "  n=2^{:<2} p={}  {:>6.3} → {:>6.3} GF/s  {:>+6.1}% (tol {:.1}%)  {}  {}",
+            "  n=2^{:<2} p={} b={:<3} {:>6.3} → {:>6.3} GF/s  {:>+6.1}% (tol {:.1}%)  {}  {}",
             l.log2n,
             l.threads,
+            l.batch,
             l.base_gflops,
             l.cur_gflops,
             100.0 * l.rel_delta,
@@ -240,14 +254,15 @@ fn show(flags: &[(String, String)]) -> Result<i32, String> {
     let latest = history.runs.last().expect("non-empty");
     println!(
         "latest: run #{} on {} ({} cores, µ={})",
-        latest.seq, latest.host.name, latest.host.cores, latest.host.mu
+        latest.seq, latest.host.name, latest.host.fingerprint.cores, latest.host.fingerprint.mu
     );
     for e in &latest.entries {
-        let traj = history.trajectory(e.log2n, e.threads, &latest.host.name);
+        let traj = history.trajectory(e.log2n, e.threads, e.batch, &latest.host.name);
         println!(
-            "  n=2^{:<2} p={}  {:>6.3} GF/s  {}  ({} run(s))",
+            "  n=2^{:<2} p={} b={:<3} {:>6.3} GF/s  {}  ({} run(s))",
             e.log2n,
             e.threads,
+            e.batch,
             e.gflops,
             sparkline(&traj),
             traj.len()

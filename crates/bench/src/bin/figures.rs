@@ -16,6 +16,7 @@
 //! figures timeline [--size 12] [--threads 2] [--out results/]   (needs --features trace)
 //! figures search
 //! figures verify [--machine core-duo] [--min 8] [--max 14] [--out results/]
+//! figures batch [--min 6] [--max 10] [--threads 2] [--batch 32] [--reps 5] [--out results/]
 //! figures all [--out results/]
 //! ```
 //!
@@ -112,6 +113,11 @@ const COMMANDS: &[CmdSpec] = &[
         flags: &["machine", "min", "max", "out"],
     },
     CmdSpec {
+        name: "batch",
+        desc: "BATCH — batched small-DFT throughput vs per-transform dispatch (host)",
+        flags: &["min", "max", "threads", "batch", "reps", "out"],
+    },
+    CmdSpec {
         name: "all",
         desc: "every simulated figure and ablation in sequence",
         flags: &["machine", "min", "max", "out"],
@@ -184,6 +190,7 @@ fn main() {
             let m = machine_arg(&opts);
             run_verify(&m, &opts, out_dir.as_deref());
         }
+        "batch" => run_batch(&opts, out_dir.as_deref()),
         "all" => {
             let (min, max) = range(&opts, 6, 16);
             for m in paper_machines() {
@@ -293,10 +300,24 @@ fn machine_slug(m: &MachineSpec) -> String {
         .replace([' ', '.'], "-")
 }
 
+/// Write a results artifact, creating its directory if missing. Every
+/// failure names the path it was writing — "Permission denied" without
+/// a path has cost real debugging time.
+fn write_artifact(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                panic!("cannot create output directory {}: {e}", dir.display())
+            });
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
 fn save_csv(m: &MachineSpec, series: &[Series], out_dir: Option<&str>) {
     if let Some(dir) = out_dir {
         let path = format!("{dir}/fig3_{}.csv", machine_slug(m));
-        std::fs::write(&path, ascii::csv(series)).expect("write csv");
+        write_artifact(&path, &ascii::csv(series));
         println!("wrote {path}");
     }
 }
@@ -434,7 +455,7 @@ fn run_abl_fs(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&
     }
     if let Some(dir) = out_dir {
         let path = format!("{dir}/abl_false_sharing_{}.json", machine_slug(m));
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
         println!("wrote {path}");
     }
 }
@@ -540,7 +561,7 @@ fn run_abl_fault(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     }
     if let Some(dir) = out_dir {
         let path = format!("{dir}/abl_fault_overhead.json");
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
         println!("wrote {path}");
     }
 }
@@ -576,7 +597,7 @@ fn run_abl_trace(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     }
     if let Some(dir) = out_dir {
         let path = format!("{dir}/abl_trace_overhead.json");
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
         println!("wrote {path}");
     }
 }
@@ -612,7 +633,7 @@ fn run_abl_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     }
     if let Some(dir) = out_dir {
         let path = format!("{dir}/abl_timeline_overhead.json");
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
         println!("wrote {path}");
     }
 }
@@ -670,7 +691,7 @@ fn run_trace(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     print_waterfall(&profile, &tuned.choice);
     if let Some(dir) = out_dir {
         let path = format!("{dir}/trace_profile_2e{k}_p{threads}.json");
-        std::fs::write(&path, profile.to_json()).unwrap();
+        write_artifact(&path, &profile.to_json());
         println!("wrote {path}");
     }
 }
@@ -828,6 +849,7 @@ fn run_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
                 TimelineEventKind::StageCompute => TlKind::StageCompute,
                 TimelineEventKind::BarrierWait => TlKind::BarrierWait,
                 TimelineEventKind::TunerCandidate => TlKind::TunerCandidate,
+                TimelineEventKind::BatchTransform => TlKind::BatchTransform,
                 TimelineEventKind::BarrierRelease => TlKind::BarrierRelease,
                 TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
                 TimelineEventKind::TunerReject => TlKind::TunerReject,
@@ -850,7 +872,7 @@ fn run_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     if let Some(dir) = out_dir {
         let labels: Vec<String> = tuned.plan.steps.iter().map(|s| s.label()).collect();
         let path = format!("{dir}/timeline_2e{k}_p{threads}.json");
-        std::fs::write(&path, timeline.chrome_trace(&labels)).unwrap();
+        write_artifact(&path, &timeline.chrome_trace(&labels));
         println!("wrote {path} (load in Perfetto or chrome://tracing)");
     }
 }
@@ -908,7 +930,37 @@ fn run_verify(m: &MachineSpec, opts: &HashMap<String, String>, out_dir: Option<&
     }
     if let Some(dir) = out_dir {
         let path = format!("{dir}/abl_verify_{}.json", machine_slug(m));
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
+        println!("wrote {path}");
+    }
+}
+
+fn run_batch(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 6, 10);
+    let threads: usize = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let batch: usize = opts.get("batch").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let reps: usize = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let sizes: Vec<u32> = (min..=max).collect();
+    println!(
+        "\nBATCH — {batch} independent transforms per dispatch vs one-at-a-time, p={threads}, host"
+    );
+    println!(
+        "{:>7} {:>5} {:>14} {:>14} {:>9}",
+        "log2n", "batch", "single µs/tf", "batched µs/tf", "speedup"
+    );
+    let rows = spiral_bench::batch::measure_batch_rows(&sizes, &[1, threads], batch, reps);
+    for r in &rows {
+        println!(
+            "{:>7} {:>5} {:>14.1} {:>14.1} {:>8.2}x   p={} [{}]",
+            r.log2n, r.batch, r.single_us, r.batch_us, r.speedup, r.threads, r.batch_choice
+        );
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/batch_throughput.json");
+        write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
         println!("wrote {path}");
     }
 }

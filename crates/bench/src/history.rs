@@ -19,23 +19,27 @@
 //! pears.
 
 use serde::{Deserialize, Serialize};
+use spiral_smp::topology::HostFingerprint;
 use std::time::Instant;
 
 /// Version stamp of the serialized [`BenchHistory`] layout; guarded by
 /// the golden snapshot under `results/bench_history_schema.json`.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — initial layout (PR 4).
+/// * v2 — host identity moved into the shared
+///   [`spiral_smp::topology::HostFingerprint`] block (adds `features`),
+///   and entries gained the `batch` grid dimension.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
-/// The machine a benchmark run executed on.
+/// The machine a benchmark run executed on: a human-facing name plus
+/// the workspace-wide hardware [`HostFingerprint`] (the same identity
+/// block `spiral-trace` profiles and `spiral-serve` wisdom carry).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BenchHost {
     /// Host name (kernel hostname; `"unknown-host"` when unavailable).
     pub name: String,
-    /// Hardware threads available.
-    pub cores: u64,
-    /// The paper's µ: cache-line length in complex numbers.
-    pub mu: u64,
-    /// Cache-line size in bytes.
-    pub cache_line_bytes: u64,
+    /// Hardware identity (cores, µ, line size, compiled features).
+    pub fingerprint: HostFingerprint,
 }
 
 impl BenchHost {
@@ -43,9 +47,7 @@ impl BenchHost {
     pub fn current() -> BenchHost {
         BenchHost {
             name: hostname(),
-            cores: spiral_smp::topology::processors() as u64,
-            mu: spiral_smp::topology::mu() as u64,
-            cache_line_bytes: spiral_smp::topology::cache_line_bytes() as u64,
+            fingerprint: HostFingerprint::current(),
         }
     }
 
@@ -85,6 +87,11 @@ pub struct BenchEntry {
     pub log2n: u64,
     /// Thread count.
     pub threads: u64,
+    /// Independent transforms dispatched per request: `1` is the classic
+    /// per-transform path; `>1` is a `BatchExecutor` grid point. Timing
+    /// fields are always *per transform*, so batched and unbatched
+    /// entries report comparable throughput.
+    pub batch: u64,
     /// What the tuner picked (e.g. `"multicore split 64x64"`); carried
     /// for interpretation, not used as a comparison key — the tuner may
     /// legitimately flip between equivalent splits across runs.
@@ -202,14 +209,14 @@ impl BenchHistory {
     /// The gflops trajectory of one grid point across all runs on
     /// `host_name`, oldest first (for sparklines). Runs missing the
     /// point are skipped.
-    pub fn trajectory(&self, log2n: u64, threads: u64, host_name: &str) -> Vec<f64> {
+    pub fn trajectory(&self, log2n: u64, threads: u64, batch: u64, host_name: &str) -> Vec<f64> {
         self.runs
             .iter()
             .filter(|r| r.host.name == host_name)
             .filter_map(|r| {
                 r.entries
                     .iter()
-                    .find(|e| e.log2n == log2n && e.threads == threads)
+                    .find(|e| e.log2n == log2n && e.threads == threads && e.batch == batch)
                     .map(|e| e.gflops)
             })
             .collect()
@@ -294,6 +301,7 @@ pub fn measure_grid(sizes_log2: &[u32], threads: &[usize], reps: usize) -> Bench
             entries.push(BenchEntry {
                 log2n: k as u64,
                 threads: p as u64,
+                batch: 1,
                 plan_kind: tuned.choice.clone(),
                 reps: reps as u64,
                 median_us: median(&times_us),
@@ -341,6 +349,8 @@ pub struct CompareLine {
     pub log2n: u64,
     /// Thread count.
     pub threads: u64,
+    /// Transforms per dispatched request (1 = unbatched).
+    pub batch: u64,
     /// Current run's tuner choice.
     pub plan_kind: String,
     /// Baseline pseudo-GFLOP/s (most recent earlier run, same host).
@@ -385,9 +395,9 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
             .rev()
             .filter(|r| r.host.name == latest.host.name)
             .find_map(|r| {
-                r.entries
-                    .iter()
-                    .find(|e| e.log2n == cur.log2n && e.threads == cur.threads)
+                r.entries.iter().find(|e| {
+                    e.log2n == cur.log2n && e.threads == cur.threads && e.batch == cur.batch
+                })
             });
         let Some(base) = base else {
             report.unmatched += 1;
@@ -400,13 +410,14 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
         report.lines.push(CompareLine {
             log2n: cur.log2n,
             threads: cur.threads,
+            batch: cur.batch,
             plan_kind: cur.plan_kind.clone(),
             base_gflops: base.gflops,
             cur_gflops: cur.gflops,
             rel_delta,
             threshold,
             regressed: rel_delta < -threshold,
-            trajectory: history.trajectory(cur.log2n, cur.threads, &latest.host.name),
+            trajectory: history.trajectory(cur.log2n, cur.threads, cur.batch, &latest.host.name),
         });
     }
     Some(report)
@@ -420,6 +431,7 @@ mod tests {
         BenchEntry {
             log2n,
             threads,
+            batch: 1,
             plan_kind: "test".to_string(),
             reps: 5,
             median_us: 100.0,
@@ -435,9 +447,12 @@ mod tests {
             unix_ms: 1_700_000_000_000,
             host: BenchHost {
                 name: "test-host".to_string(),
-                cores: 2,
-                mu: 4,
-                cache_line_bytes: 64,
+                fingerprint: HostFingerprint {
+                    cores: 2,
+                    mu: 4,
+                    cache_line_bytes: 64,
+                    features: Vec::new(),
+                },
             },
             entries,
         }

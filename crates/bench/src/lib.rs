@@ -7,7 +7,9 @@
 //! * [`ablations`] — false-sharing, scheduling-grain, six-step, and
 //!   search-strategy ablations;
 //! * [`history`] — longitudinal `BENCH_<host>.json` benchmark history
-//!   with noise-aware regression comparison (the `bench` binary).
+//!   with noise-aware regression comparison (the `bench` binary);
+//! * [`batch`] — BATCH: batched small-DFT throughput vs per-transform
+//!   dispatch, the serving layer's speedup measurement.
 //!
 //! The `figures` binary drives everything:
 //! ```text
@@ -19,6 +21,7 @@
 
 pub mod ablations;
 pub mod ascii;
+pub mod batch;
 pub mod cbench;
 pub mod history;
 pub mod series;

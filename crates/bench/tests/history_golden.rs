@@ -6,6 +6,7 @@
 //! test -p spiral-bench --test history_golden`.
 
 use spiral_bench::history::{BenchEntry, BenchHistory, BenchHost, BenchRun, BENCH_SCHEMA_VERSION};
+use spiral_smp::topology::HostFingerprint;
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_history_schema.json")
@@ -17,9 +18,12 @@ fn golden_path() -> std::path::PathBuf {
 fn representative_history() -> BenchHistory {
     let host = BenchHost {
         name: "example-host".to_string(),
-        cores: 4,
-        mu: 4,
-        cache_line_bytes: 64,
+        fingerprint: HostFingerprint {
+            cores: 4,
+            mu: 4,
+            cache_line_bytes: 64,
+            features: vec!["trace".to_string()],
+        },
     };
     BenchHistory {
         schema: BENCH_SCHEMA_VERSION,
@@ -31,6 +35,7 @@ fn representative_history() -> BenchHistory {
                 entries: vec![BenchEntry {
                     log2n: 12,
                     threads: 2,
+                    batch: 1,
                     plan_kind: "multicore split 64x64".to_string(),
                     reps: 5,
                     median_us: 120.5,
@@ -43,16 +48,30 @@ fn representative_history() -> BenchHistory {
                 seq: 2,
                 unix_ms: 1_700_000_060_000,
                 host,
-                entries: vec![BenchEntry {
-                    log2n: 12,
-                    threads: 2,
-                    plan_kind: "multicore split 64x64".to_string(),
-                    reps: 5,
-                    median_us: 118.0,
-                    mad_us: 1.5,
-                    gflops: 1.79,
-                    gflops_mad: 0.02,
-                }],
+                entries: vec![
+                    BenchEntry {
+                        log2n: 12,
+                        threads: 2,
+                        batch: 1,
+                        plan_kind: "multicore split 64x64".to_string(),
+                        reps: 5,
+                        median_us: 118.0,
+                        mad_us: 1.5,
+                        gflops: 1.79,
+                        gflops_mad: 0.02,
+                    },
+                    BenchEntry {
+                        log2n: 8,
+                        threads: 2,
+                        batch: 32,
+                        plan_kind: "batched sequential 2^8".to_string(),
+                        reps: 5,
+                        median_us: 4.2,
+                        mad_us: 0.1,
+                        gflops: 2.4,
+                        gflops_mad: 0.05,
+                    },
+                ],
             },
         ],
     }

@@ -13,6 +13,8 @@
 //!   barriers, with the tagged parallel operators mapped to statically
 //!   scheduled parallel steps;
 //! * [`parallel`] — multithreaded execution on the `spiral-smp` pool;
+//! * [`batch`] — batch-dimension parallel execution of many independent
+//!   small transforms per pool dispatch (the serving layer's executor);
 //! * [`hook`] — instrumentation interface replaying exact per-thread
 //!   memory-access streams into the machine simulator;
 //! * [`cemit`] — C source emission (OpenMP and pthreads flavors);
@@ -35,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cemit;
 pub mod codelet;
 pub mod fuse;
@@ -45,10 +48,11 @@ pub mod plan;
 pub mod stage;
 pub mod validate;
 
+pub use batch::BatchExecutor;
 pub use cemit::{emit_c, CFlavor};
 pub use codelet::Codelet;
 pub use hook::{MemHook, NullHook, Region};
 pub use lower::{lower_seq, LowerError};
 pub use parallel::{ExecOutcome, ParallelExecutor};
-pub use plan::{Plan, Step};
+pub use plan::{Plan, PlanWorkspace, Step};
 pub use spiral_smp::SpiralError;

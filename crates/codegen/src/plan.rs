@@ -196,14 +196,32 @@ impl Plan {
 
     /// Reference sequential execution (single thread, same schedule).
     pub fn execute(&self, x: &[Cplx]) -> Vec<Cplx> {
+        let mut out = vec![Cplx::ZERO; self.n];
+        self.execute_into(x, &mut out, &mut PlanWorkspace::default());
+        out
+    }
+
+    /// Reference sequential execution into a caller-owned output slice,
+    /// reusing `ws` across calls. This is the allocation-free core of
+    /// [`execute`](Self::execute) and the per-thread inner loop of the
+    /// batch executor: re-running the same plan over many inputs touches
+    /// only the workspace buffers, so repeated transforms pay no
+    /// per-call allocation. Identical arithmetic to `execute` (both run
+    /// this code), so outputs are bitwise equal.
+    pub fn execute_into(&self, x: &[Cplx], out: &mut [Cplx], ws: &mut PlanWorkspace) {
         assert_eq!(x.len(), self.n, "input length mismatch");
-        let mut a = x.to_vec();
-        let mut b = vec![Cplx::ZERO; self.n];
-        let mut tmp = vec![Cplx::ZERO; self.max_local_dim().max(1)];
-        let mut scratch = Scratch::default();
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        ws.prepare(self);
+        // Exact-length views: the workspace may be sized for a larger
+        // plan, but programs assert on their buffer dimensions.
+        let mut a: &mut [Cplx] = &mut ws.a[..self.n];
+        let mut b: &mut [Cplx] = &mut ws.b[..self.n];
+        let tmp = &mut ws.tmp;
+        let scratch = &mut ws.scratch;
+        a.copy_from_slice(x);
         for step in &self.steps {
             match step {
-                Step::Seq(p) => p.run(&a, &mut b, &mut tmp, &mut scratch),
+                Step::Seq(p) => p.run(a, b, tmp, scratch),
                 Step::Par {
                     chunk,
                     programs,
@@ -213,13 +231,13 @@ impl Plan {
                         let s = c * chunk;
                         let view = match gather {
                             Some(g) => crate::stage::SrcView::Gathered {
-                                buf: &a,
+                                buf: a,
                                 gather: g,
                                 off: s,
                             },
                             None => crate::stage::SrcView::Local(&a[s..s + chunk]),
                         };
-                        prog.run_view(view, &mut b[s..s + chunk], &mut tmp[..*chunk], &mut scratch);
+                        prog.run_view(view, &mut b[s..s + chunk], &mut tmp[..*chunk], scratch);
                     }
                 }
                 Step::Exchange { table, .. } => {
@@ -235,7 +253,7 @@ impl Plan {
             }
             std::mem::swap(&mut a, &mut b);
         }
-        a
+        out.copy_from_slice(a);
     }
 
     /// Replay the parallel execution schedule into a [`MemHook`]: which
@@ -296,8 +314,34 @@ impl Plan {
     }
 }
 
+/// Reusable buffers for repeated sequential executions
+/// ([`Plan::execute_into`]): the ping-pong pair, the per-chunk temporary,
+/// and the codelet scratch. Sized lazily to the largest plan seen, so
+/// one workspace serves any mix of plans.
+#[derive(Default)]
+pub struct PlanWorkspace {
+    a: Vec<Cplx>,
+    b: Vec<Cplx>,
+    tmp: Vec<Cplx>,
+    scratch: Scratch,
+}
+
+impl PlanWorkspace {
+    /// Grow the buffers to fit `plan` (never shrinks).
+    fn prepare(&mut self, plan: &Plan) {
+        if self.a.len() < plan.n {
+            self.a.resize(plan.n, Cplx::ZERO);
+            self.b.resize(plan.n, Cplx::ZERO);
+        }
+        let local = plan.max_local_dim().max(1);
+        if self.tmp.len() < local {
+            self.tmp.resize(local, Cplx::ZERO);
+        }
+    }
+}
+
 /// Contiguous share `[lo, hi)` of `total` items for thread `tid` of `p`.
-fn share(total: usize, p: usize, tid: usize) -> (usize, usize) {
+pub(crate) fn share(total: usize, p: usize, tid: usize) -> (usize, usize) {
     let base = total / p;
     let rem = total % p;
     let lo = tid * base + tid.min(rem);

@@ -1,0 +1,210 @@
+//! `serve` — drive the plan service with a synthetic request stream.
+//!
+//! Builds a [`PlanService`], optionally backed by a wisdom file, feeds
+//! it a deterministic stream of batched small-DFT requests, and reports
+//! throughput (transforms/s and batches/s) plus cache and tuner
+//! counters. Exits non-zero under `--assert-no-tuning` if any request
+//! reached the tuner — the CI check that a warm wisdom file really
+//! serves without tuning.
+//!
+//! ```text
+//! serve [--threads P] [--mu M] [--sizes 64,256,1024] [--batch B]
+//!       [--requests R] [--wisdom PATH] [--assert-no-tuning] [--seed S]
+//! ```
+
+use spiral_serve::PlanService;
+use spiral_smp::topology::{self, HostFingerprint};
+use spiral_spl::cplx::Cplx;
+use std::time::Instant;
+
+struct Opts {
+    threads: usize,
+    mu: usize,
+    sizes: Vec<usize>,
+    batch: usize,
+    requests: usize,
+    wisdom: Option<String>,
+    assert_no_tuning: bool,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--threads P] [--mu M] [--sizes N1,N2,...] [--batch B] \
+         [--requests R] [--wisdom PATH] [--assert-no-tuning] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        threads: topology::processors(),
+        mu: topology::mu(),
+        sizes: vec![64, 256, 1024],
+        batch: 32,
+        requests: 64,
+        wisdom: None,
+        assert_no_tuning: false,
+        seed: 1,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                opts.threads = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--mu" => {
+                opts.mu = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--sizes" => {
+                opts.sizes = value(&args, i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                i += 2;
+            }
+            "--batch" => {
+                opts.batch = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--requests" => {
+                opts.requests = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--wisdom" => {
+                opts.wisdom = Some(value(&args, i));
+                i += 2;
+            }
+            "--assert-no-tuning" => {
+                opts.assert_no_tuning = true;
+                i += 1;
+            }
+            "--seed" => {
+                opts.seed = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if opts.sizes.is_empty() || opts.batch == 0 || opts.requests == 0 {
+        usage();
+    }
+    opts
+}
+
+/// Deterministic request stream: splitmix64 over the seed.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn batch_inputs(rng: &mut Stream, b: usize, n: usize) -> Vec<Vec<Cplx>> {
+    (0..b)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    let re = (rng.next() % 2000) as f64 / 1000.0 - 1.0;
+                    let im = (rng.next() % 2000) as f64 / 1000.0 - 1.0;
+                    Cplx::new(re, im)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_opts();
+    println!("host: {}", HostFingerprint::current());
+
+    let service = match &opts.wisdom {
+        Some(path) => {
+            let (svc, report) = PlanService::with_wisdom(opts.threads, opts.mu, path);
+            println!("{} ({})", report.summary(), path);
+            for r in &report.rejected {
+                println!(
+                    "  rejected n={} p={} mu={}: {}",
+                    r.n, r.threads, r.mu, r.reason
+                );
+            }
+            svc
+        }
+        None => PlanService::new(opts.threads, opts.mu),
+    };
+
+    // Warm phase: plan every size once (tunes on a cold service, loads
+    // from wisdom on a warm one). Timed separately from serving.
+    let t_plan = Instant::now();
+    for &n in &opts.sizes {
+        let served = service
+            .sequential_plan(n)
+            .unwrap_or_else(|e| panic!("planning DFT_{n} failed: {e}"));
+        println!(
+            "plan DFT_{n}: {:?} via {} (cost {:.0})",
+            served.source, served.choice, served.cost
+        );
+    }
+    let plan_secs = t_plan.elapsed().as_secs_f64();
+
+    // Serve phase: deterministic mixed-size batched request stream.
+    let mut rng = Stream(opts.seed);
+    let mut transforms = 0usize;
+    let t_serve = Instant::now();
+    for r in 0..opts.requests {
+        let n = opts.sizes[(r + opts.seed as usize) % opts.sizes.len()];
+        let inputs = batch_inputs(&mut rng, opts.batch, n);
+        let out = service
+            .serve_batch(n, &inputs)
+            .unwrap_or_else(|e| panic!("request {r} (DFT_{n} x{}) failed: {e}", opts.batch));
+        transforms += out.len();
+    }
+    let serve_secs = t_serve.elapsed().as_secs_f64();
+
+    println!(
+        "served {} requests ({} transforms, batch {}) on {} threads",
+        opts.requests, transforms, opts.batch, opts.threads
+    );
+    println!(
+        "planning {:.3} s; serving {:.3} s  ->  {:.0} transforms/s, {:.0} batches/s",
+        plan_secs,
+        serve_secs,
+        transforms as f64 / serve_secs.max(1e-12),
+        opts.requests as f64 / serve_secs.max(1e-12),
+    );
+    println!(
+        "cache: {} plans, {} hits, {} misses; tuner invocations: {}; wisdom save failures: {}",
+        service.cached_plans(),
+        service.cache_hits(),
+        service.cache_misses(),
+        service.tuner_invocations(),
+        service.wisdom_save_failures(),
+    );
+
+    if let Err(e) = service.save_wisdom() {
+        eprintln!("warning: wisdom save failed: {e}");
+    }
+
+    if opts.assert_no_tuning && service.tuner_invocations() > 0 {
+        eprintln!(
+            "FAIL: --assert-no-tuning, but the tuner ran {} time(s) — wisdom was cold or stale",
+            service.tuner_invocations()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Wisdom: persisted tuning results, FFTW-style.
+//!
+//! The tuner's feedback loop (paper §2.3) is expensive relative to the
+//! transforms a serving workload actually runs, so its output is worth
+//! keeping. A wisdom file records, per `(n, threads, µ)` key, the
+//! winning fully-expanded SPL formula as its ASCII rendering plus the
+//! tuner's choice description and modeled cost. Formulas — not compiled
+//! plans — are the unit of persistence: the ASCII form round-trips
+//! through [`spiral_spl::parse`], stays human-diffable, and is
+//! recompiled through the exact pipeline the tuner used
+//! ([`Plan::from_formula`] + exchange fusion), so a loaded plan is the
+//! same executable object a fresh tuning run would have produced.
+//!
+//! Wisdom is only valid on the host that produced it: the file embeds a
+//! [`HostFingerprint`] and loading rejects the whole file when the
+//! fingerprint disagrees with the current host (a plan tuned for
+//! another µ or core count is silently wrong, not just slow). Individual
+//! entries are re-validated on load — unparseable formulas, dimension
+//! mismatches, failed lowering, and plans flagged by the
+//! `spiral-verify` static analyzer are rejected entry-by-entry with a
+//! recorded reason, and the rest of the file still loads.
+
+use serde::{Deserialize, Serialize};
+use spiral_codegen::plan::Plan;
+use spiral_smp::topology::HostFingerprint;
+use spiral_verify::{verify_plan, VerifyOptions};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Version of the on-disk wisdom schema. Files with any other version
+/// are discarded wholesale (with a reason in the [`LoadReport`]).
+pub const WISDOM_SCHEMA_VERSION: u64 = 1;
+
+/// One persisted tuning result.
+///
+/// `threads` is the *request* key (what the service was asked to plan
+/// for); `plan_threads` is what the stored formula actually compiles to
+/// — they differ when the parallel search declined `n` (no admissible
+/// split) and the tuner fell back to a sequential plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WisdomEntry {
+    /// Transform size.
+    pub n: u64,
+    /// Requested thread count (cache key).
+    pub threads: u64,
+    /// Cache-line length in complex elements the plan was tuned for.
+    pub mu: u64,
+    /// Thread count to compile the formula with (≤ `threads`).
+    pub plan_threads: u64,
+    /// The winning formula, ASCII SPL (round-trips through `parse`).
+    pub formula: String,
+    /// The tuner's human-readable choice description.
+    pub choice: String,
+    /// Cost of the winner under the tuner's model.
+    pub cost: f64,
+}
+
+/// The on-disk wisdom file: schema version, host identity, entries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WisdomFile {
+    /// Must equal [`WISDOM_SCHEMA_VERSION`].
+    pub schema: u64,
+    /// Host the entries were tuned on.
+    pub host: HostFingerprint,
+    /// Persisted tuning results, in insertion order.
+    pub entries: Vec<WisdomEntry>,
+}
+
+/// A wisdom entry compiled back into an executable plan.
+#[derive(Clone, Debug)]
+pub struct CompiledEntry {
+    /// The recompiled plan (shared with the service cache).
+    pub plan: Arc<Plan>,
+    /// ASCII SPL of the formula the plan was compiled from.
+    pub formula: String,
+    /// The tuner's choice description.
+    pub choice: String,
+    /// Cost under the tuner's model at tuning time.
+    pub cost: f64,
+}
+
+/// An entry the loader refused, and why.
+#[derive(Clone, Debug)]
+pub struct RejectedEntry {
+    /// Transform size of the offending entry.
+    pub n: u64,
+    /// Requested thread count of the offending entry.
+    pub threads: u64,
+    /// µ of the offending entry.
+    pub mu: u64,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// What [`WisdomStore::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Entries that compiled and validated.
+    pub loaded: usize,
+    /// Entries rejected individually, with reasons.
+    pub rejected: Vec<RejectedEntry>,
+    /// Set when the whole file was discarded (missing is *not* a
+    /// discard — a missing file is an empty store with no report line).
+    pub discarded: Option<String>,
+}
+
+impl LoadReport {
+    /// One-line human summary for logs.
+    pub fn summary(&self) -> String {
+        match &self.discarded {
+            Some(reason) => format!("wisdom discarded: {reason}"),
+            None => format!(
+                "wisdom: {} entries loaded, {} rejected",
+                self.loaded,
+                self.rejected.len()
+            ),
+        }
+    }
+}
+
+/// In-memory wisdom store bound to a file path and a host fingerprint.
+pub struct WisdomStore {
+    path: PathBuf,
+    host: HostFingerprint,
+    entries: HashMap<(usize, usize, usize), (WisdomEntry, CompiledEntry)>,
+}
+
+impl WisdomStore {
+    /// Open (or start) the store at `path` for the current host.
+    pub fn open(path: impl Into<PathBuf>) -> (WisdomStore, LoadReport) {
+        WisdomStore::open_for_host(path, HostFingerprint::current())
+    }
+
+    /// Open (or start) the store at `path` for an explicit host
+    /// fingerprint — the testable entry point for staleness handling.
+    pub fn open_for_host(
+        path: impl Into<PathBuf>,
+        host: HostFingerprint,
+    ) -> (WisdomStore, LoadReport) {
+        let path = path.into();
+        let mut store = WisdomStore {
+            path,
+            host,
+            entries: HashMap::new(),
+        };
+        let mut report = LoadReport::default();
+        let text = match std::fs::read_to_string(&store.path) {
+            Ok(t) => t,
+            // Missing file: a fresh store, not an error.
+            Err(_) => return (store, report),
+        };
+        let file: WisdomFile = match serde_json::from_str(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                report.discarded = Some(format!("unparseable wisdom file: {e}"));
+                return (store, report);
+            }
+        };
+        if file.schema != WISDOM_SCHEMA_VERSION {
+            report.discarded = Some(format!(
+                "schema version {} (this build reads {})",
+                file.schema, WISDOM_SCHEMA_VERSION
+            ));
+            return (store, report);
+        }
+        if file.host != store.host {
+            report.discarded = Some(format!(
+                "stale host fingerprint: file tuned on [{}], this host is [{}]",
+                file.host.compact(),
+                store.host.compact()
+            ));
+            return (store, report);
+        }
+        for entry in file.entries {
+            match compile_entry(&entry) {
+                Ok(compiled) => {
+                    store.entries.insert(
+                        (entry.n as usize, entry.threads as usize, entry.mu as usize),
+                        (entry, compiled),
+                    );
+                    report.loaded += 1;
+                }
+                Err(reason) => report.rejected.push(RejectedEntry {
+                    n: entry.n,
+                    threads: entry.threads,
+                    mu: entry.mu,
+                    reason,
+                }),
+            }
+        }
+        (store, report)
+    }
+
+    /// The path this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of valid entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the compiled plan for `(n, threads, µ)`.
+    pub fn get(&self, n: usize, threads: usize, mu: usize) -> Option<&CompiledEntry> {
+        self.entries.get(&(n, threads, mu)).map(|(_, c)| c)
+    }
+
+    /// Record a fresh tuning result under `(n, threads, µ)`. The caller
+    /// supplies the already-compiled plan so the store never recompiles
+    /// what the tuner just built.
+    pub fn record(&mut self, entry: WisdomEntry, plan: Arc<Plan>) {
+        let key = (entry.n as usize, entry.threads as usize, entry.mu as usize);
+        let compiled = CompiledEntry {
+            plan,
+            formula: entry.formula.clone(),
+            choice: entry.choice.clone(),
+            cost: entry.cost,
+        };
+        self.entries.insert(key, (entry, compiled));
+    }
+
+    /// Write the store to its path as pretty JSON, creating parent
+    /// directories as needed. Entries are sorted by key so the file is
+    /// deterministic and diffable.
+    pub fn save(&self) -> Result<(), String> {
+        let mut entries: Vec<WisdomEntry> = self.entries.values().map(|(e, _)| e.clone()).collect();
+        entries.sort_by_key(|e| (e.n, e.threads, e.mu));
+        let file = WisdomFile {
+            schema: WISDOM_SCHEMA_VERSION,
+            host: self.host.clone(),
+            entries,
+        };
+        let json = serde_json::to_string_pretty(&file)
+            .map_err(|e| format!("wisdom serialization failed: {e}"))?;
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    format!("cannot create wisdom directory {}: {e}", dir.display())
+                })?;
+            }
+        }
+        std::fs::write(&self.path, json)
+            .map_err(|e| format!("cannot write wisdom file {}: {e}", self.path.display()))
+    }
+}
+
+/// Recompile a persisted entry through the tuner's own pipeline and
+/// re-validate the result. Returns the rejection reason on any failure.
+pub fn compile_entry(entry: &WisdomEntry) -> Result<CompiledEntry, String> {
+    if !entry.cost.is_finite() || entry.cost < 0.0 {
+        return Err(format!("non-finite or negative cost {}", entry.cost));
+    }
+    if entry.plan_threads == 0 || entry.plan_threads > entry.threads.max(1) {
+        return Err(format!(
+            "plan_threads {} outside 1..={}",
+            entry.plan_threads,
+            entry.threads.max(1)
+        ));
+    }
+    let formula =
+        spiral_spl::parse(&entry.formula).map_err(|e| format!("formula does not parse: {e}"))?;
+    if formula.dim() != entry.n as usize {
+        return Err(format!(
+            "formula dimension {} disagrees with entry size {}",
+            formula.dim(),
+            entry.n
+        ));
+    }
+    let plan_threads = entry.plan_threads as usize;
+    let plan = Plan::from_formula(&formula, plan_threads, entry.mu as usize)
+        .map_err(|e| format!("formula fails to lower: {e}"))?;
+    // Same post-pass the tuner applies to parallel winners.
+    let plan = if plan_threads > 1 {
+        plan.fuse_exchanges()
+    } else {
+        plan
+    };
+    let report = verify_plan(&plan, &VerifyOptions::default());
+    if report.has_errors() {
+        return Err(format!(
+            "static verification rejected the recompiled plan: {}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.detail.as_str())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    Ok(CompiledEntry {
+        plan: Arc::new(plan),
+        formula: entry.formula.clone(),
+        choice: entry.choice.clone(),
+        cost: entry.cost,
+    })
+}

@@ -1,0 +1,256 @@
+//! Wisdom persistence round-trip: a plan loaded from disk must be the
+//! same executable object a fresh tuning run produces, corrupt entries
+//! must be rejected individually with reasons, and a stale host
+//! fingerprint must discard the whole file.
+
+use spiral_search::{CostModel, Tuner};
+use spiral_serve::{
+    compile_entry, PlanService, PlanSource, WisdomEntry, WisdomFile, WisdomStore,
+    WISDOM_SCHEMA_VERSION,
+};
+use spiral_smp::topology::HostFingerprint;
+use spiral_spl::cplx::Cplx;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spiral-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn ramp(n: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|j| Cplx::new(0.25 + j as f64, -(j as f64) * 0.75))
+        .collect()
+}
+
+/// The acceptance bound from the issue: wisdom-loaded and freshly tuned
+/// plans must agree elementwise to 1e-10.
+#[test]
+fn wisdom_loaded_plan_matches_freshly_tuned_output() {
+    let path = tmp_path("roundtrip.json");
+    let _ = std::fs::remove_file(&path);
+    let threads = 2;
+    let mu = 4;
+
+    // Cold service: tune, which also writes wisdom.
+    let (cold, report) = PlanService::with_wisdom(threads, mu, &path);
+    assert!(report.discarded.is_none() && report.loaded == 0);
+    for n in [64usize, 256, 1024] {
+        cold.plan(n).unwrap();
+        cold.sequential_plan(n).unwrap();
+    }
+    let cold_tunes = cold.tuner_invocations();
+    assert!(cold_tunes >= 6, "every cold key must tune");
+
+    // Warm service: every plan comes back from wisdom.
+    let (warm, report) = PlanService::with_wisdom(threads, mu, &path);
+    assert!(report.discarded.is_none(), "{:?}", report.discarded);
+    assert_eq!(report.loaded, 6, "rejected: {:?}", report.rejected);
+
+    for n in [64usize, 256, 1024] {
+        let loaded = warm.plan(n).unwrap();
+        assert_eq!(loaded.source, PlanSource::Wisdom);
+
+        // Freshly tuned reference, bypassing wisdom entirely.
+        let tuner = Tuner::new(threads, mu, CostModel::Analytic);
+        let fresh = match tuner.tune_parallel(n).unwrap() {
+            Some(t) => t,
+            None => tuner.tune_sequential(n).unwrap(),
+        };
+
+        let x = ramp(n);
+        let got = warm.serve_one(n, &x).unwrap();
+        let want = fresh.plan.execute(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(
+                (a.re - b.re).abs() <= 1e-10 && (a.im - b.im).abs() <= 1e-10,
+                "n={n}: wisdom-loaded {a:?} vs freshly tuned {b:?}"
+            );
+        }
+    }
+    assert_eq!(
+        warm.tuner_invocations(),
+        0,
+        "a warm wisdom file must serve without tuning"
+    );
+}
+
+#[test]
+fn warm_service_survives_concurrent_requests_without_tuning() {
+    let path = tmp_path("warm_concurrent.json");
+    let _ = std::fs::remove_file(&path);
+    let (cold, _) = PlanService::with_wisdom(2, 4, &path);
+    cold.sequential_plan(64).unwrap();
+    cold.sequential_plan(256).unwrap();
+
+    let (warm, report) = PlanService::with_wisdom(2, 4, &path);
+    assert_eq!(report.loaded, 2);
+    std::thread::scope(|s| {
+        for k in 0..8 {
+            let warm = &warm;
+            s.spawn(move || {
+                let n = if k % 2 == 0 { 64 } else { 256 };
+                let xs: Vec<Vec<Cplx>> = (0..4).map(|_| ramp(n)).collect();
+                warm.serve_batch(n, &xs).unwrap();
+            });
+        }
+    });
+    assert_eq!(warm.tuner_invocations(), 0);
+    assert_eq!(warm.cached_plans(), 2);
+}
+
+#[test]
+fn corrupt_entries_are_rejected_individually_with_reasons() {
+    let host = HostFingerprint::current();
+    let good = WisdomEntry {
+        n: 16,
+        threads: 1,
+        mu: 4,
+        plan_threads: 1,
+        formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
+        choice: "test".to_string(),
+        cost: 100.0,
+    };
+    let bad_parse = WisdomEntry {
+        formula: "DFT_oops".to_string(),
+        n: 32,
+        ..good.clone()
+    };
+    let bad_dim = WisdomEntry {
+        n: 64, // formula is 16-dimensional
+        ..good.clone()
+    };
+    let bad_cost = WisdomEntry {
+        n: 16,
+        threads: 2,
+        cost: -3.0,
+        ..good.clone()
+    };
+    let file = WisdomFile {
+        schema: WISDOM_SCHEMA_VERSION,
+        host: host.clone(),
+        entries: vec![good.clone(), bad_parse, bad_dim, bad_cost],
+    };
+    let path = tmp_path("corrupt_entries.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+
+    let (store, report) = WisdomStore::open_for_host(&path, host);
+    assert!(report.discarded.is_none());
+    assert_eq!(report.loaded, 1);
+    assert_eq!(report.rejected.len(), 3);
+    assert!(store.get(16, 1, 4).is_some());
+    assert!(store.get(64, 1, 4).is_none());
+    let reasons: Vec<&str> = report.rejected.iter().map(|r| r.reason.as_str()).collect();
+    assert!(reasons.iter().any(|r| r.contains("parse")), "{reasons:?}");
+    assert!(
+        reasons.iter().any(|r| r.contains("dimension")),
+        "{reasons:?}"
+    );
+    assert!(reasons.iter().any(|r| r.contains("cost")), "{reasons:?}");
+}
+
+#[test]
+fn stale_host_fingerprint_discards_the_whole_file() {
+    let mut other = HostFingerprint::current();
+    other.cores += 1; // a different machine
+    let file = WisdomFile {
+        schema: WISDOM_SCHEMA_VERSION,
+        host: other,
+        entries: vec![WisdomEntry {
+            n: 16,
+            threads: 1,
+            mu: 4,
+            plan_threads: 1,
+            formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
+            choice: "test".to_string(),
+            cost: 100.0,
+        }],
+    };
+    let path = tmp_path("stale_host.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+
+    let (store, report) = WisdomStore::open_for_host(&path, HostFingerprint::current());
+    assert!(store.is_empty());
+    let reason = report.discarded.expect("stale file must be discarded");
+    assert!(reason.contains("stale host"), "{reason}");
+}
+
+#[test]
+fn wrong_schema_version_discards_the_whole_file() {
+    let file = WisdomFile {
+        schema: WISDOM_SCHEMA_VERSION + 1,
+        host: HostFingerprint::current(),
+        entries: Vec::new(),
+    };
+    let path = tmp_path("wrong_schema.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+    let (store, report) = WisdomStore::open_for_host(&path, HostFingerprint::current());
+    assert!(store.is_empty());
+    assert!(report.discarded.unwrap().contains("schema version"));
+}
+
+#[test]
+fn unparseable_file_discards_and_serves_fresh() {
+    let path = tmp_path("garbage.json");
+    std::fs::write(&path, "{ not json").unwrap();
+    let (store, report) = WisdomStore::open_for_host(&path, HostFingerprint::current());
+    assert!(store.is_empty());
+    assert!(report.discarded.unwrap().contains("unparseable"));
+}
+
+/// A plan the static analyzer rejects must not load: hand-craft an
+/// entry whose formula compiles but whose recompilation is checked —
+/// here via a plan_threads value outside the valid range, the cheapest
+/// deterministic rejection the validator owns.
+#[test]
+fn invalid_plan_threads_is_rejected() {
+    let entry = WisdomEntry {
+        n: 16,
+        threads: 2,
+        mu: 4,
+        plan_threads: 3, // > threads
+        formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
+        choice: "test".to_string(),
+        cost: 10.0,
+    };
+    let err = compile_entry(&entry).unwrap_err();
+    assert!(err.contains("plan_threads"), "{err}");
+}
+
+/// The tuner's winning formulas — sequential and parallel — round-trip
+/// through the ASCII rendering and recompile to plans of the right
+/// shape via `compile_entry` (the loader's pipeline).
+#[test]
+fn tuner_winners_round_trip_through_ascii() {
+    let tuner = Tuner::new(2, 4, CostModel::Analytic);
+    let seq = tuner.tune_sequential(256).unwrap();
+    let par = tuner.tune_parallel(256).unwrap().expect("2^8 admits p=2");
+    for (tuned, threads, plan_threads) in [(&seq, 1u64, 1u64), (&par, 2, 2)] {
+        let entry = WisdomEntry {
+            n: 256,
+            threads,
+            mu: 4,
+            plan_threads,
+            formula: tuned.formula.to_string(),
+            choice: tuned.choice.clone(),
+            cost: tuned.cost,
+        };
+        let compiled = compile_entry(&entry).unwrap_or_else(|e| {
+            panic!(
+                "winner must recompile (p={plan_threads}): {e}\n{}",
+                entry.formula
+            )
+        });
+        assert_eq!(compiled.plan.n, 256);
+        assert_eq!(compiled.plan.threads, plan_threads as usize);
+        let x = ramp(256);
+        let want = tuned.plan.execute(&x);
+        let got = compiled.plan.execute(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(
+                (a.re - b.re).abs() <= 1e-10 && (a.im - b.im).abs() <= 1e-10,
+                "p={plan_threads}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}

@@ -1,8 +1,67 @@
 //! Host topology discovery: processor count and the cache-line parameter
-//! `µ` (measured in complex numbers, per the paper §3.1).
+//! `µ` (measured in complex numbers, per the paper §3.1), plus the
+//! canonical [`HostFingerprint`] every timing or tuning artifact is
+//! keyed by.
+
+use serde::{Deserialize, Serialize};
 
 /// Size of one interleaved complex double, in bytes.
 pub const COMPLEX_BYTES: usize = 16;
+
+/// The hardware identity a measurement or tuned plan is only valid on:
+/// core count, the paper's µ, the raw cache-line size, and which
+/// instrumentation features were compiled in. This is the single
+/// host-identity struct of the workspace — bench history
+/// (`spiral-bench`), run profiles (`spiral-trace`), and persisted wisdom
+/// (`spiral-serve`) all embed it rather than re-deriving host facts ad
+/// hoc, so their artifacts agree on what "same machine" means.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostFingerprint {
+    /// Hardware threads available ([`processors`]).
+    pub cores: u64,
+    /// The paper's µ: cache-line length in complex numbers ([`mu`]).
+    pub mu: u64,
+    /// Cache-line size in bytes ([`cache_line_bytes`]).
+    pub cache_line_bytes: u64,
+    /// Optional instrumentation features compiled into the build
+    /// (`"trace"`, `"faults"`), in fixed order ([`enabled_features`]).
+    pub features: Vec<String>,
+}
+
+impl HostFingerprint {
+    /// Fingerprint of the current host/build (cached after the first
+    /// call — topology discovery reads sysfs).
+    pub fn current() -> HostFingerprint {
+        static CACHE: std::sync::OnceLock<HostFingerprint> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| HostFingerprint {
+                cores: processors() as u64,
+                mu: mu() as u64,
+                cache_line_bytes: cache_line_bytes() as u64,
+                features: enabled_features(),
+            })
+            .clone()
+    }
+
+    /// Compact single-token rendering (`"4c-mu4-l64"`), for file names
+    /// and log lines.
+    pub fn compact(&self) -> String {
+        format!("{}c-mu{}-l{}", self.cores, self.mu, self.cache_line_bytes)
+    }
+}
+
+impl std::fmt::Display for HostFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cores, µ={}, {}-byte lines, features [{}]",
+            self.cores,
+            self.mu,
+            self.cache_line_bytes,
+            self.features.join(", ")
+        )
+    }
+}
 
 /// Number of hardware threads available on this host.
 pub fn processors() -> usize {

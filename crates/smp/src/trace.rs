@@ -62,6 +62,9 @@ pub enum SpanKind {
     BarrierWait,
     /// The tuner evaluating one candidate (stage = candidate index).
     TunerCandidate,
+    /// One whole transform executed as part of a batch (stage =
+    /// transform index within the batch).
+    BatchTransform,
 }
 
 /// What a timeline instant marks.

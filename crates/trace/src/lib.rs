@@ -56,34 +56,11 @@ pub const SCHEMA_VERSION: u64 = 2;
 /// without this context: a 2-thread run on a 1-core container and on a
 /// 32-core server produce structurally identical profiles with wildly
 /// different barrier shares.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct HostMeta {
-    /// Hardware threads available ([`spiral_smp::topology::processors`]).
-    pub cores: u64,
-    /// The paper's µ: cache-line length in complex numbers.
-    pub mu: u64,
-    /// Cache-line size in bytes.
-    pub cache_line_bytes: u64,
-    /// Optional instrumentation features compiled into the build
-    /// (`"trace"`, `"faults"`), in fixed order.
-    pub features: Vec<String>,
-}
-
-impl HostMeta {
-    /// Metadata of the current host/build (cached after the first call —
-    /// topology discovery reads sysfs).
-    pub fn current() -> HostMeta {
-        static CACHE: std::sync::OnceLock<HostMeta> = std::sync::OnceLock::new();
-        CACHE
-            .get_or_init(|| HostMeta {
-                cores: spiral_smp::topology::processors() as u64,
-                mu: spiral_smp::topology::mu() as u64,
-                cache_line_bytes: spiral_smp::topology::cache_line_bytes() as u64,
-                features: spiral_smp::topology::enabled_features(),
-            })
-            .clone()
-    }
-}
+///
+/// This is the workspace-wide [`spiral_smp::topology::HostFingerprint`]
+/// (field layout unchanged from the struct this crate used to define, so
+/// serialized v2 profiles stay readable).
+pub use spiral_smp::topology::HostFingerprint as HostMeta;
 
 /// One `(stage, thread)` accumulation slot, padded to a full cache line
 /// so concurrent writers never share a line (the same guarantee the

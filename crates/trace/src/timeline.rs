@@ -48,6 +48,9 @@ pub enum TimelineEventKind {
     BarrierWait,
     /// The tuner evaluating one candidate (stage = candidate index).
     TunerCandidate,
+    /// One whole transform executed as part of a batch (stage =
+    /// transform index within the batch).
+    BatchTransform,
     /// Instant: the stage barrier released this thread.
     BarrierRelease,
     /// Instant: a watchdog expired on this thread.
@@ -76,6 +79,7 @@ impl TimelineEventKind {
             TimelineEventKind::BarrierRelease => 4,
             TimelineEventKind::WatchdogFire => 5,
             TimelineEventKind::TunerReject => 6,
+            TimelineEventKind::BatchTransform => 7,
         }
     }
 
@@ -87,6 +91,7 @@ impl TimelineEventKind {
             3 => TimelineEventKind::TunerCandidate,
             4 => TimelineEventKind::BarrierRelease,
             5 => TimelineEventKind::WatchdogFire,
+            7 => TimelineEventKind::BatchTransform,
             _ => TimelineEventKind::TunerReject,
         }
     }
@@ -95,7 +100,7 @@ impl TimelineEventKind {
     pub fn category(self) -> &'static str {
         match self {
             TimelineEventKind::PoolJob => "pool",
-            TimelineEventKind::StageCompute => "compute",
+            TimelineEventKind::StageCompute | TimelineEventKind::BatchTransform => "compute",
             TimelineEventKind::BarrierWait | TimelineEventKind::BarrierRelease => "barrier",
             TimelineEventKind::TunerCandidate | TimelineEventKind::TunerReject => "tuner",
             TimelineEventKind::WatchdogFire => "fault",
@@ -359,6 +364,7 @@ impl TimelineSink for Timeline {
                 SpanKind::StageCompute => TimelineEventKind::StageCompute,
                 SpanKind::BarrierWait => TimelineEventKind::BarrierWait,
                 SpanKind::TunerCandidate => TimelineEventKind::TunerCandidate,
+                SpanKind::BatchTransform => TimelineEventKind::BatchTransform,
             };
             let s = self.offset_ns(start);
             ring.push(kind, stage, s, self.offset_ns(end).max(s));
@@ -394,6 +400,7 @@ fn event_name(e: &TimelineEvent, labels: &[String]) -> String {
         TimelineEventKind::WatchdogFire => format!("WATCHDOG {}", stage_label()),
         TimelineEventKind::TunerCandidate => format!("candidate {}", e.stage),
         TimelineEventKind::TunerReject => format!("reject candidate {}", e.stage),
+        TimelineEventKind::BatchTransform => format!("batch transform {}", e.stage),
     }
 }
 

@@ -44,6 +44,7 @@ fn to_tl(events: &[TimelineEvent]) -> Vec<TlEvent> {
                 TimelineEventKind::StageCompute => TlKind::StageCompute,
                 TimelineEventKind::BarrierWait => TlKind::BarrierWait,
                 TimelineEventKind::TunerCandidate => TlKind::TunerCandidate,
+                TimelineEventKind::BatchTransform => TlKind::BatchTransform,
                 TimelineEventKind::BarrierRelease => TlKind::BarrierRelease,
                 TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
                 TimelineEventKind::TunerReject => TlKind::TunerReject,

@@ -28,6 +28,9 @@ pub enum TlKind {
     BarrierWait,
     /// Span: the tuner evaluating one candidate.
     TunerCandidate,
+    /// Span: one whole transform executed as part of a batch (`stage` is
+    /// the transform index within the batch, not a plan stage).
+    BatchTransform,
     /// Instant: the stage barrier released this thread.
     BarrierRelease,
     /// Instant: a watchdog expired on this thread.
@@ -43,7 +46,10 @@ impl TlKind {
     fn is_activity(self) -> bool {
         matches!(
             self,
-            TlKind::StageCompute | TlKind::BarrierWait | TlKind::TunerCandidate
+            TlKind::StageCompute
+                | TlKind::BarrierWait
+                | TlKind::TunerCandidate
+                | TlKind::BatchTransform
         )
     }
 

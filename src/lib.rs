@@ -41,6 +41,7 @@ pub use spiral_baselines as baselines;
 pub use spiral_codegen as codegen;
 pub use spiral_rewrite as rewrite;
 pub use spiral_search as search;
+pub use spiral_serve as serve;
 pub use spiral_sim as sim;
 pub use spiral_smp as smp;
 pub use spiral_spl as spl;
