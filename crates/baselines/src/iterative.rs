@@ -23,7 +23,7 @@ impl IterativeFft {
             "iterative radix-2 needs a power of two, got {n}"
         );
         let bits = n.trailing_zeros();
-        let rev = (0..n as u32)
+        let rev = (0..u32::try_from(n).expect("transform size below 2^32"))
             .map(|i| {
                 if n == 1 {
                     0

@@ -23,7 +23,7 @@ fn bench_barriers(c: &mut Criterion) {
                         }
                     });
                     start.elapsed()
-                })
+                });
             });
             // The watchdog path the executor actually uses: same
             // round-trip with a (never-expiring) deadline armed, so the
@@ -40,7 +40,7 @@ fn bench_barriers(c: &mut Criterion) {
                         }
                     });
                     start.elapsed()
-                })
+                });
             });
         }
     }

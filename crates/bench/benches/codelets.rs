@@ -18,7 +18,7 @@ fn bench_codelets(c: &mut Criterion) {
             b.iter(|| {
                 hand.apply(&x, &mut out, &mut scratch);
                 out[0]
-            })
+            });
         });
 
         let dag = Codelet::Dag(Arc::new(generate_dft_dag(n)));
@@ -26,7 +26,7 @@ fn bench_codelets(c: &mut Criterion) {
             b.iter(|| {
                 dag.apply(&x, &mut out, &mut scratch);
                 out[0]
-            })
+            });
         });
     }
     group.finish();

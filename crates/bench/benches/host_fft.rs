@@ -23,28 +23,28 @@ fn bench_sequential(c: &mut Criterion) {
         let tuner = Tuner::new(1, 4, CostModel::Analytic);
         let plan = tuner.tune_sequential(n).expect("analytic tuning").plan;
         group.bench_with_input(BenchmarkId::new("spiral_tuned", k), &x, |b, x| {
-            b.iter(|| plan.execute(x))
+            b.iter(|| plan.execute(x));
         });
 
         let fftw = FftwLikeFft::new(n, FftwLikeConfig::default());
         group.bench_with_input(BenchmarkId::new("fftw_like", k), &x, |b, x| {
-            b.iter(|| fftw.run(x))
+            b.iter(|| fftw.run(x));
         });
 
         let iter = IterativeFft::new(n);
         group.bench_with_input(BenchmarkId::new("iterative_radix2", k), &x, |b, x| {
-            b.iter(|| iter.run(x))
+            b.iter(|| iter.run(x));
         });
 
         let stock = StockhamFft::new(n);
         group.bench_with_input(BenchmarkId::new("stockham", k), &x, |b, x| {
-            b.iter(|| stock.run(x))
+            b.iter(|| stock.run(x));
         });
 
         if k <= 10 {
             let rec = RecursiveFft::new(n);
             group.bench_with_input(BenchmarkId::new("recursive", k), &x, |b, x| {
-                b.iter(|| rec.run(x))
+                b.iter(|| rec.run(x));
             });
         }
     }

@@ -22,7 +22,7 @@ fn bench_parallel(c: &mut Criterion) {
 
         let seq = Plan::from_formula(&sequential_dft(n, 8), 1, 4).unwrap();
         group.bench_with_input(BenchmarkId::new("sequential", k), &x, |b, x| {
-            b.iter(|| seq.execute(x))
+            b.iter(|| seq.execute(x));
         });
 
         let par_formula = multicore_dft_expanded(n, 2, 4, None, 8).unwrap();
@@ -35,7 +35,7 @@ fn bench_parallel(c: &mut Criterion) {
 
         let exec = ParallelExecutor::new(2, BarrierKind::Park);
         group.bench_with_input(BenchmarkId::new("parallel_2threads", k), &x, |b, x| {
-            b.iter(|| exec.execute(&par, x))
+            b.iter(|| exec.execute(&par, x));
         });
     }
     group.finish();

@@ -55,7 +55,11 @@ pub fn chart(title: &str, series: &[Series], height: usize) -> String {
         let m = marks[si % marks.len()];
         for p in &s.points {
             if let Some(ci) = keys.iter().position(|&k| k == p.log2n) {
-                let row = ((p.value / max_v) * (height - 1) as f64).round() as usize;
+                // Clamped to [0, 1], so the rounded product is a valid
+                // non-negative row index.
+                let frac = (p.value / max_v).clamp(0.0, 1.0);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let row = (frac * (height - 1) as f64).round() as usize;
                 let r = height - 1 - row.min(height - 1);
                 grid[r][ci * 4 + 1] = m;
             }
@@ -134,8 +138,11 @@ pub fn sparkline(values: &[f64]) -> String {
             } else if hi <= lo {
                 BLOCKS[3]
             } else {
-                let t = (v - lo) / (hi - lo);
-                BLOCKS[((t * 7.0).round() as usize).min(7)]
+                // lo/hi are the min/max over these values, so t ∈ [0, 1].
+                let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let block = (t * 7.0).round() as usize;
+                BLOCKS[block.min(7)]
             }
         })
         .collect()

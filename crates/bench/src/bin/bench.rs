@@ -125,7 +125,7 @@ fn record(flags: &[(String, String)]) -> Result<i32, String> {
     let path = history_path(flags, "--out");
     let sizes: Vec<u32> = parse_list(flag(flags, "--sizes").unwrap_or("8,10"), "--sizes")?
         .into_iter()
-        .map(|k| k as u32)
+        .map(|k| u32::try_from(k).expect("log2 size fits u32"))
         .collect();
     let threads = parse_list(flag(flags, "--threads").unwrap_or("1,2"), "--threads")?;
     let reps: usize = flag(flags, "--reps")

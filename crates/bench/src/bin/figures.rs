@@ -17,6 +17,7 @@
 //! figures search
 //! figures verify [--machine core-duo] [--min 8] [--max 14] [--out results/]
 //! figures batch [--min 6] [--max 10] [--threads 2] [--batch 32] [--reps 5] [--out results/]
+//! figures certify [--min 2] [--max 6] [--threads 4] [--out results/]
 //! figures all [--out results/]
 //! ```
 //!
@@ -118,6 +119,11 @@ const COMMANDS: &[CmdSpec] = &[
         flags: &["min", "max", "threads", "batch", "reps", "out"],
     },
     CmdSpec {
+        name: "certify",
+        desc: "CERT — exact symbolic + dataflow certification sweep over tuner-reachable plans",
+        flags: &["min", "max", "threads", "out"],
+    },
+    CmdSpec {
         name: "all",
         desc: "every simulated figure and ablation in sequence",
         flags: &["machine", "min", "max", "out"],
@@ -191,6 +197,7 @@ fn main() {
             run_verify(&m, &opts, out_dir.as_deref());
         }
         "batch" => run_batch(&opts, out_dir.as_deref()),
+        "certify" => run_certify(&opts, out_dir.as_deref()),
         "all" => {
             let (min, max) = range(&opts, 6, 16);
             for m in paper_machines() {
@@ -962,6 +969,53 @@ fn run_batch(opts: &HashMap<String, String>, out_dir: Option<&str>) {
         let path = format!("{dir}/batch_throughput.json");
         write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
         println!("wrote {path}");
+    }
+}
+
+fn run_certify(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    let (min, max) = range(opts, 2, 6);
+    let threads: usize = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!(
+        "\nCERT — exact symbolic + dataflow certification, n = 2^{min}..2^{max}, p ≤ {threads}"
+    );
+    let file = spiral_bench::certify::certification_sweep(min, max, threads);
+    println!(
+        "{:>7} {:>3} {:>3} {:<42} {:>9} {:>9}",
+        "n", "p", "µ", "shape", "dataflow", "symbolic"
+    );
+    for r in &file.rows {
+        let sym = match r.symbolic_certified {
+            Some(true) => "proven",
+            Some(false) => "REJECTED",
+            None => "skipped",
+        };
+        let df = if r.dataflow_certified {
+            "ok"
+        } else {
+            "REJECTED"
+        };
+        println!(
+            "{:>7} {:>3} {:>3} {:<42} {:>9} {:>9}",
+            r.n, r.threads, r.mu, r.shape, df, sym
+        );
+        for f in &r.findings {
+            println!("        {f}");
+        }
+    }
+    println!(
+        "{}/{} plan shapes certified (symbolic limit n ≤ {})",
+        file.certified, file.total, file.symbolic_limit
+    );
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/certify_report.json");
+        write_artifact(&path, &serde_json::to_string_pretty(&file).unwrap());
+        println!("wrote {path}");
+    }
+    if file.certified != file.total {
+        std::process::exit(1);
     }
 }
 

@@ -315,7 +315,7 @@ pub fn measure_grid(sizes_log2: &[u32], threads: &[usize], reps: usize) -> Bench
         seq: 0, // assigned by BenchHistory::append
         unix_ms: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| d.as_millis() as u64),
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
         host: BenchHost::current(),
         entries,
     }

@@ -9,7 +9,9 @@
 //! * [`history`] — longitudinal `BENCH_<host>.json` benchmark history
 //!   with noise-aware regression comparison (the `bench` binary);
 //! * [`batch`] — BATCH: batched small-DFT throughput vs per-transform
-//!   dispatch, the serving layer's speedup measurement.
+//!   dispatch, the serving layer's speedup measurement;
+//! * [`certify`] — CERT: the static certification sweep (exact
+//!   symbolic + dataflow) and its `certify_report.json` artifact.
 //!
 //! The `figures` binary drives everything:
 //! ```text
@@ -23,5 +25,6 @@ pub mod ablations;
 pub mod ascii;
 pub mod batch;
 pub mod cbench;
+pub mod certify;
 pub mod history;
 pub mod series;

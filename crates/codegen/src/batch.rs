@@ -166,7 +166,7 @@ impl BatchExecutor {
                     tl.span(
                         tid,
                         spiral_smp::trace::SpanKind::BatchTransform,
-                        b as u32,
+                        crate::u32_idx(b),
                         t0,
                         std::time::Instant::now(),
                     );

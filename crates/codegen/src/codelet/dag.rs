@@ -131,7 +131,7 @@ impl DagBuilder {
             nodes: Vec::new(),
             memo: HashMap::new(),
         };
-        let inputs = (0..n_inputs as u32)
+        let inputs = (0..crate::u32_idx(n_inputs))
             .map(|i| b.push(Node::Input(i)))
             .collect();
         (b, inputs)
@@ -142,7 +142,7 @@ impl DagBuilder {
         if let Some(&id) = self.memo.get(&key) {
             return id;
         }
-        let id = self.nodes.len() as Id;
+        let id = crate::u32_idx(self.nodes.len());
         self.nodes.push(n);
         self.memo.insert(key, id);
         id

@@ -178,7 +178,7 @@ fn fuse_once(prog: LocalProgram) -> LocalProgram {
             (Some(LocalStage::Kernel(k)), LocalStage::Permute(t)) => {
                 let mut inv = vec![0u32; t.len()];
                 for (i, &s) in t.iter().enumerate() {
-                    inv[s as usize] = i as u32;
+                    inv[s as usize] = crate::u32_idx(i);
                 }
                 let k = k.clone();
                 let mut k2 = k;

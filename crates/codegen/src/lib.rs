@@ -17,9 +17,12 @@
 //!   small transforms per pool dispatch (the serving layer's executor);
 //! * [`hook`] — instrumentation interface replaying exact per-thread
 //!   memory-access streams into the machine simulator;
-//! * [`cemit`] — C source emission (OpenMP and pthreads flavors);
-//! * [`validate`] — registry hooking the `spiral-verify` static analyzer
-//!   into debug-build plan execution.
+//! * [`cemit`] — C source emission (OpenMP and pthreads flavors).
+//!
+//! Debug builds additionally run a statically installed plan validator
+//! ([`plan::install_validator`]) before parallel execution — the hook
+//! through which `spiral-verify`'s race audit and dataflow certification
+//! guard the executor's `unsafe` shared-buffer access.
 //!
 //! ## Example
 //!
@@ -46,7 +49,14 @@ pub mod lower;
 pub mod parallel;
 pub mod plan;
 pub mod stage;
-pub mod validate;
+
+/// `usize` index → `u32` table entry. Permutation/gather tables store
+/// `u32` to halve their footprint; a transform large enough to overflow
+/// one (n > 2³²) is far beyond anything this workspace lowers, so the
+/// conversion asserts instead of truncating.
+pub(crate) fn u32_idx(v: usize) -> u32 {
+    u32::try_from(v).expect("index exceeds u32 table range")
+}
 
 pub use batch::BatchExecutor;
 pub use cemit::{emit_c, CFlavor};
@@ -54,5 +64,5 @@ pub use codelet::Codelet;
 pub use hook::{MemHook, NullHook, Region};
 pub use lower::{lower_seq, LowerError};
 pub use parallel::{ExecOutcome, ParallelExecutor};
-pub use plan::{Plan, PlanWorkspace, Step};
+pub use plan::{install_validator, Plan, PlanValidator, PlanWorkspace, Step};
 pub use spiral_smp::SpiralError;

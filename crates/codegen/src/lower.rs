@@ -96,7 +96,7 @@ fn kernel_program(c: Codelet) -> LocalProgram {
 }
 
 fn perm_program(p: &Perm) -> LocalProgram {
-    let table: Vec<u32> = p.table().iter().map(|&v| v as u32).collect();
+    let table: Vec<u32> = p.table().iter().map(|&v| crate::u32_idx(v)).collect();
     LocalProgram {
         dim: p.dim(),
         stages: vec![LocalStage::Permute(Arc::new(table))],
@@ -126,8 +126,8 @@ fn lower_direct_sum(fs: &[Spl]) -> Result<LocalProgram, LowerError> {
         let mut off = 0u32;
         for b in fs {
             let p = b.as_perm().unwrap();
-            table.extend(p.table().iter().map(|&v| off + v as u32));
-            off += p.dim() as u32;
+            table.extend(p.table().iter().map(|&v| off + crate::u32_idx(v)));
+            off += crate::u32_idx(p.dim());
         }
         return Ok(LocalProgram {
             dim,
@@ -187,8 +187,8 @@ pub fn lift_block(prog: LocalProgram, m: usize) -> LocalProgram {
 
 fn block_lift_table(t: &[u32], m: usize, d: usize) -> Vec<u32> {
     let mut out = Vec::with_capacity(t.len() * m);
-    for q in 0..m as u32 {
-        out.extend(t.iter().map(|&v| q * d as u32 + v));
+    for q in 0..crate::u32_idx(m) {
+        out.extend(t.iter().map(|&v| q * crate::u32_idx(d) + v));
     }
     out
 }
@@ -254,7 +254,7 @@ pub fn lift_stride(prog: LocalProgram, k: usize) -> LocalProgram {
 fn stride_lift_table(t: &[u32], k: usize) -> Vec<u32> {
     let mut out = Vec::with_capacity(t.len() * k);
     for i in 0..t.len() * k {
-        out.push(t[i / k] * k as u32 + (i % k) as u32);
+        out.push(t[i / k] * crate::u32_idx(k) + crate::u32_idx(i % k));
     }
     out
 }

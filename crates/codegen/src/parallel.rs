@@ -265,7 +265,7 @@ impl ParallelExecutor {
         // property of the plan (see `SharedBufs`); debug builds re-check
         // it with the installed analyzer before running anything.
         #[cfg(debug_assertions)]
-        if let Some(validate) = crate::validate::validator() {
+        if let Some(validate) = crate::plan::validator() {
             if let Err(e) = validate(plan) {
                 return Err(SpiralError::Plan(format!(
                     "plan failed static verification: {e}"
@@ -364,7 +364,7 @@ impl ParallelExecutor {
                     }
                     if let Some(tl) = tr.timeline {
                         use spiral_smp::trace::{MarkKind, SpanKind};
-                        let si = si as u32;
+                        let si = crate::u32_idx(si);
                         tl.span(tid, SpanKind::StageCompute, si, t0, t1);
                         tl.span(tid, SpanKind::BarrierWait, si, b0, b1);
                         let mark = match &waited {

@@ -19,7 +19,7 @@ use crate::stage::{LocalProgram, Scratch};
 use spiral_spl::ast::Spl;
 use spiral_spl::cplx::Cplx;
 use spiral_spl::perm::Perm;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One synchronization-delimited step of a plan.
 #[derive(Clone, Debug)]
@@ -340,6 +340,32 @@ impl PlanWorkspace {
     }
 }
 
+/// A plan validator: `Err(description)` when `plan` violates the
+/// executor's soundness contract (races, out-of-bounds accesses, or a
+/// dataflow-certification failure).
+pub type PlanValidator = fn(&Plan) -> Result<(), String>;
+
+static VALIDATOR: OnceLock<PlanValidator> = OnceLock::new();
+
+/// Install the process-wide plan validator. The parallel executor's
+/// `unsafe` shared-buffer access is sound only for plans whose steps
+/// write thread-disjoint, in-bounds index sets. That property is checked
+/// statically by the `spiral-verify` crate, which sits *above* this one
+/// in the dependency graph — so the check is wired in through this
+/// registry instead of a direct call: a downstream crate installs a
+/// validator once (e.g. `spiral_verify::install_executor_guard()`), and
+/// debug builds of [`crate::ParallelExecutor`] then run it on every plan
+/// before touching the shared buffers. The first installation wins;
+/// later calls are ignored (the registry is write-once).
+pub fn install_validator(v: PlanValidator) {
+    let _ = VALIDATOR.set(v);
+}
+
+/// The installed validator, if any.
+pub fn validator() -> Option<PlanValidator> {
+    VALIDATOR.get().copied()
+}
+
 /// Contiguous share `[lo, hi)` of `total` items for thread `tid` of `p`.
 pub(crate) fn share(total: usize, p: usize, tid: usize) -> (usize, usize) {
     let base = total / p;
@@ -358,7 +384,7 @@ fn trace_local(
     dst_off: usize,
     hook: &mut dyn MemHook,
 ) {
-    trace_local_gathered(prog, tid, src, src_off, dst, dst_off, None, hook)
+    trace_local_gathered(prog, tid, src, src_off, dst, dst_off, None, hook);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -495,7 +521,7 @@ fn push_steps(f: &Spl, steps: &mut Vec<Step>) -> Result<(), LowerError> {
         }
         Spl::PermBar { perm, mu } => {
             let full = Perm::TensorId(Box::new(perm.clone()), *mu);
-            let table: Vec<u32> = full.table().iter().map(|&v| v as u32).collect();
+            let table: Vec<u32> = full.table().iter().map(|&v| crate::u32_idx(v)).collect();
             steps.push(Step::Exchange {
                 table: Arc::new(table),
                 mu: *mu,
@@ -503,7 +529,7 @@ fn push_steps(f: &Spl, steps: &mut Vec<Step>) -> Result<(), LowerError> {
             Ok(())
         }
         Spl::Perm(p) => {
-            let table: Vec<u32> = p.table().iter().map(|&v| v as u32).collect();
+            let table: Vec<u32> = p.table().iter().map(|&v| crate::u32_idx(v)).collect();
             steps.push(Step::Exchange {
                 table: Arc::new(table),
                 mu: 1,
@@ -597,7 +623,7 @@ mod tests {
                     let base = table[blk * mu];
                     assert_eq!(base as usize % mu, 0);
                     for t in 1..mu {
-                        assert_eq!(table[blk * mu + t], base + t as u32);
+                        assert_eq!(table[blk * mu + t], base + crate::u32_idx(t));
                     }
                 }
             }
@@ -627,7 +653,7 @@ mod tests {
         let plan = Plan::from_formula(&f, p, 4).unwrap();
         let mut hook = CountingHook::default();
         plan.run_traced(&mut hook);
-        assert_eq!(hook.barriers as usize, plan.steps.len());
+        assert_eq!(usize::try_from(hook.barriers).unwrap(), plan.steps.len());
         assert!(hook.reads >= n as u64 * plan.steps.len() as u64 / 2);
         assert_eq!(hook.flops, plan.flops());
         // Work split evenly between both threads.
@@ -682,7 +708,7 @@ mod tests {
         let plan = Plan::from_formula(&f, 2, 4).unwrap().fuse_exchanges();
         let mut hook = CountingHook::default();
         plan.run_traced(&mut hook);
-        assert_eq!(hook.barriers as usize, plan.steps.len());
+        assert_eq!(usize::try_from(hook.barriers).unwrap(), plan.steps.len());
         assert_eq!(hook.flops, plan.flops());
         let w0 = hook.per_tid_flops.get(&0).copied().unwrap_or(0);
         let w1 = hook.per_tid_flops.get(&1).copied().unwrap_or(0);

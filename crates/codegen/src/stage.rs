@@ -96,8 +96,15 @@ impl KernelStage {
         self.iterations() as u64 * self.codelet.flops() + tw
     }
 
-    fn for_each<F: FnMut(usize, usize, usize)>(&self, mut f: F) {
-        // f(flat_iteration, in_base, out_base)
+    /// Enumerate the iteration space in execution order:
+    /// `f(flat, in_base, out_base)` for every flat iteration, where the
+    /// bases are the affine indices *before* `in_map`/`out_map`
+    /// indirection and `t`-stride offsets. This is the IR hook the
+    /// certification passes (`spiral-verify::certify`) use to replay a
+    /// stage's exact access pattern — including the `flat` index that
+    /// [`trace`](Self::trace) discards but twiddle lookup
+    /// (`twiddle[flat·c + t]`) depends on.
+    pub fn for_each_iteration<F: FnMut(usize, usize, usize)>(&self, mut f: F) {
         let d = self.loops.len();
         let mut idx = vec![0usize; d];
         let mut in_base = self.in_off;
@@ -122,7 +129,7 @@ impl KernelStage {
 
     /// Execute `dst = stage(src)`.
     pub fn apply(&self, src: &[Cplx], dst: &mut [Cplx], scratch: &mut Scratch) {
-        self.apply_view(SrcView::Local(src), dst, scratch)
+        self.apply_view(SrcView::Local(src), dst, scratch);
     }
 
     /// Execute with an arbitrary input view (local slice or fused global
@@ -131,7 +138,7 @@ impl KernelStage {
         match src {
             SrcView::Local(s) => self.apply_inner(|i| s[i], dst, scratch),
             SrcView::Gathered { buf, gather, off } => {
-                self.apply_inner(|i| buf[gather[off + i] as usize], dst, scratch)
+                self.apply_inner(|i| buf[gather[off + i] as usize], dst, scratch);
             }
         }
     }
@@ -144,7 +151,7 @@ impl KernelStage {
         let out_map = self.out_map.as_deref();
         let twiddle = self.twiddle.as_deref();
         let twiddle_out = self.twiddle_out.as_deref();
-        self.for_each(|flat, in_base, out_base| {
+        self.for_each_iteration(|flat, in_base, out_base| {
             // Gather (with optional fused permutation and twiddle scaling)
             // — specialized loops keep the per-element path branch-free.
             match (in_map, twiddle) {
@@ -206,7 +213,7 @@ impl KernelStage {
         let c = self.codelet.size();
         let in_map = self.in_map.as_deref();
         let out_map = self.out_map.as_deref();
-        self.for_each(|_flat, in_base, out_base| {
+        self.for_each_iteration(|_flat, in_base, out_base| {
             for t in 0..c {
                 let mut idx = in_base + t * self.in_t_stride;
                 if let Some(m) = in_map {
@@ -305,7 +312,7 @@ impl LocalStage {
 
     /// Execute `dst = stage(src)`.
     pub fn apply(&self, src: &[Cplx], dst: &mut [Cplx], scratch: &mut Scratch) {
-        self.apply_view(SrcView::Local(src), dst, scratch)
+        self.apply_view(SrcView::Local(src), dst, scratch);
     }
 
     /// Execute with an arbitrary input view (dispatch hoisted out of the
@@ -387,7 +394,7 @@ impl LocalProgram {
     /// Execute `dst = program(src)`. `tmp` must have length ≥ `dim`; it is
     /// used for intermediate ping-ponging so `src` is never written.
     pub fn run(&self, src: &[Cplx], dst: &mut [Cplx], tmp: &mut [Cplx], scratch: &mut Scratch) {
-        self.run_view(SrcView::Local(src), dst, tmp, scratch)
+        self.run_view(SrcView::Local(src), dst, tmp, scratch);
     }
 
     /// Execute with an arbitrary input view feeding the first stage
@@ -497,7 +504,7 @@ mod tests {
     fn fused_gather_permutation() {
         // (I_2 ⊗ F_2) L^4_2 with the stride permutation fused as a gather.
         let l = Perm::stride(4, 2);
-        let table: Arc<Vec<u32>> = Arc::new(l.table().iter().map(|&v| v as u32).collect());
+        let table: Arc<Vec<u32>> = Arc::new(l.table().iter().map(|&v| crate::u32_idx(v)).collect());
         let mut stage = KernelStage::unit(Codelet::F2);
         stage.loops.push(LoopDim {
             count: 2,
@@ -541,7 +548,8 @@ mod tests {
     #[test]
     fn permute_and_scale_stages() {
         let perm = Perm::stride(6, 2);
-        let table: Arc<Vec<u32>> = Arc::new(perm.table().iter().map(|&v| v as u32).collect());
+        let table: Arc<Vec<u32>> =
+            Arc::new(perm.table().iter().map(|&v| crate::u32_idx(v)).collect());
         let x = ramp(6);
         let mut y = vec![Cplx::ZERO; 6];
         LocalStage::Permute(table).apply(&x, &mut y, &mut Scratch::default());

@@ -60,7 +60,7 @@ pub fn default_split(n: usize, p: usize, mu: usize) -> Option<usize> {
         .filter(|&m| m > 1 && m < n && m % pmu == 0 && (n / m).is_multiple_of(pmu))
         .min_by_key(|&m| {
             let k = n / m;
-            (m as i64 - k as i64).unsigned_abs()
+            m.abs_diff(k)
         })
 }
 

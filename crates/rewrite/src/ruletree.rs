@@ -93,7 +93,7 @@ impl RuleTree {
             .filter(|&d| d > 1 && d < n)
             .min_by_key(|&d| {
                 let q = n / d;
-                (d as i64 - q as i64).unsigned_abs()
+                d.abs_diff(q)
             });
         match best {
             Some(m) => RuleTree::Ct(

@@ -48,7 +48,7 @@ pub fn multicore_wht(k: u32, p: usize, mu: usize) -> Result<Rewritten, DeriveErr
     let split = (1..k)
         .map(|a| (1usize << a, 1usize << (k - a)))
         .filter(|&(m, c)| m % p == 0 && c % (p * mu) == 0)
-        .min_by_key(|&(m, c)| (m as i64 - c as i64).unsigned_abs());
+        .min_by_key(|&(m, c)| m.abs_diff(c));
     let (m, c) = split.ok_or(DeriveError::NoValidSplit { n, p, mu })?;
     let top = compose(vec![
         tensor(wht(m.trailing_zeros()), i(c)),

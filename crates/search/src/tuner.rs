@@ -270,6 +270,20 @@ impl Tuner {
                 obs.reject(ci);
                 continue;
             }
+            // Dataflow certification: abstract interpretation of the
+            // lowered IR (bounds, write-once coverage, ping-pong
+            // discipline, exchange-fusion legality). Independent of the
+            // scheduling analyzer above; a plan failing it computes
+            // garbage regardless of how fast it runs.
+            let cert = spiral_verify::certify::dataflow::certify_dataflow(&plan);
+            if let Some(f) = cert.first() {
+                report.quarantined.push(QuarantineEntry {
+                    choice,
+                    reason: format!("failed dataflow certification: {f}"),
+                });
+                obs.reject(ci);
+                continue;
+            }
             report.evaluated += 1;
             let cost = match self.model.try_cost(&plan) {
                 Ok(c) => c,

@@ -167,7 +167,9 @@ fn main() {
     let mut transforms = 0usize;
     let t_serve = Instant::now();
     for r in 0..opts.requests {
-        let n = opts.sizes[(r + opts.seed as usize) % opts.sizes.len()];
+        let seed_off = usize::try_from(opts.seed % opts.sizes.len() as u64)
+            .expect("residue below sizes length");
+        let n = opts.sizes[(r + seed_off) % opts.sizes.len()];
         let inputs = batch_inputs(&mut rng, opts.batch, n);
         let out = service
             .serve_batch(n, &inputs)

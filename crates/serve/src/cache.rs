@@ -304,7 +304,7 @@ impl PlanService {
 fn shard_index(key: Key, shards: usize) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
-    (h.finish() as usize) % shards
+    usize::try_from(h.finish() % shards as u64).expect("shard index fits usize")
 }
 
 #[cfg(test)]

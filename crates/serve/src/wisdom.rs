@@ -23,6 +23,7 @@
 use serde::{Deserialize, Serialize};
 use spiral_codegen::plan::Plan;
 use spiral_smp::topology::HostFingerprint;
+use spiral_verify::certify::CertOptions;
 use spiral_verify::{verify_plan, VerifyOptions};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -175,10 +176,7 @@ impl WisdomStore {
         for entry in file.entries {
             match compile_entry(&entry) {
                 Ok(compiled) => {
-                    store.entries.insert(
-                        (entry.n as usize, entry.threads as usize, entry.mu as usize),
-                        (entry, compiled),
-                    );
+                    store.entries.insert(entry_key(&entry), (entry, compiled));
                     report.loaded += 1;
                 }
                 Err(reason) => report.rejected.push(RejectedEntry {
@@ -216,7 +214,7 @@ impl WisdomStore {
     /// supplies the already-compiled plan so the store never recompiles
     /// what the tuner just built.
     pub fn record(&mut self, entry: WisdomEntry, plan: Arc<Plan>) {
-        let key = (entry.n as usize, entry.threads as usize, entry.mu as usize);
+        let key = entry_key(&entry);
         let compiled = CompiledEntry {
             plan,
             formula: entry.formula.clone(),
@@ -251,6 +249,21 @@ impl WisdomStore {
     }
 }
 
+/// Persisted wisdom fields are `u64` in the JSON schema; the sizes and
+/// thread counts this workspace tunes always fit a `usize`.
+fn field_usize(v: u64) -> usize {
+    usize::try_from(v).expect("wisdom field fits usize")
+}
+
+/// In-memory store key for a persisted entry.
+fn entry_key(entry: &WisdomEntry) -> (usize, usize, usize) {
+    (
+        field_usize(entry.n),
+        field_usize(entry.threads),
+        field_usize(entry.mu),
+    )
+}
+
 /// Recompile a persisted entry through the tuner's own pipeline and
 /// re-validate the result. Returns the rejection reason on any failure.
 pub fn compile_entry(entry: &WisdomEntry) -> Result<CompiledEntry, String> {
@@ -266,15 +279,15 @@ pub fn compile_entry(entry: &WisdomEntry) -> Result<CompiledEntry, String> {
     }
     let formula =
         spiral_spl::parse(&entry.formula).map_err(|e| format!("formula does not parse: {e}"))?;
-    if formula.dim() != entry.n as usize {
+    if formula.dim() != field_usize(entry.n) {
         return Err(format!(
             "formula dimension {} disagrees with entry size {}",
             formula.dim(),
             entry.n
         ));
     }
-    let plan_threads = entry.plan_threads as usize;
-    let plan = Plan::from_formula(&formula, plan_threads, entry.mu as usize)
+    let plan_threads = field_usize(entry.plan_threads);
+    let plan = Plan::from_formula(&formula, plan_threads, field_usize(entry.mu))
         .map_err(|e| format!("formula fails to lower: {e}"))?;
     // Same post-pass the tuner applies to parallel winners.
     let plan = if plan_threads > 1 {
@@ -290,6 +303,20 @@ pub fn compile_entry(entry: &WisdomEntry) -> Result<CompiledEntry, String> {
                 .diagnostics
                 .iter()
                 .map(|d| d.detail.as_str())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    // Re-certify: a wisdom file is untrusted input, so each entry must
+    // re-prove its dataflow discipline — and, at certifiable sizes, its
+    // exact equality with DFT_n — before the server will execute it.
+    let cert = spiral_verify::certify::certify_plan(&plan, &CertOptions::default());
+    if !cert.is_certified() {
+        return Err(format!(
+            "certification rejected the recompiled plan: {}",
+            cert.findings
+                .iter()
+                .map(|f| f.to_string())
                 .collect::<Vec<_>>()
                 .join("; ")
         ));

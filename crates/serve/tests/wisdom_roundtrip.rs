@@ -242,7 +242,10 @@ fn tuner_winners_round_trip_through_ascii() {
             )
         });
         assert_eq!(compiled.plan.n, 256);
-        assert_eq!(compiled.plan.threads, plan_threads as usize);
+        assert_eq!(
+            compiled.plan.threads,
+            usize::try_from(plan_threads).unwrap()
+        );
         let x = ramp(256);
         let want = tuned.plan.execute(&x);
         let got = compiled.plan.execute(&x);

@@ -27,10 +27,17 @@ impl Cache {
         self.sets.len() * self.assoc
     }
 
+    /// Set index of a line. The mask is `n_sets − 1` with `n_sets` a
+    /// `usize`, so the masked value always fits.
+    fn set_of(&self, line: u64) -> usize {
+        usize::try_from(line & self.set_mask).expect("set index fits usize")
+    }
+
     /// Touch a line: returns `true` on hit. On miss the line is inserted
     /// (possibly evicting the LRU line of its set).
     pub fn access(&mut self, line: u64) -> bool {
-        let set = &mut self.sets[(line & self.set_mask) as usize];
+        let si = self.set_of(line);
+        let set = &mut self.sets[si];
         if let Some(pos) = set.iter().position(|&l| l == line) {
             let l = set.remove(pos);
             set.push(l);
@@ -46,12 +53,13 @@ impl Cache {
 
     /// Is the line present (without touching LRU order)?
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[(line & self.set_mask) as usize].contains(&line)
+        self.sets[self.set_of(line)].contains(&line)
     }
 
     /// Remove a line (coherence invalidation). Returns true if present.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let set = &mut self.sets[(line & self.set_mask) as usize];
+        let si = self.set_of(line);
+        let set = &mut self.sets[si];
         if let Some(pos) = set.iter().position(|&l| l == line) {
             set.remove(pos);
             true

@@ -166,7 +166,8 @@ impl SmpSim {
 
     fn access(&mut self, tid: usize, region: Region, idx: usize, is_write: bool) {
         let core = tid % self.spec.p;
-        let elem = (region.base(self.n, self.mu) + idx) as u32;
+        let elem =
+            u32::try_from(region.base(self.n, self.mu) + idx).expect("element index fits u32");
         let line = self.line_of(region, idx);
         let mut cost;
 
@@ -203,7 +204,7 @@ impl SmpSim {
                 entry.tenure_mask = 0; // new ownership tenure
                 self.clock[core] += worst;
             }
-            entry.dirty = Some(core as u8);
+            entry.dirty = Some(u8::try_from(core).expect("core id fits u8"));
             entry.sharers = my_bit;
         } else {
             if let Some(d) = entry.dirty {

@@ -47,7 +47,7 @@ impl<T: Copy + Default> AlignedVec<T> {
         let layout =
             Layout::from_size_align(bytes, align).map_err(|_| fail("layout exceeds isize::MAX"))?;
         // Safety: layout has nonzero size (len.max(1)).
-        let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
+        let ptr = unsafe { alloc_zeroed(layout) }.cast::<T>();
         if ptr.is_null() {
             return Err(fail("allocator returned null"));
         }
@@ -105,7 +105,7 @@ impl<T: Copy + Default> AlignedVec<T> {
 impl<T> Drop for AlignedVec<T> {
     fn drop(&mut self) {
         // Safety: allocated with this layout in with_alignment.
-        unsafe { dealloc(self.ptr as *mut u8, self.layout) }
+        unsafe { dealloc(self.ptr.cast::<u8>(), self.layout) }
     }
 }
 

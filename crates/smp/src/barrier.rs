@@ -307,7 +307,7 @@ mod tests {
                 for round in 0..ROUNDS {
                     // Everyone must observe the same count at each round.
                     let before = c.load(Ordering::SeqCst);
-                    assert!(before as usize >= round * n);
+                    assert!(usize::try_from(before).unwrap() >= round * n);
                     c.fetch_add(1, Ordering::SeqCst);
                     if b.wait() {
                         leader_count += 1;
@@ -315,7 +315,10 @@ mod tests {
                     // After the barrier all n increments of this round
                     // are visible.
                     let after = c.load(Ordering::SeqCst);
-                    assert!(after as usize >= (round + 1) * n, "{after} round {round}");
+                    assert!(
+                        usize::try_from(after).unwrap() >= (round + 1) * n,
+                        "{after} round {round}"
+                    );
                     b.wait();
                 }
                 leader_count

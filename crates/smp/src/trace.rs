@@ -114,7 +114,7 @@ mod tests {
         fn pool_job(&self, _tid: usize, total: Duration) {
             self.jobs.fetch_add(1, Ordering::Relaxed);
             self.total_ns
-                .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(u64::try_from(total.as_nanos()).unwrap(), Ordering::Relaxed);
         }
     }
 

@@ -1,0 +1,626 @@
+//! Exact cyclotomic arithmetic — the number type of the certification
+//! passes.
+//!
+//! The symbolic plan interpreter (`spiral-verify::certify`) must prove
+//! that a lowered plan computes `DFT_n` *exactly*, with no floating-point
+//! tolerance. Every constant a DFT plan multiplies by is a root of unity
+//! `ω_N^k = e^{-2πik/N}`, and every intermediate value reached from a
+//! basis vector is a finite rational combination of such roots — an
+//! element of the cyclotomic field `ℚ(ω_N)`. This module implements that
+//! field fragment:
+//!
+//! * [`Rat`] — arbitrary-precision-free exact rationals over `i128` with
+//!   checked arithmetic (certification values are tiny; an overflow is a
+//!   bug, not a rounding event);
+//! * [`Cyclo`] — sparse rational combinations `Σ q_k · ω_N^k`, with ring
+//!   arithmetic and an exact zero test;
+//! * [`cyclotomic_poly`] — the minimal polynomial `Φ_N` of `ω_N` over ℚ,
+//!   which makes the zero test *decidable*: `Σ q_k ω_N^k = 0` in ℂ iff
+//!   `Φ_N(x)` divides `Σ q_k x^k` in `ℚ[x]` (reduction `mod x^N − 1`
+//!   alone is **not** enough — `1 + ω + … + ω^{N−1} = 0` is a nonzero
+//!   polynomial mod `x^N − 1`).
+//!
+//! The module is pure, safe, allocation-light Rust with no platform
+//! dependencies — it is exercised under Miri in CI (`certify` job).
+
+use crate::cplx::Cplx;
+use crate::num::gcd;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Absolute tolerance when *snapping* an `f64` constant to the root of
+/// unity it denotes. Distinct roots of order ≤ 512 are ≥ 2·sin(π/512)
+/// ≈ 0.012 apart, while `Cplx::cis`-computed twiddles sit within a few
+/// ulp (≤ ~1e-15) of the exact value — so 1e-9 is both unambiguous and
+/// forgiving of accumulated constant folding.
+pub const SNAP_EPS: f64 = 1e-9;
+
+/// An exact rational number `num/den` with `den > 0` and
+/// `gcd(|num|, den) = 1`. All arithmetic is checked: certification works
+/// with coefficients bounded by the transform size, so an overflow
+/// indicates a logic error and panics rather than silently wrapping.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+// Named by-value arithmetic instead of operator traits: every call site
+// chains through `Cyclo`'s equally-named `&self` methods, and one
+// naming scheme across both types beats operator sugar on one of them.
+#[allow(clippy::should_implement_trait)]
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// `num/den`, normalized. Panics when `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = i128::try_from(gcd128(num.unsigned_abs(), den.unsigned_abs()))
+            .expect("rational overflow: |gcd| exceeds i128");
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The integer `k` as a rational.
+    pub const fn int(k: i128) -> Rat {
+        Rat { num: k, den: 1 }
+    }
+
+    /// Numerator (normalized form, sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (normalized form, always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff this is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Exact sum.
+    pub fn add(self, o: Rat) -> Rat {
+        let num = self
+            .num
+            .checked_mul(o.den)
+            .and_then(|a| o.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .expect("rational overflow in add");
+        let den = self.den.checked_mul(o.den).expect("rational overflow");
+        Rat::new(num, den)
+    }
+
+    /// Exact difference.
+    pub fn sub(self, o: Rat) -> Rat {
+        self.add(o.neg())
+    }
+
+    /// Exact product.
+    pub fn mul(self, o: Rat) -> Rat {
+        let num = self
+            .num
+            .checked_mul(o.num)
+            .expect("rational overflow in mul");
+        let den = self.den.checked_mul(o.den).expect("rational overflow");
+        Rat::new(num, den)
+    }
+
+    /// Exact negation.
+    pub fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Nearest `f64` (for diagnostics only — never for decisions).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+fn gcd128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Least common multiple of two orders.
+pub fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// An element of `ℚ(ω_N)` as a sparse rational combination
+/// `Σ coeffs[k] · ω_N^k` with `ω_N = e^{-2πi/N}` (the paper's forward
+/// root; see [`crate::num::omega`]). Exponents are kept reduced mod `N`
+/// and zero coefficients are pruned, so the representation of zero is
+/// the empty map — though equality of *values* still requires
+/// [`Cyclo::is_zero`] on the difference (the sparse form is not
+/// canonical: `1 + ω_3 + ω_3²` is a nonempty representation of zero).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cyclo {
+    order: u32,
+    coeffs: BTreeMap<u32, Rat>,
+}
+
+impl Cyclo {
+    /// The zero of `ℚ(ω_order)`.
+    pub fn zero(order: usize) -> Cyclo {
+        assert!(order > 0, "cyclotomic order must be positive");
+        Cyclo {
+            order: u32::try_from(order).expect("cyclotomic order exceeds u32"),
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// The one of `ℚ(ω_order)`.
+    pub fn one(order: usize) -> Cyclo {
+        Cyclo::root(order, 0)
+    }
+
+    /// `ω_order^k` (exponent reduced mod `order`).
+    pub fn root(order: usize, k: usize) -> Cyclo {
+        let mut c = Cyclo::zero(order);
+        let k = u32::try_from(k % order).expect("exponent below a u32 order");
+        c.coeffs.insert(k, Rat::ONE);
+        c
+    }
+
+    /// The rational `r` embedded in `ℚ(ω_order)`.
+    pub fn from_rat(order: usize, r: Rat) -> Cyclo {
+        let mut c = Cyclo::zero(order);
+        if !r.is_zero() {
+            c.coeffs.insert(0, r);
+        }
+        c
+    }
+
+    /// The order `N` of the ambient root `ω_N`.
+    pub fn order(&self) -> usize {
+        self.order as usize
+    }
+
+    /// Number of nonzero terms in the sparse representation.
+    pub fn terms(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Lift into `ℚ(ω_new_order)`; requires `order | new_order`
+    /// (`ω_N^k = ω_{cN}^{ck}`).
+    pub fn lift(&self, new_order: usize) -> Cyclo {
+        let new_order = u32::try_from(new_order).expect("cyclotomic order exceeds u32");
+        assert!(
+            new_order % self.order == 0,
+            "lift target {new_order} not a multiple of order {}",
+            self.order
+        );
+        let c = new_order / self.order;
+        let mut out = Cyclo::zero(new_order as usize);
+        for (&k, &q) in &self.coeffs {
+            out.coeffs.insert(k * c, q);
+        }
+        out
+    }
+
+    fn insert_term(&mut self, k: u32, q: Rat) {
+        if q.is_zero() {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.coeffs.entry(k) {
+            Entry::Vacant(v) => {
+                v.insert(q);
+            }
+            Entry::Occupied(mut o) => {
+                let s = o.get().add(q);
+                if s.is_zero() {
+                    o.remove();
+                } else {
+                    *o.get_mut() = s;
+                }
+            }
+        }
+    }
+
+    /// Exact sum (orders must match; lift first if they differ).
+    pub fn add(&self, o: &Cyclo) -> Cyclo {
+        assert_eq!(self.order, o.order, "cyclotomic order mismatch in add");
+        let mut out = self.clone();
+        for (&k, &q) in &o.coeffs {
+            out.insert_term(k, q);
+        }
+        out
+    }
+
+    /// Exact difference.
+    pub fn sub(&self, o: &Cyclo) -> Cyclo {
+        self.add(&o.neg())
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> Cyclo {
+        Cyclo {
+            order: self.order,
+            coeffs: self.coeffs.iter().map(|(&k, &q)| (k, q.neg())).collect(),
+        }
+    }
+
+    /// Exact product (sparse convolution of exponents mod `order`).
+    pub fn mul(&self, o: &Cyclo) -> Cyclo {
+        assert_eq!(self.order, o.order, "cyclotomic order mismatch in mul");
+        let mut out = Cyclo::zero(self.order as usize);
+        for (&ka, &qa) in &self.coeffs {
+            for (&kb, &qb) in &o.coeffs {
+                out.insert_term((ka + kb) % self.order, qa.mul(qb));
+            }
+        }
+        out
+    }
+
+    /// Multiply by `ω_order^k` — an exponent shift, no coefficient
+    /// arithmetic (the common case: twiddle application).
+    pub fn mul_root(&self, k: usize) -> Cyclo {
+        let k = u32::try_from(k % self.order as usize).expect("exponent below a u32 order");
+        Cyclo {
+            order: self.order,
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(&e, &q)| ((e + k) % self.order, q))
+                .collect(),
+        }
+    }
+
+    /// Scale by a rational.
+    pub fn scale(&self, r: Rat) -> Cyclo {
+        if r.is_zero() {
+            return Cyclo::zero(self.order as usize);
+        }
+        Cyclo {
+            order: self.order,
+            coeffs: self.coeffs.iter().map(|(&k, &q)| (k, q.mul(r))).collect(),
+        }
+    }
+
+    /// Exact zero test: `Σ q_k ω_N^k = 0` iff `Φ_N | Σ q_k x^k` in
+    /// `ℚ[x]`. Polynomial remainder by the (monic, integer) cyclotomic
+    /// polynomial — no tolerance anywhere.
+    pub fn is_zero(&self) -> bool {
+        match self.coeffs.len() {
+            0 => return true,
+            // A single pruned term q·ω^k with q ≠ 0 is never zero.
+            1 => return false,
+            // a·ω^p + b·ω^q = 0 ⟺ ω^{q−p} = −a/b. A root of unity that is
+            // rational is an algebraic integer in ℚ, hence ±1 — so the
+            // only two-term vanishing combination is q − p = N/2 (where
+            // ω^{N/2} = −1) with equal coefficients. This is the hot path:
+            // executing a plan on a basis vector keeps every value a
+            // single term (the FFT flow graph has unique input→output
+            // paths), so equivalence diffs have at most two terms.
+            2 => {
+                let mut it = self.coeffs.iter();
+                let (&p, &a) = it.next().unwrap();
+                let (&q, &b) = it.next().unwrap();
+                return self.order.is_multiple_of(2) && q - p == self.order / 2 && a == b;
+            }
+            _ => {}
+        }
+        // Dense remainder working vector, degree < order.
+        let n = self.order as usize;
+        let mut poly = vec![Rat::ZERO; n];
+        for (&k, &q) in &self.coeffs {
+            poly[k as usize] = q;
+        }
+        let phi = cyclotomic_poly(n);
+        let deg = phi.len() - 1;
+        // Synthetic division by the monic Φ_N: eliminate from the top.
+        for top in (deg..n).rev() {
+            let c = poly[top];
+            if c.is_zero() {
+                continue;
+            }
+            poly[top] = Rat::ZERO;
+            for (i, &pc) in phi.iter().enumerate().take(deg) {
+                if pc != 0 {
+                    let t = c.mul(Rat::int(pc));
+                    poly[top - deg + i] = poly[top - deg + i].sub(t);
+                }
+            }
+        }
+        poly.iter().take(deg).all(Rat::is_zero)
+    }
+
+    /// Exact equality of values (not of representations).
+    pub fn eq_exact(&self, o: &Cyclo) -> bool {
+        self.sub(o).is_zero()
+    }
+
+    /// Nearest `f64` complex value (diagnostics only).
+    pub fn to_cplx(&self) -> Cplx {
+        let n = self.order as usize;
+        let mut z = Cplx::ZERO;
+        for (&k, &q) in &self.coeffs {
+            z += crate::num::omega_pow(n, k as usize) * q.to_f64();
+        }
+        z
+    }
+
+    /// Snap a floating-point constant to the root of unity it denotes:
+    /// `Some(ω_order^k)` when `c` lies within [`SNAP_EPS`] of that root,
+    /// `None` when `c` is not (close to) any unit root of this order.
+    /// The returned value is *exact*; the snap only decides which exact
+    /// constant the float was printed from.
+    pub fn from_cplx_unit(c: Cplx, order: usize) -> Option<Cyclo> {
+        if (c.norm_sqr() - 1.0).abs() > 4.0 * SNAP_EPS {
+            return None;
+        }
+        // ω_order^k has angle −2πk/order.
+        let theta = c.im.atan2(c.re);
+        let frac = -theta * order as f64 / (2.0 * std::f64::consts::PI);
+        // rem_euclid puts the rounded exponent in [0, order), so the
+        // cast is exact; the snap is then re-verified against the true
+        // root below.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let k = frac.round().rem_euclid(order as f64) as usize % order;
+        let w = crate::num::omega_pow(order, k);
+        if (w.re - c.re).abs() <= SNAP_EPS && (w.im - c.im).abs() <= SNAP_EPS {
+            Some(Cyclo::root(order, k))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Cyclo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (&k, &q) in &self.coeffs {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if k == 0 {
+                write!(f, "{q:?}")?;
+            } else if q == Rat::ONE {
+                write!(f, "w{}^{k}", self.order)?;
+            } else {
+                write!(f, "{q:?}*w{}^{k}", self.order)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `N`-th cyclotomic polynomial `Φ_N` as integer coefficients,
+/// constant term first (`phi[i]` is the coefficient of `x^i`; the
+/// leading coefficient is always 1). Computed by exact division
+/// `Φ_N = (x^N − 1) / ∏_{d|N, d<N} Φ_d` and memoized process-wide.
+pub fn cyclotomic_poly(n: usize) -> Vec<i128> {
+    assert!(n > 0, "cyclotomic order must be positive");
+    static CACHE: OnceLock<Mutex<BTreeMap<usize, Vec<i128>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    if let Some(p) = cache.lock().unwrap().get(&n) {
+        return p.clone();
+    }
+    let p = compute_cyclotomic(n);
+    cache.lock().unwrap().entry(n).or_insert(p).clone()
+}
+
+fn compute_cyclotomic(n: usize) -> Vec<i128> {
+    if n == 1 {
+        return vec![-1, 1]; // x − 1
+    }
+    // Power-of-two fast path: Φ_{2^k}(x) = x^{2^{k−1}} + 1.
+    if n.is_power_of_two() {
+        let half = n / 2;
+        let mut p = vec![0i128; half + 1];
+        p[0] = 1;
+        p[half] = 1;
+        return p;
+    }
+    // x^N − 1 divided by every proper-divisor cyclotomic.
+    let mut num = vec![0i128; n + 1];
+    num[0] = -1;
+    num[n] = 1;
+    for d in crate::num::divisors(n) {
+        if d < n {
+            num = poly_div_exact(&num, &compute_cyclotomic(d));
+        }
+    }
+    num
+}
+
+/// Exact division of integer polynomials (`b` monic; remainder must be
+/// zero — both hold for cyclotomic factors).
+fn poly_div_exact(a: &[i128], b: &[i128]) -> Vec<i128> {
+    assert_eq!(*b.last().unwrap(), 1, "divisor must be monic");
+    let mut rem = a.to_vec();
+    let db = b.len() - 1;
+    let dq = rem.len() - 1 - db;
+    let mut quot = vec![0i128; dq + 1];
+    for top in (db..rem.len()).rev() {
+        let c = rem[top];
+        if c == 0 {
+            continue;
+        }
+        quot[top - db] = c;
+        for (i, &bc) in b.iter().enumerate() {
+            rem[top - db + i] = rem[top - db + i]
+                .checked_sub(c.checked_mul(bc).expect("cyclotomic overflow"))
+                .expect("cyclotomic overflow");
+        }
+    }
+    assert!(rem.iter().all(|&c| c == 0), "non-exact cyclotomic division");
+    quot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::omega_pow;
+
+    #[test]
+    fn rational_arithmetic_normalizes() {
+        let a = Rat::new(2, 4);
+        assert_eq!(a, Rat::new(1, 2));
+        assert_eq!(a.add(a), Rat::ONE);
+        assert_eq!(Rat::new(1, 3).sub(Rat::new(1, 3)), Rat::ZERO);
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(3, 6).mul(Rat::new(2, 5)), Rat::new(1, 5));
+        assert_eq!(Rat::int(7).numer(), 7);
+        assert_eq!(Rat::new(3, -9).denom(), 3);
+    }
+
+    #[test]
+    fn cyclotomic_polys_small_orders() {
+        assert_eq!(cyclotomic_poly(1), vec![-1, 1]); // x − 1
+        assert_eq!(cyclotomic_poly(2), vec![1, 1]); // x + 1
+        assert_eq!(cyclotomic_poly(3), vec![1, 1, 1]); // x² + x + 1
+        assert_eq!(cyclotomic_poly(4), vec![1, 0, 1]); // x² + 1
+        assert_eq!(cyclotomic_poly(6), vec![1, -1, 1]); // x² − x + 1
+        assert_eq!(cyclotomic_poly(12), vec![1, 0, -1, 0, 1]);
+        // Degree is Euler's totient.
+        for (n, phi) in [(8, 4), (9, 6), (10, 4), (15, 8), (16, 8), (24, 8)] {
+            assert_eq!(cyclotomic_poly(n).len() - 1, phi, "Φ_{n}");
+        }
+    }
+
+    #[test]
+    fn root_powers_cycle_and_vanish() {
+        for n in [2usize, 3, 4, 6, 8, 12, 16, 24, 64] {
+            // ω^n = 1
+            let mut p = Cyclo::one(n);
+            for _ in 0..n {
+                p = p.mul(&Cyclo::root(n, 1));
+            }
+            assert!(p.eq_exact(&Cyclo::one(n)), "ω_{n}^{n} ≠ 1");
+            // Σ_k ω^k = 0 (geometric sum of all n-th roots)
+            let mut s = Cyclo::zero(n);
+            for k in 0..n {
+                s = s.add(&Cyclo::root(n, k));
+            }
+            assert!(s.is_zero(), "Σ ω_{n}^k ≠ 0: {s:?}");
+        }
+    }
+
+    #[test]
+    fn nonzero_values_are_nonzero() {
+        for n in [3usize, 4, 8, 12] {
+            assert!(!Cyclo::one(n).is_zero());
+            assert!(!Cyclo::root(n, 1).is_zero());
+            let almost = Cyclo::one(n).add(&Cyclo::root(n, 1));
+            assert!(!almost.is_zero(), "1 + ω_{n} reported zero");
+        }
+        // ω_4 + ω_4³ = −i + i = 0.
+        let s = Cyclo::root(4, 1).add(&Cyclo::root(4, 3));
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn mul_matches_float_arithmetic() {
+        let n = 24;
+        let a = Cyclo::root(n, 5).add(&Cyclo::from_rat(n, Rat::new(1, 2)));
+        let b = Cyclo::root(n, 17).sub(&Cyclo::root(n, 2));
+        let exact = a.mul(&b).to_cplx();
+        let float = a.to_cplx() * b.to_cplx();
+        assert!(exact.approx_eq(float, 1e-12), "{exact:?} vs {float:?}");
+    }
+
+    #[test]
+    fn lift_preserves_value() {
+        let a = Cyclo::root(6, 1).add(&Cyclo::one(6));
+        let lifted = a.lift(24);
+        assert_eq!(lifted.order(), 24);
+        assert!(lifted.to_cplx().approx_eq(a.to_cplx(), 1e-12));
+        // Exact cross-order equality via lift.
+        assert!(Cyclo::root(6, 3).lift(12).eq_exact(&Cyclo::root(12, 6)));
+    }
+
+    #[test]
+    fn snapping_recovers_exact_roots() {
+        for n in [4usize, 8, 12, 20, 64, 128] {
+            for k in 0..n {
+                let c = omega_pow(n, k);
+                let snapped = Cyclo::from_cplx_unit(c, n).expect("root must snap");
+                assert!(
+                    snapped.eq_exact(&Cyclo::root(n, k)),
+                    "ω_{n}^{k} snapped to {snapped:?}"
+                );
+            }
+        }
+        // Non-unit and off-root constants must not snap.
+        assert!(Cyclo::from_cplx_unit(Cplx::new(0.5, 0.0), 8).is_none());
+        assert!(Cyclo::from_cplx_unit(Cplx::new(2.0, 0.0), 8).is_none());
+        let between = Cplx::cis(-std::f64::consts::PI / 8.0); // ω_16, not an 8th root
+        assert!(Cyclo::from_cplx_unit(between, 8).is_none());
+        assert!(Cyclo::from_cplx_unit(between, 16).is_some());
+    }
+
+    #[test]
+    fn dft4_rows_orthogonal_exactly() {
+        // Exact DFT identity: Σ_j ω_4^{rj} · conj-row ω_4^{−sj} = 4·[r=s].
+        let n = 4;
+        for r in 0..n {
+            for s in 0..n {
+                let mut acc = Cyclo::zero(n);
+                for j in 0..n {
+                    acc = acc.add(&Cyclo::root(n, (r * j + (n - s) * j) % n));
+                }
+                if r == s {
+                    assert!(acc.eq_exact(&Cyclo::from_rat(n, Rat::int(4))));
+                } else {
+                    assert!(acc.is_zero(), "rows {r},{s}: {acc:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let n = 8;
+        let a = Cyclo::root(n, 3);
+        assert!(a.scale(Rat::ZERO).is_zero());
+        assert!(a.add(&a.neg()).is_zero());
+        let half = a.scale(Rat::new(1, 2));
+        assert!(half.add(&half).eq_exact(&a));
+    }
+
+    #[test]
+    fn terms_stay_sparse_and_pruned() {
+        let n = 16;
+        let a = Cyclo::root(n, 2).add(&Cyclo::root(n, 5));
+        assert_eq!(a.terms(), 2);
+        let cancelled = a.sub(&Cyclo::root(n, 5));
+        assert_eq!(cancelled.terms(), 1, "cancelled term must be pruned");
+    }
+}

@@ -40,6 +40,7 @@ pub mod builder;
 pub mod cplx;
 pub mod diag;
 pub mod display;
+pub mod exact;
 pub mod matrix;
 pub mod num;
 pub mod parse;

@@ -44,6 +44,11 @@ use spiral_smp::CACHE_LINE_BYTES;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Duration → saturating nanosecond count (u64 holds ~584 years).
+pub(crate) fn ns_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Version stamp of the serialized [`RunProfile`] layout; bumped on any
 /// field change so downstream readers (`figures trace`, the golden
 /// snapshot under `results/`) can detect drift.
@@ -158,7 +163,7 @@ impl Collector {
             n: n as u64,
             threads: self.threads as u64,
             runs: 1,
-            wall_ns: wall.as_nanos() as u64,
+            wall_ns: ns_u64(wall),
             host: HostMeta::current(),
             pool_job_ns: self
                 .jobs
@@ -187,18 +192,16 @@ impl TraceSink for Collector {
         // publisher's run-completion synchronization orders the final
         // reads in `finish`.
         let s = &self.slots[tid * self.stages + stage];
-        s.compute_ns
-            .fetch_add(compute.as_nanos() as u64, Ordering::Relaxed);
+        s.compute_ns.fetch_add(ns_u64(compute), Ordering::Relaxed);
         s.barrier_wait_ns
-            .fetch_add(barrier_wait.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(ns_u64(barrier_wait), Ordering::Relaxed);
         s.jobs.fetch_add(jobs, Ordering::Relaxed);
         s.elements.fetch_add(elements, Ordering::Relaxed);
     }
 
     fn pool_job(&self, tid: usize, total: Duration) {
         if let Some(j) = self.jobs.get(tid) {
-            j.total_ns
-                .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+            j.total_ns.fetch_add(ns_u64(total), Ordering::Relaxed);
         }
     }
 }
@@ -324,7 +327,7 @@ impl RunProfile {
 
     /// Per-thread compute nanoseconds summed across stages.
     pub fn per_thread_compute_ns(&self) -> Vec<u64> {
-        let p = self.threads as usize;
+        let p = usize::try_from(self.threads).unwrap_or(usize::MAX);
         let mut per = vec![0u64; p];
         for s in &self.stages {
             for (tid, t) in s.threads.iter().enumerate() {

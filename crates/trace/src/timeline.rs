@@ -167,7 +167,8 @@ impl ThreadRing {
     /// the run by the pool's completion synchronization.
     fn push(&self, kind: TimelineEventKind, stage: u32, start_ns: u64, end_ns: u64) {
         let i = self.written.load(Ordering::Relaxed);
-        let slot = &self.slots[(i % self.slots.len() as u64) as usize];
+        let slot = &self.slots
+            [usize::try_from(i % self.slots.len() as u64).expect("index below capacity")];
         slot.meta
             .store(kind.code() | (u64::from(stage) << 32), Ordering::Relaxed);
         slot.start_ns.store(start_ns, Ordering::Relaxed);
@@ -182,7 +183,7 @@ impl ThreadRing {
         let held = written.min(cap);
         // Oldest surviving event is at index `written - held` (mod cap).
         for k in 0..held {
-            let i = ((written - held + k) % cap) as usize;
+            let i = usize::try_from((written - held + k) % cap).expect("index below capacity");
             let meta = self.slots[i].meta.load(Ordering::Relaxed);
             out.push(TimelineEvent {
                 tid,
@@ -257,7 +258,7 @@ impl Timeline {
     /// the epoch, which cannot happen for events recorded through the
     /// sink after construction).
     fn offset_ns(&self, t: Instant) -> u64 {
-        t.saturating_duration_since(self.epoch).as_nanos() as u64
+        crate::ns_u64(t.saturating_duration_since(self.epoch))
     }
 
     /// All held events, ordered by thread then chronologically (the
@@ -489,8 +490,8 @@ mod tests {
     fn ring_wraps_keeping_most_recent() {
         let tl = Timeline::with_capacity(1, 4);
         let e = tl.epoch;
-        for i in 0..10u64 {
-            tl.mark(0, MarkKind::BarrierRelease, i as u32, t(e, i * 100));
+        for i in 0..10u32 {
+            tl.mark(0, MarkKind::BarrierRelease, i, t(e, u64::from(i) * 100));
         }
         assert_eq!(tl.dropped(0), 6);
         let ev = tl.events();

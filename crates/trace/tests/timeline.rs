@@ -5,6 +5,10 @@
 //! every instant as thread-scoped — the invariants Perfetto and
 //! `chrome://tracing` rely on to render the trace at all.
 
+// Generated stage/thread ids are tiny (< 8); the JSON data model stores
+// numbers as f64, so reading them back is a narrowing cast by design.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use serde_json::Value;

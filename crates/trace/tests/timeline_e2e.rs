@@ -4,6 +4,10 @@
 //! static timeline checker, count one barrier release per thread per
 //! synchronized stage, and export as well-formed Chrome trace JSON.
 
+// Stage/thread ids in these runs are tiny; the JSON data model stores
+// numbers as f64, so reading them back is a narrowing cast by design.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use serde_json::Value;
 use spiral_codegen::plan::Plan;
 use spiral_codegen::ParallelExecutor;

@@ -106,7 +106,7 @@ impl LineTenureAudit {
                 transfer_stale = Some(entry.tenure & elem_bit == 0);
                 entry.tenure = 0;
             }
-            entry.dirty = Some(tid as u32);
+            entry.dirty = Some(u32::try_from(tid).expect("thread id fits u32"));
             entry.sharers = my_bit;
         } else {
             if let Some(d) = entry.dirty {

@@ -39,7 +39,8 @@ fn rev_index(n: usize, i: usize) -> usize {
     if bits == 0 {
         0
     } else {
-        (i as u32).reverse_bits() as usize >> (32 - bits)
+        let i = u32::try_from(i).expect("bit-reversal index below 2^32");
+        i.reverse_bits() as usize >> (32 - bits)
     }
 }
 

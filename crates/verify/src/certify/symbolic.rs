@@ -1,0 +1,571 @@
+//! Exact symbolic equivalence: prove a lowered plan computes `DFT_n`,
+//! entrywise, with zero tolerance.
+//!
+//! The plan IR is executed on every basis vector `e_j` over the exact
+//! cyclotomic field fragment [`spiral_spl::exact`]: each floating-point
+//! constant in the IR (twiddle tables, scale diagonals, codelet DAG
+//! constants) is *snapped* to the root of unity `ω_N^k` it denotes
+//! (`N = lcm(4, n)`, so every constant a size-`n` plan can contain is an
+//! `N`-th root), and all subsequent algebra is exact rational arithmetic
+//! on sparse root combinations. The run mirrors
+//! [`Plan::execute_into`](spiral_codegen::plan::Plan::execute_into)
+//! operation-for-operation — the same ping-pong buffer discipline, the
+//! same four-case stage targeting, the same fused gather views — so a
+//! certificate speaks about the code that actually runs, not a model of
+//! it.
+//!
+//! Each plan is certified twice: once mirroring the interpreter's
+//! hand-unrolled `F2`/`F4`/`F8` kernels, and once forcing every codelet
+//! through its DAG form — the straight-line program the `cemit` C
+//! backend prints. A plan is accepted only if **both** lowerings equal
+//! `DFT_n` exactly: `plan(e_j)[k] = ω_n^{k·j}` for all `j, k`.
+
+use super::{CertFinding, CertPass};
+use spiral_codegen::codelet::dag::{Dag, Node};
+use spiral_codegen::codelet::Codelet;
+use spiral_codegen::plan::{Plan, Step};
+use spiral_codegen::stage::{KernelStage, LocalProgram, LocalStage};
+use spiral_spl::cplx::Cplx;
+use spiral_spl::exact::{lcm, Cyclo};
+
+/// Certify the plan against `DFT_n` over exact arithmetic. Empty result
+/// = proven equal entrywise; otherwise the first discrepancy or
+/// non-certifiable construct found.
+pub fn certify_symbolic(plan: &Plan) -> Vec<CertFinding> {
+    match run(plan) {
+        Ok(()) => Vec::new(),
+        Err(f) => vec![f],
+    }
+}
+
+fn fail(
+    step: Option<usize>,
+    stage: Option<usize>,
+    index: Option<usize>,
+    detail: String,
+) -> CertFinding {
+    CertFinding {
+        pass: CertPass::Symbolic,
+        step,
+        stage,
+        index,
+        detail,
+    }
+}
+
+fn run(plan: &Plan) -> Result<(), CertFinding> {
+    let n = plan.n;
+    if n == 0 {
+        return Ok(());
+    }
+    let order = lcm(4, n);
+    for use_dag in [false, true] {
+        let semantics = if use_dag {
+            "cemit (codelet DAG)"
+        } else {
+            "interpreter (hand kernels)"
+        };
+        for j in 0..n {
+            let x: Vec<Cyclo> = (0..n)
+                .map(|i| {
+                    if i == j {
+                        Cyclo::one(order)
+                    } else {
+                        Cyclo::zero(order)
+                    }
+                })
+                .collect();
+            let y = exec_plan(plan, x, order, use_dag)?;
+            for (k, got) in y.iter().enumerate() {
+                // DFT_n column j, entry k: ω_n^{kj}, lifted to ω_N.
+                let expected = Cyclo::root(order, (k * j % n) * (order / n));
+                if !got.eq_exact(&expected) {
+                    return Err(fail(
+                        None,
+                        None,
+                        Some(k),
+                        format!(
+                            "{semantics} semantics: plan(e_{j})[{k}] = {:?} ≈ {:?}, but \
+                             DFT_{n}[{k},{j}] = ω_{n}^{} — plan is not DFT_{n}",
+                            got,
+                            got.to_cplx(),
+                            k * j % n,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mirror of `Plan::execute_into` over exact values.
+fn exec_plan(
+    plan: &Plan,
+    x: Vec<Cyclo>,
+    order: usize,
+    use_dag: bool,
+) -> Result<Vec<Cyclo>, CertFinding> {
+    let n = plan.n;
+    let mut a = x;
+    let mut b = vec![Cyclo::zero(order); n];
+    for (si, step) in plan.steps.iter().enumerate() {
+        match step {
+            Step::Seq(p) => {
+                if p.dim != n {
+                    return Err(fail(
+                        Some(si),
+                        None,
+                        None,
+                        format!("sequential program dimension {} != plan size {n}", p.dim),
+                    ));
+                }
+                run_program(p, &SymSrc::Local(&a, 0), &mut b, order, use_dag, si)?;
+            }
+            Step::Par {
+                chunk,
+                programs,
+                gather,
+            } => {
+                for (c, prog) in programs.iter().enumerate() {
+                    let s = c * chunk;
+                    let src = match gather {
+                        Some(g) => SymSrc::Gathered {
+                            buf: &a,
+                            gather: g,
+                            off: s,
+                        },
+                        None => SymSrc::Local(&a, s),
+                    };
+                    let dst = b.get_mut(s..s + chunk).ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            None,
+                            Some(c),
+                            format!(
+                                "chunk {c} at [{s}, {}) exceeds the {n}-point buffer",
+                                s + chunk
+                            ),
+                        )
+                    })?;
+                    run_program(prog, &src, dst, order, use_dag, si)?;
+                }
+            }
+            Step::Exchange { table, .. } => {
+                for (i, &s) in table.iter().enumerate() {
+                    let v = a.get(s as usize).cloned().ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            None,
+                            Some(i),
+                            format!("exchange reads index {s} outside the {n}-point buffer"),
+                        )
+                    })?;
+                    *b.get_mut(i).ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            None,
+                            Some(i),
+                            format!("exchange writes index {i} outside the {n}-point buffer"),
+                        )
+                    })? = v;
+                }
+            }
+            Step::ScaleAll(w) => {
+                if w.len() != n {
+                    return Err(fail(
+                        Some(si),
+                        None,
+                        None,
+                        format!("scale table has {} entries, expected {n}", w.len()),
+                    ));
+                }
+                for i in 0..n {
+                    b[i] = a[i].mul(&snap(w[i], order, si, None, Some(i))?);
+                }
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    Ok(a)
+}
+
+/// Input view of a symbolic stage — the exact analogue of
+/// [`spiral_codegen::stage::SrcView`].
+enum SymSrc<'a> {
+    /// Chunk slice of the global source at the given offset.
+    Local(&'a [Cyclo], usize),
+    /// Fused exchange: logical `i` reads `buf[gather[off + i]]`.
+    Gathered {
+        buf: &'a [Cyclo],
+        gather: &'a [u32],
+        off: usize,
+    },
+}
+
+impl SymSrc<'_> {
+    fn get(&self, i: usize) -> Option<Cyclo> {
+        match self {
+            SymSrc::Local(s, off) => s.get(off + i).cloned(),
+            SymSrc::Gathered { buf, gather, off } => gather
+                .get(off + i)
+                .and_then(|&g| buf.get(g as usize))
+                .cloned(),
+        }
+    }
+}
+
+/// Mirror of `LocalProgram::run_view`: the same four-case ping-pong.
+fn run_program(
+    prog: &LocalProgram,
+    src: &SymSrc<'_>,
+    dst: &mut [Cyclo],
+    order: usize,
+    use_dag: bool,
+    si: usize,
+) -> Result<(), CertFinding> {
+    let dim = prog.dim;
+    let l = prog.stages.len();
+    if dst.len() != dim {
+        return Err(fail(
+            Some(si),
+            None,
+            None,
+            format!("program dimension {dim} != destination size {}", dst.len()),
+        ));
+    }
+    if l == 0 {
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = src.get(i).ok_or_else(|| {
+                fail(
+                    Some(si),
+                    None,
+                    Some(i),
+                    format!("identity copy reads logical index {i} out of bounds"),
+                )
+            })?;
+        }
+        return Ok(());
+    }
+    let mut tmp = vec![Cyclo::zero(order); dim];
+    for (k, stage) in prog.stages.iter().enumerate() {
+        let to_dst = (l - 1 - k).is_multiple_of(2);
+        match (k == 0, to_dst) {
+            (true, true) => apply_stage(stage, src, dst, order, use_dag, si, k)?,
+            (true, false) => apply_stage(stage, src, &mut tmp, order, use_dag, si, k)?,
+            (false, true) => {
+                let view = SymSrc::Local(&tmp, 0);
+                apply_stage(stage, &view, dst, order, use_dag, si, k)?;
+            }
+            (false, false) => {
+                let view = SymSrc::Local(&*dst, 0);
+                apply_stage(stage, &view, &mut tmp, order, use_dag, si, k)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_stage(
+    stage: &LocalStage,
+    src: &SymSrc<'_>,
+    out: &mut [Cyclo],
+    order: usize,
+    use_dag: bool,
+    si: usize,
+    k: usize,
+) -> Result<(), CertFinding> {
+    match stage {
+        LocalStage::Kernel(ks) => apply_kernel(ks, src, out, order, use_dag, si, k),
+        LocalStage::Permute(t) => {
+            if t.len() != out.len() {
+                return Err(fail(
+                    Some(si),
+                    Some(k),
+                    None,
+                    format!(
+                        "permute table has {} entries, expected {}",
+                        t.len(),
+                        out.len()
+                    ),
+                ));
+            }
+            for (i, &s) in t.iter().enumerate() {
+                out[i] = src.get(s as usize).ok_or_else(|| {
+                    fail(
+                        Some(si),
+                        Some(k),
+                        Some(i),
+                        format!("permute reads index {s} out of bounds"),
+                    )
+                })?;
+            }
+            Ok(())
+        }
+        LocalStage::Scale(w) => {
+            if w.len() != out.len() {
+                return Err(fail(
+                    Some(si),
+                    Some(k),
+                    None,
+                    format!(
+                        "scale table has {} entries, expected {}",
+                        w.len(),
+                        out.len()
+                    ),
+                ));
+            }
+            for i in 0..out.len() {
+                let v = src.get(i).ok_or_else(|| {
+                    fail(
+                        Some(si),
+                        Some(k),
+                        Some(i),
+                        format!("scale reads index {i} out of bounds"),
+                    )
+                })?;
+                out[i] = v.mul(&snap(w[i], order, si, Some(k), Some(i))?);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Mirror of `KernelStage::apply_inner`: gather (fused permutation +
+/// twiddle-on-load), codelet, scatter (fused permutation +
+/// twiddle-on-store), over the exact iteration space.
+#[allow(clippy::too_many_arguments)]
+fn apply_kernel(
+    ks: &KernelStage,
+    src: &SymSrc<'_>,
+    out: &mut [Cyclo],
+    order: usize,
+    use_dag: bool,
+    si: usize,
+    k: usize,
+) -> Result<(), CertFinding> {
+    let c = ks.codelet.size();
+    let mut input = vec![Cyclo::zero(order); c];
+    let mut err: Option<CertFinding> = None;
+    ks.for_each_iteration(|flat, in_base, out_base| {
+        if err.is_some() {
+            return;
+        }
+        let mut go = || -> Result<(), CertFinding> {
+            for (t, slot) in input.iter_mut().enumerate() {
+                let aff = in_base + t * ks.in_t_stride;
+                let idx = match &ks.in_map {
+                    Some(m) => *m.get(aff).ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            Some(k),
+                            Some(aff),
+                            format!("gather index {aff} outside the {}-entry in_map", m.len()),
+                        )
+                    })? as usize,
+                    None => aff,
+                };
+                let mut v = src.get(idx).ok_or_else(|| {
+                    fail(
+                        Some(si),
+                        Some(k),
+                        Some(idx),
+                        format!("kernel reads index {idx} out of bounds"),
+                    )
+                })?;
+                if let Some(w) = &ks.twiddle {
+                    let e = flat * c + t;
+                    let cst = *w.get(e).ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            Some(k),
+                            Some(e),
+                            format!("twiddle index {e} outside the {}-entry table", w.len()),
+                        )
+                    })?;
+                    v = v.mul(&snap(cst, order, si, Some(k), Some(e))?);
+                }
+                *slot = v;
+            }
+            let result = codelet_symbolic(&ks.codelet, &input, order, use_dag, si, k)?;
+            for (t, mut v) in result.into_iter().enumerate() {
+                if let Some(w) = &ks.twiddle_out {
+                    let e = flat * c + t;
+                    let cst = *w.get(e).ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            Some(k),
+                            Some(e),
+                            format!("twiddle_out index {e} outside the {}-entry table", w.len()),
+                        )
+                    })?;
+                    v = v.mul(&snap(cst, order, si, Some(k), Some(e))?);
+                }
+                let aff = out_base + t * ks.out_t_stride;
+                let idx = match &ks.out_map {
+                    Some(m) => *m.get(aff).ok_or_else(|| {
+                        fail(
+                            Some(si),
+                            Some(k),
+                            Some(aff),
+                            format!("scatter index {aff} outside the {}-entry out_map", m.len()),
+                        )
+                    })? as usize,
+                    None => aff,
+                };
+                *out.get_mut(idx).ok_or_else(|| {
+                    fail(
+                        Some(si),
+                        Some(k),
+                        Some(idx),
+                        format!("kernel writes index {idx} out of bounds"),
+                    )
+                })? = v;
+            }
+            Ok(())
+        };
+        if let Err(e) = go() {
+            err = Some(e);
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Exact codelet application. With `use_dag` every size runs its DAG
+/// form (what `cemit` prints); otherwise the hand-unrolled 2/4/8 paths
+/// are mirrored operation-for-operation.
+fn codelet_symbolic(
+    codelet: &Codelet,
+    x: &[Cyclo],
+    order: usize,
+    use_dag: bool,
+    si: usize,
+    k: usize,
+) -> Result<Vec<Cyclo>, CertFinding> {
+    if use_dag {
+        return dag_symbolic(&codelet.dag(), x, order, si, k);
+    }
+    // −i = ω_N^{N/4}, +i = ω_N^{3N/4} (N is a multiple of 4).
+    let neg_i = order / 4;
+    match codelet {
+        Codelet::F2 => Ok(vec![x[0].add(&x[1]), x[0].sub(&x[1])]),
+        Codelet::F4 => {
+            let t0 = x[0].add(&x[2]);
+            let t1 = x[0].sub(&x[2]);
+            let t2 = x[1].add(&x[3]);
+            let t3 = x[1].sub(&x[3]).mul_root(neg_i);
+            Ok(vec![t0.add(&t2), t1.add(&t3), t0.sub(&t2), t1.sub(&t3)])
+        }
+        Codelet::F8 => {
+            const H: f64 = std::f64::consts::FRAC_1_SQRT_2;
+            let w8 = snap(Cplx::new(H, -H), order, si, Some(k), None)?;
+            let w83 = snap(Cplx::new(-H, -H), order, si, Some(k), None)?;
+            let a0 = x[0].add(&x[4]);
+            let a1 = x[0].sub(&x[4]);
+            let a2 = x[2].add(&x[6]);
+            let a3 = x[2].sub(&x[6]);
+            let a4 = x[1].add(&x[5]);
+            let a5 = x[1].sub(&x[5]);
+            let a6 = x[3].add(&x[7]);
+            let a7 = x[3].sub(&x[7]);
+            let a3r = a3.mul_root(neg_i);
+            let a7r = a7.mul_root(neg_i);
+            let b0 = a0.add(&a2);
+            let b2 = a0.sub(&a2);
+            let b1 = a1.add(&a3r);
+            let b3 = a1.sub(&a3r);
+            let b4 = a4.add(&a6);
+            let b6 = a4.sub(&a6);
+            let b5 = a5.add(&a7r);
+            let b7 = a5.sub(&a7r);
+            let t5 = b5.mul(&w8);
+            let t6 = b6.mul_root(neg_i);
+            let t7 = b7.mul(&w83);
+            Ok(vec![
+                b0.add(&b4),
+                b1.add(&t5),
+                b2.add(&t6),
+                b3.add(&t7),
+                b0.sub(&b4),
+                b1.sub(&t5),
+                b2.sub(&t6),
+                b3.sub(&t7),
+            ])
+        }
+        Codelet::Dag(d) => dag_symbolic(d, x, order, si, k),
+    }
+}
+
+/// Exact evaluation of a codelet DAG — the straight-line program the C
+/// emitter prints, executed over cyclotomic values.
+fn dag_symbolic(
+    d: &Dag,
+    input: &[Cyclo],
+    order: usize,
+    si: usize,
+    k: usize,
+) -> Result<Vec<Cyclo>, CertFinding> {
+    let bad_node = |id: usize| {
+        fail(
+            Some(si),
+            Some(k),
+            Some(id),
+            format!("codelet DAG node {id} references an undefined value"),
+        )
+    };
+    let mut vals: Vec<Cyclo> = Vec::with_capacity(d.nodes.len());
+    for (id, node) in d.nodes.iter().enumerate() {
+        let at = |i: u32| vals.get(i as usize).cloned().ok_or_else(|| bad_node(id));
+        let v = match *node {
+            Node::Input(i) => input.get(i as usize).cloned().ok_or_else(|| {
+                fail(
+                    Some(si),
+                    Some(k),
+                    Some(i as usize),
+                    format!(
+                        "codelet DAG input {i} outside the {}-slot vector",
+                        input.len()
+                    ),
+                )
+            })?,
+            Node::Add(a, b) => at(a)?.add(&at(b)?),
+            Node::Sub(a, b) => at(a)?.sub(&at(b)?),
+            Node::Mul(a, cst) => at(a)?.mul(&snap(cst, order, si, Some(k), Some(id))?),
+            Node::MulI(a) => at(a)?.mul_root(3 * order / 4),
+            Node::MulNegI(a) => at(a)?.mul_root(order / 4),
+            Node::Neg(a) => at(a)?.neg(),
+        };
+        vals.push(v);
+    }
+    d.outputs
+        .iter()
+        .map(|&o| {
+            vals.get(o as usize)
+                .cloned()
+                .ok_or_else(|| bad_node(o as usize))
+        })
+        .collect()
+}
+
+/// Snap a floating-point IR constant to the exact root of unity it
+/// denotes; a constant that is not (within [`spiral_spl::exact::SNAP_EPS`])
+/// an `N`-th root of unity cannot be certified.
+fn snap(
+    c: Cplx,
+    order: usize,
+    si: usize,
+    stage: Option<usize>,
+    index: Option<usize>,
+) -> Result<Cyclo, CertFinding> {
+    Cyclo::from_cplx_unit(c, order).ok_or_else(|| {
+        fail(
+            Some(si),
+            stage,
+            index,
+            format!("constant {c:?} is not an order-{order} root of unity — not certifiable"),
+        )
+    })
+}

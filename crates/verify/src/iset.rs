@@ -79,8 +79,9 @@ impl Run {
             x0 + (lo - x0 + lcm - 1) / lcm * lcm
         };
         let hi = (self.last() as i128).min(o.last() as i128);
-        // x ≡ a (mod s) and x ≡ b (mod t), so bounds membership suffices.
-        (x <= hi).then_some(x as usize)
+        // x ≡ a (mod s) and x ≡ b (mod t), so bounds membership suffices;
+        // x ≥ lo ≥ 0 and x ≤ hi ≤ a usize bound, so the conversion holds.
+        (x <= hi).then(|| usize::try_from(x).expect("overlap witness within usize bounds"))
     }
 }
 

@@ -34,6 +34,7 @@
 
 pub mod audit;
 pub mod baseline;
+pub mod certify;
 pub mod footprint;
 pub mod iset;
 pub mod timeline;
@@ -556,7 +557,7 @@ pub fn verify_plan(plan: &Plan, opts: &VerifyOptions) -> Report {
                 step: ev.map(|e| e.step),
                 threads: ev.map(|e| vec![e.tid]).unwrap_or_default(),
                 region: None,
-                witness: ev.map(|e| e.line as usize),
+                witness: ev.map(|e| usize::try_from(e.line).expect("cache line index fits usize")),
                 detail: format!(
                     "tenure audit: {} cache-line transfer(s) moved no needed \
                      data (µ = {mu}) — cross-step false sharing",
@@ -600,11 +601,12 @@ pub fn verify_fftw_like(sched: &FftwLikeSchedule, mu: usize, opts: &VerifyOption
     }
 }
 
-/// Register the analyzer's soundness checks (bounds + races) with the
-/// executor's validator registry: debug builds of `ParallelExecutor`
-/// then verify every plan before touching the shared buffers.
+/// Register the analyzer's soundness checks (bounds + races) and the
+/// dataflow certification pass with the executor's validator registry:
+/// debug builds of `ParallelExecutor` then verify every plan before
+/// touching the shared buffers.
 pub fn install_executor_guard() {
-    spiral_codegen::validate::install_validator(executor_guard);
+    spiral_codegen::plan::install_validator(executor_guard);
 }
 
 fn executor_guard(plan: &Plan) -> Result<(), String> {
@@ -615,10 +617,15 @@ fn executor_guard(plan: &Plan) -> Result<(), String> {
         ..Default::default()
     };
     let report = verify_plan(plan, &opts);
-    let errs: Vec<String> = report
+    let mut errs: Vec<String> = report
         .soundness_errors()
         .map(|d| d.detail.clone())
         .collect();
+    errs.extend(
+        certify::dataflow::certify_dataflow(plan)
+            .into_iter()
+            .map(|f| f.to_string()),
+    );
     if errs.is_empty() {
         Ok(())
     } else {

@@ -214,7 +214,8 @@ fn run_benchmark<F>(
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        best = best.min(b.elapsed.max(Duration::from_nanos(1)) / iters as u32);
+        let divisor = u32::try_from(iters).expect("calibrated iteration count fits u32");
+        best = best.min(b.elapsed.max(Duration::from_nanos(1)) / divisor);
         if spent.elapsed() > budget {
             break;
         }
@@ -281,10 +282,10 @@ mod tests {
             b.iter(|| {
                 runs += 1;
                 (0..n).sum::<usize>()
-            })
+            });
         });
         group.bench_function("custom", |b| {
-            b.iter_custom(|iters| Duration::from_nanos(10 * iters))
+            b.iter_custom(|iters| Duration::from_nanos(10 * iters));
         });
         group.finish();
         assert!(runs >= 2, "closure never sampled");

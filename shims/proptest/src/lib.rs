@@ -8,6 +8,15 @@
 //! case-for-case across runs. No shrinking: a failing case reports its
 //! case number and message and panics immediately.
 
+// Uniform sampling is wrap-around modular arithmetic by construction:
+// the truncating/sign-dropping casts in the range strategies are the
+// algorithm, not an accident.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
+
 pub mod test_runner {
     /// Deterministic SplitMix64 stream, seeded per test.
     #[derive(Clone, Debug)]

@@ -7,6 +7,15 @@
 //! heuristics and property tests, deterministic per seed (which is all
 //! the workspace relies on; it never persists generator state).
 
+// Uniform sampling is wrap-around modular arithmetic by construction:
+// the truncating/sign-dropping casts in the range impls are the
+// algorithm, not an accident.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
+
 /// Core source of randomness: a stream of `u64`s.
 pub trait RngCore {
     /// Next raw 64 random bits.

@@ -80,6 +80,9 @@ macro_rules! impl_num {
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
+                // Round-tripping through f64 is the shim's data model
+                // (mirroring JSON); lossy casts are inherent to it.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 v.as_f64()
                     .map(|x| x as $t)
                     .ok_or_else(|| Error(format!("expected number, got {v:?}")))

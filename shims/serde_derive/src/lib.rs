@@ -164,7 +164,7 @@ fn split_items(body: TokenStream, parse: fn(&[TokenTree]) -> Option<String>) -> 
         match &tok {
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => {
-                angle_depth = angle_depth.saturating_sub(1)
+                angle_depth = angle_depth.saturating_sub(1);
             }
             TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
                 items.extend(parse(&chunk));

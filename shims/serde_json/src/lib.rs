@@ -66,6 +66,8 @@ fn print_value(
                 return Err(Error(format!("non-finite number {x} is not JSON")));
             }
             if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                // Integral and below 2^53, so the cast is exact.
+                #[allow(clippy::cast_possible_truncation)]
                 out.push_str(&format!("{}", *x as i64));
             } else {
                 // Rust's f64 Display is the shortest round-tripping form.
