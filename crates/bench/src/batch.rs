@@ -150,6 +150,7 @@ pub fn rows_to_entries(rows: &[BatchRow], reps: usize) -> Vec<BenchEntry> {
                 log2n: r.log2n,
                 threads: r.threads,
                 batch: r.batch,
+                connections: 1,
                 plan_kind: format!("batched {}", r.batch_choice),
                 reps: reps as u64,
                 median_us: r.batch_us,

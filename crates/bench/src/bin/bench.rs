@@ -159,8 +159,16 @@ fn record(flags: &[(String, String)]) -> Result<i32, String> {
     );
     for e in &run.entries {
         println!(
-            "  n=2^{:<2} p={} b={:<3} {:>8.1} µs (±{:.1})  {:>6.3} GF/s (±{:.3})  [{}]",
-            e.log2n, e.threads, e.batch, e.median_us, e.mad_us, e.gflops, e.gflops_mad, e.plan_kind
+            "  n=2^{:<2} p={} b={:<3} c={:<3} {:>8.1} µs (±{:.1})  {:>6.3} GF/s (±{:.3})  [{}]",
+            e.log2n,
+            e.threads,
+            e.batch,
+            e.connections,
+            e.median_us,
+            e.mad_us,
+            e.gflops,
+            e.gflops_mad,
+            e.plan_kind
         );
     }
     history.append(run);
@@ -214,10 +222,11 @@ fn compare(flags: &[(String, String)]) -> Result<i32, String> {
     );
     for l in &report.lines {
         println!(
-            "  n=2^{:<2} p={} b={:<3} {:>6.3} → {:>6.3} GF/s  {:>+6.1}% (tol {:.1}%)  {}  {}",
+            "  n=2^{:<2} p={} b={:<3} c={:<3} {:>6.3} → {:>6.3} GF/s  {:>+6.1}% (tol {:.1}%)  {}  {}",
             l.log2n,
             l.threads,
             l.batch,
+            l.connections,
             l.base_gflops,
             l.cur_gflops,
             100.0 * l.rel_delta,
@@ -257,12 +266,19 @@ fn show(flags: &[(String, String)]) -> Result<i32, String> {
         latest.seq, latest.host.name, latest.host.fingerprint.cores, latest.host.fingerprint.mu
     );
     for e in &latest.entries {
-        let traj = history.trajectory(e.log2n, e.threads, e.batch, &latest.host.name);
-        println!(
-            "  n=2^{:<2} p={} b={:<3} {:>6.3} GF/s  {}  ({} run(s))",
+        let traj = history.trajectory(
             e.log2n,
             e.threads,
             e.batch,
+            e.connections,
+            &latest.host.name,
+        );
+        println!(
+            "  n=2^{:<2} p={} b={:<3} c={:<3} {:>6.3} GF/s  {}  ({} run(s))",
+            e.log2n,
+            e.threads,
+            e.batch,
+            e.connections,
             e.gflops,
             sparkline(&traj),
             traj.len()

@@ -18,6 +18,9 @@
 //! figures verify [--machine core-duo] [--min 8] [--max 14] [--out results/]
 //! figures batch [--min 6] [--max 10] [--threads 2] [--batch 32] [--reps 5] [--out results/]
 //! figures certify [--min 2] [--max 6] [--threads 4] [--out results/]
+//! figures serve-load [--min 6] [--max 8] [--workers 2] [--connections 4] [--requests 32]
+//!                    [--batch 8] [--deadline-ms 0] [--wisdom PATH] [--require-warm 0|1]
+//!                    [--history FILE] [--out results/]
 //! figures all [--out results/]
 //! ```
 //!
@@ -124,6 +127,24 @@ const COMMANDS: &[CmdSpec] = &[
         flags: &["min", "max", "threads", "out"],
     },
     CmdSpec {
+        name: "serve-load",
+        desc:
+            "SERVE-LOAD — network-tier latency percentiles under single/warm/overload concurrency",
+        flags: &[
+            "min",
+            "max",
+            "workers",
+            "connections",
+            "requests",
+            "batch",
+            "deadline-ms",
+            "wisdom",
+            "require-warm",
+            "history",
+            "out",
+        ],
+    },
+    CmdSpec {
         name: "all",
         desc: "every simulated figure and ablation in sequence",
         flags: &["machine", "min", "max", "out"],
@@ -198,6 +219,7 @@ fn main() {
         }
         "batch" => run_batch(&opts, out_dir.as_deref()),
         "certify" => run_certify(&opts, out_dir.as_deref()),
+        "serve-load" => run_serve_load(&opts, out_dir.as_deref()),
         "all" => {
             let (min, max) = range(&opts, 6, 16);
             for m in paper_machines() {
@@ -731,6 +753,7 @@ fn print_waterfall(p: &spiral_trace::RunProfile, choice: &str) {
         } else {
             0.0
         };
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let bar_len = if crit_total > 0 {
             (max_ns as f64 / crit_total as f64 * 40.0).round() as usize
         } else {
@@ -860,6 +883,7 @@ fn run_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
                 TimelineEventKind::BarrierRelease => TlKind::BarrierRelease,
                 TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
                 TimelineEventKind::TunerReject => TlKind::TunerReject,
+                TimelineEventKind::RequestServe => TlKind::RequestServe,
             },
             stage: e.stage,
             start_ns: e.start_ns,
@@ -1017,6 +1041,212 @@ fn run_certify(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     if file.certified != file.total {
         std::process::exit(1);
     }
+}
+
+/// SERVE-LOAD: drive the network tier through the single / warm /
+/// overload phases, record the artifact, optionally append the grid
+/// points to a bench history, and gate on the robustness contract:
+/// zero client-visible protocol errors, warm p99 within the deadline,
+/// overload actually shed (`Overloaded` seen), and — under
+/// `--require-warm 1` — zero tuner invocations (the warm-path
+/// invariant).
+fn run_serve_load(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    use spiral_bench::serve_load::{measure_serve_load, ServeLoadOpts};
+
+    let (min, max) = range(opts, 6, 8);
+    let mut slo = ServeLoadOpts {
+        min_log2n: min,
+        max_log2n: max,
+        ..ServeLoadOpts::default()
+    };
+    if let Some(v) = opts.get("workers").and_then(|s| s.parse().ok()) {
+        slo.workers = v;
+    }
+    if let Some(v) = opts.get("connections").and_then(|s| s.parse().ok()) {
+        slo.connections = v;
+    }
+    if let Some(v) = opts.get("requests").and_then(|s| s.parse().ok()) {
+        slo.requests_per_conn = v;
+    }
+    if let Some(v) = opts.get("batch").and_then(|s| s.parse().ok()) {
+        slo.batch = v;
+    }
+    if let Some(v) = opts.get("deadline-ms").and_then(|s| s.parse().ok()) {
+        slo.deadline_ms = v;
+    }
+    slo.wisdom = opts.get("wisdom").map(std::path::PathBuf::from);
+    let require_warm = matches!(opts.get("require-warm").map(String::as_str), Some("1"));
+
+    println!(
+        "\nSERVE-LOAD — wire round-trips, n = 2^{min}..2^{max}, batch {}, \
+         warm {} conn(s), overload {}x",
+        slo.batch, slo.connections, slo.overload_factor
+    );
+    let file = match measure_serve_load(&slo) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("serve-load: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>6} {:>9} {:>5} {:>7} {:>6} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "log2n",
+        "phase",
+        "conns",
+        "reqs",
+        "ok",
+        "ovld",
+        "expired",
+        "err",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "resp/s"
+    );
+    for r in &file.rows {
+        println!(
+            "{:>6} {:>9} {:>5} {:>7} {:>6} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>9.0}",
+            r.log2n,
+            r.phase,
+            r.connections,
+            r.requests,
+            r.ok,
+            r.overloaded,
+            r.expired,
+            r.errors,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.rps
+        );
+    }
+    println!(
+        "tuner invocations across the run: {}",
+        file.tuner_invocations
+    );
+
+    // The shed-don't-buffer criterion, recorded per size: the overload
+    // phase's admitted p99 against 2x the single-client p99.
+    for k in min..=max {
+        let single = file
+            .rows
+            .iter()
+            .find(|r| r.log2n == u64::from(k) && r.phase == "single");
+        let over = file
+            .rows
+            .iter()
+            .find(|r| r.log2n == u64::from(k) && r.phase == "overload");
+        if let (Some(s), Some(o)) = (single, over) {
+            if o.ok > 0 && s.p99_us > 0 {
+                let ratio = o.p99_us as f64 / s.p99_us as f64;
+                println!(
+                    "  n=2^{k}: admitted-under-overload p99 = {:.2}x single-client p99 {}",
+                    ratio,
+                    if ratio <= 2.0 {
+                        "(within 2x)"
+                    } else {
+                        "(over 2x — expected when the client storm shares the server's CPUs)"
+                    }
+                );
+            }
+        }
+    }
+
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/serve_load.json");
+        write_artifact(&path, &serde_json::to_string_pretty(&file).unwrap());
+        println!("wrote {path}");
+    }
+    if let Some(hist_path) = opts.get("history") {
+        match append_serve_history(&file, std::path::Path::new(hist_path)) {
+            Ok(count) => println!("history: appended {count} grid point(s) to {hist_path}"),
+            Err(e) => {
+                eprintln!("serve-load: history append failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    let protocol_errors: u64 = file.rows.iter().map(|r| r.protocol_errors).sum();
+    if protocol_errors > 0 {
+        failures.push(format!(
+            "{protocol_errors} client-visible protocol error(s)"
+        ));
+    }
+    let deadline_us = if file.deadline_ms == 0 {
+        1_000_000 // the server's default 1 s budget
+    } else {
+        file.deadline_ms * 1000
+    };
+    for r in file.rows.iter().filter(|r| r.phase == "warm") {
+        if r.ok < r.requests {
+            failures.push(format!(
+                "warm phase n=2^{} did not admit everything ({}/{} ok)",
+                r.log2n, r.ok, r.requests
+            ));
+        }
+        if r.p99_us >= deadline_us {
+            failures.push(format!(
+                "warm phase n=2^{} p99 {} µs breaches the {} µs deadline",
+                r.log2n, r.p99_us, deadline_us
+            ));
+        }
+    }
+    let overloaded: u64 = file
+        .rows
+        .iter()
+        .filter(|r| r.phase == "overload")
+        .map(|r| r.overloaded)
+        .sum();
+    if overloaded == 0 {
+        failures.push("overload phase saw no Overloaded responses — nothing was shed".to_string());
+    }
+    if require_warm && file.tuner_invocations > 0 {
+        failures.push(format!(
+            "--require-warm 1, but the tuner ran {} time(s) — wisdom was cold or stale",
+            file.tuner_invocations
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("serve-load FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("serve-load: contract holds (shed under overload, warm p99 within deadline)");
+}
+
+/// Append the serve-load grid points as one run in a bench history
+/// file (creating it if missing).
+fn append_serve_history(
+    file: &spiral_bench::serve_load::ServeLoadFile,
+    path: &std::path::Path,
+) -> Result<usize, String> {
+    use spiral_bench::history::{BenchHistory, BenchRun};
+    let entries = spiral_bench::serve_load::rows_to_entries(file);
+    if entries.is_empty() {
+        return Err("no successful requests to record".to_string());
+    }
+    let count = entries.len();
+    let mut history = BenchHistory::load(path)?;
+    history.append(BenchRun {
+        seq: 0, // assigned by append
+        unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+        host: file.host.clone(),
+        entries,
+    });
+    history.validate()?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    history.save(path)?;
+    Ok(count)
 }
 
 fn run_search(opts: &HashMap<String, String>) {

@@ -29,7 +29,11 @@ use std::time::Instant;
 /// * v2 — host identity moved into the shared
 ///   [`spiral_smp::topology::HostFingerprint`] block (adds `features`),
 ///   and entries gained the `batch` grid dimension.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// * v3 — entries gained the `connections` grid dimension, so the
+///   served-throughput-under-concurrency points from `figures
+///   serve-load` live in the same trajectory file as the in-process
+///   grid (`connections = 1` for everything measured in-process).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The machine a benchmark run executed on: a human-facing name plus
 /// the workspace-wide hardware [`HostFingerprint`] (the same identity
@@ -92,6 +96,11 @@ pub struct BenchEntry {
     /// fields are always *per transform*, so batched and unbatched
     /// entries report comparable throughput.
     pub batch: u64,
+    /// Concurrent client connections the measurement was taken under:
+    /// `1` for every in-process grid point; `>1` only for network
+    /// serve-load points, where `median_us` is the per-request
+    /// round-trip over the wire rather than a bare execute.
+    pub connections: u64,
     /// What the tuner picked (e.g. `"multicore split 64x64"`); carried
     /// for interpretation, not used as a comparison key — the tuner may
     /// legitimately flip between equivalent splits across runs.
@@ -209,14 +218,26 @@ impl BenchHistory {
     /// The gflops trajectory of one grid point across all runs on
     /// `host_name`, oldest first (for sparklines). Runs missing the
     /// point are skipped.
-    pub fn trajectory(&self, log2n: u64, threads: u64, batch: u64, host_name: &str) -> Vec<f64> {
+    pub fn trajectory(
+        &self,
+        log2n: u64,
+        threads: u64,
+        batch: u64,
+        connections: u64,
+        host_name: &str,
+    ) -> Vec<f64> {
         self.runs
             .iter()
             .filter(|r| r.host.name == host_name)
             .filter_map(|r| {
                 r.entries
                     .iter()
-                    .find(|e| e.log2n == log2n && e.threads == threads && e.batch == batch)
+                    .find(|e| {
+                        e.log2n == log2n
+                            && e.threads == threads
+                            && e.batch == batch
+                            && e.connections == connections
+                    })
                     .map(|e| e.gflops)
             })
             .collect()
@@ -302,6 +323,7 @@ pub fn measure_grid(sizes_log2: &[u32], threads: &[usize], reps: usize) -> Bench
                 log2n: k as u64,
                 threads: p as u64,
                 batch: 1,
+                connections: 1,
                 plan_kind: tuned.choice.clone(),
                 reps: reps as u64,
                 median_us: median(&times_us),
@@ -351,6 +373,8 @@ pub struct CompareLine {
     pub threads: u64,
     /// Transforms per dispatched request (1 = unbatched).
     pub batch: u64,
+    /// Concurrent connections (1 = in-process measurement).
+    pub connections: u64,
     /// Current run's tuner choice.
     pub plan_kind: String,
     /// Baseline pseudo-GFLOP/s (most recent earlier run, same host).
@@ -396,7 +420,10 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
             .filter(|r| r.host.name == latest.host.name)
             .find_map(|r| {
                 r.entries.iter().find(|e| {
-                    e.log2n == cur.log2n && e.threads == cur.threads && e.batch == cur.batch
+                    e.log2n == cur.log2n
+                        && e.threads == cur.threads
+                        && e.batch == cur.batch
+                        && e.connections == cur.connections
                 })
             });
         let Some(base) = base else {
@@ -411,13 +438,20 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
             log2n: cur.log2n,
             threads: cur.threads,
             batch: cur.batch,
+            connections: cur.connections,
             plan_kind: cur.plan_kind.clone(),
             base_gflops: base.gflops,
             cur_gflops: cur.gflops,
             rel_delta,
             threshold,
             regressed: rel_delta < -threshold,
-            trajectory: history.trajectory(cur.log2n, cur.threads, cur.batch, &latest.host.name),
+            trajectory: history.trajectory(
+                cur.log2n,
+                cur.threads,
+                cur.batch,
+                cur.connections,
+                &latest.host.name,
+            ),
         });
     }
     Some(report)
@@ -432,6 +466,7 @@ mod tests {
             log2n,
             threads,
             batch: 1,
+            connections: 1,
             plan_kind: "test".to_string(),
             reps: 5,
             median_us: 100.0,

@@ -11,7 +11,10 @@
 //! * [`batch`] — BATCH: batched small-DFT throughput vs per-transform
 //!   dispatch, the serving layer's speedup measurement;
 //! * [`certify`] — CERT: the static certification sweep (exact
-//!   symbolic + dataflow) and its `certify_report.json` artifact.
+//!   symbolic + dataflow) and its `certify_report.json` artifact;
+//! * [`serve_load`] — SERVE-LOAD: the network tier's round-trip latency
+//!   percentiles under single / warm / overload client concurrency,
+//!   and its `serve_load.json` artifact.
 //!
 //! The `figures` binary drives everything:
 //! ```text
@@ -28,3 +31,4 @@ pub mod cbench;
 pub mod certify;
 pub mod history;
 pub mod series;
+pub mod serve_load;

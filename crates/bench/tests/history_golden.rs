@@ -36,6 +36,7 @@ fn representative_history() -> BenchHistory {
                     log2n: 12,
                     threads: 2,
                     batch: 1,
+                    connections: 1,
                     plan_kind: "multicore split 64x64".to_string(),
                     reps: 5,
                     median_us: 120.5,
@@ -53,6 +54,7 @@ fn representative_history() -> BenchHistory {
                         log2n: 12,
                         threads: 2,
                         batch: 1,
+                        connections: 1,
                         plan_kind: "multicore split 64x64".to_string(),
                         reps: 5,
                         median_us: 118.0,
@@ -64,12 +66,25 @@ fn representative_history() -> BenchHistory {
                         log2n: 8,
                         threads: 2,
                         batch: 32,
+                        connections: 1,
                         plan_kind: "batched sequential 2^8".to_string(),
                         reps: 5,
                         median_us: 4.2,
                         mad_us: 0.1,
                         gflops: 2.4,
                         gflops_mad: 0.05,
+                    },
+                    BenchEntry {
+                        log2n: 8,
+                        threads: 2,
+                        batch: 8,
+                        connections: 8,
+                        plan_kind: "served sequential 2^8".to_string(),
+                        reps: 64,
+                        median_us: 350.0,
+                        mad_us: 12.0,
+                        gflops: 0.03,
+                        gflops_mad: 0.002,
                     },
                 ],
             },

@@ -98,7 +98,7 @@ impl TuneObs<'_> {
             tl.span(
                 0,
                 spiral_smp::trace::SpanKind::TunerCandidate,
-                index as u32,
+                u32::try_from(index).unwrap_or(u32::MAX),
                 start,
                 std::time::Instant::now(),
             );
@@ -113,7 +113,7 @@ impl TuneObs<'_> {
             tl.mark(
                 0,
                 spiral_smp::trace::MarkKind::TunerReject,
-                index as u32,
+                u32::try_from(index).unwrap_or(u32::MAX),
                 std::time::Instant::now(),
             );
         }

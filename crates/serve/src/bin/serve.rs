@@ -1,23 +1,110 @@
-//! `serve` — drive the plan service with a synthetic request stream.
+//! `serve` — the serving-tier binary: in-process benchmark, network
+//! server, and load driver.
 //!
-//! Builds a [`PlanService`], optionally backed by a wisdom file, feeds
-//! it a deterministic stream of batched small-DFT requests, and reports
-//! throughput (transforms/s and batches/s) plus cache and tuner
-//! counters. Exits non-zero under `--assert-no-tuning` if any request
-//! reached the tuner — the CI check that a warm wisdom file really
-//! serves without tuning.
+//! Three modes:
 //!
-//! ```text
-//! serve [--threads P] [--mu M] [--sizes 64,256,1024] [--batch B]
-//!       [--requests R] [--wisdom PATH] [--assert-no-tuning] [--seed S]
-//! ```
+//! * **bench** (default, also with no subcommand — CI's serve-smoke
+//!   invokes it with bare flags): build a [`PlanService`], feed it a
+//!   deterministic stream of batched small-DFT requests in-process, and
+//!   report throughput plus cache/tuner counters. Exits non-zero under
+//!   `--assert-no-tuning` if any request reached the tuner.
+//! * **listen**: run the network tier ([`spiral_serve::Server`]) on an
+//!   address, printing the bound address, until the duration elapses
+//!   (`--duration-s 0` = forever).
+//! * **load**: drive concurrent client connections at a running server
+//!   and report the response mix and latency percentiles.
+//!
+//! Argument handling is strict: unknown flags, non-numeric values, and
+//! zero values for `--threads`/`--batch`/`--requests` (and the other
+//! counts) exit 2 with the usage string.
 
-use spiral_serve::PlanService;
+use spiral_serve::{LoadSpec, PlanService, Server, ServerConfig};
 use spiral_smp::topology::{self, HostFingerprint};
 use spiral_spl::cplx::Cplx;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-struct Opts {
+const USAGE: &str = "usage: serve [bench] [--threads P] [--mu M] [--sizes N1,N2,...] [--batch B] \
+[--requests R] [--wisdom PATH] [--assert-no-tuning] [--seed S]
+       serve listen [--addr HOST:PORT] [--workers W] [--threads P] [--mu M] [--wisdom PATH] \
+[--deadline-ms D] [--queue-bound Q] [--conn-backlog C] [--duration-s T]
+       serve load [--addr HOST:PORT] [--connections C] [--requests R] [--n N] [--batch B] \
+[--deadline-ms D] [--reconnect 0|1] [--seed S]";
+
+fn usage_exit(reason: &str) -> ! {
+    if !reason.is_empty() {
+        eprintln!("serve: {reason}");
+    }
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Flag cursor over the argument list: every flag takes a value.
+struct Args {
+    args: Vec<String>,
+    i: usize,
+}
+
+impl Args {
+    fn next_flag(&mut self) -> Option<String> {
+        let f = self.args.get(self.i).cloned();
+        if f.is_some() {
+            self.i += 1;
+        }
+        f
+    }
+
+    fn value(&mut self, flag: &str) -> String {
+        match self.args.get(self.i) {
+            Some(v) => {
+                self.i += 1;
+                v.clone()
+            }
+            None => usage_exit(&format!("{flag} needs a value")),
+        }
+    }
+
+    /// A count that must be a positive integer.
+    fn positive(&mut self, flag: &str) -> usize {
+        let v = self.value(flag);
+        match v.parse::<usize>() {
+            Ok(0) => usage_exit(&format!("{flag} must be positive, got 0")),
+            Ok(k) => k,
+            Err(_) => usage_exit(&format!("{flag} needs a positive integer, got '{v}'")),
+        }
+    }
+
+    /// A numeric value where 0 is meaningful (seeds, durations,
+    /// "use the default" deadlines).
+    fn number(&mut self, flag: &str) -> u64 {
+        let v = self.value(flag);
+        v.parse::<u64>()
+            .unwrap_or_else(|_| usage_exit(&format!("{flag} needs an integer, got '{v}'")))
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, rest) = match raw.first().map(String::as_str) {
+        Some("bench") => ("bench", raw[1..].to_vec()),
+        Some("listen") => ("listen", raw[1..].to_vec()),
+        Some("load") => ("load", raw[1..].to_vec()),
+        Some("--help" | "-h") => usage_exit(""),
+        Some(s) if !s.starts_with("--") => usage_exit(&format!("unknown subcommand '{s}'")),
+        // Bare flags: the historical invocation, kept as bench mode.
+        _ => ("bench", raw),
+    };
+    let mut args = Args { args: rest, i: 0 };
+    match mode {
+        "bench" => run_bench(&mut args),
+        "listen" => run_listen(&mut args),
+        "load" => run_load(&mut args),
+        _ => unreachable!("mode set above"),
+    }
+}
+
+// --- bench mode -------------------------------------------------------
+
+struct BenchOpts {
     threads: usize,
     mu: usize,
     sizes: Vec<usize>,
@@ -28,16 +115,8 @@ struct Opts {
     seed: u64,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: serve [--threads P] [--mu M] [--sizes N1,N2,...] [--batch B] \
-         [--requests R] [--wisdom PATH] [--assert-no-tuning] [--seed S]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_opts() -> Opts {
-    let mut opts = Opts {
+fn run_bench(args: &mut Args) {
+    let mut opts = BenchOpts {
         threads: topology::processors(),
         mu: topology::mu(),
         sizes: vec![64, 256, 1024],
@@ -47,59 +126,35 @@ fn parse_opts() -> Opts {
         assert_no_tuning: false,
         seed: 1,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    let value = |args: &[String], i: usize| -> String {
-        args.get(i + 1).cloned().unwrap_or_else(|| usage())
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--threads" => {
-                opts.threads = value(&args, i).parse().unwrap_or_else(|_| usage());
-                i += 2;
-            }
-            "--mu" => {
-                opts.mu = value(&args, i).parse().unwrap_or_else(|_| usage());
-                i += 2;
-            }
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--threads" => opts.threads = args.positive("--threads"),
+            "--mu" => opts.mu = args.positive("--mu"),
             "--sizes" => {
-                opts.sizes = value(&args, i)
+                let v = args.value("--sizes");
+                opts.sizes = v
                     .split(',')
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .map(|s| match s.trim().parse::<usize>() {
+                        Ok(0) | Err(_) => {
+                            usage_exit(&format!("--sizes needs positive integers, got '{s}'"))
+                        }
+                        Ok(k) => k,
+                    })
                     .collect();
-                i += 2;
+                if opts.sizes.is_empty() {
+                    usage_exit("--sizes needs at least one size");
+                }
             }
-            "--batch" => {
-                opts.batch = value(&args, i).parse().unwrap_or_else(|_| usage());
-                i += 2;
-            }
-            "--requests" => {
-                opts.requests = value(&args, i).parse().unwrap_or_else(|_| usage());
-                i += 2;
-            }
-            "--wisdom" => {
-                opts.wisdom = Some(value(&args, i));
-                i += 2;
-            }
-            "--assert-no-tuning" => {
-                opts.assert_no_tuning = true;
-                i += 1;
-            }
-            "--seed" => {
-                opts.seed = value(&args, i).parse().unwrap_or_else(|_| usage());
-                i += 2;
-            }
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown argument: {other}");
-                usage();
-            }
+            "--batch" => opts.batch = args.positive("--batch"),
+            "--requests" => opts.requests = args.positive("--requests"),
+            "--wisdom" => opts.wisdom = Some(args.value("--wisdom")),
+            "--assert-no-tuning" => opts.assert_no_tuning = true,
+            "--seed" => opts.seed = args.number("--seed"),
+            "--help" | "-h" => usage_exit(""),
+            other => usage_exit(&format!("unknown argument '{other}'")),
         }
     }
-    if opts.sizes.is_empty() || opts.batch == 0 || opts.requests == 0 {
-        usage();
-    }
-    opts
+    bench(&opts);
 }
 
 /// Deterministic request stream: splitmix64 over the seed.
@@ -129,13 +184,10 @@ fn batch_inputs(rng: &mut Stream, b: usize, n: usize) -> Vec<Vec<Cplx>> {
         .collect()
 }
 
-fn main() {
-    let opts = parse_opts();
-    println!("host: {}", HostFingerprint::current());
-
-    let service = match &opts.wisdom {
+fn open_service(threads: usize, mu: usize, wisdom: Option<&str>) -> PlanService {
+    match wisdom {
         Some(path) => {
-            let (svc, report) = PlanService::with_wisdom(opts.threads, opts.mu, path);
+            let (svc, report) = PlanService::with_wisdom(threads, mu, path);
             println!("{} ({})", report.summary(), path);
             for r in &report.rejected {
                 println!(
@@ -145,8 +197,13 @@ fn main() {
             }
             svc
         }
-        None => PlanService::new(opts.threads, opts.mu),
-    };
+        None => PlanService::new(threads, mu),
+    }
+}
+
+fn bench(opts: &BenchOpts) {
+    println!("host: {}", HostFingerprint::current());
+    let service = open_service(opts.threads, opts.mu, opts.wisdom.as_deref());
 
     // Warm phase: plan every size once (tunes on a cold service, loads
     // from wisdom on a warm one). Timed separately from serving.
@@ -207,6 +264,134 @@ fn main() {
             "FAIL: --assert-no-tuning, but the tuner ran {} time(s) — wisdom was cold or stale",
             service.tuner_invocations()
         );
+        std::process::exit(1);
+    }
+}
+
+// --- listen mode ------------------------------------------------------
+
+fn run_listen(args: &mut Args) {
+    let mut cfg = ServerConfig::default();
+    let mut threads = topology::processors();
+    let mut mu = topology::mu();
+    let mut wisdom: Option<String> = None;
+    let mut duration_s: u64 = 0;
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--addr" => cfg.addr = args.value("--addr"),
+            "--workers" => cfg.workers = args.positive("--workers"),
+            "--threads" => threads = args.positive("--threads"),
+            "--mu" => mu = args.positive("--mu"),
+            "--wisdom" => wisdom = Some(args.value("--wisdom")),
+            "--deadline-ms" => {
+                let ms = args.number("--deadline-ms");
+                if ms > 0 {
+                    cfg.default_deadline = Duration::from_millis(ms);
+                }
+            }
+            "--queue-bound" => cfg.queue_bound = args.positive("--queue-bound"),
+            "--conn-backlog" => cfg.conn_backlog = args.positive("--conn-backlog"),
+            "--duration-s" => duration_s = args.number("--duration-s"),
+            "--help" | "-h" => usage_exit(""),
+            other => usage_exit(&format!("unknown argument '{other}'")),
+        }
+    }
+    let service = std::sync::Arc::new(open_service(threads, mu, wisdom.as_deref()));
+    let server = match Server::start(service, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    if duration_s == 0 {
+        // Run until killed; park the main thread.
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration_s));
+    let report = server.shutdown();
+    let c = report.counters;
+    println!(
+        "drained: {} requests ({} ok, {} overloaded, {} expired, {} errors); \
+         {} protocol errors; degraded: {}",
+        c.requests, c.ok, c.overloaded, c.expired, c.errors, c.protocol_errors, report.degraded
+    );
+    if let Some(e) = report.wisdom_error {
+        eprintln!("warning: wisdom save failed: {e}");
+    }
+    if report.thread_panics > 0 {
+        eprintln!("FAIL: {} server thread(s) panicked", report.thread_panics);
+        std::process::exit(1);
+    }
+}
+
+// --- load mode --------------------------------------------------------
+
+fn run_load(args: &mut Args) {
+    let mut addr = "127.0.0.1:7348".to_string();
+    let mut spec = LoadSpec {
+        addr: "127.0.0.1:0".parse().expect("literal address parses"),
+        connections: 4,
+        requests_per_conn: 64,
+        n: 256,
+        batch: 8,
+        deadline_ms: 0,
+        reconnect_per_request: false,
+        seed: 1,
+    };
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--addr" => addr = args.value("--addr"),
+            "--connections" => spec.connections = args.positive("--connections"),
+            "--requests" => spec.requests_per_conn = args.positive("--requests"),
+            "--n" => spec.n = args.positive("--n"),
+            "--batch" => spec.batch = args.positive("--batch"),
+            "--deadline-ms" => {
+                spec.deadline_ms = u32::try_from(args.number("--deadline-ms"))
+                    .unwrap_or_else(|_| usage_exit("--deadline-ms too large"));
+            }
+            "--reconnect" => {
+                spec.reconnect_per_request = match args.value("--reconnect").as_str() {
+                    "0" => false,
+                    "1" => true,
+                    v => usage_exit(&format!("--reconnect needs 0 or 1, got '{v}'")),
+                }
+            }
+            "--seed" => spec.seed = args.number("--seed"),
+            "--help" | "-h" => usage_exit(""),
+            other => usage_exit(&format!("unknown argument '{other}'")),
+        }
+    }
+    spec.addr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => usage_exit(&format!("--addr needs HOST:PORT, got '{addr}'")),
+    };
+    let mut outcome = spiral_serve::drive(&spec);
+    let total = outcome.responses();
+    let p50 = spiral_serve::percentile_us(&mut outcome.latencies_us, 50.0);
+    let p99 = spiral_serve::percentile_us(&mut outcome.latencies_us, 99.0);
+    println!(
+        "{} responses in {:.3} s ({:.0} req/s): {} ok, {} overloaded, {} expired, {} errors; \
+         {} connect failures, {} protocol errors",
+        total,
+        outcome.elapsed_s,
+        total as f64 / outcome.elapsed_s.max(1e-12),
+        outcome.ok,
+        outcome.overloaded,
+        outcome.expired,
+        outcome.errors,
+        outcome.conn_failures,
+        outcome.protocol_errors,
+    );
+    println!("latency (ok requests): p50 {p50} us, p99 {p99} us");
+    if outcome.protocol_errors > 0 || (outcome.ok == 0 && total > 0) {
+        std::process::exit(1);
+    }
+    if total == 0 {
+        eprintln!("FAIL: no responses received (is the server running at {addr}?)");
         std::process::exit(1);
     }
 }

@@ -262,6 +262,12 @@ impl PlanService {
             }
         }
         self.tuner_invocations.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "faults")]
+        if spiral_smp::faults::serve_at(spiral_smp::faults::ServeSite::TunerFail, n) {
+            return Err(SpiralError::Search(format!(
+                "injected tuner failure for n={n}"
+            )));
+        }
         let tuner = Tuner::new(threads, self.mu, CostModel::Analytic);
         let tuned = if threads == 1 {
             tuner.tune_sequential(n)?

@@ -1,0 +1,243 @@
+//! Blocking client for the serving tier's wire protocol, plus a
+//! multi-connection load driver.
+//!
+//! The client exists for three consumers: the `serve load` CLI mode,
+//! the `figures serve-load` benchmark, and the e2e/chaos tests — which
+//! is why it also ships *misbehaving* writers ([`Client::send_torn`],
+//! [`Client::send_slow`]): the server's protocol hardening is only
+//! testable with a client willing to violate the protocol.
+
+use crate::wire::{self, Request, Response, WireError};
+use spiral_spl::cplx::Cplx;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A blocking connection to a serve-tier server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        let frame = wire::encode_request(req);
+        wire::write_all(&mut self.stream, &frame)?;
+        wire::read_response(&mut self.stream)
+    }
+
+    /// Send only the first half of a request frame, then close the
+    /// write side — a torn frame from the server's perspective.
+    pub fn send_torn(&mut self, req: &Request) -> Result<(), WireError> {
+        let frame = wire::encode_request(req);
+        let half = &frame[..frame.len() / 2];
+        wire::write_all(&mut self.stream, half)?;
+        self.stream.shutdown(Shutdown::Write).map_err(WireError::Io)
+    }
+
+    /// Send a request frame in `chunks` pieces with `pause` between
+    /// them — a slow-loris-style writer for exercising the server's
+    /// read-timeout reaping.
+    pub fn send_slow(
+        &mut self,
+        req: &Request,
+        chunks: usize,
+        pause: Duration,
+    ) -> Result<(), WireError> {
+        let frame = wire::encode_request(req);
+        let step = frame.len().div_ceil(chunks.max(1));
+        for chunk in frame.chunks(step.max(1)) {
+            self.stream.write_all(chunk).map_err(WireError::Io)?;
+            self.stream.flush().map_err(WireError::Io)?;
+            std::thread::sleep(pause);
+        }
+        Ok(())
+    }
+
+    /// Close both directions immediately (mid-conversation disconnect).
+    pub fn disconnect(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Raw access to the underlying stream, for tests that need to
+    /// write bytes the typed API refuses to produce.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// Build a request from per-transform input vectors (flattened onto the
+/// wire transform-major).
+pub fn request_from_inputs(id: u64, deadline_ms: u32, inputs: &[Vec<Cplx>]) -> Request {
+    let n = inputs.first().map_or(0, Vec::len);
+    let data: Vec<Cplx> = inputs.iter().flat_map(|v| v.iter().copied()).collect();
+    Request {
+        id,
+        n: u32::try_from(n).expect("transform size fits u32"),
+        batch: u32::try_from(inputs.len()).expect("batch fits u32"),
+        deadline_ms,
+        data,
+    }
+}
+
+/// Parameters for a multi-connection load run.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_conn: usize,
+    /// Transform size per request.
+    pub n: usize,
+    /// Transforms per request.
+    pub batch: usize,
+    /// Relative deadline carried on every request (0 = server default).
+    pub deadline_ms: u32,
+    /// Open a fresh connection for every request (stresses the accept
+    /// path; the overload phase of `figures serve-load` uses this).
+    pub reconnect_per_request: bool,
+    /// Seed for the synthetic input data.
+    pub seed: u64,
+}
+
+/// Tallied result of [`drive`].
+#[derive(Clone, Debug, Default)]
+pub struct LoadOutcome {
+    /// `Ok` responses received.
+    pub ok: u64,
+    /// `Overloaded` responses received.
+    pub overloaded: u64,
+    /// `Expired` responses received.
+    pub expired: u64,
+    /// `Error` responses received.
+    pub errors: u64,
+    /// Connections that failed to open (refused / reset at connect).
+    pub conn_failures: u64,
+    /// Wire-level failures after connecting (torn responses, resets).
+    pub protocol_errors: u64,
+    /// Per-`Ok`-request round-trip latencies, microseconds.
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+}
+
+impl LoadOutcome {
+    /// Total responses of any status.
+    pub fn responses(&self) -> u64 {
+        self.ok + self.overloaded + self.expired + self.errors
+    }
+}
+
+/// Drive a load pattern against a server: `connections` threads, each
+/// sending `requests_per_conn` requests and blocking on each response.
+pub fn drive(spec: &LoadSpec) -> LoadOutcome {
+    let started = Instant::now();
+    let outcomes: Vec<LoadOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.connections)
+            .map(|cid| scope.spawn(move || drive_one(spec, cid)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let mut total = LoadOutcome::default();
+    for o in outcomes {
+        total.ok += o.ok;
+        total.overloaded += o.overloaded;
+        total.expired += o.expired;
+        total.errors += o.errors;
+        total.conn_failures += o.conn_failures;
+        total.protocol_errors += o.protocol_errors;
+        total.latencies_us.extend(o.latencies_us);
+    }
+    total.elapsed_s = started.elapsed().as_secs_f64();
+    total
+}
+
+/// One connection thread's loop.
+fn drive_one(spec: &LoadSpec, cid: usize) -> LoadOutcome {
+    let mut out = LoadOutcome::default();
+    let mut client: Option<Client> = None;
+    for rid in 0..spec.requests_per_conn {
+        if spec.reconnect_per_request {
+            client = None;
+        }
+        if client.is_none() {
+            match Client::connect(spec.addr) {
+                Ok(c) => client = Some(c),
+                Err(_) => {
+                    out.conn_failures += 1;
+                    continue;
+                }
+            }
+        }
+        let inputs = synth_inputs(spec, cid, rid);
+        let id = (cid as u64) << 32 | rid as u64;
+        let req = request_from_inputs(id, spec.deadline_ms, &inputs);
+        let sent = Instant::now();
+        let c = client.as_mut().expect("client connected above");
+        match c.request(&req) {
+            Ok(Response::Ok { .. }) => {
+                out.ok += 1;
+                out.latencies_us
+                    .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            Ok(Response::Overloaded { .. }) => out.overloaded += 1,
+            Ok(Response::Expired { .. }) => out.expired += 1,
+            Ok(Response::Error { .. }) => out.errors += 1,
+            Err(_) => {
+                out.protocol_errors += 1;
+                // The connection is in an unknown state; start fresh.
+                client = None;
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic synthetic input: finite, varied per (conn, request,
+/// transform, point).
+fn synth_inputs(spec: &LoadSpec, cid: usize, rid: usize) -> Vec<Vec<Cplx>> {
+    let mut state = spec
+        .seed
+        .wrapping_add(cid as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rid as u64);
+    let mut next_unit = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // Map the top bits into [-1, 1).
+        (state >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    (0..spec.batch)
+        .map(|_| {
+            (0..spec.n)
+                .map(|_| Cplx::new(next_unit(), next_unit()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Percentile (nearest-rank) of a latency sample in microseconds.
+/// Returns 0 on an empty sample.
+pub fn percentile_us(latencies: &mut [u64], p: f64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * latencies.len() as f64).ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = (rank as usize).saturating_sub(1).min(latencies.len() - 1);
+    latencies[idx]
+}

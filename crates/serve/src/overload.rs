@@ -1,0 +1,304 @@
+//! Admission control primitives: bounded queues and request accounting.
+//!
+//! The overload policy of the serving tier is *reject, don't buffer*:
+//! every queue between the accept loop and the execution dispatcher has
+//! a hard capacity, a full queue turns the offered work away with a
+//! typed `Overloaded` response, and the high-water mark of every queue
+//! is observable so tests can assert the bound actually held. This is
+//! the classic load-shedding argument — an unbounded queue converts
+//! overload into unbounded latency for *everyone*, while a bounded one
+//! converts it into fast rejection for the marginal request — applied
+//! to a transform server whose work items carry deadlines and are
+//! therefore worthless once stale.
+//!
+//! [`ServeCounters`] is the single accounting surface: one increment of
+//! exactly one terminal counter (`ok` / `overloaded` / `expired` /
+//! `errors`) per admitted request is the invariant the chaos suite
+//! checks via [`CounterSnapshot::accounted`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of a non-blocking [`BoundedQueue::push`].
+#[derive(Debug)]
+pub enum Push<T> {
+    /// The item is queued.
+    Accepted,
+    /// The queue is at capacity; the item comes back to the caller.
+    Full(T),
+    /// The queue is closed (server draining); the item comes back.
+    Closed(T),
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A close-able MPMC queue with a hard capacity and a depth watermark.
+///
+/// `push` never blocks (admission control decides *now*); `pop` blocks
+/// until an item arrives or the queue is closed *and* drained — so a
+/// graceful shutdown is `close()` followed by joining the consumers.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    cap: usize,
+    max_depth: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue with capacity `cap` (≥ 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Offer an item without blocking.
+    pub fn push(&self, item: T) -> Push<T> {
+        let mut inner = lock_q(&self.inner);
+        if inner.closed {
+            return Push::Closed(item);
+        }
+        if inner.items.len() >= self.cap {
+            return Push::Full(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len() as u64;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(inner);
+        self.ready.notify_one();
+        Push::Accepted
+    }
+
+    /// Take the oldest item, blocking while the queue is open and
+    /// empty. `None` means closed *and* drained — the consumer's exit
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = lock_q(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Remove up to `limit` queued items satisfying `pred`, preserving
+    /// the order of the rest. Used by the dispatcher to coalesce
+    /// same-size work waiting behind the item it just popped.
+    pub fn drain_matching(&self, mut pred: impl FnMut(&T) -> bool, limit: usize) -> Vec<T> {
+        let mut inner = lock_q(&self.inner);
+        let mut taken = Vec::new();
+        let mut rest = VecDeque::with_capacity(inner.items.len());
+        while let Some(item) = inner.items.pop_front() {
+            if taken.len() < limit && pred(&item) {
+                taken.push(item);
+            } else {
+                rest.push_back(item);
+            }
+        }
+        inner.items = rest;
+        taken
+    }
+
+    /// Close the queue: future pushes return [`Push::Closed`], blocked
+    /// consumers drain the backlog and then receive `None`.
+    pub fn close(&self) {
+        lock_q(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        lock_q(&self.inner).items.len()
+    }
+
+    /// Highest depth ever observed (the bound the chaos suite checks).
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+fn lock_q<'a, T>(m: &'a Mutex<QueueInner<T>>) -> std::sync::MutexGuard<'a, QueueInner<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The server's accounting surface, all monotonic.
+#[derive(Default)]
+pub struct ServeCounters {
+    /// Connections accepted into a worker.
+    pub conns_accepted: AtomicU64,
+    /// Connections turned away at the accept loop (backlog full).
+    pub conns_rejected: AtomicU64,
+    /// Well-formed request frames read off connections.
+    pub requests: AtomicU64,
+    /// Requests answered `Ok`.
+    pub ok: AtomicU64,
+    /// Requests answered `Overloaded` (admission rejection).
+    pub overloaded: AtomicU64,
+    /// Requests answered `Expired` (deadline passed before execution).
+    pub expired: AtomicU64,
+    /// Requests answered `Error` (admitted, then failed).
+    pub errors: AtomicU64,
+    /// Subset of `expired` shed without executing (pre-queue or
+    /// pre-dispatch).
+    pub shed_expired: AtomicU64,
+    /// Requests that rode another request's dispatch (coalescing).
+    pub coalesced: AtomicU64,
+    /// Execution dispatches performed.
+    pub dispatches: AtomicU64,
+    /// Dispatches served on the degraded (sequential) path.
+    pub degraded_dispatches: AtomicU64,
+    /// Connections dropped for protocol violations (torn/stalled/bad
+    /// frames) or failed response writes.
+    pub protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeCounters`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Connections accepted into a worker.
+    pub conns_accepted: u64,
+    /// Connections turned away at the accept loop.
+    pub conns_rejected: u64,
+    /// Well-formed request frames read.
+    pub requests: u64,
+    /// `Ok` responses.
+    pub ok: u64,
+    /// `Overloaded` responses.
+    pub overloaded: u64,
+    /// `Expired` responses.
+    pub expired: u64,
+    /// `Error` responses.
+    pub errors: u64,
+    /// Expired requests shed without executing.
+    pub shed_expired: u64,
+    /// Requests coalesced into another dispatch.
+    pub coalesced: u64,
+    /// Execution dispatches.
+    pub dispatches: u64,
+    /// Degraded (sequential-path) dispatches.
+    pub degraded_dispatches: u64,
+    /// Protocol-violation connection drops.
+    pub protocol_errors: u64,
+}
+
+impl ServeCounters {
+    /// Copy every counter at once.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            degraded_dispatches: self.degraded_dispatches.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CounterSnapshot {
+    /// The conservation law: every request read off a connection ends
+    /// in exactly one terminal state. Only meaningful once the server
+    /// has drained (no in-flight work).
+    pub fn accounted(&self) -> bool {
+        self.requests == self.ok + self.overloaded + self.expired + self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_rejects_at_capacity_and_returns_item() {
+        let q = BoundedQueue::new(2);
+        assert!(matches!(q.push(1), Push::Accepted));
+        assert!(matches!(q.push(2), Push::Accepted));
+        match q.push(3) {
+            Push::Full(item) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        assert!(matches!(q.push(10), Push::Accepted));
+        q.close();
+        match q.push(11) {
+            Push::Closed(item) => assert_eq!(item, 11),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // The backlog survives the close…
+        assert_eq!(q.pop(), Some(10));
+        // …and only then does the consumer see the exit signal.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(q.push(7), Push::Accepted));
+        assert_eq!(consumer.join().expect("consumer exits"), Some(7));
+    }
+
+    #[test]
+    fn drain_matching_respects_limit_and_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            assert!(matches!(q.push(i), Push::Accepted));
+        }
+        let evens = q.drain_matching(|i| i % 2 == 0, 2);
+        assert_eq!(evens, vec![0, 2]);
+        // 4 missed the limit and stays queued, in order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn snapshot_conservation_law() {
+        let c = ServeCounters::default();
+        c.requests.fetch_add(5, Ordering::Relaxed);
+        c.ok.fetch_add(3, Ordering::Relaxed);
+        c.overloaded.fetch_add(1, Ordering::Relaxed);
+        c.expired.fetch_add(1, Ordering::Relaxed);
+        assert!(c.snapshot().accounted());
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        assert!(!c.snapshot().accounted());
+    }
+}

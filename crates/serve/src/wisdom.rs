@@ -227,7 +227,15 @@ impl WisdomStore {
     /// Write the store to its path as pretty JSON, creating parent
     /// directories as needed. Entries are sorted by key so the file is
     /// deterministic and diffable.
+    ///
+    /// The write is crash-safe: the JSON goes to a temporary file in the
+    /// *same directory* (rename across filesystems is not atomic), is
+    /// fsynced, and is then renamed over the target — so a crash or
+    /// failure mid-save leaves the previous wisdom file intact, never a
+    /// truncated one.
     pub fn save(&self) -> Result<(), String> {
+        use std::io::Write as _;
+
         let mut entries: Vec<WisdomEntry> = self.entries.values().map(|(e, _)| e.clone()).collect();
         entries.sort_by_key(|e| (e.n, e.threads, e.mu));
         let file = WisdomFile {
@@ -244,8 +252,42 @@ impl WisdomStore {
                 })?;
             }
         }
-        std::fs::write(&self.path, json)
-            .map_err(|e| format!("cannot write wisdom file {}: {e}", self.path.display()))
+        let mut tmp_name = self.path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let write_result = (|| -> Result<(), String> {
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| format!("cannot create temp wisdom file {}: {e}", tmp.display()))?;
+            #[cfg(feature = "faults")]
+            if spiral_smp::faults::serve_at(
+                spiral_smp::faults::ServeSite::WisdomSaveFail,
+                self.entries.len(),
+            ) {
+                // Model a torn write: half the bytes land, then the
+                // save "crashes". The target file must stay untouched.
+                let half = &json.as_bytes()[..json.len() / 2];
+                let _ = f.write_all(half);
+                let _ = f.sync_all();
+                return Err("injected wisdom save failure (torn write)".to_string());
+            }
+            f.write_all(json.as_bytes())
+                .map_err(|e| format!("cannot write temp wisdom file {}: {e}", tmp.display()))?;
+            f.sync_all()
+                .map_err(|e| format!("cannot sync temp wisdom file {}: {e}", tmp.display()))?;
+            Ok(())
+        })();
+        if let Err(e) = write_result {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!(
+                "cannot rename {} over wisdom file {}: {e}",
+                tmp.display(),
+                self.path.display()
+            )
+        })
     }
 }
 

@@ -1,0 +1,298 @@
+//! Chaos acceptance suite (compiled only with the `faults` feature):
+//! the server must stay *available* — no thread deaths, bounded queues,
+//! every request accounted exactly once — under a randomized grid of
+//! request-path faults, injected on both sides of the wire:
+//!
+//! * client-side: torn frames, slow writers, mid-conversation
+//!   disconnects (driven by the misbehaving writers in
+//!   `spiral_serve::client`);
+//! * server-side: forced deadline expiry, injected tuner failures,
+//!   batch-dispatch wedges, and wisdom save failures (driven by the
+//!   `ServeFaultPlan` registry in `spiral-smp`).
+#![cfg(feature = "faults")]
+
+use spiral_serve::client::{request_from_inputs, Client};
+use spiral_serve::wire::Response;
+use spiral_serve::{PlanService, Server, ServerConfig};
+use spiral_smp::faults::{install_serve, ServeFaultPlan, ServeFaultSpec, ServeSite};
+use spiral_spl::builder::dft;
+use spiral_spl::cplx::{assert_slices_close, Cplx};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        conn_backlog: 8,
+        queue_bound: 8,
+        read_timeout: Duration::from_millis(25),
+        default_deadline: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn ramp(n: usize, k: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|j| Cplx::new(j as f64 * 0.5 - k as f64, k as f64 * 0.25))
+        .collect()
+}
+
+/// Deterministic per-(thread, request) dice for the client-side faults.
+fn roll(seed: u64, cid: usize, rid: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add((cid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((rid as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn randomized_fault_grid_keeps_the_server_available() {
+    // Server-side fault grid: ~15% of requests get their deadline
+    // forcibly expired; the second dispatch wedges the batch path
+    // (flipping the server into degraded mode partway through).
+    let _guard = install_serve(ServeFaultPlan {
+        seed: 0xC0FFEE,
+        specs: vec![
+            ServeFaultSpec::with_probability(ServeSite::ExpireDeadline, 0.15),
+            ServeFaultSpec {
+                site: ServeSite::BatchWedge,
+                probability: 0.10,
+                max_fires: Some(1),
+            },
+        ],
+    });
+
+    let service = Arc::new(PlanService::new(2, 4));
+    // Warm the plan so injected chaos hits the serving path, not the
+    // tuner.
+    service.sequential_plan(64).expect("warms");
+    let server = Server::start(service, chaos_config()).expect("server starts");
+    let addr = server.local_addr();
+
+    const CONNS: usize = 6;
+    const REQS: usize = 25;
+    let mut well_formed_sent = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for cid in 0..CONNS {
+            handles.push(scope.spawn(move || {
+                let mut sent = 0u64;
+                let mut client: Option<Client> = None;
+                for rid in 0..REQS {
+                    if client.is_none() {
+                        match Client::connect(addr) {
+                            Ok(c) => client = Some(c),
+                            Err(_) => continue,
+                        }
+                    }
+                    let req =
+                        request_from_inputs((cid as u64) << 32 | rid as u64, 0, &[ramp(64, rid)]);
+                    let dice = roll(42, cid, rid) % 100;
+                    let c = client.as_mut().expect("connected above");
+                    if dice < 10 {
+                        // Torn frame: server must drop this connection.
+                        let _ = c.send_torn(&req);
+                        client = None;
+                    } else if dice < 18 {
+                        // Slow writer across the read timeout.
+                        let _ = c.send_slow(&req, 3, Duration::from_millis(60));
+                        client = None;
+                    } else if dice < 26 {
+                        // Send a full request, vanish before reading.
+                        let frame = spiral_serve::wire::encode_request(&req);
+                        sent += 1;
+                        let _ = send_raw(c, &frame);
+                        client.take().expect("connected").disconnect();
+                    } else {
+                        sent += 1;
+                        if c.request(&req).is_err() {
+                            client = None;
+                        }
+                    }
+                }
+                sent
+            }));
+        }
+        for h in handles {
+            well_formed_sent += h.join().expect("chaos client threads survive");
+        }
+    });
+
+    // Let in-flight requests settle, then drain.
+    std::thread::sleep(Duration::from_millis(200));
+    let report = server.shutdown();
+    let c = report.counters;
+
+    // Availability: every server thread survived the grid.
+    assert_eq!(report.thread_panics, 0, "server lost a thread: {c:?}");
+    // Bounded memory: queue depths never exceeded their bounds.
+    assert!(
+        report.exec_max_depth <= 8,
+        "exec queue overflowed: {report:?}"
+    );
+    assert!(
+        report.conn_max_depth <= 8,
+        "conn queue overflowed: {report:?}"
+    );
+    // Accounting: every well-formed request read off a socket ended in
+    // exactly one terminal state.
+    assert!(c.accounted(), "request accounting leaked: {c:?}");
+    // The server actually read (at most) what the clients claim to have
+    // fully sent — disconnected-before-read requests may or may not
+    // arrive whole, torn ones never count.
+    assert!(
+        c.requests <= well_formed_sent,
+        "{c:?} vs sent {well_formed_sent}"
+    );
+    assert!(c.ok > 0, "the grid should leave plenty of successes: {c:?}");
+    assert!(
+        c.expired > 0,
+        "the 15% expiry injection should convert some requests: {c:?}"
+    );
+    assert!(
+        c.protocol_errors > 0,
+        "torn/slow writers must be detected and counted: {c:?}"
+    );
+}
+
+#[test]
+fn forced_expiry_sheds_before_execution() {
+    let _guard = install_serve(ServeFaultPlan {
+        seed: 1,
+        specs: vec![ServeFaultSpec::always(ServeSite::ExpireDeadline)],
+    });
+    let service = Arc::new(PlanService::new(1, 4));
+    service.sequential_plan(32).expect("warms");
+    let server = Server::start(service, chaos_config()).expect("server starts");
+
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    for rid in 0..4u64 {
+        let req = request_from_inputs(rid, 0, &[ramp(32, 0)]);
+        match client.request(&req).expect("typed answer") {
+            Response::Expired { id } => assert_eq!(id, rid),
+            other => panic!("expected Expired, got {other:?}"),
+        }
+    }
+
+    let report = server.shutdown();
+    let c = report.counters;
+    assert_eq!(c.expired, 4);
+    assert_eq!(c.shed_expired, 4, "expiry must shed, not execute: {c:?}");
+    assert_eq!(c.dispatches, 0, "nothing may reach the executor: {c:?}");
+    assert!(c.accounted());
+}
+
+#[test]
+fn batch_wedge_degrades_to_sequential_but_keeps_answering() {
+    let _guard = install_serve(ServeFaultPlan {
+        seed: 2,
+        specs: vec![ServeFaultSpec::once(ServeSite::BatchWedge)],
+    });
+    let service = Arc::new(PlanService::new(2, 4));
+    service.sequential_plan(64).expect("warms");
+    let server = Server::start(service, chaos_config()).expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let n = 64;
+    let x = ramp(n, 3);
+    let want = dft(n).eval(&x);
+    for rid in 0..3u64 {
+        let req = request_from_inputs(rid, 0, std::slice::from_ref(&x));
+        match client.request(&req).expect("typed answer") {
+            Response::Ok { id, data } => {
+                assert_eq!(id, rid);
+                // Degraded answers are still *correct* answers.
+                assert_slices_close(&data, &want, 1e-8 * n as f64);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    assert!(server.is_degraded(), "the wedge must flip degraded mode");
+
+    let report = server.shutdown();
+    let c = report.counters;
+    assert!(report.degraded);
+    assert!(
+        c.degraded_dispatches >= 1,
+        "wedged dispatch must be retried sequentially: {c:?}"
+    );
+    assert_eq!(c.ok, 3);
+    assert!(c.accounted());
+    assert_eq!(report.thread_panics, 0);
+}
+
+#[test]
+fn injected_tuner_failure_is_a_typed_error_and_clears() {
+    let _guard = install_serve(ServeFaultPlan {
+        seed: 3,
+        specs: vec![ServeFaultSpec::once(ServeSite::TunerFail)],
+    });
+    let service = Arc::new(PlanService::new(1, 4));
+    let server = Server::start(service, chaos_config()).expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let req = request_from_inputs(1, 0, &[ramp(32, 0)]);
+    match client.request(&req).expect("typed answer") {
+        Response::Error { id, message } => {
+            assert_eq!(id, 1);
+            assert!(message.contains("injected"), "got: {message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The single-flight slot cleared: the same size now tunes and Oks.
+    match client.request(&req).expect("typed answer") {
+        Response::Ok { id, .. } => assert_eq!(id, 1),
+        other => panic!("expected Ok on retry, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    let c = report.counters;
+    assert_eq!(c.errors, 1);
+    assert_eq!(c.ok, 1);
+    assert!(c.accounted());
+}
+
+#[test]
+fn wisdom_save_failure_does_not_stop_serving() {
+    let dir = std::env::temp_dir().join(format!("spiral-chaos-wisdom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("wisdom.json");
+    let _guard = install_serve(ServeFaultPlan {
+        seed: 4,
+        specs: vec![ServeFaultSpec::always(ServeSite::WisdomSaveFail)],
+    });
+    let (service, _report) = PlanService::with_wisdom(1, 4, &path);
+    let service = Arc::new(service);
+    let failures_probe = Arc::clone(&service);
+    let server = Server::start(service, chaos_config()).expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let req = request_from_inputs(1, 0, &[ramp(32, 0)]);
+    assert!(matches!(
+        client.request(&req).expect("served through save failures"),
+        Response::Ok { .. }
+    ));
+    assert!(
+        failures_probe.wisdom_save_failures() >= 1,
+        "the injected save failure must be counted"
+    );
+
+    let report = server.shutdown();
+    assert!(
+        report.wisdom_error.is_some(),
+        "the drain-time save must also report the injected failure"
+    );
+    assert!(report.counters.accounted());
+    // The torn write never left a corrupt file behind: either nothing,
+    // or nothing parseable was renamed into place.
+    assert!(!path.exists(), "a failed save must not materialize a file");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Write raw bytes on a client's stream (full frame, no response read).
+fn send_raw(client: &mut Client, frame: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    client.stream_mut().write_all(frame)
+}

@@ -1,0 +1,133 @@
+//! `serve` CLI contract: strict argument handling. Unknown flags and
+//! non-numeric/zero values for the counts exit 2 with the usage string;
+//! the historical bare-flags invocation (CI's serve-smoke) keeps
+//! working as bench mode.
+
+use std::process::{Command, Output};
+
+fn serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(args)
+        .output()
+        .expect("serve binary runs")
+}
+
+fn assert_usage_exit(args: &[&str]) {
+    let out = serve(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "args {args:?} must exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("usage: serve"),
+        "args {args:?} must print the usage string, got: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    assert_usage_exit(&["--bogus"]);
+    assert_usage_exit(&["bench", "--bogus", "3"]);
+    assert_usage_exit(&["listen", "--bogus"]);
+    assert_usage_exit(&["load", "--bogus"]);
+    assert_usage_exit(&["frobnicate"]);
+}
+
+#[test]
+fn non_numeric_values_exit_2_with_usage() {
+    assert_usage_exit(&["--threads", "two"]);
+    assert_usage_exit(&["--batch", "x"]);
+    assert_usage_exit(&["--requests", "1.5"]);
+    assert_usage_exit(&["--sizes", "64,banana"]);
+    assert_usage_exit(&["--seed", "abc"]);
+}
+
+#[test]
+fn zero_values_exit_2_with_usage() {
+    assert_usage_exit(&["--threads", "0"]);
+    assert_usage_exit(&["--batch", "0"]);
+    assert_usage_exit(&["--requests", "0"]);
+    assert_usage_exit(&["--sizes", "64,0"]);
+    assert_usage_exit(&["listen", "--workers", "0"]);
+    assert_usage_exit(&["load", "--connections", "0"]);
+}
+
+#[test]
+fn missing_values_exit_2_with_usage() {
+    assert_usage_exit(&["--threads"]);
+    assert_usage_exit(&["--sizes"]);
+    assert_usage_exit(&["load", "--addr"]);
+}
+
+#[test]
+fn bad_addresses_exit_2_with_usage() {
+    assert_usage_exit(&["load", "--addr", "not-an-address", "--requests", "1"]);
+}
+
+#[test]
+fn bare_flags_still_run_bench_mode() {
+    // The historical CI invocation: no subcommand, just flags.
+    let out = serve(&[
+        "--threads",
+        "1",
+        "--sizes",
+        "32",
+        "--batch",
+        "2",
+        "--requests",
+        "2",
+        "--seed",
+        "1",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "bare-flags bench must succeed; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("served 2 requests"),
+        "bench output expected, got: {stdout}"
+    );
+}
+
+#[test]
+fn explicit_bench_subcommand_matches_bare_flags() {
+    let out = serve(&[
+        "bench",
+        "--threads",
+        "1",
+        "--sizes",
+        "32",
+        "--batch",
+        "2",
+        "--requests",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn load_against_a_dead_server_fails_nonzero_but_cleanly() {
+    // Port 1 on loopback: connection refused. The load driver must
+    // report the failure with a nonzero exit, not a panic.
+    let out = serve(&[
+        "load",
+        "--addr",
+        "127.0.0.1:1",
+        "--connections",
+        "1",
+        "--requests",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no responses"),
+        "expected a diagnostic, got: {stderr}"
+    );
+}

@@ -65,6 +65,9 @@ pub enum SpanKind {
     /// One whole transform executed as part of a batch (stage =
     /// transform index within the batch).
     BatchTransform,
+    /// One served network request, admission through response write
+    /// (stage = request sequence number on that server worker).
+    RequestServe,
 }
 
 /// What a timeline instant marks.

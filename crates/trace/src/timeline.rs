@@ -57,6 +57,9 @@ pub enum TimelineEventKind {
     WatchdogFire,
     /// Instant: the tuner quarantined a candidate.
     TunerReject,
+    /// One served network request on a server worker thread (stage =
+    /// request sequence number on that worker).
+    RequestServe,
 }
 
 impl TimelineEventKind {
@@ -80,6 +83,7 @@ impl TimelineEventKind {
             TimelineEventKind::WatchdogFire => 5,
             TimelineEventKind::TunerReject => 6,
             TimelineEventKind::BatchTransform => 7,
+            TimelineEventKind::RequestServe => 8,
         }
     }
 
@@ -92,6 +96,7 @@ impl TimelineEventKind {
             4 => TimelineEventKind::BarrierRelease,
             5 => TimelineEventKind::WatchdogFire,
             7 => TimelineEventKind::BatchTransform,
+            8 => TimelineEventKind::RequestServe,
             _ => TimelineEventKind::TunerReject,
         }
     }
@@ -104,6 +109,7 @@ impl TimelineEventKind {
             TimelineEventKind::BarrierWait | TimelineEventKind::BarrierRelease => "barrier",
             TimelineEventKind::TunerCandidate | TimelineEventKind::TunerReject => "tuner",
             TimelineEventKind::WatchdogFire => "fault",
+            TimelineEventKind::RequestServe => "serve",
         }
     }
 }
@@ -366,6 +372,7 @@ impl TimelineSink for Timeline {
                 SpanKind::BarrierWait => TimelineEventKind::BarrierWait,
                 SpanKind::TunerCandidate => TimelineEventKind::TunerCandidate,
                 SpanKind::BatchTransform => TimelineEventKind::BatchTransform,
+                SpanKind::RequestServe => TimelineEventKind::RequestServe,
             };
             let s = self.offset_ns(start);
             ring.push(kind, stage, s, self.offset_ns(end).max(s));
@@ -402,6 +409,7 @@ fn event_name(e: &TimelineEvent, labels: &[String]) -> String {
         TimelineEventKind::TunerCandidate => format!("candidate {}", e.stage),
         TimelineEventKind::TunerReject => format!("reject candidate {}", e.stage),
         TimelineEventKind::BatchTransform => format!("batch transform {}", e.stage),
+        TimelineEventKind::RequestServe => format!("request {}", e.stage),
     }
 }
 

@@ -52,6 +52,7 @@ fn to_tl(events: &[TimelineEvent]) -> Vec<TlEvent> {
                 TimelineEventKind::BarrierRelease => TlKind::BarrierRelease,
                 TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
                 TimelineEventKind::TunerReject => TlKind::TunerReject,
+                TimelineEventKind::RequestServe => TlKind::RequestServe,
             },
             stage: e.stage,
             start_ns: e.start_ns,

@@ -37,6 +37,10 @@ pub enum TlKind {
     WatchdogFire,
     /// Instant: the tuner quarantined a candidate.
     TunerReject,
+    /// Span: one served network request on a server worker thread
+    /// (`stage` is the worker's request sequence number, not a plan
+    /// stage).
+    RequestServe,
 }
 
 impl TlKind {
@@ -50,6 +54,7 @@ impl TlKind {
                 | TlKind::BarrierWait
                 | TlKind::TunerCandidate
                 | TlKind::BatchTransform
+                | TlKind::RequestServe
         )
     }
 
@@ -173,9 +178,11 @@ pub fn verify_timeline(events: &[TlEvent], threads: usize, stages: usize) -> Vec
             continue;
         }
         for a in &activity {
-            if a.kind == TlKind::TunerCandidate {
+            if a.kind == TlKind::TunerCandidate || a.kind == TlKind::RequestServe {
                 // Tuner spans are recorded by the coordinating thread
-                // *around* whole runs, not inside a pool job.
+                // *around* whole runs, not inside a pool job; request
+                // spans live on server worker threads that never run
+                // pool jobs at all.
                 continue;
             }
             let nested = jobs
@@ -359,6 +366,19 @@ mod tests {
             .iter()
             .any(|d| d.kind == DiagKind::TimelineBarrier && d.severity == Severity::Warning));
         assert!(!diags.iter().any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn request_spans_need_not_nest_but_stay_exclusive() {
+        let mut ev = clean_run();
+        // A server worker thread serves requests outside any pool job.
+        ev.push(span(1, TlKind::RequestServe, 0, 2000, 2500));
+        ev.push(span(1, TlKind::RequestServe, 1, 2500, 3000));
+        assert!(verify_timeline(&ev, 2, 2).is_empty());
+        // But two requests on one thread must not overlap in time.
+        ev.push(span(1, TlKind::RequestServe, 2, 2400, 2600));
+        let diags = verify_timeline(&ev, 2, 2);
+        assert!(diags.iter().any(|d| d.kind == DiagKind::TimelineOverlap));
     }
 
     #[test]
