@@ -12,6 +12,7 @@
 //! figures ablation-fault [--min 8] [--max 14] [--out results/]
 //! figures ablation-trace [--min 8] [--max 14] [--out results/]
 //! figures ablation-timeline [--min 8] [--max 14] [--out results/]
+//! figures ablation-simd [--min 8] [--max 12] [--threads 1] [--reps 5] [--out results/]
 //! figures trace [--size 12] [--threads 2] [--out results/]      (needs --features trace)
 //! figures timeline [--size 12] [--threads 2] [--out results/]   (needs --features trace)
 //! figures search
@@ -94,6 +95,11 @@ const COMMANDS: &[CmdSpec] = &[
     CmdSpec {
         name: "ablation-timeline",
         desc: "ABL-TIMELINE — event-timeline recording overhead when ON (host)",
+        flags: &["min", "max", "threads", "reps", "out"],
+    },
+    CmdSpec {
+        name: "ablation-simd",
+        desc: "ABL-SIMD — short-vector backend vs scalar interpreter, same formula (host)",
         flags: &["min", "max", "threads", "reps", "out"],
     },
     CmdSpec {
@@ -210,6 +216,7 @@ fn main() {
         "ablation-fault" => run_abl_fault(&opts, out_dir.as_deref()),
         "ablation-trace" => run_abl_trace(&opts, out_dir.as_deref()),
         "ablation-timeline" => run_abl_timeline(&opts, out_dir.as_deref()),
+        "ablation-simd" => run_abl_simd(&opts, out_dir.as_deref()),
         "trace" => run_trace(&opts, out_dir.as_deref()),
         "timeline" => run_timeline(&opts, out_dir.as_deref()),
         "search" => run_search(&opts),
@@ -992,6 +999,64 @@ fn run_batch(opts: &HashMap<String, String>, out_dir: Option<&str>) {
     if let Some(dir) = out_dir {
         let path = format!("{dir}/batch_throughput.json");
         write_artifact(&path, &serde_json::to_string_pretty(&rows).unwrap());
+        println!("wrote {path}");
+    }
+}
+
+/// ABL-SIMD: the tuner winner compiled under both backends — the
+/// `vec(ν)` tag stripped or added at the detected width — and timed on
+/// the host; the recorded evidence behind the bench history's backend
+/// dimension.
+fn run_abl_simd(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    use spiral_bench::simd_ablation::{simd_ablation, validate_file};
+
+    let (min, max) = range(opts, 8, 12);
+    let threads: usize = opts
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let reps: usize = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(5);
+    println!("\nABL-SIMD — scalar vs vec(ν) backend, n = 2^{min}..2^{max}, p={threads}, host");
+    let file = simd_ablation(min, max, threads, reps);
+    validate_file(&file).expect("sweep artifact must be internally consistent");
+    if file.detected_nu <= 1 {
+        println!(
+            "host is scalar-only (detected ν = {}); no backend pair to ablate \
+             (force-scalar build?)",
+            file.detected_nu
+        );
+    } else {
+        println!(
+            "{:>7} {:>3} {:>3} {:>12} {:>12} {:>9}   plan",
+            "log2n", "p", "ν", "scalar µs", "vector µs", "speedup"
+        );
+        for r in &file.rows {
+            println!(
+                "{:>7} {:>3} {:>3} {:>12.1} {:>12.1} {:>8.2}x   [{}]",
+                r.log2n, r.threads, r.nu, r.scalar_us, r.vector_us, r.speedup, r.plan_kind
+            );
+        }
+        let losses: Vec<u64> = file
+            .rows
+            .iter()
+            .filter(|r| r.log2n >= 8 && r.speedup < 1.0)
+            .map(|r| r.log2n)
+            .collect();
+        if losses.is_empty() {
+            println!(
+                "vector backend ≥ scalar at every measured n ≥ 2^8 (ν = {})",
+                file.detected_nu
+            );
+        } else {
+            println!(
+                "WARNING: vector backend slower than scalar at log2n = {losses:?} \
+                 — the tuner will keep picking scalar there"
+            );
+        }
+    }
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/simd_ablation.json");
+        write_artifact(&path, &serde_json::to_string_pretty(&file).unwrap());
         println!("wrote {path}");
     }
 }

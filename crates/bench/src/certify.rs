@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use spiral_codegen::plan::Plan;
 use spiral_rewrite::{multicore_dft_expanded, sequential_dft};
+use spiral_spl::builder::vec_tag;
 use spiral_verify::certify::{certify_plan, CertOptions};
 
 /// Schema version of [`CertifyReportFile`]. Bump on any shape change
@@ -69,7 +70,13 @@ fn push(rows: &mut Vec<CertifyRow>, plan: &Plan, shape: String, opts: &CertOptio
 /// 2^max_log2`: sequential trees at each codelet leaf size, and — for
 /// `p ∈ {2, 4}` up to `max_threads` — the formula (14) lowering at
 /// `µ ∈ {1, 2}`, both with explicit exchanges and with the exchanges
-/// fused into the compute steps.
+/// fused into the compute steps. Every shape is additionally swept
+/// under the `vec(ν)` tag at ν ∈ {2, 4}: the vector lowering must
+/// prove out under the *same* exact passes as the scalar one, so a
+/// vector-marked stage that drifted from `DFT_n` is a certification
+/// failure, not a benchmark surprise. Tags that do not take (no stage
+/// aligns at ν) are skipped — the marking is deterministic from the
+/// formula, so the artifact stays diff-able across hosts.
 pub fn certification_sweep(min_log2: u32, max_log2: u32, max_threads: usize) -> CertifyReportFile {
     let opts = CertOptions::default();
     let mut rows = Vec::new();
@@ -82,6 +89,19 @@ pub fn certification_sweep(min_log2: u32, max_log2: u32, max_threads: usize) -> 
             let f = sequential_dft(n, leaf);
             if let Ok(plan) = Plan::from_formula(&f, 1, 1) {
                 push(&mut rows, &plan, format!("sequential leaf {leaf}"), &opts);
+            }
+            for nu in [2usize, 4] {
+                let tagged = vec_tag(nu, f.clone());
+                if let Ok(plan) = Plan::from_formula(&tagged, 1, 1) {
+                    if plan.vec_width > 1 {
+                        push(
+                            &mut rows,
+                            &plan,
+                            format!("sequential leaf {leaf} + vec({nu})"),
+                            &opts,
+                        );
+                    }
+                }
             }
         }
         for p in [2usize, 4] {
@@ -107,6 +127,27 @@ pub fn certification_sweep(min_log2: u32, max_log2: u32, max_threads: usize) -> 
                     "multicore default split, fused exchanges".to_string(),
                     &opts,
                 );
+                for nu in [2usize, 4] {
+                    let tagged = vec_tag(nu, f.clone());
+                    let Ok(plan) = Plan::from_formula(&tagged, p, mu) else {
+                        continue;
+                    };
+                    if plan.vec_width <= 1 {
+                        continue;
+                    }
+                    push(
+                        &mut rows,
+                        &plan,
+                        format!("multicore default split + vec({nu})"),
+                        &opts,
+                    );
+                    push(
+                        &mut rows,
+                        &plan.clone().fuse_exchanges(),
+                        format!("multicore default split + vec({nu}), fused exchanges"),
+                        &opts,
+                    );
+                }
             }
         }
     }

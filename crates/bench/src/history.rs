@@ -33,7 +33,37 @@ use std::time::Instant;
 ///   served-throughput-under-concurrency points from `figures
 ///   serve-load` live in the same trajectory file as the in-process
 ///   grid (`connections = 1` for everything measured in-process).
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// * v4 — entries gained the `backend` grid dimension (`"scalar"` |
+///   `"vector"`), so short-vector measurements never compare against
+///   scalar baselines. v3 files migrate on load: every pre-existing
+///   point was measured by the scalar interpreter and is stamped
+///   `"scalar"`.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
+
+/// The `backend` value for points executed by the scalar interpreter.
+pub const BACKEND_SCALAR: &str = "scalar";
+/// The `backend` value for points executed by the short-vector backend.
+pub const BACKEND_VECTOR: &str = "vector";
+
+/// The backend label for a plan executing with short-vector width
+/// `vec_width` (1 = scalar).
+pub fn backend_label(vec_width: usize) -> &'static str {
+    if vec_width > 1 {
+        BACKEND_VECTOR
+    } else {
+        BACKEND_SCALAR
+    }
+}
+
+/// The backend label implied by a tuner choice string: vec-tagged
+/// winners carry a `"+ vec(ν)"` suffix.
+pub fn backend_from_choice(choice: &str) -> &'static str {
+    if choice.contains("+ vec(") {
+        BACKEND_VECTOR
+    } else {
+        BACKEND_SCALAR
+    }
+}
 
 /// The machine a benchmark run executed on: a human-facing name plus
 /// the workspace-wide hardware [`HostFingerprint`] (the same identity
@@ -101,6 +131,11 @@ pub struct BenchEntry {
     /// serve-load points, where `median_us` is the per-request
     /// round-trip over the wire rather than a bare execute.
     pub connections: u64,
+    /// Execution backend of the measured plan: [`BACKEND_SCALAR`] or
+    /// [`BACKEND_VECTOR`]. A comparison key — a vector point only ever
+    /// compares against earlier vector points, never a scalar baseline
+    /// (and vice versa).
+    pub backend: String,
     /// What the tuner picked (e.g. `"multicore split 64x64"`); carried
     /// for interpretation, not used as a comparison key — the tuner may
     /// legitimately flip between equivalent splits across runs.
@@ -150,9 +185,15 @@ impl Default for BenchHistory {
 }
 
 impl BenchHistory {
-    /// Parse a history file's contents.
+    /// Parse a history file's contents. v3 files (pre-`backend`) are
+    /// migrated in place: every v3 point was measured by the scalar
+    /// interpreter, so migration stamps `backend: "scalar"` and bumps
+    /// the schema, preserving existing trajectories as the scalar
+    /// baseline the new vector points sit alongside.
     pub fn from_json(s: &str) -> Result<BenchHistory, String> {
-        let h: BenchHistory = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        let mut v: serde::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        migrate_v3(&mut v);
+        let h = BenchHistory::from_value(&v).map_err(|e| e.to_string())?;
         h.validate()?;
         Ok(h)
     }
@@ -204,6 +245,13 @@ impl BenchHistory {
                         run.seq, e.log2n, e.threads
                     ));
                 }
+                if e.backend != BACKEND_SCALAR && e.backend != BACKEND_VECTOR {
+                    return Err(format!(
+                        "run {}: entry (n=2^{}, p={}) has unknown backend {:?} \
+                         (expected {BACKEND_SCALAR:?} or {BACKEND_VECTOR:?})",
+                        run.seq, e.log2n, e.threads, e.backend
+                    ));
+                }
             }
         }
         Ok(())
@@ -224,6 +272,7 @@ impl BenchHistory {
         threads: u64,
         batch: u64,
         connections: u64,
+        backend: &str,
         host_name: &str,
     ) -> Vec<f64> {
         self.runs
@@ -237,10 +286,46 @@ impl BenchHistory {
                             && e.threads == threads
                             && e.batch == batch
                             && e.connections == connections
+                            && e.backend == backend
                     })
                     .map(|e| e.gflops)
             })
             .collect()
+    }
+}
+
+/// In-place v3 → v4 schema migration on the parsed JSON tree: stamp
+/// `backend: "scalar"` onto every entry (all v3 measurements were
+/// scalar-interpreter runs) and rewrite the schema number. Any other
+/// schema version passes through untouched for `validate` to judge.
+fn migrate_v3(v: &mut serde::Value) {
+    fn get_mut<'a>(v: &'a mut serde::Value, key: &str) -> Option<&'a mut serde::Value> {
+        match v {
+            serde::Value::Obj(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, x)| x),
+            _ => None,
+        }
+    }
+    if v.get("schema").and_then(serde::Value::as_f64) != Some(3.0) {
+        return;
+    }
+    if let Some(serde::Value::Arr(runs)) = get_mut(v, "runs") {
+        for run in runs {
+            if let Some(serde::Value::Arr(entries)) = get_mut(run, "entries") {
+                for e in entries {
+                    if let serde::Value::Obj(fields) = e {
+                        if !fields.iter().any(|(k, _)| k == "backend") {
+                            fields.push((
+                                "backend".to_string(),
+                                serde::Value::Str(BACKEND_SCALAR.to_string()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(s) = get_mut(v, "schema") {
+        *s = serde::Value::Num(4.0);
     }
 }
 
@@ -281,13 +366,23 @@ pub fn mad(xs: &[f64]) -> f64 {
 /// fault-tolerant parallel path (or the plain sequential executor at
 /// p=1), and summarize with median + MAD. Points the tuner cannot
 /// produce (e.g. `(pµ)² ∤ n`) are skipped.
+///
+/// Each grid point is measured under *both* execution backends when the
+/// host supports short vectors: the tuner's winner provides one of the
+/// two, and the counterpart plan is derived from the same formula (the
+/// `vec(ν)` tag stripped for the scalar point, or added at the detected
+/// width for the vector point). Points where the counterpart fails to
+/// vectorize (or the host is scalar-only) record the scalar entry alone.
 pub fn measure_grid(sizes_log2: &[u32], threads: &[usize], reps: usize) -> BenchRun {
+    use spiral_codegen::plan::Plan;
     use spiral_codegen::ParallelExecutor;
     use spiral_search::{CostModel, Tuner};
     use spiral_spl::cplx::Cplx;
+    use spiral_spl::Spl;
 
     let reps = reps.max(2);
     let mu = spiral_smp::topology::mu();
+    let host_nu = spiral_codegen::detected_simd_width();
     let mut entries = Vec::new();
     for &p in threads {
         let exec = (p > 1).then(|| ParallelExecutor::with_auto_barrier(p));
@@ -297,40 +392,78 @@ pub fn measure_grid(sizes_log2: &[u32], threads: &[usize], reps: usize) -> Bench
             else {
                 continue;
             };
+            // The winner plus its counterpart on the other backend,
+            // compiled from the same formula modulo the vec(ν) tag.
+            let mut variants: Vec<(Plan, String)> =
+                vec![(tuned.plan.clone(), tuned.choice.clone())];
+            if tuned.plan.vec_width > 1 {
+                if let Spl::Vec { a, .. } = &tuned.formula {
+                    if let Ok(plan) = Plan::from_formula(a, tuned.plan.threads, mu) {
+                        let plan = if plan.threads > 1 {
+                            plan.fuse_exchanges()
+                        } else {
+                            plan
+                        };
+                        let base_choice = tuned
+                            .choice
+                            .split(" + vec(")
+                            .next()
+                            .unwrap_or(&tuned.choice)
+                            .to_string();
+                        variants.push((plan, base_choice));
+                    }
+                }
+            } else if host_nu > 1 {
+                let tagged = spiral_spl::builder::vec_tag(host_nu, tuned.formula.clone());
+                if let Ok(plan) = Plan::from_formula(&tagged, tuned.plan.threads, mu) {
+                    let plan = if plan.threads > 1 {
+                        plan.fuse_exchanges()
+                    } else {
+                        plan
+                    };
+                    if plan.vec_width > 1 {
+                        let choice = format!("{} + vec({})", tuned.choice, plan.vec_width);
+                        variants.push((plan, choice));
+                    }
+                }
+            }
             let x: Vec<Cplx> = (0..n)
                 .map(|i| Cplx::new(i as f64 / n as f64, -(i as f64) / n as f64))
                 .collect();
-            let mut times_us = Vec::with_capacity(reps);
-            // One warm-up rep (cold caches, lazy pool spin-up), then the
-            // measured ones.
-            for rep in 0..=reps {
-                let t0 = Instant::now();
-                let out = match &exec {
-                    Some(e) => e
-                        .try_execute(&tuned.plan, &x)
-                        .expect("healthy tuned plan must execute"),
-                    None => tuned.plan.execute(&x),
-                };
-                let dt = t0.elapsed().as_secs_f64() * 1e6;
-                std::hint::black_box(out);
-                if rep > 0 {
-                    times_us.push(dt);
+            for (plan, choice) in variants {
+                let mut times_us = Vec::with_capacity(reps);
+                // One warm-up rep (cold caches, lazy pool spin-up), then
+                // the measured ones.
+                for rep in 0..=reps {
+                    let t0 = Instant::now();
+                    let out = match &exec {
+                        Some(e) => e
+                            .try_execute(&plan, &x)
+                            .expect("healthy tuned plan must execute"),
+                        None => plan.execute(&x),
+                    };
+                    let dt = t0.elapsed().as_secs_f64() * 1e6;
+                    std::hint::black_box(out);
+                    if rep > 0 {
+                        times_us.push(dt);
+                    }
                 }
+                let per_rep_gflops: Vec<f64> =
+                    times_us.iter().map(|&us| pseudo_gflops(n, us)).collect();
+                entries.push(BenchEntry {
+                    log2n: k as u64,
+                    threads: p as u64,
+                    batch: 1,
+                    connections: 1,
+                    backend: backend_label(plan.vec_width).to_string(),
+                    plan_kind: choice,
+                    reps: reps as u64,
+                    median_us: median(&times_us),
+                    mad_us: mad(&times_us),
+                    gflops: median(&per_rep_gflops),
+                    gflops_mad: mad(&per_rep_gflops),
+                });
             }
-            let per_rep_gflops: Vec<f64> =
-                times_us.iter().map(|&us| pseudo_gflops(n, us)).collect();
-            entries.push(BenchEntry {
-                log2n: k as u64,
-                threads: p as u64,
-                batch: 1,
-                connections: 1,
-                plan_kind: tuned.choice.clone(),
-                reps: reps as u64,
-                median_us: median(&times_us),
-                mad_us: mad(&times_us),
-                gflops: median(&per_rep_gflops),
-                gflops_mad: mad(&per_rep_gflops),
-            });
         }
     }
     BenchRun {
@@ -375,6 +508,8 @@ pub struct CompareLine {
     pub batch: u64,
     /// Concurrent connections (1 = in-process measurement).
     pub connections: u64,
+    /// Execution backend (`"scalar"` | `"vector"`), a comparison key.
+    pub backend: String,
     /// Current run's tuner choice.
     pub plan_kind: String,
     /// Baseline pseudo-GFLOP/s (most recent earlier run, same host).
@@ -424,6 +559,7 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
                         && e.threads == cur.threads
                         && e.batch == cur.batch
                         && e.connections == cur.connections
+                        && e.backend == cur.backend
                 })
             });
         let Some(base) = base else {
@@ -439,6 +575,7 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
             threads: cur.threads,
             batch: cur.batch,
             connections: cur.connections,
+            backend: cur.backend.clone(),
             plan_kind: cur.plan_kind.clone(),
             base_gflops: base.gflops,
             cur_gflops: cur.gflops,
@@ -450,6 +587,7 @@ pub fn compare_latest(history: &BenchHistory, opts: &CompareOpts) -> Option<Comp
                 cur.threads,
                 cur.batch,
                 cur.connections,
+                &cur.backend,
                 &latest.host.name,
             ),
         });
@@ -467,12 +605,21 @@ mod tests {
             threads,
             batch: 1,
             connections: 1,
+            backend: BACKEND_SCALAR.to_string(),
             plan_kind: "test".to_string(),
             reps: 5,
             median_us: 100.0,
             mad_us: 1.0,
             gflops,
             gflops_mad,
+        }
+    }
+
+    fn vec_entry(log2n: u64, threads: u64, gflops: f64, gflops_mad: f64) -> BenchEntry {
+        BenchEntry {
+            backend: BACKEND_VECTOR.to_string(),
+            plan_kind: "test + vec(4)".to_string(),
+            ..entry(log2n, threads, gflops, gflops_mad)
         }
     }
 
@@ -486,7 +633,8 @@ mod tests {
                     cores: 2,
                     mu: 4,
                     cache_line_bytes: 64,
-                    features: Vec::new(),
+                    simd_width: 4,
+                    features: vec!["simd4".to_string()],
                 },
             },
             entries,
@@ -602,6 +750,118 @@ mod tests {
         assert!(compare_latest(&BenchHistory::default(), &CompareOpts::default()).is_none());
     }
 
+    /// The point of the backend dimension: a vector measurement must
+    /// never be judged against a scalar baseline (or vice versa), even
+    /// when every other key coordinate matches.
+    #[test]
+    fn backends_never_compare_against_each_other() {
+        let mut h = BenchHistory::default();
+        // Baseline run: fast scalar point only.
+        h.append(run_with(vec![entry(10, 2, 9.0, 0.01)]));
+        // Latest run: a slower *vector* point at the same coordinates.
+        h.append(run_with(vec![vec_entry(10, 2, 1.0, 0.01)]));
+        let r = compare_latest(&h, &CompareOpts::default()).unwrap();
+        assert_eq!(r.lines.len(), 0, "cross-backend pairing is forbidden");
+        assert_eq!(r.unmatched, 1);
+
+        // With a genuine vector baseline the vector point compares —
+        // against the vector trajectory only.
+        let mut h = BenchHistory::default();
+        h.append(run_with(vec![
+            entry(10, 2, 9.0, 0.01),
+            vec_entry(10, 2, 2.0, 0.01),
+        ]));
+        h.append(run_with(vec![
+            entry(10, 2, 9.0, 0.01),
+            vec_entry(10, 2, 1.0, 0.01),
+        ]));
+        let r = compare_latest(&h, &CompareOpts::default()).unwrap();
+        assert_eq!(r.lines.len(), 2);
+        let vec_line = r
+            .lines
+            .iter()
+            .find(|l| l.backend == BACKEND_VECTOR)
+            .unwrap();
+        assert!(vec_line.regressed, "2→1 GF/s on the vector trajectory");
+        assert_eq!(vec_line.base_gflops, 2.0);
+        assert_eq!(vec_line.trajectory, vec![2.0, 1.0]);
+        let scalar_line = r
+            .lines
+            .iter()
+            .find(|l| l.backend == BACKEND_SCALAR)
+            .unwrap();
+        assert!(!scalar_line.regressed);
+    }
+
+    /// v3 files (no `backend` field) migrate on load: entries are
+    /// stamped `"scalar"`, the schema bumps to 4, and the migrated
+    /// history round-trips as native v4.
+    #[test]
+    fn v3_history_migrates_to_v4_on_load() {
+        let v3 = r#"{
+          "schema": 3,
+          "runs": [
+            {
+              "seq": 1,
+              "unix_ms": 1700000000000,
+              "host": {
+                "name": "old-host",
+                "fingerprint": {
+                  "cores": 2, "mu": 4, "cache_line_bytes": 64, "features": []
+                }
+              },
+              "entries": [
+                {
+                  "log2n": 10, "threads": 2, "batch": 1, "connections": 1,
+                  "plan_kind": "multicore split 16x64", "reps": 5,
+                  "median_us": 100.0, "mad_us": 1.0,
+                  "gflops": 0.5, "gflops_mad": 0.01
+                }
+              ]
+            }
+          ]
+        }"#;
+        let h = BenchHistory::from_json(v3).expect("v3 must migrate");
+        assert_eq!(h.schema, BENCH_SCHEMA_VERSION);
+        assert_eq!(h.runs[0].entries[0].backend, BACKEND_SCALAR);
+        // The pre-simd_width fingerprint defaults to the scalar claim.
+        assert_eq!(h.runs[0].host.fingerprint.simd_width, 1);
+        // Migrated output is native v4: parses again without migration.
+        let round = BenchHistory::from_json(&h.to_json()).unwrap();
+        assert_eq!(round, h);
+    }
+
+    /// Unknown backend labels and unknown future schemas still fail.
+    #[test]
+    fn unknown_backend_or_schema_is_rejected() {
+        let mut h = BenchHistory::default();
+        let mut e = entry(10, 2, 1.0, 0.01);
+        e.backend = "quantum".to_string();
+        h.append(run_with(vec![e]));
+        let err = h.validate().unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+
+        let h5 = BenchHistory {
+            schema: 5,
+            ..Default::default()
+        };
+        assert!(h5.validate().is_err(), "future schemas are not migrated");
+    }
+
+    #[test]
+    fn backend_labels_derive_from_width_and_choice() {
+        assert_eq!(backend_label(1), BACKEND_SCALAR);
+        assert_eq!(backend_label(4), BACKEND_VECTOR);
+        assert_eq!(
+            backend_from_choice("sequential tree (8 x 8)"),
+            BACKEND_SCALAR
+        );
+        assert_eq!(
+            backend_from_choice("multicore split 16x64 + vec(4)"),
+            BACKEND_VECTOR
+        );
+    }
+
     #[test]
     fn host_slug_is_filesystem_safe() {
         let mut host = BenchHost::current();
@@ -625,6 +885,27 @@ mod tests {
         // Both thread counts measured at 2^8.
         assert!(run.entries.iter().any(|e| e.threads == 1));
         assert!(run.entries.iter().any(|e| e.threads == 2));
+        // On a SIMD-capable host every grid point carries both backend
+        // variants, and the labels agree with the choice strings.
+        if spiral_codegen::detected_simd_width() > 1 {
+            for p in [1u64, 2] {
+                assert!(
+                    run.entries
+                        .iter()
+                        .any(|e| e.threads == p && e.backend == BACKEND_SCALAR),
+                    "missing scalar point at p={p}"
+                );
+                assert!(
+                    run.entries
+                        .iter()
+                        .any(|e| e.threads == p && e.backend == BACKEND_VECTOR),
+                    "missing vector point at p={p}"
+                );
+            }
+        }
+        for e in &run.entries {
+            assert_eq!(e.backend, backend_from_choice(&e.plan_kind), "{e:?}");
+        }
         let mut h = BenchHistory::default();
         h.append(run);
         h.validate().unwrap();

@@ -12,6 +12,8 @@
 //!   dispatch, the serving layer's speedup measurement;
 //! * [`certify`] — CERT: the static certification sweep (exact
 //!   symbolic + dataflow) and its `certify_report.json` artifact;
+//! * [`simd_ablation`] — ABL-SIMD: the short-vector backend vs the
+//!   scalar interpreter on the host, `simd_ablation.json`;
 //! * [`serve_load`] — SERVE-LOAD: the network tier's round-trip latency
 //!   percentiles under single / warm / overload client concurrency,
 //!   and its `serve_load.json` artifact.
@@ -32,3 +34,4 @@ pub mod certify;
 pub mod history;
 pub mod series;
 pub mod serve_load;
+pub mod simd_ablation;

@@ -32,7 +32,10 @@ use std::sync::Arc;
 ///
 /// * v1 — initial layout (three phases per size, client-side tallies,
 ///   nearest-rank latency percentiles).
-pub const SERVE_LOAD_SCHEMA_VERSION: u64 = 1;
+/// * v2 — rows record the served plan's tuner choice (`plan_kind`), so
+///   downstream bench-history points can be labeled with the execution
+///   backend (`scalar` vs `vector`) that actually served them.
+pub const SERVE_LOAD_SCHEMA_VERSION: u64 = 2;
 
 /// One measured load phase at one transform size.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -45,6 +48,10 @@ pub struct ServeLoadRow {
     pub connections: u64,
     /// `"single"`, `"warm"`, or `"overload"`.
     pub phase: String,
+    /// Tuner choice of the served (sequential, per-transform) plan —
+    /// e.g. `"sequential tree (8 x 8) + vec(4)"`. Carries the execution
+    /// backend into the bench history.
+    pub plan_kind: String,
     /// Requests the clients attempted.
     pub requests: u64,
     /// `Ok` responses.
@@ -148,11 +155,13 @@ pub fn measure_serve_load(opts: &ServeLoadOpts) -> Result<ServeLoadFile, String>
         None => PlanService::new(opts.workers, mu),
     };
     let service = Arc::new(service);
+    let mut choices = std::collections::HashMap::new();
     for k in opts.min_log2n..=opts.max_log2n {
         let n = 1usize << k;
-        service
+        let served = service
             .sequential_plan(n)
             .map_err(|e| format!("planning DFT_{n} failed: {e}"))?;
+        choices.insert(k, served.choice.clone());
     }
 
     let conns = opts.connections.max(1);
@@ -180,10 +189,12 @@ pub fn measure_serve_load(opts: &ServeLoadOpts) -> Result<ServeLoadFile, String>
             reconnect_per_request: false,
             seed: 1,
         };
-        rows.push(run_phase(k, "single", &base));
+        let choice = choices.get(&k).cloned().unwrap_or_default();
+        rows.push(run_phase(k, "single", &choice, &base));
         rows.push(run_phase(
             k,
             "warm",
+            &choice,
             &LoadSpec {
                 connections: conns,
                 ..base.clone()
@@ -192,6 +203,7 @@ pub fn measure_serve_load(opts: &ServeLoadOpts) -> Result<ServeLoadFile, String>
         rows.push(run_phase(
             k,
             "overload",
+            &choice,
             &LoadSpec {
                 connections: conns * opts.overload_factor.max(1),
                 reconnect_per_request: true,
@@ -222,7 +234,7 @@ pub fn measure_serve_load(opts: &ServeLoadOpts) -> Result<ServeLoadFile, String>
 }
 
 /// Drive one phase and tally it into a row.
-fn run_phase(log2n: u32, phase: &str, spec: &LoadSpec) -> ServeLoadRow {
+fn run_phase(log2n: u32, phase: &str, plan_kind: &str, spec: &LoadSpec) -> ServeLoadRow {
     let mut outcome = drive(spec);
     let responses = outcome.responses();
     ServeLoadRow {
@@ -230,6 +242,7 @@ fn run_phase(log2n: u32, phase: &str, spec: &LoadSpec) -> ServeLoadRow {
         batch: spec.batch as u64,
         connections: spec.connections as u64,
         phase: phase.to_string(),
+        plan_kind: plan_kind.to_string(),
         requests: (spec.connections * spec.requests_per_conn) as u64,
         ok: outcome.ok,
         overloaded: outcome.overloaded,
@@ -271,6 +284,7 @@ pub fn rows_to_entries(file: &ServeLoadFile) -> Vec<BenchEntry> {
             threads: file.workers,
             batch: r.batch,
             connections: r.connections,
+            backend: crate::history::backend_from_choice(&r.plan_kind).to_string(),
             plan_kind: format!("served {}", r.phase),
             reps: r.ok,
             median_us: per_transform_us,
@@ -393,6 +407,7 @@ mod tests {
                 batch: 1,
                 connections: 1,
                 phase: "single".to_string(),
+                plan_kind: "sequential tree (4 x 8)".to_string(),
                 requests: 1,
                 ok: 2, // more outcomes than requests
                 overloaded: 0,

@@ -86,6 +86,13 @@ fn live_sweep_is_fully_certified_and_serializes() {
     let file = spiral_bench::certify::certification_sweep(2, 4, 2);
     assert_eq!(file.certified, file.total);
     assert!(file.total > 0);
+    // The sweep must include vector-tagged shapes, and (per the line
+    // above) prove 100% of them: the short-vector backend ships only
+    // under the same exact certification as the scalar lowering.
+    assert!(
+        file.rows.iter().any(|r| r.shape.contains("+ vec(")),
+        "sweep must cover vec(ν)-tagged plan shapes"
+    );
     let json = serde_json::to_string(&file).unwrap();
     let back: CertifyReportFile = serde_json::from_str(&json).unwrap();
     assert_eq!(back.total, file.total);

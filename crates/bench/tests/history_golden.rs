@@ -22,7 +22,8 @@ fn representative_history() -> BenchHistory {
             cores: 4,
             mu: 4,
             cache_line_bytes: 64,
-            features: vec!["trace".to_string()],
+            simd_width: 4,
+            features: vec!["trace".to_string(), "simd4".to_string()],
         },
     };
     BenchHistory {
@@ -37,6 +38,7 @@ fn representative_history() -> BenchHistory {
                     threads: 2,
                     batch: 1,
                     connections: 1,
+                    backend: "scalar".to_string(),
                     plan_kind: "multicore split 64x64".to_string(),
                     reps: 5,
                     median_us: 120.5,
@@ -55,6 +57,7 @@ fn representative_history() -> BenchHistory {
                         threads: 2,
                         batch: 1,
                         connections: 1,
+                        backend: "scalar".to_string(),
                         plan_kind: "multicore split 64x64".to_string(),
                         reps: 5,
                         median_us: 118.0,
@@ -63,10 +66,24 @@ fn representative_history() -> BenchHistory {
                         gflops_mad: 0.02,
                     },
                     BenchEntry {
+                        log2n: 12,
+                        threads: 2,
+                        batch: 1,
+                        connections: 1,
+                        backend: "vector".to_string(),
+                        plan_kind: "multicore split 64x64 + vec(4)".to_string(),
+                        reps: 5,
+                        median_us: 95.0,
+                        mad_us: 1.2,
+                        gflops: 2.22,
+                        gflops_mad: 0.02,
+                    },
+                    BenchEntry {
                         log2n: 8,
                         threads: 2,
                         batch: 32,
                         connections: 1,
+                        backend: "scalar".to_string(),
                         plan_kind: "batched sequential 2^8".to_string(),
                         reps: 5,
                         median_us: 4.2,
@@ -79,6 +96,7 @@ fn representative_history() -> BenchHistory {
                         threads: 2,
                         batch: 8,
                         connections: 8,
+                        backend: "vector".to_string(),
                         plan_kind: "served sequential 2^8".to_string(),
                         reps: 64,
                         median_us: 350.0,

@@ -23,6 +23,7 @@ fn fixture() -> ServeLoadFile {
         batch: 8,
         connections,
         phase: phase.to_string(),
+        plan_kind: "sequential tree (8 x 8) + vec(4)".to_string(),
         requests: connections * 32,
         ok,
         overloaded,
@@ -42,7 +43,8 @@ fn fixture() -> ServeLoadFile {
                 cores: 4,
                 mu: 4,
                 cache_line_bytes: 64,
-                features: vec![],
+                simd_width: 4,
+                features: vec!["simd4".to_string()],
             },
         },
         workers: 2,

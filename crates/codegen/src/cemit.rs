@@ -62,9 +62,17 @@ impl<'a> Emitter<'a> {
             body.push_str(&self.emit_step(si, step));
         }
 
+        let vec_note = if self.plan.vec_width > 1 {
+            format!(
+                ", vec({}) stages carry explicit vectorization pragmas",
+                self.plan.vec_width
+            )
+        } else {
+            String::new()
+        };
         let header = format!(
             "/* Generated DFT_{n} for p = {p}, mu = {mu} — spiral-fft-rs C backend.\n\
-             * Schedule: {steps} steps, one barrier per step.\n */\n\
+             * Schedule: {steps} steps, one barrier per step{vec_note}.\n */\n\
              #include <string.h>\n{inc}\n\
              #define N {n}\n#define NTHREADS {p}\n\n",
             mu = self.plan.mu,
@@ -394,6 +402,22 @@ impl<'a> Emitter<'a> {
         let c = ks.codelet.size();
         let fname = self.codelet_fn(&ks.codelet.dag());
         let mut s = String::new();
+        // ν-lane stages proved aligned by the vectorize pass: annotate
+        // the per-butterfly gather/scatter loops so the C compiler keeps
+        // the short-vector schedule the plan was tuned with.
+        let simd_pragma = if ks.vec_width > 1 {
+            let _ = writeln!(
+                s,
+                "    /* vec({nu}) kernel stage: {nu}-lane interleaved-complex butterflies */",
+                nu = ks.vec_width
+            );
+            match self.flavor {
+                CFlavor::OpenMp => format!("#pragma omp simd simdlen({})\n", ks.vec_width),
+                CFlavor::Pthreads => "#pragma GCC ivdep\n".to_string(),
+            }
+        } else {
+            String::new()
+        };
         if let Some(m) = &ks.in_map {
             self.emit_u32_table(&format!("gmap_{tag}"), m);
         }
@@ -448,6 +472,9 @@ impl<'a> Emitter<'a> {
             }
             let _ = writeln!(s, "{pad}    int fl = {expr};");
         }
+        if !simd_pragma.is_empty() {
+            let _ = write!(s, "{pad}    {simd_pragma}");
+        }
         let _ = writeln!(s, "{pad}    for (int t = 0; t < {c}; t++) {{");
         let idx_in = if ks.in_map.is_some() {
             format!("gmap_{tag}[ibase + t*{}]", ks.in_t_stride)
@@ -478,10 +505,15 @@ impl<'a> Emitter<'a> {
         } else {
             format!("obase + t*{}", ks.out_t_stride)
         };
+        let out_pragma = if simd_pragma.is_empty() {
+            String::new()
+        } else {
+            format!("{pad}    {simd_pragma}")
+        };
         if ks.twiddle_out.is_some() {
             let _ = write!(
                 s,
-                "{pad}    for (int t = 0; t < {c}; t++) {{\n\
+                "{out_pragma}{pad}    for (int t = 0; t < {c}; t++) {{\n\
                  {pad}        int oi = {idx_out};\n\
                  {pad}        double wre = two_{tag}[2*(fl*{c}+t)], wim = two_{tag}[2*(fl*{c}+t)+1];\n\
                  {pad}        {out_buf}[2*(({out_off})+oi)]   = gout[2*t]*wre - gout[2*t+1]*wim;\n\
@@ -491,7 +523,7 @@ impl<'a> Emitter<'a> {
         } else {
             let _ = write!(
                 s,
-                "{pad}    for (int t = 0; t < {c}; t++) {{\n\
+                "{out_pragma}{pad}    for (int t = 0; t < {c}; t++) {{\n\
                  {pad}        int oi = {idx_out};\n\
                  {pad}        {out_buf}[2*(({out_off})+oi)] = gout[2*t]; {out_buf}[2*(({out_off})+oi)+1] = gout[2*t+1];\n\
                  {pad}    }}\n{pad}}}\n"
@@ -754,6 +786,40 @@ mod tests {
         let body = &c[start..end];
         assert!(!body.contains("for ("), "codelet must be unrolled:\n{body}");
         assert!(body.matches("double t").count() > 8);
+    }
+
+    fn vec_plan(nu: usize) -> Plan {
+        let f = spiral_spl::builder::vec_tag(nu, sequential_dft(64, 8));
+        let plan = Plan::from_formula(&f, 1, 4).unwrap();
+        assert!(plan.vec_width > 1, "tag must take at n=64");
+        plan
+    }
+
+    #[test]
+    fn vector_stages_carry_simd_pragmas_in_openmp() {
+        let c = emit_c(&vec_plan(4), CFlavor::OpenMp);
+        assert!(
+            c.contains("#pragma omp simd simdlen(4)"),
+            "ν-lane loops must be annotated:\n{c}"
+        );
+        assert!(c.contains("/* vec(4) kernel stage"));
+        assert!(c.contains("vec(4) stages carry explicit vectorization pragmas"));
+    }
+
+    #[test]
+    fn vector_stages_carry_ivdep_in_pthreads() {
+        let c = emit_c(&vec_plan(2), CFlavor::Pthreads);
+        assert!(c.contains("#pragma GCC ivdep"), "missing ivdep:\n{c}");
+        assert!(c.contains("/* vec(2) kernel stage"));
+    }
+
+    #[test]
+    fn scalar_plans_emit_no_simd_pragmas() {
+        let f = sequential_dft(64, 8);
+        let plan = Plan::from_formula(&f, 1, 4).unwrap();
+        let c = emit_c(&plan, CFlavor::OpenMp);
+        assert!(!c.contains("omp simd"));
+        assert!(!c.contains("vec("));
     }
 
     #[test]

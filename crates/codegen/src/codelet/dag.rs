@@ -91,6 +91,40 @@ impl Dag {
             out[k] = scratch[o as usize];
         }
     }
+
+    /// Evaluate `NU` independent lanes in lane-grouped layout (input slot
+    /// `i` at `input[i·NU..(i+1)·NU]`, output slot `k` at
+    /// `out[k·NU..(k+1)·NU]`). Each lane runs the identical node sequence
+    /// as [`eval`], so per-lane results are bit-identical to `NU` scalar
+    /// evaluations.
+    pub fn eval_lanes<const NU: usize>(
+        &self,
+        input: &[Cplx],
+        out: &mut [Cplx],
+        scratch: &mut Vec<Cplx>,
+    ) {
+        use crate::simd::Lanes;
+        debug_assert_eq!(input.len(), self.n_inputs * NU);
+        debug_assert_eq!(out.len(), self.outputs.len() * NU);
+        scratch.clear();
+        scratch.resize(self.nodes.len() * NU, Cplx::ZERO);
+        let at = |s: &[Cplx], id: Id| Lanes::<NU>::load(&s[id as usize * NU..]);
+        for (k, node) in self.nodes.iter().enumerate() {
+            let v = match *node {
+                Node::Input(i) => Lanes::<NU>::load(&input[i as usize * NU..]),
+                Node::Add(a, b) => at(scratch, a) + at(scratch, b),
+                Node::Sub(a, b) => at(scratch, a) - at(scratch, b),
+                Node::Mul(a, c) => at(scratch, a).mul_const(c),
+                Node::MulI(a) => at(scratch, a).mul_i(),
+                Node::MulNegI(a) => at(scratch, a).mul_neg_i(),
+                Node::Neg(a) => -at(scratch, a),
+            };
+            v.store(&mut scratch[k * NU..]);
+        }
+        for (k, &o) in self.outputs.iter().enumerate() {
+            at(scratch, o).store(&mut out[k * NU..]);
+        }
+    }
 }
 
 /// Hash-consing DAG builder.

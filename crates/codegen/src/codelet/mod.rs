@@ -132,6 +132,73 @@ impl Codelet {
             Codelet::Dag(d) => d.eval(input, out, scratch),
         }
     }
+
+    /// Vector apply: `NU` independent transforms in lane-grouped layout —
+    /// slot `t` of the `c`-point transform occupies `input[t·NU..(t+1)·NU]`
+    /// (lane `l` of slot `t` at `t·NU + l`), and likewise for `out`. Each
+    /// lane computes exactly the operation sequence of [`apply`]
+    /// (hand-unrolled kernels) or of the generated DAG, so per-lane results
+    /// are bit-identical to `NU` scalar applications.
+    #[inline]
+    pub fn apply_lanes<const NU: usize>(
+        &self,
+        input: &[Cplx],
+        out: &mut [Cplx],
+        scratch: &mut Vec<Cplx>,
+    ) {
+        use crate::simd::Lanes;
+        let ld = |t: usize| Lanes::<NU>::load(&input[t * NU..]);
+        match self {
+            Codelet::F2 => {
+                let (a, b) = (ld(0), ld(1));
+                (a + b).store(&mut out[0..]);
+                (a - b).store(&mut out[NU..]);
+            }
+            Codelet::F4 => {
+                let t0 = ld(0) + ld(2);
+                let t1 = ld(0) - ld(2);
+                let t2 = ld(1) + ld(3);
+                let t3 = (ld(1) - ld(3)).mul_neg_i();
+                (t0 + t2).store(&mut out[0..]);
+                (t0 - t2).store(&mut out[2 * NU..]);
+                (t1 + t3).store(&mut out[NU..]);
+                (t1 - t3).store(&mut out[3 * NU..]);
+            }
+            Codelet::F8 => {
+                const H: f64 = std::f64::consts::FRAC_1_SQRT_2;
+                let w8 = Cplx::new(H, -H);
+                let w83 = Cplx::new(-H, -H);
+                let a0 = ld(0) + ld(4);
+                let a1 = ld(0) - ld(4);
+                let a2 = ld(2) + ld(6);
+                let a3 = ld(2) - ld(6);
+                let a4 = ld(1) + ld(5);
+                let a5 = ld(1) - ld(5);
+                let a6 = ld(3) + ld(7);
+                let a7 = ld(3) - ld(7);
+                let b0 = a0 + a2;
+                let b2 = a0 - a2;
+                let b1 = a1 + a3.mul_neg_i();
+                let b3 = a1 - a3.mul_neg_i();
+                let b4 = a4 + a6;
+                let b6 = a4 - a6;
+                let b5 = a5 + a7.mul_neg_i();
+                let b7 = a5 - a7.mul_neg_i();
+                (b0 + b4).store(&mut out[0..]);
+                (b0 - b4).store(&mut out[4 * NU..]);
+                let t5 = b5.mul_const(w8);
+                (b1 + t5).store(&mut out[NU..]);
+                (b1 - t5).store(&mut out[5 * NU..]);
+                let t6 = b6.mul_neg_i();
+                (b2 + t6).store(&mut out[2 * NU..]);
+                (b2 - t6).store(&mut out[6 * NU..]);
+                let t7 = b7.mul_const(w83);
+                (b3 + t7).store(&mut out[3 * NU..]);
+                (b3 - t7).store(&mut out[7 * NU..]);
+            }
+            Codelet::Dag(d) => d.eval_lanes::<NU>(input, out, scratch),
+        }
+    }
 }
 
 /// Global cache of generated DAGs (generation is pure, so sharing is safe).

@@ -48,7 +48,9 @@ pub mod hook;
 pub mod lower;
 pub mod parallel;
 pub mod plan;
+pub mod simd;
 pub mod stage;
+pub mod vectorize;
 
 /// `usize` index → `u32` table entry. Permutation/gather tables store
 /// `u32` to halve their footprint; a transform large enough to overflow
@@ -65,4 +67,6 @@ pub use hook::{MemHook, NullHook, Region};
 pub use lower::{lower_seq, LowerError};
 pub use parallel::{ExecOutcome, ParallelExecutor};
 pub use plan::{install_validator, Plan, PlanValidator, PlanWorkspace, Step};
+pub use simd::detected_simd_width;
 pub use spiral_smp::SpiralError;
+pub use vectorize::{stage_alignment, vectorize_plan, vectorize_program};

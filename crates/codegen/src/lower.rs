@@ -83,7 +83,9 @@ pub fn lower_seq(f: &Spl) -> Result<LocalProgram, LowerError> {
         },
         Spl::TensorPar { p, a } => Ok(lift_block(lower_seq(a)?, *p)),
         Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => lower_direct_sum(fs),
-        Spl::Smp { a, .. } => lower_seq(a),
+        // Tags are semantically transparent to sequential lowering; the
+        // vec(ν) hint is honored later by the post-fusion `vectorize` pass.
+        Spl::Smp { a, .. } | Spl::Vec { a, .. } => lower_seq(a),
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::fuse::fuse;
 use crate::hook::{MemHook, Region};
 use crate::lower::{lower_seq, LowerError};
-use crate::stage::{LocalProgram, Scratch};
+use crate::stage::{LocalProgram, LocalStage, Scratch};
 use spiral_spl::ast::Spl;
 use spiral_spl::cplx::Cplx;
 use spiral_spl::perm::Perm;
@@ -67,14 +67,27 @@ impl Step {
     /// Short stage-IR label of this step, used by the observability
     /// layer (`spiral-trace`) to annotate per-stage profiles.
     pub fn label(&self) -> String {
+        fn vec_mark(programs: &[&LocalProgram]) -> &'static str {
+            let vectored = programs.iter().any(|p| {
+                p.stages
+                    .iter()
+                    .any(|s| matches!(s, LocalStage::Kernel(k) if k.vec_width > 1))
+            });
+            if vectored {
+                "+vec"
+            } else {
+                ""
+            }
+        }
         match self {
-            Step::Seq(_) => "seq".to_string(),
+            Step::Seq(p) => format!("seq{}", vec_mark(&[p])),
             Step::Par {
                 chunk,
                 programs,
                 gather,
             } => {
-                let base = format!("par[{}x{}]", programs.len(), chunk);
+                let refs: Vec<&LocalProgram> = programs.iter().collect();
+                let base = format!("par[{}x{}]{}", programs.len(), chunk, vec_mark(&refs));
                 if gather.is_some() {
                     format!("{base}+gather")
                 } else {
@@ -96,6 +109,10 @@ pub struct Plan {
     pub threads: usize,
     /// Cache-line length in elements (µ) the plan was generated for.
     pub mu: usize,
+    /// Lane width ν of the short-vector backend the plan's kernel stages
+    /// were marked for (1 = scalar; set from the formula's `vec(ν)` tag
+    /// when at least one stage passed the alignment preconditions).
+    pub vec_width: usize,
     /// The synchronization-delimited steps, in execution order.
     pub steps: Vec<Step>,
 }
@@ -120,17 +137,50 @@ impl Plan {
             }
         }
         let steps = merge_par_steps(steps);
-        Ok(Plan {
+        let mut plan = Plan {
             n,
             threads: threads.max(1),
             mu: mu.max(1),
+            vec_width: 1,
             steps,
-        })
+        };
+        // Honor the widest vec(ν) tag after fusion settled the final loop
+        // nests: qualifying stages switch to the ν-lane path, the rest
+        // stay scalar (partial vectorization is the normal case).
+        let nu = f.vec_width();
+        if nu > 1 {
+            let _ = crate::vectorize::vectorize_plan(&mut plan, nu);
+        }
+        Ok(plan)
     }
 
     /// Total real flops of one execution.
     pub fn flops(&self) -> u64 {
         self.steps.iter().map(|s| s.flops(self.n)).sum()
+    }
+
+    /// Flops executed inside vector-marked kernel stages (a subset of
+    /// [`flops`](Self::flops)). Cost models use this to credit ν-lane
+    /// throughput to exactly the stages the vectorize pass proved
+    /// aligned, rather than to the whole plan.
+    pub fn vec_flops(&self) -> u64 {
+        fn prog(p: &LocalProgram) -> u64 {
+            p.stages
+                .iter()
+                .filter_map(|s| match s {
+                    LocalStage::Kernel(k) if k.vec_width > 1 => Some(k.flops()),
+                    _ => None,
+                })
+                .sum()
+        }
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Seq(p) => prog(p),
+                Step::Par { programs, .. } => programs.iter().map(prog).sum(),
+                Step::Exchange { .. } | Step::ScaleAll(_) => 0,
+            })
+            .sum()
     }
 
     /// Merge every `Exchange` step into the immediately following `Par`
@@ -540,6 +590,7 @@ fn push_steps(f: &Spl, steps: &mut Vec<Step>) -> Result<(), LowerError> {
             steps.push(Step::ScaleAll(Arc::new(d.entries())));
             Ok(())
         }
+        Spl::Vec { a, .. } => push_steps(a, steps),
         other => {
             let prog = fuse(lower_seq(other)?);
             if !prog.stages.is_empty() {

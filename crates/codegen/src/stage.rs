@@ -57,6 +57,20 @@ pub struct KernelStage {
     /// by `twiddle_out[i·c + t]` before the scatter (fused trailing
     /// diagonal).
     pub twiddle_out: Option<Arc<Vec<Cplx>>>,
+    /// Lane width ν of the short-vector backend (1 = scalar). Set by the
+    /// `vectorize` pass only after proving the ν-alignment preconditions:
+    /// the innermost loop is a contiguous lane loop (unit strides, count
+    /// divisible by ν) and every other offset/stride/map is ν-granular,
+    /// so a lane group is ν consecutive complex elements on both sides.
+    pub vec_width: usize,
+    /// Lane-grouped copy of `twiddle` for the vector path:
+    /// `twiddle_lanes[g·c·ν + t·ν + l] = twiddle[(g·ν + l)·c + t]`.
+    /// Present iff `vec_width > 1` and `twiddle` is present; the
+    /// certification passes check the correspondence (a swapped lane
+    /// shuffle is rejected IR).
+    pub twiddle_lanes: Option<Arc<Vec<Cplx>>>,
+    /// Lane-grouped copy of `twiddle_out` (same layout contract).
+    pub twiddle_out_lanes: Option<Arc<Vec<Cplx>>>,
 }
 
 impl KernelStage {
@@ -73,6 +87,9 @@ impl KernelStage {
             out_map: None,
             twiddle: None,
             twiddle_out: None,
+            vec_width: 1,
+            twiddle_lanes: None,
+            twiddle_out_lanes: None,
         }
     }
 
@@ -134,13 +151,76 @@ impl KernelStage {
 
     /// Execute with an arbitrary input view (local slice or fused global
     /// gather). The view dispatch is monomorphized out of the inner loop.
+    /// Stages marked by the `vectorize` pass take the ν-lane path when
+    /// the view is a plain local slice; gathered views (fused exchanges
+    /// read the *global* buffer through an arbitrary table, so lane
+    /// groups need not be contiguous there) fall back to the scalar
+    /// interpretation, which is always valid for vector-marked IR.
     pub fn apply_view(&self, src: SrcView<'_>, dst: &mut [Cplx], scratch: &mut Scratch) {
+        let vec_width = if cfg!(feature = "force-scalar") {
+            1
+        } else {
+            self.vec_width
+        };
         match src {
-            SrcView::Local(s) => self.apply_inner(|i| s[i], dst, scratch),
+            SrcView::Local(s) => match vec_width {
+                2 => self.apply_vector::<2>(s, dst, scratch),
+                4 => self.apply_vector::<4>(s, dst, scratch),
+                _ => self.apply_inner(|i| s[i], dst, scratch),
+            },
             SrcView::Gathered { buf, gather, off } => {
                 self.apply_inner(|i| buf[gather[off + i] as usize], dst, scratch);
             }
         }
+    }
+
+    /// ν-lane execution: processes lane groups of `NU` consecutive flat
+    /// iterations at once. The innermost lane loop has unit strides, so
+    /// slot `t` of a group is `NU` consecutive complex elements on both
+    /// the gather and scatter side; twiddles read the lane-grouped
+    /// tables. Per-lane arithmetic matches the scalar path op-for-op.
+    fn apply_vector<const NU: usize>(&self, src: &[Cplx], dst: &mut [Cplx], scratch: &mut Scratch) {
+        let c = self.codelet.size();
+        scratch.gather.resize(c * NU, Cplx::ZERO);
+        scratch.result.resize(c * NU, Cplx::ZERO);
+        let in_map = self.in_map.as_deref();
+        let out_map = self.out_map.as_deref();
+        let tw = self.twiddle_lanes.as_deref();
+        let tw_out = self.twiddle_out_lanes.as_deref();
+        self.for_each_iteration(|flat, in_base, out_base| {
+            if !flat.is_multiple_of(NU) {
+                return;
+            }
+            let gbase = (flat / NU) * c * NU;
+            for t in 0..c {
+                let a = in_base + t * self.in_t_stride;
+                let start = match in_map {
+                    Some(m) => m[a] as usize,
+                    None => a,
+                };
+                scratch.gather[t * NU..(t + 1) * NU].copy_from_slice(&src[start..start + NU]);
+            }
+            if let Some(w) = tw {
+                for (x, wv) in scratch.gather.iter_mut().zip(&w[gbase..gbase + c * NU]) {
+                    *x *= *wv;
+                }
+            }
+            self.codelet
+                .apply_lanes::<NU>(&scratch.gather, &mut scratch.result, &mut scratch.dag);
+            if let Some(w) = tw_out {
+                for (x, wv) in scratch.result.iter_mut().zip(&w[gbase..gbase + c * NU]) {
+                    *x *= *wv;
+                }
+            }
+            for t in 0..c {
+                let a = out_base + t * self.out_t_stride;
+                let start = match out_map {
+                    Some(m) => m[a] as usize,
+                    None => a,
+                };
+                dst[start..start + NU].copy_from_slice(&scratch.result[t * NU..(t + 1) * NU]);
+            }
+        });
     }
 
     fn apply_inner<G: Fn(usize) -> Cplx>(&self, get: G, dst: &mut [Cplx], scratch: &mut Scratch) {

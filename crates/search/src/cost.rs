@@ -81,11 +81,15 @@ impl CostModel {
 }
 
 /// Flops plus weighted memory operations; a barrier penalty discourages
-/// pass-heavy plans.
+/// pass-heavy plans. Flops inside vector-marked stages are credited with
+/// ν-lane throughput (one vector op retires ν scalar lanes), so the
+/// search sees the vec(ν) dimension even under the structural model.
 fn analytic_cost(plan: &Plan) -> f64 {
     // Each step reads and writes the whole vector once.
     let mem_ops = plan.steps.len() as f64 * 2.0 * plan.n as f64;
-    plan.flops() as f64 + 1.5 * mem_ops + 200.0 * plan.barriers() as f64
+    let nu = plan.vec_width.max(1) as f64;
+    let flops = plan.flops() as f64 - plan.vec_flops() as f64 * (1.0 - 1.0 / nu);
+    flops + 1.5 * mem_ops + 200.0 * plan.barriers() as f64
 }
 
 fn try_host_time(

@@ -6,9 +6,27 @@ use crate::dp::dp_search;
 use spiral_codegen::plan::Plan;
 use spiral_codegen::SpiralError;
 use spiral_rewrite::{expand_dfts, multicore_dft, RuleTree};
+use spiral_spl::builder::vec_tag;
 use spiral_spl::num::divisors;
 use spiral_spl::Spl;
 use std::collections::HashMap;
+
+/// Lane widths the search proposes as the vec(ν) candidate dimension:
+/// scalar (ν = 1) plus every supported width the host actually has.
+/// Under the `force-scalar` feature of `spiral-codegen` the detected
+/// width is 1, so this collapses to `[1]` and no vector candidate is
+/// ever generated.
+fn candidate_vec_widths() -> Vec<usize> {
+    let host = spiral_codegen::detected_simd_width();
+    let mut widths = vec![1];
+    widths.extend(
+        spiral_codegen::simd::CANDIDATE_WIDTHS
+            .iter()
+            .copied()
+            .filter(|&nu| nu <= host),
+    );
+    widths
+}
 
 /// A tuned implementation: the winning formula, its compiled plan, and
 /// the cost under the tuner's model.
@@ -146,22 +164,50 @@ impl Tuner {
         }
     }
 
-    /// Best sequential implementation of `DFT_n` (DP over rule trees).
-    /// `Err` when the DP-chosen expansion fails to lower or its
+    /// Best sequential implementation of `DFT_n` (DP over rule trees,
+    /// then the scalar-vs-vec(ν) backend dimension on the DP winner).
+    /// `Err` when the DP-chosen expansion fails to lower or its scalar
     /// measurement faults — both indicate a broken toolchain rather than
-    /// a bad candidate, so there is nothing to quarantine.
+    /// a bad candidate, so there is nothing to quarantine. A faulting
+    /// *vector* variant merely loses to the scalar baseline.
     pub fn tune_sequential(&self, n: usize) -> Result<Tuned, SpiralError> {
         let r = dp_search(n, self.max_leaf, self.mu, &self.model);
-        let formula = r.tree.expand().normalized();
-        let plan = Plan::from_formula(&formula, 1, self.mu).map_err(|e| {
+        let base = r.tree.expand().normalized();
+        let plan = Plan::from_formula(&base, 1, self.mu).map_err(|e| {
             SpiralError::Lower(format!("sequential expansion failed to lower: {e}"))
         })?;
-        Ok(Tuned {
-            formula,
+        let mut best = Tuned {
             cost: self.model.try_cost(&plan)?,
+            formula: base.clone(),
             plan,
             choice: format!("sequential tree {}", r.tree),
-        })
+        };
+        for nu in candidate_vec_widths() {
+            if nu == 1 {
+                continue;
+            }
+            let formula = vec_tag(nu, base.clone());
+            let Ok(plan) = Plan::from_formula(&formula, 1, self.mu) else {
+                continue;
+            };
+            if plan.vec_width == 1 {
+                // No stage passed ν-alignment: identical to the scalar
+                // baseline, nothing new to measure.
+                continue;
+            }
+            let Ok(cost) = self.model.try_cost(&plan) else {
+                continue;
+            };
+            if cost < best.cost {
+                best = Tuned {
+                    formula,
+                    plan,
+                    cost,
+                    choice: format!("sequential tree {} + vec({nu})", r.tree),
+                };
+            }
+        }
+        Ok(best)
     }
 
     /// Best parallel implementation: searches the top-level split `m` of
@@ -222,17 +268,19 @@ impl Tuner {
         let tree_cache: std::cell::RefCell<HashMap<usize, RuleTree>> =
             std::cell::RefCell::new(HashMap::new());
         let mut best: Option<Tuned> = None;
-        for (ci, m) in splits.into_iter().enumerate() {
-            let choice = format!("multicore split {m}x{}", n / m);
-            let t0 = obs.active().then(std::time::Instant::now);
+        let widths = candidate_vec_widths();
+        let mut ci = 0usize;
+        for m in splits {
+            let base_choice = format!("multicore split {m}x{}", n / m);
             let derived = match multicore_dft(n, self.p, self.mu, Some(m)) {
                 Ok(d) => d,
                 Err(e) => {
                     report.quarantined.push(QuarantineEntry {
-                        choice,
+                        choice: base_choice,
                         reason: format!("derivation failed: {e:?}"),
                     });
                     obs.reject(ci);
+                    ci += 1;
                     continue;
                 }
             };
@@ -244,73 +292,99 @@ impl Tuner {
                     .clone()
             })
             .normalized();
-            let plan = match Plan::from_formula(&expanded, self.p, self.mu) {
-                // Loop merging across the parallel boundary: fold the
-                // P ⊗̄ I_µ exchanges into the compute steps (§3.1).
-                Ok(p) => p.fuse_exchanges(),
-                Err(e) => {
-                    report.quarantined.push(QuarantineEntry {
-                        choice,
-                        reason: format!("failed to lower: {e}"),
-                    });
-                    obs.reject(ci);
-                    continue;
-                }
-            };
-            // Candidates that fail static verification (races, false
-            // sharing, out-of-bounds) never enter the search space: the
-            // analyzer enforces Definition 1 before any measurement.
-            if spiral_verify::verify_plan(&plan, &spiral_verify::VerifyOptions::default())
-                .has_errors()
-            {
-                report.quarantined.push(QuarantineEntry {
-                    choice,
-                    reason: "failed static verification".to_string(),
-                });
-                obs.reject(ci);
-                continue;
-            }
-            // Dataflow certification: abstract interpretation of the
-            // lowered IR (bounds, write-once coverage, ping-pong
-            // discipline, exchange-fusion legality). Independent of the
-            // scheduling analyzer above; a plan failing it computes
-            // garbage regardless of how fast it runs.
-            let cert = spiral_verify::certify::dataflow::certify_dataflow(&plan);
-            if let Some(f) = cert.first() {
-                report.quarantined.push(QuarantineEntry {
-                    choice,
-                    reason: format!("failed dataflow certification: {f}"),
-                });
-                obs.reject(ci);
-                continue;
-            }
-            report.evaluated += 1;
-            let cost = match self.model.try_cost(&plan) {
-                Ok(c) => c,
-                Err(e) => {
-                    // A faulting measurement disqualifies the candidate,
-                    // not the search: record it and keep going.
-                    report.quarantined.push(QuarantineEntry {
-                        choice,
-                        reason: e.to_string(),
-                    });
-                    if let Some(t0) = t0 {
-                        obs.candidate(ci, t0);
+            // The backend dimension: the same split measured scalar and
+            // with every host-supported vec(ν) tag.
+            for &nu in &widths {
+                let (formula, choice) = if nu == 1 {
+                    (expanded.clone(), base_choice.clone())
+                } else {
+                    (
+                        vec_tag(nu, expanded.clone()),
+                        format!("{base_choice} + vec({nu})"),
+                    )
+                };
+                let t0 = obs.active().then(std::time::Instant::now);
+                let plan = match Plan::from_formula(&formula, self.p, self.mu) {
+                    // Loop merging across the parallel boundary: fold the
+                    // P ⊗̄ I_µ exchanges into the compute steps (§3.1).
+                    Ok(p) => p.fuse_exchanges(),
+                    Err(e) => {
+                        report.quarantined.push(QuarantineEntry {
+                            choice,
+                            reason: format!("failed to lower: {e}"),
+                        });
+                        obs.reject(ci);
+                        ci += 1;
+                        continue;
                     }
-                    obs.reject(ci);
+                };
+                if nu > 1 && plan.vec_width == 1 {
+                    // No stage passed ν-alignment: the plan is identical
+                    // to the scalar candidate, skip the duplicate.
                     continue;
                 }
-            };
-            if let Some(t0) = t0 {
-                obs.candidate(ci, t0);
-            }
-            if best.as_ref().is_none_or(|b| cost < b.cost) {
-                best = Some(Tuned {
-                    formula: expanded,
-                    plan,
-                    cost,
-                    choice,
-                });
+                // Candidates that fail static verification (races, false
+                // sharing, out-of-bounds) never enter the search space:
+                // the analyzer enforces Definition 1 before any
+                // measurement.
+                if spiral_verify::verify_plan(&plan, &spiral_verify::VerifyOptions::default())
+                    .has_errors()
+                {
+                    report.quarantined.push(QuarantineEntry {
+                        choice,
+                        reason: "failed static verification".to_string(),
+                    });
+                    obs.reject(ci);
+                    ci += 1;
+                    continue;
+                }
+                // Dataflow certification: abstract interpretation of the
+                // lowered IR (bounds, write-once coverage, ping-pong
+                // discipline, exchange-fusion legality, ν-alignment of
+                // vector-marked stages). Independent of the scheduling
+                // analyzer above; a plan failing it computes garbage
+                // regardless of how fast it runs.
+                let cert = spiral_verify::certify::dataflow::certify_dataflow(&plan);
+                if let Some(f) = cert.first() {
+                    report.quarantined.push(QuarantineEntry {
+                        choice,
+                        reason: format!("failed dataflow certification: {f}"),
+                    });
+                    obs.reject(ci);
+                    ci += 1;
+                    continue;
+                }
+                report.evaluated += 1;
+                let cost = match self.model.try_cost(&plan) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // A faulting measurement disqualifies the
+                        // candidate, not the search: record it and keep
+                        // going.
+                        report.quarantined.push(QuarantineEntry {
+                            choice,
+                            reason: e.to_string(),
+                        });
+                        if let Some(t0) = t0 {
+                            obs.candidate(ci, t0);
+                        }
+                        obs.reject(ci);
+                        ci += 1;
+                        continue;
+                    }
+                };
+                if let Some(t0) = t0 {
+                    obs.candidate(ci, t0);
+                }
+                ci += 1;
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    best = Some(Tuned {
+                        formula,
+                        plan,
+                        cost,
+                        choice,
+                    });
+                }
             }
         }
         #[cfg(feature = "trace")]
@@ -436,6 +510,54 @@ mod tests {
         assert_eq!(rejects, outcome.report.quarantined.len());
         // All attributed to the coordinating thread, chronological.
         assert!(events.iter().all(|e| e.tid == 0));
+    }
+
+    #[test]
+    fn tuner_proposes_vec_backend_dimension() {
+        if spiral_codegen::detected_simd_width() == 1 {
+            // force-scalar build or no-SIMD host: the dimension must
+            // collapse to scalar-only.
+            let t = Tuner::new(2, 4, CostModel::Analytic);
+            let tuned = t.tune_parallel(1024).unwrap().unwrap();
+            assert!(!tuned.choice.contains("vec("), "{}", tuned.choice);
+            return;
+        }
+        // The analytic model credits ν-lane throughput, so with SIMD
+        // available the vector variant of the best split must win.
+        let t = Tuner::new(2, 4, CostModel::Analytic);
+        let tuned = t.tune_parallel(1024).unwrap().unwrap();
+        assert!(tuned.choice.contains("+ vec("), "{}", tuned.choice);
+        assert!(tuned.plan.vec_width > 1);
+        assert!(tuned.formula.has_vec_tag());
+        let x = ramp(1024);
+        assert_slices_close(
+            &tuned.plan.execute(&x),
+            &spiral_spl::builder::dft(1024).eval(&x),
+            1e-5,
+        );
+        // The winning formula round-trips through the wisdom text form
+        // with its tag intact.
+        let text = tuned.formula.to_string();
+        let parsed = spiral_spl::parse::parse(&text).unwrap();
+        assert!(parsed.has_vec_tag());
+        assert_eq!(parsed.vec_width(), tuned.plan.vec_width);
+    }
+
+    #[test]
+    fn sequential_tuner_sees_vec_dimension() {
+        let t = Tuner::new(1, 4, CostModel::Analytic);
+        let tuned = t.tune_sequential(256).unwrap();
+        if spiral_codegen::detected_simd_width() > 1 {
+            assert!(tuned.choice.contains("+ vec("), "{}", tuned.choice);
+        } else {
+            assert_eq!(tuned.plan.vec_width, 1);
+        }
+        let x = ramp(256);
+        assert_slices_close(
+            &tuned.plan.execute(&x),
+            &spiral_spl::builder::dft(256).eval(&x),
+            1e-6,
+        );
     }
 
     #[test]

@@ -291,6 +291,7 @@ impl PlanService {
                     formula: tuned.formula.to_string(),
                     choice: tuned.choice.clone(),
                     cost: tuned.cost,
+                    vec_width: plan.vec_width.max(1) as u64,
                 },
                 plan.clone(),
             );

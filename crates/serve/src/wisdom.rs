@@ -31,7 +31,11 @@ use std::sync::Arc;
 
 /// Version of the on-disk wisdom schema. Files with any other version
 /// are discarded wholesale (with a reason in the [`LoadReport`]).
-pub const WISDOM_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: entries record the short-vector backend width (`vec_width`) the
+/// winning plan was tuned with, and loading rejects entries wider than
+/// the host's detected SIMD width.
+pub const WISDOM_SCHEMA_VERSION: u64 = 2;
 
 /// One persisted tuning result.
 ///
@@ -55,6 +59,10 @@ pub struct WisdomEntry {
     pub choice: String,
     /// Cost of the winner under the tuner's model.
     pub cost: f64,
+    /// Short-vector lane width the winning plan executes with (ν);
+    /// 1 = scalar backend. Entries wider than the loading host's
+    /// detected SIMD width are stale and rejected on load.
+    pub vec_width: u64,
 }
 
 /// The on-disk wisdom file: schema version, host identity, entries.
@@ -174,6 +182,22 @@ impl WisdomStore {
             return (store, report);
         }
         for entry in file.entries {
+            // Entry-level staleness gate: a formula tuned with a wider
+            // short-vector backend than this host can execute is wrong
+            // to serve even when the rest of the fingerprint matches
+            // (e.g. a hand-merged or edited wisdom file).
+            if entry.vec_width > store.host.simd_width.max(1) {
+                report.rejected.push(RejectedEntry {
+                    n: entry.n,
+                    threads: entry.threads,
+                    mu: entry.mu,
+                    reason: format!(
+                        "stale host: entry tuned with vec({}) exceeds this host's SIMD width {}",
+                        entry.vec_width, store.host.simd_width
+                    ),
+                });
+                continue;
+            }
             match compile_entry(&entry) {
                 Ok(compiled) => {
                     store.entries.insert(entry_key(&entry), (entry, compiled));
@@ -337,6 +361,12 @@ pub fn compile_entry(entry: &WisdomEntry) -> Result<CompiledEntry, String> {
     } else {
         plan
     };
+    if entry.vec_width.max(1) != plan.vec_width.max(1) as u64 {
+        return Err(format!(
+            "recorded vec_width {} disagrees with the recompiled plan's vec({})",
+            entry.vec_width, plan.vec_width
+        ));
+    }
     let report = verify_plan(&plan, &VerifyOptions::default());
     if report.has_errors() {
         return Err(format!(

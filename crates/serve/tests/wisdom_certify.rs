@@ -26,6 +26,7 @@ fn wrong_matrix_entry() -> WisdomEntry {
         formula: "(DFT_4 @ I_4) * (I_4 @ DFT_4) * L^16_4".to_string(),
         choice: "test".to_string(),
         cost: 100.0,
+        vec_width: 1,
     }
 }
 
@@ -57,12 +58,24 @@ fn correct_entry_passes_certification() {
 
 /// The rejection reason is deterministic (exact arithmetic, fixed sweep
 /// order), so its exact text is pinned: tooling greps these strings.
+/// The golden file is line-keyed (`key: reason`) and shared with the
+/// vector-IR rejection reasons pinned by `spiral-verify`'s certify
+/// suite; this test owns the `wisdom-wrong-matrix` line.
 #[test]
 fn rejection_reason_matches_golden_snapshot() {
     let got = compile_entry(&wrong_matrix_entry()).expect_err("must be rejected");
     let path = golden_path();
+    let key = "wisdom-wrong-matrix";
     if std::env::var("UPDATE_GOLDEN").is_ok() {
-        std::fs::write(&path, &got).expect("write golden snapshot");
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let mut lines: Vec<String> = existing
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with(&format!("{key}: ")))
+            .map(str::to_string)
+            .collect();
+        lines.push(format!("{key}: {got}"));
+        lines.sort();
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write golden snapshot");
         return;
     }
     let want = match std::fs::read_to_string(&path) {
@@ -72,9 +85,13 @@ fn rejection_reason_matches_golden_snapshot() {
             path.display()
         ),
     };
+    let line = want
+        .lines()
+        .find(|l| l.starts_with(&format!("{key}: ")))
+        .unwrap_or_else(|| panic!("no `{key}:` line in {}", path.display()));
     assert_eq!(
-        got.trim(),
-        want.trim(),
+        line,
+        format!("{key}: {got}"),
         "certifier verdict strings drifted from results/certify_reasons.golden.\n\
          If intentional: regenerate with UPDATE_GOLDEN=1."
     );

@@ -110,6 +110,7 @@ fn corrupt_entries_are_rejected_individually_with_reasons() {
         formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
         choice: "test".to_string(),
         cost: 100.0,
+        vec_width: 1,
     };
     let bad_parse = WisdomEntry {
         formula: "DFT_oops".to_string(),
@@ -164,6 +165,7 @@ fn stale_host_fingerprint_discards_the_whole_file() {
             formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
             choice: "test".to_string(),
             cost: 100.0,
+            vec_width: 1,
         }],
     };
     let path = tmp_path("stale_host.json");
@@ -172,6 +174,72 @@ fn stale_host_fingerprint_discards_the_whole_file() {
     let (store, report) = WisdomStore::open_for_host(&path, HostFingerprint::current());
     assert!(store.is_empty());
     let reason = report.discarded.expect("stale file must be discarded");
+    assert!(reason.contains("stale host"), "{reason}");
+}
+
+/// A file whose fingerprint matches this host field-for-field can still
+/// contain an individually stale entry: one tuned with a short-vector
+/// width the host cannot execute (hand-merged wisdom, edited files).
+/// Such entries are rejected entry-by-entry; the rest of the file loads.
+#[test]
+fn entries_wider_than_host_simd_are_rejected_as_stale() {
+    let mut host = HostFingerprint::current();
+    host.simd_width = 2; // pretend this host tops out at two lanes
+    let good = WisdomEntry {
+        n: 16,
+        threads: 1,
+        mu: 4,
+        plan_threads: 1,
+        formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
+        choice: "test".to_string(),
+        cost: 100.0,
+        vec_width: 1,
+    };
+    let too_wide = WisdomEntry {
+        n: 64,
+        formula: "vec(4)[(DFT_8 @ I_8) * T^64_8 * (I_8 @ DFT_8) * L^64_8]".to_string(),
+        choice: "test + vec(4)".to_string(),
+        vec_width: 4,
+        ..good.clone()
+    };
+    let file = WisdomFile {
+        schema: WISDOM_SCHEMA_VERSION,
+        host: host.clone(),
+        entries: vec![good, too_wide],
+    };
+    let path = tmp_path("stale_simd_width.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+
+    let (store, report) = WisdomStore::open_for_host(&path, host);
+    assert!(report.discarded.is_none(), "{:?}", report.discarded);
+    assert_eq!(report.loaded, 1, "the scalar entry still loads");
+    assert_eq!(report.rejected.len(), 1);
+    let reason = &report.rejected[0].reason;
+    assert!(
+        reason.contains("stale host") && reason.contains("vec(4)"),
+        "reason names the width gate: {reason}"
+    );
+    assert!(store.get(16, 1, 4).is_some());
+    assert!(store.get(64, 1, 4).is_none());
+}
+
+/// Hosts that differ only in detected SIMD width are different machines
+/// as far as wisdom is concerned: the fingerprint comparison discards
+/// the whole file.
+#[test]
+fn fingerprint_simd_width_mismatch_discards_the_whole_file() {
+    let mut other = HostFingerprint::current();
+    other.simd_width *= 2;
+    let file = WisdomFile {
+        schema: WISDOM_SCHEMA_VERSION,
+        host: other,
+        entries: Vec::new(),
+    };
+    let path = tmp_path("stale_simd_host.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+    let (store, report) = WisdomStore::open_for_host(&path, HostFingerprint::current());
+    assert!(store.is_empty());
+    let reason = report.discarded.expect("wider-host file must be discarded");
     assert!(reason.contains("stale host"), "{reason}");
 }
 
@@ -212,6 +280,7 @@ fn invalid_plan_threads_is_rejected() {
         formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
         choice: "test".to_string(),
         cost: 10.0,
+        vec_width: 1,
     };
     let err = compile_entry(&entry).unwrap_err();
     assert!(err.contains("plan_threads"), "{err}");
@@ -234,6 +303,7 @@ fn tuner_winners_round_trip_through_ascii() {
             formula: tuned.formula.to_string(),
             choice: tuned.choice.clone(),
             cost: tuned.cost,
+            vec_width: tuned.plan.vec_width.max(1) as u64,
         };
         let compiled = compile_entry(&entry).unwrap_or_else(|e| {
             panic!(

@@ -21,7 +21,8 @@ fn fixture() -> WisdomFile {
             cores: 4,
             mu: 4,
             cache_line_bytes: 64,
-            features: vec!["trace".to_string()],
+            simd_width: 4,
+            features: vec!["trace".to_string(), "simd4".to_string()],
         },
         entries: vec![
             WisdomEntry {
@@ -32,15 +33,17 @@ fn fixture() -> WisdomFile {
                 formula: "(DFT_4 @ I_4) * T^16_4 * (I_4 @ DFT_4) * L^16_4".to_string(),
                 choice: "sequential tree (4 x 4)".to_string(),
                 cost: 512.0,
+                vec_width: 1,
             },
             WisdomEntry {
                 n: 1024,
                 threads: 2,
                 mu: 4,
                 plan_threads: 2,
-                formula: "smp(2,4)[DFT_1024]".to_string(),
-                choice: "multicore split 32x32".to_string(),
+                formula: "vec(2)[smp(2,4)[DFT_1024]]".to_string(),
+                choice: "multicore split 32x32 + vec(2)".to_string(),
                 cost: 65536.0,
+                vec_width: 2,
             },
         ],
     }

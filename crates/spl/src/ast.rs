@@ -60,6 +60,16 @@ pub enum Spl {
         /// The subformula to parallelize.
         a: Box<Spl>,
     },
+    /// Short-vector tag `vec(ν)` requesting the wrapped subformula be
+    /// lowered to ν-wide SIMD leaf kernels (paper §3.2: the shared-memory
+    /// formula composes with the short-vector FFT). Semantically
+    /// transparent, like `smp`.
+    Vec {
+        /// Vector length in complex elements (lanes per kernel call).
+        nu: usize,
+        /// The subformula to vectorize.
+        a: Box<Spl>,
+    },
 }
 
 /// Errors from structural validation.
@@ -106,7 +116,7 @@ impl Spl {
             Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => fs.iter().map(|f| f.dim()).sum(),
             Spl::TensorPar { p, a } => p * a.dim(),
             Spl::PermBar { perm, mu } => perm.dim() * mu,
-            Spl::Smp { a, .. } => a.dim(),
+            Spl::Smp { a, .. } | Spl::Vec { a, .. } => a.dim(),
         }
     }
 
@@ -180,6 +190,16 @@ impl Spl {
                 }
                 a.validate()
             }
+            Spl::Vec { nu, a } => {
+                if *nu == 0 || !nu.is_power_of_two() {
+                    return Err(SplError::Constraint(
+                        "vec(ν) needs a power-of-two ν",
+                        *nu,
+                        0,
+                    ));
+                }
+                a.validate()
+            }
         }
     }
 
@@ -188,7 +208,7 @@ impl Spl {
         match self {
             Spl::Compose(fs) | Spl::DirectSum(fs) | Spl::DirectSumPar(fs) => fs.iter().collect(),
             Spl::Tensor(a, b) => vec![a, b],
-            Spl::TensorPar { a, .. } | Spl::Smp { a, .. } => vec![a],
+            Spl::TensorPar { a, .. } | Spl::Smp { a, .. } | Spl::Vec { a, .. } => vec![a],
             _ => vec![],
         }
     }
@@ -207,6 +227,10 @@ impl Spl {
             Spl::Smp { p, mu, a } => Spl::Smp {
                 p: *p,
                 mu: *mu,
+                a: Box::new(f(a)),
+            },
+            Spl::Vec { nu, a } => Spl::Vec {
+                nu: *nu,
                 a: Box::new(f(a)),
             },
             leaf => leaf.clone(),
@@ -231,6 +255,24 @@ impl Spl {
     /// shared memory is not finished).
     pub fn has_smp_tag(&self) -> bool {
         matches!(self, Spl::Smp { .. }) || self.children().iter().any(|c| c.has_smp_tag())
+    }
+
+    /// True if the formula contains a `vec(ν)` short-vector tag.
+    pub fn has_vec_tag(&self) -> bool {
+        matches!(self, Spl::Vec { .. }) || self.children().iter().any(|c| c.has_vec_tag())
+    }
+
+    /// The widest `vec(ν)` tag in the formula (1 if untagged) — the lane
+    /// width the lowered plan will require of the executing host.
+    pub fn vec_width(&self) -> usize {
+        let own = match self {
+            Spl::Vec { nu, .. } => *nu,
+            _ => 1,
+        };
+        self.children()
+            .iter()
+            .map(|c| c.vec_width())
+            .fold(own, usize::max)
     }
 
     /// If the formula denotes a permutation matrix built from the
@@ -259,7 +301,7 @@ impl Spl {
                 let ps: Option<Vec<Perm>> = fs.iter().map(|f| f.as_perm()).collect();
                 ps.map(Perm::Compose)
             }
-            Spl::Smp { a, .. } => a.as_perm(),
+            Spl::Smp { a, .. } | Spl::Vec { a, .. } => a.as_perm(),
             _ => None,
         }
     }

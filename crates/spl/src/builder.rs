@@ -91,6 +91,11 @@ pub fn smp(p: usize, mu: usize, a: Spl) -> Spl {
     }
 }
 
+/// Short-vector tag `vec(ν)`.
+pub fn vec_tag(nu: usize, a: Spl) -> Spl {
+    Spl::Vec { nu, a: Box::new(a) }
+}
+
 /// The Cooley–Tukey right-hand side of rule (1):
 /// `(DFT_m ⊗ I_n) · T^{mn}_n · (I_m ⊗ DFT_n) · L^{mn}_m`.
 pub fn cooley_tukey(m: usize, n: usize) -> Spl {

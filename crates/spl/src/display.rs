@@ -65,6 +65,7 @@ impl fmt::Display for Spl {
             Spl::TensorPar { p, a } => write!(f, "(I_{p} @|| {a})"),
             Spl::PermBar { perm, mu } => write!(f, "({perm} @bar I_{mu})"),
             Spl::Smp { p, mu, a } => write!(f, "smp({p},{mu})[{a}]"),
+            Spl::Vec { nu, a } => write!(f, "vec({nu})[{a}]"),
         }
     }
 }
@@ -108,6 +109,7 @@ impl Spl {
             Spl::TensorPar { p, a } => format!("(I{} ⊗∥ {})", sub(*p), a.pretty()),
             Spl::PermBar { perm, mu } => format!("({perm} ⊗̄ I{})", sub(*mu)),
             Spl::Smp { p, mu, a } => format!("⟨{}⟩smp({p},{mu})", a.pretty()),
+            Spl::Vec { nu, a } => format!("⟨{}⟩vec(ν={nu})", a.pretty()),
         }
     }
 }

@@ -292,6 +292,15 @@ impl<'a> Parser<'a> {
                 self.expect(b']')?;
                 Ok(builder::smp(p, mu, e))
             }
+            "vec" => {
+                self.expect(b'(')?;
+                let nu = self.num()?;
+                self.expect(b')')?;
+                self.expect(b'[')?;
+                let e = self.expr()?;
+                self.expect(b']')?;
+                Ok(builder::vec_tag(nu, e))
+            }
             "diag" => {
                 self.expect(b'(')?;
                 let mut entries = Vec::new();

@@ -55,7 +55,9 @@ pub(crate) fn ns_u64(d: Duration) -> u64 {
 ///
 /// * v1 — initial layout (PR 3).
 /// * v2 — added the [`HostMeta`] `host` block.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * v3 — the host block gained `simd_width` (detected short-vector
+///   lane count; v2 profiles deserialize with the scalar default 1).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The host a profile was measured on. Timing artifacts are meaningless
 /// without this context: a 2-thread run on a 1-core container and on a

@@ -25,7 +25,8 @@ fn representative_profile() -> RunProfile {
             cores: 4,
             mu: 4,
             cache_line_bytes: 64,
-            features: vec!["trace".to_string()],
+            simd_width: 4,
+            features: vec!["trace".to_string(), "simd4".to_string()],
         },
         pool_job_ns: vec![120_000, 118_500],
         stages: vec![

@@ -22,6 +22,13 @@
 //! * **exchange legality** — exchange and fused-gather tables are
 //!   bijections of `[0, n)`, and explicit exchanges move whole µ-element
 //!   blocks (the paper's `P ⊗̄ I_µ` false-sharing-freedom structure);
+//! * **ν-alignment of vector-marked stages** — a stage carrying
+//!   `vec_width = ν > 1` must satisfy the vectorizer's alignment
+//!   preconditions (contiguous innermost lane loop, ν-granular offsets
+//!   and strides, lane-contiguous gather blocks), and its lane-grouped
+//!   twiddle tables must correspond bit-for-bit to the scalar tables
+//!   under the lane shuffle `lanes[g·c·ν + t·ν + l] = w[(g·ν + l)·c + t]`
+//!   — a swapped or mis-derived shuffle is rejected IR, not a fallback;
 //! * **output coverage** — after the last step, every element of the
 //!   result buffer holds a current value.
 //!
@@ -367,6 +374,7 @@ fn analyze_program(
             };
         match stage {
             LocalStage::Kernel(ks) => {
+                check_vector_marking(ks, si, k)?;
                 analyze_kernel(ks, si, k, dim, &mut read, &mut write, &mut counts)?;
             }
             LocalStage::Permute(t) => {
@@ -413,6 +421,102 @@ fn analyze_program(
     // Full per-stage coverage proven, and the last stage targets dst.
     for i in 0..dim {
         written[off + i] = true;
+    }
+    Ok(())
+}
+
+/// Re-prove a vector-marked stage's claims. The ν-alignment rules are
+/// re-checked through the vectorizer's own predicate (the marking pass
+/// and the certifier share one definition of "aligned"), then the
+/// redundant lane-grouped twiddle tables are proven to correspond
+/// bit-for-bit to the scalar tables under the lane shuffle — the scalar
+/// interpreter and the ν-lane path must read the *same* constants, so a
+/// swapped or mis-derived shuffle is rejected here, structurally, before
+/// any value-level pass runs.
+fn check_vector_marking(ks: &KernelStage, si: usize, k: usize) -> Result<(), CertFinding> {
+    let nu = ks.vec_width;
+    if nu <= 1 {
+        if ks.twiddle_lanes.is_some() || ks.twiddle_out_lanes.is_some() {
+            return Err(fail(
+                Some(si),
+                Some(k),
+                None,
+                "scalar stage carries lane-grouped twiddle tables".to_string(),
+            ));
+        }
+        return Ok(());
+    }
+    if let Err(why) = spiral_codegen::stage_alignment(ks, nu) {
+        return Err(fail(
+            Some(si),
+            Some(k),
+            None,
+            format!("vector-marked stage violates nu={nu} alignment: {why}"),
+        ));
+    }
+    let c = ks.codelet.size();
+    for (what, scalar, lanes) in [
+        ("twiddle", &ks.twiddle, &ks.twiddle_lanes),
+        ("twiddle_out", &ks.twiddle_out, &ks.twiddle_out_lanes),
+    ] {
+        match (scalar.as_deref(), lanes.as_deref()) {
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(fail(
+                    Some(si),
+                    Some(k),
+                    None,
+                    format!("vector-marked stage is missing its lane-grouped {what} table"),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(fail(
+                    Some(si),
+                    Some(k),
+                    None,
+                    format!("lane-grouped {what} table present without a scalar {what} table"),
+                ));
+            }
+            (Some(w), Some(lw)) => {
+                if lw.len() != w.len() {
+                    return Err(fail(
+                        Some(si),
+                        Some(k),
+                        Some(lw.len()),
+                        format!(
+                            "lane-grouped {what} table has {} entries, scalar table has {}",
+                            lw.len(),
+                            w.len()
+                        ),
+                    ));
+                }
+                // Alignment proved the iteration count ν-granular, so the
+                // span tiles into whole (group, slot, lane) cells.
+                let groups = ks.span() / (c * nu);
+                for g in 0..groups {
+                    for t in 0..c {
+                        for l in 0..nu {
+                            let got = lw[g * c * nu + t * nu + l];
+                            let want = w[(g * nu + l) * c + t];
+                            if got.re.to_bits() != want.re.to_bits()
+                                || got.im.to_bits() != want.im.to_bits()
+                            {
+                                return Err(fail(
+                                    Some(si),
+                                    Some(k),
+                                    Some(g * c * nu + t * nu + l),
+                                    format!(
+                                        "lane-grouped {what} table does not correspond to the \
+                                         scalar table at group {g}, slot {t}, lane {l} — the \
+                                         lane shuffle is wrong"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }

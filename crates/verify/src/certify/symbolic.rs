@@ -19,6 +19,14 @@
 //! through its DAG form — the straight-line program the `cemit` C
 //! backend prints. A plan is accepted only if **both** lowerings equal
 //! `DFT_n` exactly: `plan(e_j)[k] = ω_n^{k·j}` for all `j, k`.
+//!
+//! Vector-marked stages (`vec_width = ν > 1`) are replayed the way the
+//! ν-lane runtime path reads them: constants come from the lane-grouped
+//! `twiddle_lanes` tables at `(flat/ν)·c·ν + t·ν + flat mod ν`, so a
+//! swapped or mis-derived lane shuffle yields the wrong matrix and is
+//! rejected entrywise (the per-lane codelet arithmetic is the identical
+//! operation sequence to the scalar kernels, so no separate codelet
+//! semantics is needed).
 
 use super::{CertFinding, CertPass};
 use spiral_codegen::codelet::dag::{Dag, Node};
@@ -345,6 +353,22 @@ fn apply_kernel(
     k: usize,
 ) -> Result<(), CertFinding> {
     let c = ks.codelet.size();
+    // Vector-marked stages read their constants through the lane-grouped
+    // tables on contiguous (`Local`) views — exactly what the ν-lane
+    // runtime path does — so a wrong lane shuffle produces a wrong
+    // matrix here, at value level. Gathered views run the scalar path at
+    // runtime and are mirrored with the scalar tables.
+    let nu = ks.vec_width;
+    let vec_exec = nu > 1 && matches!(src, SymSrc::Local(..));
+    let lanes_in = vec_exec && ks.twiddle_lanes.is_some();
+    let lanes_out = vec_exec && ks.twiddle_out_lanes.is_some();
+    let lane_entry = |flat: usize, t: usize, grouped: bool| {
+        if grouped {
+            (flat / nu) * c * nu + t * nu + flat % nu
+        } else {
+            flat * c + t
+        }
+    };
     let mut input = vec![Cyclo::zero(order); c];
     let mut err: Option<CertFinding> = None;
     ks.for_each_iteration(|flat, in_base, out_base| {
@@ -373,14 +397,19 @@ fn apply_kernel(
                         format!("kernel reads index {idx} out of bounds"),
                     )
                 })?;
-                if let Some(w) = &ks.twiddle {
-                    let e = flat * c + t;
+                let (w, name) = if lanes_in {
+                    (&ks.twiddle_lanes, "twiddle_lanes")
+                } else {
+                    (&ks.twiddle, "twiddle")
+                };
+                if let Some(w) = w {
+                    let e = lane_entry(flat, t, lanes_in);
                     let cst = *w.get(e).ok_or_else(|| {
                         fail(
                             Some(si),
                             Some(k),
                             Some(e),
-                            format!("twiddle index {e} outside the {}-entry table", w.len()),
+                            format!("{name} index {e} outside the {}-entry table", w.len()),
                         )
                     })?;
                     v = v.mul(&snap(cst, order, si, Some(k), Some(e))?);
@@ -389,14 +418,19 @@ fn apply_kernel(
             }
             let result = codelet_symbolic(&ks.codelet, &input, order, use_dag, si, k)?;
             for (t, mut v) in result.into_iter().enumerate() {
-                if let Some(w) = &ks.twiddle_out {
-                    let e = flat * c + t;
+                let (w, name) = if lanes_out {
+                    (&ks.twiddle_out_lanes, "twiddle_out_lanes")
+                } else {
+                    (&ks.twiddle_out, "twiddle_out")
+                };
+                if let Some(w) = w {
+                    let e = lane_entry(flat, t, lanes_out);
                     let cst = *w.get(e).ok_or_else(|| {
                         fail(
                             Some(si),
                             Some(k),
                             Some(e),
-                            format!("twiddle_out index {e} outside the {}-entry table", w.len()),
+                            format!("{name} index {e} outside the {}-entry table", w.len()),
                         )
                     })?;
                     v = v.mul(&snap(cst, order, si, Some(k), Some(e))?);

@@ -35,6 +35,7 @@
 pub mod audit;
 pub mod baseline;
 pub mod certify;
+pub mod differential;
 pub mod footprint;
 pub mod iset;
 pub mod timeline;
@@ -646,6 +647,7 @@ mod tests {
             n,
             threads,
             mu,
+            vec_width: 1,
             steps: vec![Step::Par {
                 chunk,
                 programs: dims.iter().map(|&d| LocalProgram::identity(d)).collect(),
@@ -708,6 +710,7 @@ mod tests {
             n,
             threads: 2,
             mu: 4,
+            vec_width: 1,
             steps: vec![
                 Step::ScaleAll(Arc::new(vec![Cplx::ONE; n])),
                 Step::Par {
@@ -738,6 +741,7 @@ mod tests {
             n: 16,
             threads: 2,
             mu: 4,
+            vec_width: 1,
             steps: vec![Step::Par {
                 chunk: 8,
                 programs: vec![scale, LocalProgram::identity(8)],

@@ -3,9 +3,12 @@
 //! passes the dataflow certification, while deliberately corrupted IR is
 //! rejected by the matching pass with a localized verdict.
 
+use proptest::prelude::*;
+use proptest::sample::select;
 use spiral_codegen::plan::{Plan, Step};
-use spiral_codegen::stage::LocalStage;
+use spiral_codegen::stage::{KernelStage, LocalStage};
 use spiral_rewrite::{multicore_dft_expanded, sequential_dft};
+use spiral_spl::builder::vec_tag;
 use spiral_spl::cplx::Cplx;
 use spiral_verify::certify::{certify_plan, CertOptions, CertPass};
 use std::sync::Arc;
@@ -186,6 +189,227 @@ fn non_bijective_exchange_rejected_by_dataflow() {
         rep.symbolic_certified, None,
         "symbolic skipped after dataflow failure"
     );
+}
+
+/// Run `f` on the first vector-marked kernel stage (ν > 1) that carries
+/// a lane-grouped twiddle table; returns whether one was found.
+fn with_vec_stage(plan: &mut Plan, mut f: impl FnMut(&mut KernelStage)) -> bool {
+    for step in &mut plan.steps {
+        let progs: Vec<_> = match step {
+            Step::Seq(p) => vec![p],
+            Step::Par { programs, .. } => programs.iter_mut().collect(),
+            _ => continue,
+        };
+        for prog in progs {
+            for stage in &mut prog.stages {
+                let LocalStage::Kernel(ks) = stage else {
+                    continue;
+                };
+                if ks.vec_width > 1
+                    && (ks.twiddle_lanes.is_some() || ks.twiddle_out_lanes.is_some())
+                {
+                    f(ks);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Whichever lane-grouped table the stage carries (load- or store-fused
+/// twiddles, depending on where the lowering put the diagonal).
+fn lane_table(ks: &mut KernelStage) -> &mut Arc<Vec<Cplx>> {
+    if let Some(t) = ks.twiddle_lanes.as_mut() {
+        t
+    } else {
+        ks.twiddle_out_lanes.as_mut().unwrap()
+    }
+}
+
+fn vec_plan(n: usize, nu: usize, leaf: usize) -> Plan {
+    let plan = Plan::from_formula(&vec_tag(nu, sequential_dft(n, leaf)), 1, 1).unwrap();
+    assert_eq!(plan.vec_width, nu, "n={n} nu={nu}: nothing vectorized");
+    plan
+}
+
+#[test]
+fn vector_plans_certify_exactly() {
+    for n in [16usize, 32, 64] {
+        for nu in [2usize, 4] {
+            for leaf in [4usize, 8] {
+                let plan = vec_plan(n, nu, leaf);
+                certified(&plan);
+            }
+        }
+    }
+    // Multicore with fused exchange: the gathered first stage runs the
+    // scalar path; later vector-marked stages certify over lane tables.
+    let f = vec_tag(2, multicore_dft_expanded(64, 2, 2, None, 8).unwrap());
+    let plan = Plan::from_formula(&f, 2, 2).unwrap();
+    certified(&plan);
+    certified(&plan.clone().fuse_exchanges());
+}
+
+/// Swapping two lanes inside one (group, slot) cell of the lane-grouped
+/// twiddle table is exactly the "swapped lane shuffle" corruption: the
+/// dataflow pass must reject it structurally (the table no longer
+/// corresponds to the scalar one), before any symbolic work.
+#[test]
+fn swapped_lane_shuffle_rejected_by_dataflow() {
+    let mut plan = vec_plan(64, 2, 4);
+    let hit = with_vec_stage(&mut plan, |ks| {
+        let nu = ks.vec_width;
+        let lanes = Arc::make_mut(lane_table(ks));
+        // Find a cell whose lanes actually differ, then swap them.
+        let cell = (0..lanes.len() / nu)
+            .find(|&c| {
+                let (a, b) = (lanes[c * nu], lanes[c * nu + 1]);
+                a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits()
+            })
+            .expect("a lane-varying twiddle cell");
+        lanes.swap(cell * nu, cell * nu + 1);
+    });
+    assert!(hit, "expected a vector-marked stage with lane twiddles");
+    let rep = certify_plan(&plan, &CertOptions::default());
+    assert!(!rep.dataflow_certified);
+    assert_eq!(rep.findings[0].pass, CertPass::Dataflow);
+    assert!(
+        rep.findings[0].detail.contains("lane shuffle is wrong"),
+        "{}",
+        rep.findings[0]
+    );
+    assert_eq!(rep.symbolic_certified, None);
+}
+
+/// Knocking a vector-marked stage's base offset off ν-granularity is the
+/// "misaligned ν-block" corruption: the marking's alignment claim is
+/// false, and the dataflow pass must say which rule broke.
+#[test]
+fn misaligned_nu_block_rejected_by_dataflow() {
+    let mut plan = vec_plan(64, 2, 4);
+    let hit = with_vec_stage(&mut plan, |ks| {
+        ks.in_off += 1;
+    });
+    assert!(hit, "expected a vector-marked stage");
+    let rep = certify_plan(&plan, &CertOptions::default());
+    assert!(!rep.dataflow_certified);
+    assert_eq!(rep.findings[0].pass, CertPass::Dataflow);
+    assert!(
+        rep.findings[0].detail.contains("misaligned nu-block"),
+        "{}",
+        rep.findings[0]
+    );
+}
+
+/// The golden pin for the two vector rejection reasons: the exact
+/// verdict strings are an interchange surface (tooling greps them), so
+/// they live in the shared line-keyed `results/certify_reasons.golden`.
+/// This test owns the `vec-*` lines; regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -p spiral-verify --test certify`.
+#[test]
+fn vector_rejection_reasons_match_golden_snapshot() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/certify_reasons.golden");
+    let reason = |corrupt: &dyn Fn(&mut KernelStage)| -> String {
+        let mut plan = vec_plan(64, 2, 4);
+        assert!(with_vec_stage(&mut plan, |ks| corrupt(ks)));
+        certify_plan(&plan, &CertOptions::default()).findings[0].to_string()
+    };
+    let got = [
+        (
+            "vec-swapped-lane-shuffle",
+            reason(&|ks| {
+                let nu = ks.vec_width;
+                let lanes = Arc::make_mut(lane_table(ks));
+                let cell = (0..lanes.len() / nu)
+                    .find(|&c| {
+                        let (a, b) = (lanes[c * nu], lanes[c * nu + 1]);
+                        a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits()
+                    })
+                    .unwrap();
+                lanes.swap(cell * nu, cell * nu + 1);
+            }),
+        ),
+        ("vec-misaligned-block", reason(&|ks| ks.in_off += 1)),
+    ];
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let mut lines: Vec<String> = existing
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with("vec-"))
+            .map(str::to_string)
+            .collect();
+        for (key, r) in &got {
+            lines.push(format!("{key}: {r}"));
+        }
+        lines.sort();
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    for (key, r) in &got {
+        let line = want
+            .lines()
+            .find(|l| l.starts_with(&format!("{key}: ")))
+            .unwrap_or_else(|| panic!("no `{key}:` line in {}", path.display()));
+        assert_eq!(
+            line,
+            &format!("{key}: {r}"),
+            "vector rejection reason drifted; regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random vec-tagged plans at certifiable sizes are proven equal to
+    /// `DFT_n` — lane tables and all — and a random lane swap inside any
+    /// lane-varying cell is always rejected by the dataflow pass.
+    fn random_vector_plans_certify_and_corruptions_reject(
+        k in 4u32..=6,
+        nu in select(vec![2usize, 4]),
+        leaf in select(vec![4usize, 8]),
+        cell_sel in any::<u32>(),
+    ) {
+        let n = 1usize << k;
+        let plan = vec_plan(n, nu, leaf);
+        let rep = certify_plan(&plan, &CertOptions::default());
+        prop_assert!(rep.is_certified(), "n={n} nu={nu} leaf={leaf}: {}", rep.findings[0]);
+        prop_assert_eq!(rep.symbolic_certified, Some(true));
+
+        let mut corrupted = plan;
+        let hit = with_vec_stage(&mut corrupted, |ks| {
+            let nu = ks.vec_width;
+            let lanes = Arc::make_mut(lane_table(ks));
+            let varying: Vec<usize> = (0..lanes.len() / nu)
+                .filter(|&c| {
+                    let (a, b) = (lanes[c * nu], lanes[c * nu + 1]);
+                    a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits()
+                })
+                .collect();
+            if varying.is_empty() {
+                return;
+            }
+            let cell = varying[cell_sel as usize % varying.len()];
+            lanes.swap(cell * nu, cell * nu + 1);
+        });
+        if hit {
+            let rep = certify_plan(&corrupted, &CertOptions::default());
+            // Either the swap hit a varying cell (dataflow rejects) or
+            // every cell was lane-constant (plan unchanged, certifies).
+            if !rep.dataflow_certified {
+                prop_assert_eq!(rep.findings[0].pass, CertPass::Dataflow);
+                prop_assert!(rep.findings[0].detail.contains("lane shuffle is wrong"));
+            }
+        }
+    }
 }
 
 #[test]

@@ -53,6 +53,7 @@ fn corpus() -> Vec<(&'static str, Plan)> {
             n: 8,
             threads: 2,
             mu: 4,
+            vec_width: 1,
             steps: vec![Step::Par {
                 chunk: 2,
                 programs: vec![LocalProgram::identity(2); 4],
