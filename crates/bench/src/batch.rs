@@ -156,6 +156,8 @@ pub fn rows_to_entries(rows: &[BatchRow], reps: usize) -> Vec<BenchEntry> {
                 reps: reps as u64,
                 median_us: r.batch_us,
                 mad_us: r.batch_mad_us,
+                p99_us: 0.0,
+                p999_us: 0.0,
                 gflops: pseudo_gflops(n, r.batch_us),
                 gflops_mad: 0.0,
             }

@@ -22,6 +22,9 @@
 //! figures serve-load [--min 6] [--max 8] [--workers 2] [--connections 4] [--requests 32]
 //!                    [--batch 8] [--deadline-ms 0] [--wisdom PATH] [--require-warm 0|1]
 //!                    [--history FILE] [--out results/]
+//! figures serve-dash [--size 8] [--workers 2] [--connections 4] [--requests 32] [--out results/]
+//! figures ablation-serve-metrics [--size 8] [--workers 2] [--connections 4] [--requests 64]
+//!                    [--out results/]
 //! figures all [--out results/]
 //! ```
 //!
@@ -151,6 +154,17 @@ const COMMANDS: &[CmdSpec] = &[
         ],
     },
     CmdSpec {
+        name: "serve-dash",
+        desc: "SERVE-DASH — live-telemetry dashboard artifact: warm load, SS01 snapshot \
+               over the wire, forced shed with flight record",
+        flags: &["size", "workers", "connections", "requests", "batch", "out"],
+    },
+    CmdSpec {
+        name: "ablation-serve-metrics",
+        desc: "ABL-SERVE-METRICS — warm-phase latency cost of telemetry recording on vs off",
+        flags: &["size", "workers", "connections", "requests", "batch", "out"],
+    },
+    CmdSpec {
         name: "all",
         desc: "every simulated figure and ablation in sequence",
         flags: &["machine", "min", "max", "out"],
@@ -227,6 +241,8 @@ fn main() {
         "batch" => run_batch(&opts, out_dir.as_deref()),
         "certify" => run_certify(&opts, out_dir.as_deref()),
         "serve-load" => run_serve_load(&opts, out_dir.as_deref()),
+        "serve-dash" => run_serve_dash(&opts, out_dir.as_deref()),
+        "ablation-serve-metrics" => run_abl_serve_metrics(&opts, out_dir.as_deref()),
         "all" => {
             let (min, max) = range(&opts, 6, 16);
             for m in paper_machines() {
@@ -891,6 +907,8 @@ fn run_timeline(opts: &HashMap<String, String>, out_dir: Option<&str>) {
                 TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
                 TimelineEventKind::TunerReject => TlKind::TunerReject,
                 TimelineEventKind::RequestServe => TlKind::RequestServe,
+                TimelineEventKind::PoolExecute => TlKind::PoolExecute,
+                TimelineEventKind::SloBreach => TlKind::SloBreach,
             },
             stage: e.stage,
             start_ns: e.start_ns,
@@ -1312,6 +1330,252 @@ fn append_serve_history(
     }
     history.save(path)?;
     Ok(count)
+}
+
+/// The SERVE-DASH dashboard artifact: one warm load run's telemetry,
+/// fetched over the wire (`SS01`) and cross-checked against the drain
+/// report, plus the forced-shed tallies that exercised the flight
+/// recorder.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ServeDashFile {
+    /// Artifact layout version.
+    schema: u64,
+    /// Execution-pool threads behind the served plans.
+    workers: u64,
+    /// Warm-phase connections.
+    connections: u64,
+    /// Transform size as log2 n.
+    log2n: u64,
+    /// Transforms per request.
+    batch: u64,
+    /// `Ok` responses in the warm phase.
+    warm_ok: u64,
+    /// `Overloaded` responses in the forced-shed burst.
+    shed_overloaded: u64,
+    /// `Expired` responses in the forced-shed burst.
+    shed_expired: u64,
+    /// SLO breaches the server recorded (shed or over-budget).
+    slo_breaches: u64,
+    /// The server's own latency percentiles (zeros without `trace`).
+    server: spiral_bench::serve_load::ServerLatencySummary,
+    /// Full drain-time metrics snapshot (counters, gauges, histograms).
+    metrics: spiral_serve::MetricsSnapshot,
+}
+
+fn run_serve_dash(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    use spiral_serve::{drive, Client, LoadSpec, PlanService, Server, ServerConfig, StatsKind};
+    use std::sync::Arc;
+
+    let log2n: u32 = opts.get("size").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let workers: usize = opts
+        .get("workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let conns: usize = opts
+        .get("connections")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let requests: usize = opts
+        .get("requests")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let batch: usize = opts.get("batch").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n = 1usize << log2n;
+
+    let service = Arc::new(PlanService::new(workers, spiral_smp::topology::mu()));
+    if let Err(e) = service.sequential_plan(n) {
+        eprintln!("serve-dash: planning DFT_{n} failed: {e}");
+        std::process::exit(1);
+    }
+    let flight_path =
+        out_dir.map(|dir| std::path::PathBuf::from(format!("{dir}/flight_record_shed.json")));
+    let cfg = ServerConfig {
+        workers: conns,
+        conn_backlog: conns,
+        queue_bound: conns * 2,
+        flight_record_path: flight_path.clone(),
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(Arc::clone(&service), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-dash: server failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+
+    println!("\nSERVE-DASH — n = 2^{log2n}, batch {batch}, {conns} warm conn(s)");
+    let warm = drive(&LoadSpec {
+        addr,
+        connections: conns,
+        requests_per_conn: requests,
+        n,
+        batch,
+        deadline_ms: 0,
+        reconnect_per_request: false,
+        seed: 11,
+    });
+    println!("warm: {} ok / {} responses", warm.ok, warm.responses());
+
+    // Telemetry over the wire, exactly as a monitoring agent would
+    // fetch it: both exposition formats through the SS01 frame.
+    let wire_requests = match Client::connect(addr) {
+        Ok(mut c) => {
+            let json = c.stats(StatsKind::Json).unwrap_or_default();
+            let prom = c.stats(StatsKind::Prom).unwrap_or_default();
+            println!(
+                "SS01: JSON snapshot {} bytes, Prometheus exposition {} bytes",
+                json.len(),
+                prom.len()
+            );
+            spiral_serve::MetricsSnapshot::from_json(&json)
+                .ok()
+                .and_then(|s| s.counter("serve_requests_total"))
+        }
+        Err(e) => {
+            eprintln!("serve-dash: stats connection failed: {e}");
+            None
+        }
+    };
+
+    // Forced shed: a reconnect-per-request burst past admission with a
+    // 1 ms deadline — expiries and rejects, each an SLO breach, the
+    // first of which persists the flight record.
+    let shed = drive(&LoadSpec {
+        addr,
+        connections: conns * 4,
+        requests_per_conn: (requests / 4).max(2),
+        n,
+        batch,
+        deadline_ms: 1,
+        reconnect_per_request: true,
+        seed: 13,
+    });
+    println!(
+        "forced shed: {} overloaded, {} expired, {} ok",
+        shed.overloaded, shed.expired, shed.ok
+    );
+
+    let report = server.shutdown();
+    if report.thread_panics > 0 {
+        eprintln!("serve-dash: server lost a thread");
+        std::process::exit(1);
+    }
+    let m = &report.metrics;
+    if let (Some(wire), Some(fin)) = (wire_requests, m.counter("serve_requests_total")) {
+        // The wire snapshot predates the shed burst; it can only lag.
+        if wire > fin {
+            eprintln!("serve-dash: wire snapshot ahead of drain accounting ({wire} > {fin})");
+            std::process::exit(1);
+        }
+    }
+    let dash = ServeDashFile {
+        schema: 1,
+        workers: workers as u64,
+        connections: conns as u64,
+        log2n: u64::from(log2n),
+        batch: batch as u64,
+        warm_ok: warm.ok,
+        shed_overloaded: shed.overloaded,
+        shed_expired: shed.expired,
+        slo_breaches: m.counter("serve_slo_breaches_total").unwrap_or(0),
+        server: spiral_bench::serve_load::ServerLatencySummary::from_metrics(m),
+        metrics: report.metrics.clone(),
+    };
+    println!(
+        "drain: {} requests, {} SLO breach(es), server p50/p99/p999 = {}/{}/{} µs",
+        m.counter("serve_requests_total").unwrap_or(0),
+        dash.slo_breaches,
+        dash.server.p50_us,
+        dash.server.p99_us,
+        dash.server.p999_us
+    );
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/serve_dash.json");
+        write_artifact(&path, &serde_json::to_string_pretty(&dash).unwrap());
+        println!("wrote {path}");
+    }
+    match &flight_path {
+        Some(p) if p.exists() => println!("wrote {} (SLO-breach flight record)", p.display()),
+        Some(p) => println!(
+            "no flight record at {} — built without --features trace, or nothing breached",
+            p.display()
+        ),
+        None => {}
+    }
+}
+
+fn run_abl_serve_metrics(opts: &HashMap<String, String>, out_dir: Option<&str>) {
+    use spiral_bench::serve_load::{measure_metrics_overhead, ServeLoadOpts};
+
+    let log2n: u32 = opts.get("size").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mut slo = ServeLoadOpts {
+        min_log2n: log2n,
+        max_log2n: log2n,
+        requests_per_conn: 64,
+        ..ServeLoadOpts::default()
+    };
+    if let Some(v) = opts.get("workers").and_then(|s| s.parse().ok()) {
+        slo.workers = v;
+    }
+    if let Some(v) = opts.get("connections").and_then(|s| s.parse().ok()) {
+        slo.connections = v;
+    }
+    if let Some(v) = opts.get("requests").and_then(|s| s.parse().ok()) {
+        slo.requests_per_conn = v;
+    }
+    if let Some(v) = opts.get("batch").and_then(|s| s.parse().ok()) {
+        slo.batch = v;
+    }
+
+    println!(
+        "\nABL-SERVE-METRICS — warm phase n = 2^{log2n}, batch {}, {} conn(s), \
+         telemetry recording off vs on",
+        slo.batch, slo.connections
+    );
+    let file = match measure_metrics_overhead(&slo) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ablation-serve-metrics: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>8} {:>7} {:>6} {:>9} {:>9} {:>9}",
+        "metrics", "reqs", "ok", "p50 µs", "p99 µs", "resp/s"
+    );
+    for r in &file.rows {
+        println!(
+            "{:>8} {:>7} {:>6} {:>9} {:>9} {:>9.0}",
+            if r.metrics_enabled { "on" } else { "off" },
+            r.requests,
+            r.ok,
+            r.p50_us,
+            r.p99_us,
+            r.rps
+        );
+    }
+    println!(
+        "overhead: p50 {:+.2}%, p99 {:+.2}% (target: ~1%; without --features trace the \
+         histograms are compiled out and this measures the bare seam)",
+        file.overhead_pct_p50, file.overhead_pct_p99
+    );
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/abl_serve_metrics.json");
+        write_artifact(&path, &serde_json::to_string_pretty(&file).unwrap());
+        println!("wrote {path}");
+    }
+    // Gate only on gross regressions: single-digit-percent numbers on a
+    // busy CI host are noise, an order of magnitude is a bug.
+    if file.overhead_pct_p50 > 25.0 {
+        eprintln!(
+            "ablation-serve-metrics FAIL: p50 overhead {:.2}% is far past the ~1% budget",
+            file.overhead_pct_p50
+        );
+        std::process::exit(1);
+    }
 }
 
 fn run_search(opts: &HashMap<String, String>) {

@@ -38,7 +38,11 @@ use std::time::Instant;
 ///   scalar baselines. v3 files migrate on load: every pre-existing
 ///   point was measured by the scalar interpreter and is stamped
 ///   `"scalar"`.
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+/// * v5 — entries gained the tail percentiles `p99_us`/`p999_us`
+///   (per-transform, like `median_us`), so the serving tier's latency
+///   tails are trended longitudinally alongside throughput. v4 files
+///   migrate on load with `0.0` (= tails not measured for that point).
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// The `backend` value for points executed by the scalar interpreter.
 pub const BACKEND_SCALAR: &str = "scalar";
@@ -146,6 +150,11 @@ pub struct BenchEntry {
     pub median_us: f64,
     /// Median absolute deviation of the per-rep µs.
     pub mad_us: f64,
+    /// 99th-percentile µs per transform (`0.0` = not measured; tails
+    /// need more samples than the in-process grid's default reps).
+    pub p99_us: f64,
+    /// 99.9th-percentile µs per transform (`0.0` = not measured).
+    pub p999_us: f64,
     /// Median pseudo-GFLOP/s over the reps (`5·n·log₂n / t`).
     pub gflops: f64,
     /// MAD of the per-rep pseudo-GFLOP/s.
@@ -193,6 +202,7 @@ impl BenchHistory {
     pub fn from_json(s: &str) -> Result<BenchHistory, String> {
         let mut v: serde::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
         migrate_v3(&mut v);
+        migrate_v4(&mut v);
         let h = BenchHistory::from_value(&v).map_err(|e| e.to_string())?;
         h.validate()?;
         Ok(h)
@@ -329,6 +339,38 @@ fn migrate_v3(v: &mut serde::Value) {
     }
 }
 
+/// In-place v4 → v5 migration: entries gain the tail percentiles,
+/// stamped `0.0` (= not measured) for every pre-existing point.
+fn migrate_v4(v: &mut serde::Value) {
+    fn get_mut<'a>(v: &'a mut serde::Value, key: &str) -> Option<&'a mut serde::Value> {
+        match v {
+            serde::Value::Obj(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, x)| x),
+            _ => None,
+        }
+    }
+    if v.get("schema").and_then(serde::Value::as_f64) != Some(4.0) {
+        return;
+    }
+    if let Some(serde::Value::Arr(runs)) = get_mut(v, "runs") {
+        for run in runs {
+            if let Some(serde::Value::Arr(entries)) = get_mut(run, "entries") {
+                for e in entries {
+                    if let serde::Value::Obj(fields) = e {
+                        for key in ["p99_us", "p999_us"] {
+                            if !fields.iter().any(|(k, _)| k == key) {
+                                fields.push((key.to_string(), serde::Value::Num(0.0)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(s) = get_mut(v, "schema") {
+        *s = serde::Value::Num(5.0);
+    }
+}
+
 /// `5·n·log₂n / t` in GFLOP/s, for a size-`n` transform taking `us`
 /// microseconds.
 pub fn pseudo_gflops(n: usize, us: f64) -> f64 {
@@ -359,6 +401,19 @@ pub fn mad(xs: &[f64]) -> f64 {
     let m = median(xs);
     let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
     median(&dev)
+}
+
+/// Nearest-rank percentile of a sample, `p` in `[0, 100]` (empty → 0).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * v.len() as f64).ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = (rank as usize).saturating_sub(1).min(v.len() - 1);
+    v[idx]
 }
 
 /// Measure the (sizes × threads) grid on this host: tune each point
@@ -460,6 +515,8 @@ pub fn measure_grid(sizes_log2: &[u32], threads: &[usize], reps: usize) -> Bench
                     reps: reps as u64,
                     median_us: median(&times_us),
                     mad_us: mad(&times_us),
+                    p99_us: percentile(&times_us, 99.0),
+                    p999_us: percentile(&times_us, 99.9),
                     gflops: median(&per_rep_gflops),
                     gflops_mad: mad(&per_rep_gflops),
                 });
@@ -610,6 +667,8 @@ mod tests {
             reps: 5,
             median_us: 100.0,
             mad_us: 1.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
             gflops,
             gflops_mad,
         }
@@ -841,11 +900,11 @@ mod tests {
         let err = h.validate().unwrap_err();
         assert!(err.contains("unknown backend"), "{err}");
 
-        let h5 = BenchHistory {
-            schema: 5,
+        let h6 = BenchHistory {
+            schema: BENCH_SCHEMA_VERSION + 1,
             ..Default::default()
         };
-        assert!(h5.validate().is_err(), "future schemas are not migrated");
+        assert!(h6.validate().is_err(), "future schemas are not migrated");
     }
 
     #[test]

@@ -35,7 +35,12 @@ use std::sync::Arc;
 /// * v2 — rows record the served plan's tuner choice (`plan_kind`), so
 ///   downstream bench-history points can be labeled with the execution
 ///   backend (`scalar` vs `vector`) that actually served them.
-pub const SERVE_LOAD_SCHEMA_VERSION: u64 = 2;
+/// * v3 — rows add the tail percentile `p999_us`; the file adds a
+///   [`ServerLatencySummary`] derived from the server's own
+///   `serve_request_seconds` histogram at drain (all zeros when the
+///   server was built without the `trace` feature — the histogram is
+///   compiled out structurally).
+pub const SERVE_LOAD_SCHEMA_VERSION: u64 = 3;
 
 /// One measured load phase at one transform size.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -71,8 +76,43 @@ pub struct ServeLoadRow {
     pub p95_us: u64,
     /// 99th-percentile round-trip latency, microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile round-trip latency, microseconds.
+    pub p999_us: u64,
     /// Responses (any status) per wall-clock second.
     pub rps: f64,
+}
+
+/// Latency percentiles the *server* measured about itself, from its
+/// `serve_request_seconds` histogram at drain — the cross-check against
+/// the socket-side percentiles the clients measured. All zeros when the
+/// serving tier was compiled without histograms (`trace` off).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerLatencySummary {
+    /// Requests the histogram saw (every terminal response).
+    pub samples: u64,
+    /// Median end-to-end served latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end served latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile end-to-end served latency, microseconds.
+    pub p999_us: u64,
+}
+
+impl ServerLatencySummary {
+    /// Summarize a drain-time metrics snapshot. Histogram values are
+    /// nanoseconds; the summary reports microseconds to match the
+    /// socket-side rows.
+    pub fn from_metrics(m: &spiral_serve::MetricsSnapshot) -> ServerLatencySummary {
+        match m.histogram("serve_request_seconds") {
+            Some(h) if h.count > 0 => ServerLatencySummary {
+                samples: h.count,
+                p50_us: h.quantile(0.5) / 1_000,
+                p99_us: h.quantile(0.99) / 1_000,
+                p999_us: h.quantile(0.999) / 1_000,
+            },
+            _ => ServerLatencySummary::default(),
+        }
+    }
 }
 
 /// The whole SERVE-LOAD artifact: provenance + per-phase rows.
@@ -91,6 +131,8 @@ pub struct ServeLoadFile {
     /// included. Zero when serving from warm wisdom — the warm-path
     /// invariant the CI smoke asserts via `--require-warm`.
     pub tuner_invocations: u64,
+    /// The server's own latency view at drain (zeros without `trace`).
+    pub server: ServerLatencySummary,
     /// Measured phases, size-major then single/warm/overload.
     pub rows: Vec<ServeLoadRow>,
 }
@@ -229,6 +271,7 @@ pub fn measure_serve_load(opts: &ServeLoadOpts) -> Result<ServeLoadFile, String>
         workers: opts.workers as u64,
         deadline_ms: u64::from(opts.deadline_ms),
         tuner_invocations: service.tuner_invocations(),
+        server: ServerLatencySummary::from_metrics(&report.metrics),
         rows,
     })
 }
@@ -252,8 +295,125 @@ fn run_phase(log2n: u32, phase: &str, plan_kind: &str, spec: &LoadSpec) -> Serve
         p50_us: percentile_us(&mut outcome.latencies_us, 50.0),
         p95_us: percentile_us(&mut outcome.latencies_us, 95.0),
         p99_us: percentile_us(&mut outcome.latencies_us, 99.0),
+        p999_us: percentile_us(&mut outcome.latencies_us, 99.9),
         rps: responses as f64 / outcome.elapsed_s.max(1e-12),
     }
+}
+
+/// One arm of the ABL-SERVE-METRICS overhead measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsOverheadRow {
+    /// Whether per-phase histogram recording was enabled.
+    pub metrics_enabled: bool,
+    /// Requests driven.
+    pub requests: u64,
+    /// `Ok` responses.
+    pub ok: u64,
+    /// Median round-trip latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_us: u64,
+    /// Responses per wall-clock second.
+    pub rps: f64,
+}
+
+/// The ABL-SERVE-METRICS artifact: warm-phase latency with telemetry
+/// recording on vs off, same server shape, same warm plan cache.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsOverheadFile {
+    /// Host the measurement ran on.
+    pub host: BenchHost,
+    /// Execution-pool threads behind the served plans.
+    pub workers: u64,
+    /// Concurrent warm connections.
+    pub connections: u64,
+    /// Transform size as log2 n.
+    pub log2n: u64,
+    /// Transforms per request.
+    pub batch: u64,
+    /// The two arms: metrics off first, then on.
+    pub rows: Vec<MetricsOverheadRow>,
+    /// Relative p50 cost of recording, percent (negative = noise).
+    pub overhead_pct_p50: f64,
+    /// Relative p99 cost of recording, percent.
+    pub overhead_pct_p99: f64,
+}
+
+/// ABL-SERVE-METRICS: drive the warm phase against two servers sharing
+/// one warm plan cache — telemetry recording disabled vs enabled — and
+/// report the relative latency cost. Without the serving tier's `trace`
+/// feature both arms skip histogram recording structurally, so the
+/// measured overhead is the residual cost of the seam itself (a few
+/// branch tests), which should be indistinguishable from noise.
+pub fn measure_metrics_overhead(opts: &ServeLoadOpts) -> Result<MetricsOverheadFile, String> {
+    let mu = spiral_smp::topology::mu();
+    let service = Arc::new(PlanService::new(opts.workers, mu));
+    let n = 1usize << opts.max_log2n;
+    service
+        .sequential_plan(n)
+        .map_err(|e| format!("planning DFT_{n} failed: {e}"))?;
+
+    let conns = opts.connections.max(1);
+    let mut rows = Vec::new();
+    for enabled in [false, true] {
+        let cfg = ServerConfig {
+            workers: conns,
+            conn_backlog: conns,
+            queue_bound: conns * 2,
+            metrics_enabled: enabled,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&service), cfg)?;
+        let spec = LoadSpec {
+            addr: server.local_addr(),
+            connections: conns,
+            requests_per_conn: opts.requests_per_conn,
+            n,
+            batch: opts.batch.max(1),
+            deadline_ms: opts.deadline_ms,
+            reconnect_per_request: false,
+            seed: 7,
+        };
+        // One throwaway pass warms connections, caches, and the pool.
+        drive(&LoadSpec {
+            requests_per_conn: (opts.requests_per_conn / 4).max(1),
+            ..spec.clone()
+        });
+        let mut outcome = drive(&spec);
+        let report = server.shutdown();
+        if report.thread_panics > 0 {
+            return Err("server thread panicked during the overhead ablation".to_string());
+        }
+        let responses = outcome.responses();
+        rows.push(MetricsOverheadRow {
+            metrics_enabled: enabled,
+            requests: (spec.connections * spec.requests_per_conn) as u64,
+            ok: outcome.ok,
+            p50_us: percentile_us(&mut outcome.latencies_us, 50.0),
+            p99_us: percentile_us(&mut outcome.latencies_us, 99.0),
+            rps: responses as f64 / outcome.elapsed_s.max(1e-12),
+        });
+    }
+
+    let pct = |on: u64, off: u64| {
+        if off == 0 {
+            0.0
+        } else {
+            (on as f64 - off as f64) / off as f64 * 100.0
+        }
+    };
+    let (off, on) = (&rows[0], &rows[1]);
+    let file = MetricsOverheadFile {
+        host: BenchHost::current(),
+        workers: opts.workers as u64,
+        connections: conns as u64,
+        log2n: u64::from(opts.max_log2n),
+        batch: opts.batch.max(1) as u64,
+        overhead_pct_p50: pct(on.p50_us, off.p50_us),
+        overhead_pct_p99: pct(on.p99_us, off.p99_us),
+        rows,
+    };
+    Ok(file)
 }
 
 /// The measured phases as bench-history grid points, keyed by `(log2n,
@@ -289,6 +449,8 @@ pub fn rows_to_entries(file: &ServeLoadFile) -> Vec<BenchEntry> {
             reps: r.ok,
             median_us: per_transform_us,
             mad_us: spread_us,
+            p99_us: r.p99_us as f64 / r.batch.max(1) as f64,
+            p999_us: r.p999_us as f64 / r.batch.max(1) as f64,
             gflops,
             gflops_mad: gflops_spread,
         });
@@ -319,7 +481,7 @@ pub fn validate_file(file: &ServeLoadFile) -> Result<(), String> {
                 r.log2n, r.phase
             ));
         }
-        if r.p50_us > r.p95_us || r.p95_us > r.p99_us {
+        if r.p50_us > r.p95_us || r.p95_us > r.p99_us || r.p99_us > r.p999_us {
             return Err(format!(
                 "row (n=2^{}, {}): percentiles not monotone: {r:?}",
                 r.log2n, r.phase
@@ -329,6 +491,15 @@ pub fn validate_file(file: &ServeLoadFile) -> Result<(), String> {
             "single" | "warm" | "overload" => {}
             other => return Err(format!("unknown phase name '{other}'")),
         }
+    }
+    let s = &file.server;
+    if s.p50_us > s.p99_us || s.p99_us > s.p999_us {
+        return Err(format!("server-side percentiles not monotone: {s:?}"));
+    }
+    if s.samples == 0 && (s.p50_us != 0 || s.p99_us != 0 || s.p999_us != 0) {
+        return Err(format!(
+            "server summary has percentiles but no samples: {s:?}"
+        ));
     }
     Ok(())
 }
@@ -402,6 +573,7 @@ mod tests {
             workers: 1,
             deadline_ms: 0,
             tuner_invocations: 0,
+            server: ServerLatencySummary::default(),
             rows: vec![ServeLoadRow {
                 log2n: 5,
                 batch: 1,
@@ -417,6 +589,7 @@ mod tests {
                 p50_us: 1,
                 p95_us: 1,
                 p99_us: 1,
+                p999_us: 1,
                 rps: 1.0,
             }],
         };
@@ -425,5 +598,59 @@ mod tests {
         validate_file(&file).expect("fixed row validates");
         file.rows[0].p50_us = 5; // not monotone vs p95
         assert!(validate_file(&file).is_err());
+        file.rows[0].p50_us = 1;
+        file.server.p999_us = 7; // percentiles without samples
+        assert!(validate_file(&file).is_err());
+    }
+
+    #[test]
+    fn metrics_overhead_ablation_produces_two_arms() {
+        let file = measure_metrics_overhead(&quick_opts()).expect("ablation runs");
+        assert_eq!(file.rows.len(), 2);
+        assert!(!file.rows[0].metrics_enabled);
+        assert!(file.rows[1].metrics_enabled);
+        for r in &file.rows {
+            assert_eq!(r.ok, r.requests, "warm arm must admit everything: {r:?}");
+            assert!(r.p50_us > 0 && r.p50_us <= r.p99_us, "{r:?}");
+        }
+        assert!(file.overhead_pct_p50.is_finite());
+        let json = serde_json::to_string_pretty(&file).expect("serializes");
+        let back: MetricsOverheadFile = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, file);
+    }
+
+    /// With histograms compiled in, the server's own latency view must
+    /// agree with what the clients saw on the socket — same requests,
+    /// measured from the other end of the wire.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn server_histogram_percentiles_track_the_socket_percentiles() {
+        let file = measure_serve_load(&quick_opts()).expect("measurement runs");
+        // Admission rejects at the accept loop answer `Overloaded`
+        // without ever becoming a read request, so the histogram sees
+        // at least every served/expired/errored request and at most
+        // every response the clients tallied.
+        let served: u64 = file.rows.iter().map(|r| r.ok + r.expired + r.errors).sum();
+        let total: u64 = file
+            .rows
+            .iter()
+            .map(|r| r.ok + r.overloaded + r.expired + r.errors)
+            .sum();
+        assert!(
+            file.server.samples >= served && file.server.samples <= total,
+            "histogram samples {} outside [{served}, {total}]",
+            file.server.samples
+        );
+        assert!(file.server.p50_us > 0);
+        // The server measures read-to-write; the client adds the wire
+        // round trip on top. Generous noise bounds — this is a
+        // cross-check, not a microbenchmark.
+        let socket_p99 = file.rows.iter().map(|r| r.p99_us).max().unwrap_or(0);
+        assert!(
+            file.server.p99_us <= socket_p99.saturating_mul(3).saturating_add(500),
+            "server p99 {}us implausibly above socket p99 {}us",
+            file.server.p99_us,
+            socket_p99
+        );
     }
 }

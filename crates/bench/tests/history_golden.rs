@@ -43,6 +43,8 @@ fn representative_history() -> BenchHistory {
                     reps: 5,
                     median_us: 120.5,
                     mad_us: 2.25,
+                    p99_us: 125.0,
+                    p999_us: 130.25,
                     gflops: 1.75,
                     gflops_mad: 0.03,
                 }],
@@ -62,6 +64,8 @@ fn representative_history() -> BenchHistory {
                         reps: 5,
                         median_us: 118.0,
                         mad_us: 1.5,
+                        p99_us: 121.0,
+                        p999_us: 124.5,
                         gflops: 1.79,
                         gflops_mad: 0.02,
                     },
@@ -75,6 +79,8 @@ fn representative_history() -> BenchHistory {
                         reps: 5,
                         median_us: 95.0,
                         mad_us: 1.2,
+                        p99_us: 97.5,
+                        p999_us: 101.0,
                         gflops: 2.22,
                         gflops_mad: 0.02,
                     },
@@ -88,6 +94,8 @@ fn representative_history() -> BenchHistory {
                         reps: 5,
                         median_us: 4.2,
                         mad_us: 0.1,
+                        p99_us: 0.0,
+                        p999_us: 0.0,
                         gflops: 2.4,
                         gflops_mad: 0.05,
                     },
@@ -101,6 +109,8 @@ fn representative_history() -> BenchHistory {
                         reps: 64,
                         median_us: 350.0,
                         mad_us: 12.0,
+                        p99_us: 410.0,
+                        p999_us: 520.0,
                         gflops: 0.03,
                         gflops_mad: 0.002,
                     },

@@ -7,7 +7,7 @@
 
 use spiral_bench::history::BenchHost;
 use spiral_bench::serve_load::{
-    validate_file, ServeLoadFile, ServeLoadRow, SERVE_LOAD_SCHEMA_VERSION,
+    validate_file, ServeLoadFile, ServeLoadRow, ServerLatencySummary, SERVE_LOAD_SCHEMA_VERSION,
 };
 use spiral_smp::topology::HostFingerprint;
 
@@ -33,6 +33,7 @@ fn fixture() -> ServeLoadFile {
         p50_us: 400,
         p95_us: 700,
         p99_us: 900,
+        p999_us: 1200,
         rps: 2000.0,
     };
     ServeLoadFile {
@@ -50,6 +51,12 @@ fn fixture() -> ServeLoadFile {
         workers: 2,
         deadline_ms: 0,
         tuner_invocations: 0,
+        server: ServerLatencySummary {
+            samples: 1440,
+            p50_us: 380,
+            p99_us: 850,
+            p999_us: 1100,
+        },
         rows: vec![
             row("single", 1, 32, 0),
             row("warm", 4, 128, 0),

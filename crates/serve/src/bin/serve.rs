@@ -26,9 +26,10 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "usage: serve [bench] [--threads P] [--mu M] [--sizes N1,N2,...] [--batch B] \
 [--requests R] [--wisdom PATH] [--assert-no-tuning] [--seed S]
        serve listen [--addr HOST:PORT] [--workers W] [--threads P] [--mu M] [--wisdom PATH] \
-[--deadline-ms D] [--queue-bound Q] [--conn-backlog C] [--duration-s T]
+[--deadline-ms D] [--queue-bound Q] [--conn-backlog C] [--duration-s T] [--flight-record PATH]
        serve load [--addr HOST:PORT] [--connections C] [--requests R] [--n N] [--batch B] \
-[--deadline-ms D] [--reconnect 0|1] [--seed S]";
+[--deadline-ms D] [--reconnect 0|1] [--seed S]
+       serve stats [--addr HOST:PORT] [--format prom|json|dump] [--out PATH]";
 
 fn usage_exit(reason: &str) -> ! {
     if !reason.is_empty() {
@@ -88,6 +89,7 @@ fn main() {
         Some("bench") => ("bench", raw[1..].to_vec()),
         Some("listen") => ("listen", raw[1..].to_vec()),
         Some("load") => ("load", raw[1..].to_vec()),
+        Some("stats") => ("stats", raw[1..].to_vec()),
         Some("--help" | "-h") => usage_exit(""),
         Some(s) if !s.starts_with("--") => usage_exit(&format!("unknown subcommand '{s}'")),
         // Bare flags: the historical invocation, kept as bench mode.
@@ -98,6 +100,7 @@ fn main() {
         "bench" => run_bench(&mut args),
         "listen" => run_listen(&mut args),
         "load" => run_load(&mut args),
+        "stats" => run_stats(&mut args),
         _ => unreachable!("mode set above"),
     }
 }
@@ -292,6 +295,10 @@ fn run_listen(args: &mut Args) {
             "--queue-bound" => cfg.queue_bound = args.positive("--queue-bound"),
             "--conn-backlog" => cfg.conn_backlog = args.positive("--conn-backlog"),
             "--duration-s" => duration_s = args.number("--duration-s"),
+            "--flight-record" => {
+                cfg.flight_record_path =
+                    Some(std::path::PathBuf::from(args.value("--flight-record")));
+            }
             "--help" | "-h" => usage_exit(""),
             other => usage_exit(&format!("unknown argument '{other}'")),
         }
@@ -325,6 +332,58 @@ fn run_listen(args: &mut Args) {
     if report.thread_panics > 0 {
         eprintln!("FAIL: {} server thread(s) panicked", report.thread_panics);
         std::process::exit(1);
+    }
+}
+
+// --- stats mode -------------------------------------------------------
+
+fn run_stats(args: &mut Args) {
+    let mut addr = "127.0.0.1:7348".to_string();
+    let mut kind = spiral_serve::StatsKind::Json;
+    let mut out: Option<String> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--addr" => addr = args.value("--addr"),
+            "--format" => {
+                kind = match args.value("--format").as_str() {
+                    "json" => spiral_serve::StatsKind::Json,
+                    "prom" => spiral_serve::StatsKind::Prom,
+                    "dump" => spiral_serve::StatsKind::Dump,
+                    v => usage_exit(&format!("--format needs prom, json, or dump, got '{v}'")),
+                }
+            }
+            "--out" => out = Some(args.value("--out")),
+            "--help" | "-h" => usage_exit(""),
+            other => usage_exit(&format!("unknown argument '{other}'")),
+        }
+    }
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => usage_exit(&format!("--addr needs HOST:PORT, got '{addr}'")),
+    };
+    let mut client = match spiral_serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let body = match client.stats(kind) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("serve: stats exchange failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &body) {
+                eprintln!("serve: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {} bytes to {path}", body.len());
+        }
+        None => println!("{body}"),
     }
 }
 

@@ -7,7 +7,7 @@
 //! [`Client::send_slow`]): the server's protocol hardening is only
 //! testable with a client willing to violate the protocol.
 
-use crate::wire::{self, Request, Response, WireError};
+use crate::wire::{self, Request, Response, StatsKind, WireError};
 use spiral_spl::cplx::Cplx;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -31,6 +31,23 @@ impl Client {
         let frame = wire::encode_request(req);
         wire::write_all(&mut self.stream, &frame)?;
         wire::read_response(&mut self.stream)
+    }
+
+    /// Ask the server for its live telemetry: an `SS01` stats exchange.
+    /// Returns the response body (JSON snapshot, Prometheus text, or
+    /// Perfetto flight-recorder dump, per `kind`).
+    pub fn stats(&mut self, kind: StatsKind) -> Result<String, WireError> {
+        let frame = wire::encode_stats_request(kind);
+        wire::write_all(&mut self.stream, &frame)?;
+        let (got_kind, body) = wire::read_stats_response(&mut self.stream)?;
+        if got_kind != kind {
+            return Err(WireError::Malformed(format!(
+                "asked for stats kind {}, server answered kind {}",
+                kind.code(),
+                got_kind.code()
+            )));
+        }
+        Ok(body)
     }
 
     /// Send only the first half of a request frame, then close the

@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod metrics;
 pub mod net;
 pub mod overload;
 pub mod wire;
@@ -52,11 +53,13 @@ pub mod wisdom;
 
 pub use cache::{PlanService, PlanSource, ServedPlan};
 pub use client::{drive, percentile_us, request_from_inputs, Client, LoadOutcome, LoadSpec};
+pub use metrics::{GaugeReadings, ServeMetrics};
 pub use net::{DrainReport, Server, ServerConfig};
 pub use overload::{BoundedQueue, CounterSnapshot, Push, ServeCounters};
 pub use spiral_codegen::BatchExecutor;
 pub use spiral_smp::error::SpiralError;
-pub use wire::{Request, Response, WireError, MAX_FRAME_BYTES};
+pub use spiral_trace::metrics::MetricsSnapshot;
+pub use wire::{Request, Response, StatsKind, WireError, MAX_FRAME_BYTES};
 pub use wisdom::{
     compile_entry, CompiledEntry, LoadReport, RejectedEntry, WisdomEntry, WisdomFile, WisdomStore,
     WISDOM_SCHEMA_VERSION,

@@ -39,12 +39,15 @@
 //! bounded by configuration, not by client behavior.
 
 use crate::cache::PlanService;
+use crate::metrics::{self, GaugeReadings, ServeMetrics};
 use crate::overload::{BoundedQueue, CounterSnapshot, Push, ServeCounters};
-use crate::wire::{self, ReadEvent, Request, Response, WireError, MAX_FRAME_BYTES};
+use crate::wire::{self, ReadEvent, Request, Response, StatsKind, WireError, MAX_FRAME_BYTES};
 use spiral_smp::topology;
 use spiral_spl::cplx::Cplx;
+use spiral_trace::metrics::MetricsSnapshot;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -79,6 +82,20 @@ pub struct ServerConfig {
     pub default_deadline: Duration,
     /// Maximum requests coalesced into one execution dispatch.
     pub max_coalesce: usize,
+    /// Hot-path telemetry toggle (the overhead-ablation knob): when
+    /// false, per-phase histogram recording and flight-recorder writes
+    /// are skipped. Snapshot-time counter/gauge views stay live either
+    /// way. A build without the `trace` feature has no recording to
+    /// toggle.
+    pub metrics_enabled: bool,
+    /// SLO breach threshold as a fraction of a request's deadline
+    /// budget: a request whose end-to-end latency exceeds
+    /// `slo_fraction × budget` (or that is shed) marks a breach in the
+    /// flight recorder.
+    pub slo_fraction: f64,
+    /// Where to persist the flight-recorder export on the *first* SLO
+    /// breach (`None` = never persist; `SS01 dump` still works).
+    pub flight_record_path: Option<PathBuf>,
     /// Optional timeline sink; workers record one `RequestServe` span
     /// per served request (tid = worker index).
     #[cfg(feature = "trace")]
@@ -97,6 +114,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             default_deadline: Duration::from_secs(1),
             max_coalesce: 8,
+            metrics_enabled: true,
+            slo_fraction: 1.0,
+            flight_record_path: None,
             #[cfg(feature = "trace")]
             sink: None,
         }
@@ -156,12 +176,22 @@ impl ReplySlot {
     }
 }
 
+/// One accepted connection waiting for a worker (the enqueue timestamp
+/// feeds the conn-queue-wait histogram).
+struct ConnItem {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
 /// One admitted request on its way to the dispatcher.
 struct ExecJob {
     n: usize,
     /// One vector per transform in the request's batch.
     inputs: Vec<Vec<Cplx>>,
     deadline: Instant,
+    /// When the job entered the execution queue (feeds the
+    /// exec-queue-wait histogram).
+    enqueued: Instant,
     reply: Arc<ReplySlot>,
 }
 
@@ -169,10 +199,34 @@ struct Shared {
     service: Arc<PlanService>,
     cfg: ServerConfig,
     counters: ServeCounters,
-    conn_q: BoundedQueue<TcpStream>,
+    metrics: ServeMetrics,
+    conn_q: BoundedQueue<ConnItem>,
     exec_q: BoundedQueue<ExecJob>,
     draining: AtomicBool,
     degraded: AtomicBool,
+}
+
+/// Build the live metrics snapshot: counter/gauge views over the
+/// accounting surface and queues, plus histogram snapshots when the
+/// `trace` feature records them.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    shared.metrics.snapshot(
+        &shared.counters.snapshot(),
+        &GaugeReadings {
+            conn_queue_depth: shared.conn_q.depth() as u64,
+            exec_queue_depth: shared.exec_q.depth() as u64,
+            degraded: shared.degraded.load(Ordering::Relaxed),
+        },
+    )
+}
+
+/// Render the body of an `SS01` stats response.
+fn stats_body(shared: &Shared, kind: StatsKind) -> String {
+    match kind {
+        StatsKind::Json => metrics_snapshot(shared).to_json(),
+        StatsKind::Prom => metrics_snapshot(shared).to_prometheus(),
+        StatsKind::Dump => shared.metrics.dump(),
+    }
 }
 
 /// Final accounting returned by [`Server::shutdown`].
@@ -191,6 +245,11 @@ pub struct DrainReport {
     pub thread_panics: usize,
     /// Error from the final wisdom save, if it failed.
     pub wisdom_error: Option<String>,
+    /// The final metrics snapshot, taken after every thread joined. Its
+    /// counter views read the same atomics as `counters`, so the two
+    /// agree exactly — the live-vs-exact invariant the metrics tests
+    /// pin.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A running server; dropping it without [`Server::shutdown`] detaches
@@ -217,6 +276,7 @@ impl Server {
             conn_q: BoundedQueue::new(cfg.conn_backlog),
             exec_q: BoundedQueue::new(cfg.queue_bound),
             service,
+            metrics: ServeMetrics::new(workers),
             cfg,
             counters: ServeCounters::default(),
             draining: AtomicBool::new(false),
@@ -266,6 +326,18 @@ impl Server {
         self.shared.counters.snapshot()
     }
 
+    /// Live metrics snapshot — the same view an `SS01` stats request
+    /// gets over the wire.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        metrics_snapshot(&self.shared)
+    }
+
+    /// Flight-recorder export (Perfetto JSON) — the same body an
+    /// `SS01 dump` request gets over the wire.
+    pub fn flight_dump(&self) -> String {
+        self.shared.metrics.dump()
+    }
+
     /// True once a runtime fault has flipped the server to the
     /// sequential (degraded) execution path.
     pub fn is_degraded(&self) -> bool {
@@ -303,6 +375,7 @@ impl Server {
             degraded: self.shared.degraded.load(Ordering::Relaxed),
             thread_panics,
             wisdom_error,
+            metrics: metrics_snapshot(&self.shared),
         }
     }
 }
@@ -329,14 +402,18 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             // way, stop accepting.
             return;
         }
-        match shared.conn_q.push(stream) {
+        let item = ConnItem {
+            stream,
+            enqueued: Instant::now(),
+        };
+        match shared.conn_q.push(item) {
             Push::Accepted => {}
-            Push::Full(s) | Push::Closed(s) => {
+            Push::Full(item) | Push::Closed(item) => {
                 shared
                     .counters
                     .conns_rejected
                     .fetch_add(1, Ordering::Relaxed);
-                reject_connection(s, shared.cfg.read_timeout);
+                reject_connection(item.stream, shared.cfg.read_timeout);
             }
         }
     }
@@ -375,26 +452,32 @@ fn reject_connection(mut stream: TcpStream, linger: Duration) {
 
 fn conn_worker(wid: usize, shared: &Shared) {
     let mut request_seq: u32 = 0;
-    while let Some(stream) = shared.conn_q.pop() {
+    while let Some(item) = shared.conn_q.pop() {
         if shared.draining.load(Ordering::SeqCst) {
             shared
                 .counters
                 .conns_rejected
                 .fetch_add(1, Ordering::Relaxed);
-            reject_connection(stream, shared.cfg.read_timeout);
+            reject_connection(item.stream, shared.cfg.read_timeout);
             continue;
         }
         shared
             .counters
             .conns_accepted
             .fetch_add(1, Ordering::Relaxed);
-        serve_connection(wid, shared, stream, &mut request_seq);
+        if shared.cfg.metrics_enabled {
+            shared.metrics.record(
+                metrics::CONN_QUEUE_WAIT_SECONDS,
+                wid,
+                item.enqueued.elapsed(),
+            );
+        }
+        serve_connection(wid, shared, item.stream, &mut request_seq);
     }
 }
 
 /// Serve one connection until EOF, drain, or a protocol violation.
 fn serve_connection(wid: usize, shared: &Shared, mut stream: TcpStream, request_seq: &mut u32) {
-    let _ = wid; // used only by the trace feature
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let _ = stream.set_nodelay(true);
@@ -402,9 +485,25 @@ fn serve_connection(wid: usize, shared: &Shared, mut stream: TcpStream, request_
         if shared.draining.load(Ordering::SeqCst) {
             return;
         }
+        let read_start = Instant::now();
         let event = wire::read_request(&mut stream, shared.cfg.max_frame_bytes);
         let request = match event {
             Ok(ReadEvent::Request(r)) => r,
+            Ok(ReadEvent::Stats(kind)) => {
+                // Stats frames are observers, not requests: they skip
+                // admission, deadlines, and the `requests` conservation
+                // law entirely.
+                let body = stats_body(shared, kind);
+                let frame = wire::encode_stats_response(kind, &body);
+                if wire::write_all(&mut stream, &frame).is_err() {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                continue;
+            }
             Ok(ReadEvent::Idle) => continue,
             Ok(ReadEvent::Eof) => return,
             Err(WireError::Io(_))
@@ -430,12 +529,29 @@ fn serve_connection(wid: usize, shared: &Shared, mut stream: TcpStream, request_
                 .fetch_add(1, Ordering::Relaxed);
             return;
         }
+        if shared.cfg.metrics_enabled {
+            shared
+                .metrics
+                .record(metrics::PARSE_SECONDS, wid, arrival - read_start);
+        }
+        let budget = if request.deadline_ms == 0 {
+            shared.cfg.default_deadline
+        } else {
+            Duration::from_millis(u64::from(request.deadline_ms))
+        };
         let seq = *request_seq;
         *request_seq = request_seq.wrapping_add(1);
         let response = handle_request(shared, request, arrival, seq);
+        let finished = Instant::now();
         #[cfg(feature = "trace")]
         if let Some(sink) = &shared.cfg.sink {
-            sink.span(wid, SpanKind::RequestServe, seq, arrival, Instant::now());
+            sink.span(wid, SpanKind::RequestServe, seq, arrival, finished);
+        }
+        if shared.cfg.metrics_enabled {
+            shared
+                .metrics
+                .record(metrics::REQUEST_SECONDS, wid, finished - arrival);
+            observe_outcome(shared, wid, seq, arrival, finished, budget, &response);
         }
         let frame = wire::encode_response(&response);
         if wire::write_all(&mut stream, &frame).is_err() {
@@ -446,6 +562,49 @@ fn serve_connection(wid: usize, shared: &Shared, mut stream: TcpStream, request_
             return;
         }
     }
+}
+
+/// Feed the flight recorder: record the request's span in the always-on
+/// rings and, when the request was shed or blew `slo_fraction` of its
+/// deadline budget, mark an SLO breach on the same lane — persisting
+/// the recorder export on the first breach if configured.
+#[cfg(feature = "trace")]
+fn observe_outcome(
+    shared: &Shared,
+    wid: usize,
+    seq: u32,
+    arrival: Instant,
+    finished: Instant,
+    budget: Duration,
+    response: &Response,
+) {
+    use spiral_smp::trace::TimelineSink as _;
+    let recorder = shared.metrics.recorder();
+    recorder.span(wid, SpanKind::RequestServe, seq, arrival, finished);
+    let shed = matches!(
+        response,
+        Response::Overloaded { .. } | Response::Expired { .. }
+    );
+    let over_budget = finished - arrival > budget.mul_f64(shared.cfg.slo_fraction.max(0.0));
+    if (shed || over_budget) && recorder.breach(wid, seq, finished) {
+        if let Some(path) = &shared.cfg.flight_record_path {
+            let _ = std::fs::write(path, recorder.dump());
+        }
+    }
+}
+
+/// Without the `trace` feature there are no rings to feed; the breach
+/// policy compiles out with them.
+#[cfg(not(feature = "trace"))]
+fn observe_outcome(
+    _shared: &Shared,
+    _wid: usize,
+    _seq: u32,
+    _arrival: Instant,
+    _finished: Instant,
+    _budget: Duration,
+    _response: &Response,
+) {
 }
 
 /// Admission, shedding, queueing, and the reply wait for one request.
@@ -493,6 +652,7 @@ fn handle_request(shared: &Shared, request: Request, arrival: Instant, seq: u32)
         n,
         inputs,
         deadline,
+        enqueued: Instant::now(),
         reply: Arc::clone(&reply),
     };
     match shared.exec_q.push(job) {
@@ -523,6 +683,8 @@ fn handle_request(shared: &Shared, request: Request, arrival: Instant, seq: u32)
 
 fn dispatch_loop(shared: &Shared) {
     let mut dispatch_seq: usize = 0;
+    let mut dispatch_stage: u32 = 0;
+    let lane = shared.metrics.dispatcher_lane();
     while let Some(job) = shared.exec_q.pop() {
         let n = job.n;
         // Coalesce same-size requests already waiting behind this one:
@@ -539,6 +701,19 @@ fn dispatch_loop(shared: &Shared) {
         let mut group = Vec::with_capacity(1 + extra.len());
         group.push(job);
         group.extend(extra);
+        if shared.cfg.metrics_enabled {
+            shared
+                .metrics
+                .record_size(metrics::COALESCE_SIZE, lane, group.len() as u64);
+            let popped = Instant::now();
+            for j in &group {
+                shared.metrics.record(
+                    metrics::EXEC_QUEUE_WAIT_SECONDS,
+                    lane,
+                    popped.saturating_duration_since(j.enqueued),
+                );
+            }
+        }
 
         // Shed what expired while queued.
         let now = Instant::now();
@@ -564,21 +739,58 @@ fn dispatch_loop(shared: &Shared) {
         }
         dispatch_seq = dispatch_seq.wrapping_add(1);
 
-        if !shared.degraded.load(Ordering::Relaxed) {
+        let exec_start = Instant::now();
+        let answered = if shared.degraded.load(Ordering::Relaxed) {
+            false
+        } else {
             match run_batched(shared, n, &live) {
-                BatchedResult::Answered => continue,
+                BatchedResult::Answered => true,
                 BatchedResult::Degrade => {
                     shared.degraded.store(true, Ordering::Relaxed);
-                    // Fall through: serve this group sequentially.
+                    false // Fall through: serve this group sequentially.
                 }
             }
+        };
+        if !answered {
+            shared
+                .counters
+                .degraded_dispatches
+                .fetch_add(1, Ordering::Relaxed);
+            run_degraded(shared, n, live);
         }
-        shared
-            .counters
-            .degraded_dispatches
-            .fetch_add(1, Ordering::Relaxed);
-        run_degraded(shared, n, live);
+        let exec_end = Instant::now();
+        if shared.cfg.metrics_enabled {
+            shared
+                .metrics
+                .record(metrics::POOL_EXECUTE_SECONDS, lane, exec_end - exec_start);
+            observe_pool_execute(shared, lane, dispatch_stage, exec_start, exec_end);
+        }
+        dispatch_stage = dispatch_stage.wrapping_add(1);
     }
+}
+
+/// Record the dispatch's `PoolExecute` span in the flight recorder and
+/// the optional configured sink (stage = dispatch sequence number).
+#[cfg(feature = "trace")]
+fn observe_pool_execute(shared: &Shared, lane: usize, stage: u32, start: Instant, end: Instant) {
+    use spiral_smp::trace::TimelineSink as _;
+    shared
+        .metrics
+        .recorder()
+        .span(lane, SpanKind::PoolExecute, stage, start, end);
+    if let Some(sink) = &shared.cfg.sink {
+        sink.span(lane, SpanKind::PoolExecute, stage, start, end);
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+fn observe_pool_execute(
+    _shared: &Shared,
+    _lane: usize,
+    _stage: u32,
+    _start: Instant,
+    _end: Instant,
+) {
 }
 
 enum BatchedResult {

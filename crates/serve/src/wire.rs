@@ -43,6 +43,10 @@ pub const MAX_FRAME_BYTES: usize = 1 << 26;
 pub const REQUEST_MAGIC: [u8; 4] = *b"SQ01";
 /// Response frame magic.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"SR01";
+/// Stats frame magic (same magic both directions: a stats request
+/// carries only a kind byte, a stats response carries the kind byte
+/// plus a length-prefixed UTF-8 body).
+pub const STATS_MAGIC: [u8; 4] = *b"SS01";
 
 /// Fixed-size portion of a request payload: magic + id + n + batch +
 /// deadline.
@@ -104,11 +108,45 @@ impl Response {
     }
 }
 
+/// Which live-telemetry view an `SS01` frame asks for (or carries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsKind {
+    /// Schema-versioned JSON metrics snapshot.
+    Json,
+    /// Prometheus text exposition of the same snapshot.
+    Prom,
+    /// Flight-recorder export: the recent past as Perfetto JSON.
+    Dump,
+}
+
+impl StatsKind {
+    /// Wire code of this kind.
+    pub fn code(self) -> u8 {
+        match self {
+            StatsKind::Json => 0,
+            StatsKind::Prom => 1,
+            StatsKind::Dump => 2,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u8) -> Option<StatsKind> {
+        match code {
+            0 => Some(StatsKind::Json),
+            1 => Some(StatsKind::Prom),
+            2 => Some(StatsKind::Dump),
+            _ => None,
+        }
+    }
+}
+
 /// What [`read_request`] found on the socket.
 #[derive(Debug)]
 pub enum ReadEvent {
     /// A complete, well-formed request frame.
     Request(Request),
+    /// A complete, well-formed `SS01` stats request.
+    Stats(StatsKind),
     /// Clean end-of-stream at a frame boundary (client closed).
     Eof,
     /// Read timeout with *zero* bytes consumed: the connection is idle,
@@ -233,7 +271,75 @@ pub fn read_request(stream: &mut impl Read, max_frame: usize) -> Result<ReadEven
         // an empty marker; see read_frame's contract.
         return Ok(ReadEvent::Idle);
     }
+    if payload.len() >= 4 && payload[..4] == STATS_MAGIC {
+        return Ok(ReadEvent::Stats(decode_stats_request(&payload)?));
+    }
     Ok(ReadEvent::Request(decode_request(&payload)?))
+}
+
+/// Encode a stats request: magic + kind byte.
+pub fn encode_stats_request(kind: StatsKind) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 5);
+    buf.extend_from_slice(&5u32.to_le_bytes());
+    buf.extend_from_slice(&STATS_MAGIC);
+    buf.push(kind.code());
+    buf
+}
+
+/// Encode a stats response: magic + kind byte + length-prefixed UTF-8
+/// body (the JSON snapshot, Prometheus text, or Perfetto dump).
+pub fn encode_stats_response(kind: StatsKind, body: &str) -> Vec<u8> {
+    let payload_len = 4 + 1 + 4 + body.len();
+    let mut buf = Vec::with_capacity(4 + payload_len);
+    buf.extend_from_slice(&u32_len(payload_len).to_le_bytes());
+    buf.extend_from_slice(&STATS_MAGIC);
+    buf.push(kind.code());
+    buf.extend_from_slice(&u32_len(body.len()).to_le_bytes());
+    buf.extend_from_slice(body.as_bytes());
+    buf
+}
+
+/// Read one stats response frame (client side; blocks until complete).
+pub fn read_stats_response(stream: &mut impl Read) -> Result<(StatsKind, String), WireError> {
+    match read_frame(stream, MAX_FRAME_BYTES)? {
+        Some(p) if !p.is_empty() => decode_stats_response(&p),
+        Some(_) => Err(WireError::Stalled { got: 0, want: 4 }),
+        None => Err(WireError::Torn { got: 0, want: 4 }),
+    }
+}
+
+fn decode_stats_request(payload: &[u8]) -> Result<StatsKind, WireError> {
+    if payload.len() != 5 {
+        return Err(WireError::Malformed(format!(
+            "stats request payload is {} bytes, want 5",
+            payload.len()
+        )));
+    }
+    StatsKind::from_code(payload[4])
+        .ok_or_else(|| WireError::Malformed(format!("unknown stats kind {}", payload[4])))
+}
+
+fn decode_stats_response(payload: &[u8]) -> Result<(StatsKind, String), WireError> {
+    if payload.len() < 9 {
+        return Err(WireError::Malformed(format!(
+            "stats response payload is {} bytes, header alone needs 9",
+            payload.len()
+        )));
+    }
+    if payload[..4] != STATS_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let kind = StatsKind::from_code(payload[4])
+        .ok_or_else(|| WireError::Malformed(format!("unknown stats kind {}", payload[4])))?;
+    let blen = u32::from_le_bytes(payload[5..9].try_into().expect("4-byte slice")) as usize;
+    let body = &payload[9..];
+    if body.len() != blen {
+        return Err(WireError::Malformed(format!(
+            "stats body declares {blen} bytes but carries {}",
+            body.len()
+        )));
+    }
+    Ok((kind, String::from_utf8_lossy(body).into_owned()))
 }
 
 /// Read one response frame (client side; blocks until complete).
@@ -478,6 +584,39 @@ mod tests {
             let mut cursor = io::Cursor::new(frame);
             assert_eq!(read_response(&mut cursor).expect("decodes"), resp);
         }
+    }
+
+    #[test]
+    fn stats_request_roundtrips_all_kinds() {
+        for kind in [StatsKind::Json, StatsKind::Prom, StatsKind::Dump] {
+            let frame = encode_stats_request(kind);
+            let mut cursor = io::Cursor::new(frame);
+            match read_request(&mut cursor, MAX_FRAME_BYTES).expect("decodes") {
+                ReadEvent::Stats(got) => assert_eq!(got, kind),
+                other => panic!("expected a stats request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let body = "{\"schema\": 1}";
+        let frame = encode_stats_response(StatsKind::Json, body);
+        let mut cursor = io::Cursor::new(frame);
+        let (kind, got) = read_stats_response(&mut cursor).expect("decodes");
+        assert_eq!(kind, StatsKind::Json);
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn unknown_stats_kind_is_malformed() {
+        let mut frame = encode_stats_request(StatsKind::Dump);
+        *frame.last_mut().expect("kind byte") = 9;
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(
+            read_request(&mut cursor, MAX_FRAME_BYTES),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -120,10 +120,44 @@ fn randomized_fault_grid_keeps_the_server_available() {
         }
     });
 
-    // Let in-flight requests settle, then drain.
+    // Let in-flight requests settle, then read the live telemetry over
+    // the wire (SS01) before draining.
     std::thread::sleep(Duration::from_millis(200));
+    let live = {
+        let mut stats_client = Client::connect(addr).expect("stats connection");
+        let prom = stats_client
+            .stats(spiral_serve::StatsKind::Prom)
+            .expect("prom stats under chaos");
+        spiral_trace::metrics::lint_prometheus(&prom).expect("exposition lints clean");
+        let json = stats_client
+            .stats(spiral_serve::StatsKind::Json)
+            .expect("json stats under chaos");
+        spiral_serve::MetricsSnapshot::from_json(&json).expect("snapshot parses")
+    };
     let report = server.shutdown();
     let c = report.counters;
+
+    // The live SS01 snapshot, taken after the grid settled, carries the
+    // same exact accounting the drain reports: the counters are views
+    // over one set of atomics, and no traffic ran in between.
+    for (name, want) in [
+        ("serve_requests_total", c.requests),
+        ("serve_ok_total", c.ok),
+        ("serve_overloaded_total", c.overloaded),
+        ("serve_expired_total", c.expired),
+        ("serve_errors_total", c.errors),
+        ("serve_shed_expired_total", c.shed_expired),
+        ("serve_dispatches_total", c.dispatches),
+        ("serve_degraded_dispatches_total", c.degraded_dispatches),
+        ("serve_protocol_errors_total", c.protocol_errors),
+        ("serve_conns_accepted_total", c.conns_accepted),
+    ] {
+        assert_eq!(
+            live.counter(name),
+            Some(want),
+            "live {name} diverged from drain accounting: {c:?}"
+        );
+    }
 
     // Availability: every server thread survived the grid.
     assert_eq!(report.thread_panics, 0, "server lost a thread: {c:?}");

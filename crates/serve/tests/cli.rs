@@ -33,7 +33,29 @@ fn unknown_flags_exit_2_with_usage() {
     assert_usage_exit(&["bench", "--bogus", "3"]);
     assert_usage_exit(&["listen", "--bogus"]);
     assert_usage_exit(&["load", "--bogus"]);
+    assert_usage_exit(&["stats", "--bogus"]);
     assert_usage_exit(&["frobnicate"]);
+}
+
+#[test]
+fn stats_strict_args_exit_2_with_usage() {
+    assert_usage_exit(&["stats", "--format", "xml"]);
+    assert_usage_exit(&["stats", "--format"]);
+    assert_usage_exit(&["stats", "--addr"]);
+    assert_usage_exit(&["stats", "--addr", "not-an-address"]);
+    assert_usage_exit(&["stats", "--out"]);
+    assert_usage_exit(&["stats", "extra-positional"]);
+}
+
+#[test]
+fn stats_against_a_dead_server_fails_nonzero_but_cleanly() {
+    let out = serve(&["stats", "--addr", "127.0.0.1:1", "--format", "prom"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot connect"),
+        "expected a connect diagnostic, got: {stderr}"
+    );
 }
 
 #[test]

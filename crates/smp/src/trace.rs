@@ -68,6 +68,12 @@ pub enum SpanKind {
     /// One served network request, admission through response write
     /// (stage = request sequence number on that server worker).
     RequestServe,
+    /// One coalesced batch pushed through the plan executor / thread
+    /// pool by a serving dispatcher (stage = dispatch sequence number).
+    /// This is the pool-execute phase of a served request: the slice of
+    /// its life actually spent computing, as opposed to queued or being
+    /// parsed.
+    PoolExecute,
 }
 
 /// What a timeline instant marks.
@@ -80,6 +86,11 @@ pub enum MarkKind {
     WatchdogFire,
     /// The tuner quarantined the candidate (stage = candidate index).
     TunerReject,
+    /// A serving SLO breach: the request identified by `stage` (its
+    /// sequence number on the recording worker) blew its latency budget
+    /// or was shed. Recorded next to the request's `RequestServe` span
+    /// so a flight-recorder export marks the triggering request.
+    SloBreach,
 }
 
 /// Receiver for timestamped execution events — the temporal counterpart

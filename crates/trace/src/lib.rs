@@ -34,13 +34,23 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
+#[cfg(feature = "sink")]
+pub mod recorder;
+#[cfg(feature = "sink")]
 pub mod timeline;
 
+#[cfg(feature = "sink")]
+pub use recorder::FlightRecorder;
+#[cfg(feature = "sink")]
 pub use timeline::{Timeline, TimelineEvent, TimelineEventKind};
 
 use serde::{Deserialize, Serialize};
+#[cfg(feature = "sink")]
 use spiral_smp::trace::TraceSink;
+#[cfg(feature = "sink")]
 use spiral_smp::CACHE_LINE_BYTES;
+#[cfg(feature = "sink")]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -57,7 +67,9 @@ pub(crate) fn ns_u64(d: Duration) -> u64 {
 /// * v2 — added the [`HostMeta`] `host` block.
 /// * v3 — the host block gained `simd_width` (detected short-vector
 ///   lane count; v2 profiles deserialize with the scalar default 1).
-pub const SCHEMA_VERSION: u64 = 3;
+/// * v4 — added `timeline_dropped` (events overwritten in bounded
+///   timeline rings while the profiled runs were recorded).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The host a profile was measured on. Timing artifacts are meaningless
 /// without this context: a 2-thread run on a 1-core container and on a
@@ -72,6 +84,7 @@ pub use spiral_smp::topology::HostFingerprint as HostMeta;
 /// One `(stage, thread)` accumulation slot, padded to a full cache line
 /// so concurrent writers never share a line (the same guarantee the
 /// executor's data buffers get from `smp::align`).
+#[cfg(feature = "sink")]
 #[repr(align(64))]
 #[derive(Default)]
 struct Slot {
@@ -81,10 +94,13 @@ struct Slot {
     elements: AtomicU64,
 }
 
+#[cfg(feature = "sink")]
 const _: () = assert!(std::mem::align_of::<Slot>() == CACHE_LINE_BYTES);
+#[cfg(feature = "sink")]
 const _: () = assert!(std::mem::size_of::<Slot>() == CACHE_LINE_BYTES);
 
 /// One per-thread pool-job slot, padded like [`Slot`].
+#[cfg(feature = "sink")]
 #[repr(align(64))]
 #[derive(Default)]
 struct JobSlot {
@@ -96,6 +112,7 @@ struct JobSlot {
 /// `ParallelExecutor::try_execute_traced` (feature `trace`) or any other
 /// instrumented runner, then [`finish`](Collector::finish) it into a
 /// [`RunProfile`].
+#[cfg(feature = "sink")]
 pub struct Collector {
     threads: usize,
     stages: usize,
@@ -104,6 +121,7 @@ pub struct Collector {
     jobs: Box<[JobSlot]>,
 }
 
+#[cfg(feature = "sink")]
 impl Collector {
     /// Collector for `threads` threads and `stages` plan steps.
     pub fn new(threads: usize, stages: usize) -> Collector {
@@ -172,11 +190,13 @@ impl Collector {
                 .iter()
                 .map(|j| j.total_ns.load(Ordering::Relaxed))
                 .collect(),
+            timeline_dropped: 0,
             stages,
         }
     }
 }
 
+#[cfg(feature = "sink")]
 impl TraceSink for Collector {
     fn stage(
         &self,
@@ -296,6 +316,11 @@ pub struct RunProfile {
     pub host: HostMeta,
     /// Whole-job nanoseconds per thread (pool-level spans).
     pub pool_job_ns: Vec<u64>,
+    /// Timeline events overwritten (ring-wrap drops) while the profiled
+    /// runs were recorded: 0 when no bounded `Timeline` was attached or
+    /// nothing wrapped, nonzero when the rings lost history — a profile
+    /// whose timeline silently truncated must say so.
+    pub timeline_dropped: u64,
     /// Per-stage measurements, in plan order.
     pub stages: Vec<StageProfile>,
 }
@@ -442,8 +467,18 @@ impl RunProfile {
             wall_ns: self.wall_ns + other.wall_ns,
             host: self.host.clone(),
             pool_job_ns,
+            timeline_dropped: self.timeline_dropped + other.timeline_dropped,
             stages,
         })
+    }
+
+    /// Stamp the drop count of the bounded [`Timeline`] that observed
+    /// these runs: nonzero means the ring wrapped and the exported
+    /// timeline is missing its oldest events.
+    #[cfg(feature = "sink")]
+    pub fn with_timeline(mut self, timeline: &Timeline) -> RunProfile {
+        self.timeline_dropped = timeline.total_dropped();
+        self
     }
 
     /// Relabel the thread slots through `perm` (`perm[new_tid] =
@@ -464,6 +499,7 @@ impl RunProfile {
             wall_ns: self.wall_ns,
             host: self.host.clone(),
             pool_job_ns: remap_u64(&self.pool_job_ns),
+            timeline_dropped: self.timeline_dropped,
             stages: self
                 .stages
                 .iter()
@@ -508,7 +544,7 @@ fn ratio_max_mean(values: impl Iterator<Item = u64>) -> f64 {
     max as f64 * count as f64 / sum as f64
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "sink"))]
 mod tests {
     use super::*;
 

@@ -60,6 +60,12 @@ pub enum TimelineEventKind {
     /// One served network request on a server worker thread (stage =
     /// request sequence number on that worker).
     RequestServe,
+    /// One coalesced batch pushed through the plan executor by a serving
+    /// dispatcher (stage = dispatch sequence number).
+    PoolExecute,
+    /// Instant: a serving SLO breach (deadline blown or request shed);
+    /// stage = the triggering request's sequence number.
+    SloBreach,
 }
 
 impl TimelineEventKind {
@@ -70,6 +76,7 @@ impl TimelineEventKind {
             TimelineEventKind::BarrierRelease
                 | TimelineEventKind::WatchdogFire
                 | TimelineEventKind::TunerReject
+                | TimelineEventKind::SloBreach
         )
     }
 
@@ -84,6 +91,8 @@ impl TimelineEventKind {
             TimelineEventKind::TunerReject => 6,
             TimelineEventKind::BatchTransform => 7,
             TimelineEventKind::RequestServe => 8,
+            TimelineEventKind::PoolExecute => 9,
+            TimelineEventKind::SloBreach => 10,
         }
     }
 
@@ -97,6 +106,8 @@ impl TimelineEventKind {
             5 => TimelineEventKind::WatchdogFire,
             7 => TimelineEventKind::BatchTransform,
             8 => TimelineEventKind::RequestServe,
+            9 => TimelineEventKind::PoolExecute,
+            10 => TimelineEventKind::SloBreach,
             _ => TimelineEventKind::TunerReject,
         }
     }
@@ -109,7 +120,8 @@ impl TimelineEventKind {
             TimelineEventKind::BarrierWait | TimelineEventKind::BarrierRelease => "barrier",
             TimelineEventKind::TunerCandidate | TimelineEventKind::TunerReject => "tuner",
             TimelineEventKind::WatchdogFire => "fault",
-            TimelineEventKind::RequestServe => "serve",
+            TimelineEventKind::RequestServe | TimelineEventKind::PoolExecute => "serve",
+            TimelineEventKind::SloBreach => "slo",
         }
     }
 }
@@ -373,6 +385,7 @@ impl TimelineSink for Timeline {
                 SpanKind::TunerCandidate => TimelineEventKind::TunerCandidate,
                 SpanKind::BatchTransform => TimelineEventKind::BatchTransform,
                 SpanKind::RequestServe => TimelineEventKind::RequestServe,
+                SpanKind::PoolExecute => TimelineEventKind::PoolExecute,
             };
             let s = self.offset_ns(start);
             ring.push(kind, stage, s, self.offset_ns(end).max(s));
@@ -385,6 +398,7 @@ impl TimelineSink for Timeline {
                 MarkKind::BarrierRelease => TimelineEventKind::BarrierRelease,
                 MarkKind::WatchdogFire => TimelineEventKind::WatchdogFire,
                 MarkKind::TunerReject => TimelineEventKind::TunerReject,
+                MarkKind::SloBreach => TimelineEventKind::SloBreach,
             };
             let t = self.offset_ns(at);
             ring.push(kind, stage, t, t);
@@ -410,6 +424,8 @@ fn event_name(e: &TimelineEvent, labels: &[String]) -> String {
         TimelineEventKind::TunerReject => format!("reject candidate {}", e.stage),
         TimelineEventKind::BatchTransform => format!("batch transform {}", e.stage),
         TimelineEventKind::RequestServe => format!("request {}", e.stage),
+        TimelineEventKind::PoolExecute => format!("pool execute {}", e.stage),
+        TimelineEventKind::SloBreach => format!("SLO BREACH request {}", e.stage),
     }
 }
 

@@ -29,6 +29,8 @@ fn representative_profile() -> RunProfile {
             features: vec!["trace".to_string(), "simd4".to_string()],
         },
         pool_job_ns: vec![120_000, 118_500],
+        // A wrapped ring: the golden pins that drop counts serialize.
+        timeline_dropped: 3,
         stages: vec![
             StageProfile {
                 index: 0,

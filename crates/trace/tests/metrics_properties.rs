@@ -1,0 +1,186 @@
+//! Property tests for the metrics histogram algebra: snapshot merging
+//! is associative and commutative, sharding is invisible in the merged
+//! result, quantiles are monotone with a proven relative-error bound,
+//! the bucket map is total and self-consistent, and `validate` rejects
+//! out-of-range bucket indices (the negative control that keeps
+//! `try_merge`'s precondition honest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spiral_trace::metrics::{
+    bucket_bounds, bucket_index, BucketCount, Histogram, HistogramSnapshot, ShardedHistogram,
+    BUCKET_COUNT, MAX_RELATIVE_QUANTILE_ERROR,
+};
+
+/// Record a sample set into a fresh histogram and snapshot it.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact nearest-rank quantile of a sample (the value the histogram
+/// estimate approximates), using the same rank rule as
+/// [`HistogramSnapshot::quantile`].
+fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+    values.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * values.len() as f64).ceil().max(1.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = (rank as usize).saturating_sub(1).min(values.len() - 1);
+    values[idx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `a ⊕ b = b ⊕ a` for arbitrary recorded sample sets.
+    fn merge_is_commutative(
+        a in vec(0u64..u64::MAX, 0..64),
+        b in vec(0u64..u64::MAX, 0..64),
+    ) {
+        let (sa, sb) = (snap(&a), snap(&b));
+        prop_assert_eq!(sa.try_merge(&sb).unwrap(), sb.try_merge(&sa).unwrap());
+    }
+
+    /// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`.
+    fn merge_is_associative(
+        a in vec(0u64..u64::MAX, 0..48),
+        b in vec(0u64..u64::MAX, 0..48),
+        c in vec(0u64..u64::MAX, 0..48),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        let left = sa.try_merge(&sb).unwrap().try_merge(&sc).unwrap();
+        let right = sa.try_merge(&sb.try_merge(&sc).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+        prop_assert!(left.validate().is_ok());
+    }
+
+    /// Merging is equivalent to recording everything into one histogram:
+    /// the snapshot of the union equals the merge of the snapshots.
+    fn merge_equals_union_recording(
+        a in vec(0u64..u64::MAX, 0..64),
+        b in vec(0u64..u64::MAX, 0..64),
+    ) {
+        let merged = snap(&a).try_merge(&snap(&b)).unwrap();
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snap(&union));
+    }
+
+    /// Which writer lane recorded a value is invisible in the merged
+    /// snapshot: a sharded histogram with any lane assignment snapshots
+    /// identically to a single-writer recording of the same values.
+    fn sharding_is_invisible(
+        values in vec(0u64..u64::MAX, 1..96),
+        writers in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let sharded = ShardedHistogram::new(writers);
+        let mut state = seed;
+        for &v in &values {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let lane = usize::try_from(state % writers as u64).expect("lane fits usize");
+            sharded.record(lane, v);
+        }
+        prop_assert_eq!(sharded.snapshot(), snap(&values));
+        prop_assert_eq!(sharded.count(), values.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantile is monotone in `q`.
+    fn quantile_is_monotone(
+        values in vec(0u64..u64::MAX, 1..96),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let s = snap(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi));
+        // And always inside the recorded range.
+        prop_assert!(s.quantile(lo) >= s.min && s.quantile(hi) <= s.max);
+    }
+
+    /// The quantile estimate is within `MAX_RELATIVE_QUANTILE_ERROR` of
+    /// the exact nearest-rank quantile of the recorded sample — the
+    /// bound the module's docs promise (1 / SUB_BUCKETS).
+    fn quantile_relative_error_is_bounded(
+        values in vec(0u64..(1u64 << 60), 1..96),
+        q in 0.0f64..=1.0,
+    ) {
+        let s = snap(&values);
+        let est = s.quantile(q);
+        let mut sorted = values.clone();
+        let exact = exact_quantile(&mut sorted, q);
+        if exact == 0 {
+            // Bucket 0 is exact (linear group).
+            prop_assert_eq!(est, 0);
+        } else {
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(
+                err <= MAX_RELATIVE_QUANTILE_ERROR,
+                "quantile({q}) = {est}, exact = {exact}, relative error {err}"
+            );
+        }
+    }
+
+    /// The bucket map is total and self-consistent: every `u64` lands in
+    /// a bucket whose bounds contain it.
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKET_COUNT);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v, "bucket {idx} lower bound {lo} > value {v}");
+        // The topmost reachable bucket's range saturates at u64::MAX.
+        prop_assert!(v < hi || hi == u64::MAX, "value {v} >= bucket {idx} upper bound {hi}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Negative control: a snapshot carrying an out-of-range bucket
+    /// index must fail validation, and `try_merge` must refuse it from
+    /// either side — never silently fold bad data into good.
+    fn mis_sized_bucket_index_is_rejected(
+        excess in 0u64..1024,
+        count in 1u64..1000,
+        good in vec(0u64..u64::MAX, 0..16),
+    ) {
+        let bad = HistogramSnapshot {
+            buckets: vec![BucketCount {
+                index: BUCKET_COUNT as u64 + excess,
+                count,
+            }],
+            count,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        prop_assert!(bad.validate().is_err());
+        let ok = snap(&good);
+        prop_assert!(ok.try_merge(&bad).is_err());
+        prop_assert!(bad.try_merge(&ok).is_err());
+    }
+
+    /// Live snapshots of arbitrary recordings always validate, and the
+    /// count/sum/min/max cross-checks agree with the raw sample.
+    fn live_snapshots_always_validate(values in vec(0u64..u64::MAX, 0..96)) {
+        let s = snap(&values);
+        prop_assert!(s.validate().is_ok());
+        prop_assert_eq!(s.count, values.len() as u64);
+        if values.is_empty() {
+            prop_assert!(s.is_empty());
+        } else {
+            prop_assert_eq!(s.min, *values.iter().min().expect("nonempty"));
+            prop_assert_eq!(s.max, *values.iter().max().expect("nonempty"));
+            let wrapped: u64 = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+            prop_assert_eq!(s.sum, wrapped);
+        }
+    }
+}

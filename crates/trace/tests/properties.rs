@@ -35,6 +35,7 @@ fn profile(threads: usize, stages: usize, counters: &[u64], pool: &[u64], wall: 
         wall_ns: wall,
         host: HostMeta::current(),
         pool_job_ns: pool.to_vec(),
+        timeline_dropped: 0,
         stages: stage_profiles,
     }
 }

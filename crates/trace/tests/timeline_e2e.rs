@@ -53,6 +53,8 @@ fn to_tl(events: &[TimelineEvent]) -> Vec<TlEvent> {
                 TimelineEventKind::WatchdogFire => TlKind::WatchdogFire,
                 TimelineEventKind::TunerReject => TlKind::TunerReject,
                 TimelineEventKind::RequestServe => TlKind::RequestServe,
+                TimelineEventKind::PoolExecute => TlKind::PoolExecute,
+                TimelineEventKind::SloBreach => TlKind::SloBreach,
             },
             stage: e.stage,
             start_ns: e.start_ns,
@@ -156,4 +158,37 @@ fn chrome_export_of_real_run_is_well_formed() {
         let prev = last.insert(tid, ts).unwrap_or(-1.0);
         assert!(ts >= prev, "tid {tid}: B at {ts} after {prev}");
     }
+}
+
+#[test]
+fn overflowed_tiny_ring_reports_nonzero_drop_count_in_profile() {
+    // A real observed run into a deliberately tiny ring: the run emits
+    // far more events per thread than 2 slots, so the ring must wrap —
+    // and the profile stamped from that timeline must SAY so instead of
+    // silently truncating history.
+    let n = 1 << 10;
+    let p = 2;
+    let plan = balanced_plan(n, p);
+    let exec = ParallelExecutor::with_auto_barrier(p);
+    let timeline = Timeline::with_capacity(p, 2);
+    let (_, profile) = exec
+        .try_execute_observed(&plan, &ramp(n), &timeline)
+        .expect("healthy plan must execute");
+    let profile = profile.with_timeline(&timeline);
+    assert!(
+        timeline.total_dropped() > 0,
+        "a 2-slot ring must wrap on a real run"
+    );
+    assert_eq!(profile.timeline_dropped, timeline.total_dropped());
+    // The drop count survives the JSON interchange round-trip.
+    let back = RunProfile::from_json(&profile.to_json()).unwrap();
+    assert_eq!(back.timeline_dropped, profile.timeline_dropped);
+    // And the exported trace carries the same wrap counter.
+    let trace = timeline.chrome_trace(&[]);
+    assert!(trace.contains(&format!("\"dropped_events\": {}", timeline.total_dropped())));
+
+    // Control: an ample ring on the same workload drops nothing.
+    let (roomy, ample_profile, _) = observed_run(n, p);
+    assert_eq!(roomy.total_dropped(), 0);
+    assert_eq!(ample_profile.with_timeline(&roomy).timeline_dropped, 0);
 }

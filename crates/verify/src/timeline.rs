@@ -41,6 +41,13 @@ pub enum TlKind {
     /// (`stage` is the worker's request sequence number, not a plan
     /// stage).
     RequestServe,
+    /// Span: one coalesced batch pushed through the executor by a
+    /// serving dispatcher (`stage` is the dispatch sequence number, not
+    /// a plan stage).
+    PoolExecute,
+    /// Instant: a serving SLO breach (`stage` is the triggering
+    /// request's sequence number, not a plan stage).
+    SloBreach,
 }
 
 impl TlKind {
@@ -55,6 +62,7 @@ impl TlKind {
                 | TlKind::TunerCandidate
                 | TlKind::BatchTransform
                 | TlKind::RequestServe
+                | TlKind::PoolExecute
         )
     }
 
