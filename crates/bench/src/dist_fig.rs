@@ -1,0 +1,299 @@
+//! DIST — measured multi-process fleet throughput against the
+//! single-process winner, next to the simulator's exchange-cost
+//! prediction.
+//!
+//! The paper's multicore story stops at threads; the `dist(q)` tier
+//! adds a process boundary whose scatter/gather traffic is *modeled*
+//! (`spiral_sim::estimate_dist`) before it is ever paid. This figure
+//! closes the loop: for each size it measures the tuned single-process
+//! plan and the same plan sharded over a real worker fleet, then checks
+//! that the model's verdict (crossover or no crossover) agrees with
+//! what the model-driven tuner actually selects. The run *asserts* the
+//! agreement either way — a disagreement is a bug in the cost model's
+//! wiring, not a data point.
+
+use crate::history::{median, BenchHost};
+use serde::Serialize;
+use spiral_codegen::plan::Plan;
+use spiral_codegen::shard::shard_plan;
+use spiral_codegen::ParallelExecutor;
+use spiral_dist::{DistConfig, DistExecutor};
+use spiral_search::{CostModel, Tuner};
+use spiral_sim::MachineSpec;
+use spiral_spl::builder::dist_tag;
+use spiral_spl::cplx::Cplx;
+use std::time::Instant;
+
+/// One measured fleet point at a given size.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistFleetPoint {
+    /// Worker process count.
+    pub q: u64,
+    /// Median wall-clock µs per transform through the fleet (scatter,
+    /// worker compute, gather, manager tail — the full request path).
+    pub measured_us: f64,
+    /// `single_us / measured_us` (>1 = the fleet wins).
+    pub speedup: f64,
+    /// Whether the fleet's shard accounting balanced exactly at
+    /// shutdown (it must).
+    pub accounting_exact: bool,
+}
+
+/// One size's row: the single-process baseline, every fleet point, and
+/// the model-side verdicts.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistFigRow {
+    /// Transform size as log2 n.
+    pub log2n: u64,
+    /// The single-process tuner winner measured as the baseline.
+    pub choice: String,
+    /// Median wall-clock µs per transform, single process.
+    pub single_us: f64,
+    /// Measured fleet points (empty when no worker binary is present).
+    pub fleet: Vec<DistFleetPoint>,
+    /// Whether the simulator's exchange-cost model predicts any
+    /// `dist(q)` beating the single-process plan at this size.
+    pub sim_predicts_win: bool,
+    /// The winning q under the model (0 = the model predicts none).
+    pub sim_best_q: u64,
+    /// Whether the Sim-model tuner with this process budget selected a
+    /// `dist(q)` plan at this size.
+    pub tuner_selects_dist: bool,
+    /// `sim_predicts_win == tuner_selects_dist` — asserted by the run.
+    pub agreement: bool,
+}
+
+/// The whole DIST artifact (`results/dist_throughput.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct DistFigure {
+    /// Artifact layout version.
+    pub schema: u64,
+    /// Host the measured columns ran on.
+    pub host: String,
+    /// Machine model behind the predicted columns.
+    pub sim_machine: String,
+    /// Process budget offered to the tuner and the fleet.
+    pub budget: u64,
+    /// Timing repetitions per measured point.
+    pub reps: u64,
+    /// Whether a worker binary was found (measured fleet columns exist).
+    pub fleet_available: bool,
+    /// Per-size rows.
+    pub rows: Vec<DistFigRow>,
+    /// Smallest measured size where some fleet point beat the single
+    /// process (`0` = never — the expected outcome on a small host).
+    pub measured_crossover_log2n: u64,
+    /// Smallest size where the model predicts a fleet win (`0` = none).
+    pub sim_crossover_log2n: u64,
+    /// Every row's model-vs-tuner agreement held.
+    pub agreement_all: bool,
+}
+
+/// Artifact layout version for [`DistFigure`].
+pub const DIST_FIG_SCHEMA: u64 = 1;
+
+fn time_reps(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    // One warm-up repetition, then the measured ones.
+    for rep in 0..=reps {
+        let t0 = Instant::now();
+        run();
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        if rep > 0 {
+            times.push(dt);
+        }
+    }
+    median(&times)
+}
+
+/// Measure the DIST sweep over `2^min ..= 2^max` with `budget` worker
+/// processes allowed, on `threads`-thread plans, predicting on
+/// `machine`.
+///
+/// Panics when a row's model-vs-tuner verdicts disagree: the tuner
+/// prices `dist(q)` through the very estimate reported here, so any
+/// mismatch means the wiring between them broke.
+pub fn run_dist_figure(
+    min: u32,
+    max: u32,
+    threads: usize,
+    mu: usize,
+    budget: usize,
+    reps: usize,
+    machine: &MachineSpec,
+) -> DistFigure {
+    let reps = reps.max(2);
+    let fleet_available = spiral_dist::worker_binary().is_ok();
+    let mut rows = Vec::new();
+    for k in min..=max {
+        let n = 1usize << k;
+        // Deterministic single-process winner (the fleet baseline and
+        // the plan every fleet variant re-shards).
+        let Ok(Some(base)) = Tuner::new(threads, mu, CostModel::Analytic).tune_parallel(n) else {
+            continue;
+        };
+        let exec = (base.plan.threads > 1).then(|| ParallelExecutor::with_auto_barrier(threads));
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new(i as f64 / n as f64, -(i as f64) / n as f64))
+            .collect();
+        let single_us = time_reps(reps, || {
+            let out = match &exec {
+                Some(e) => e
+                    .try_execute(&base.plan, &x)
+                    .expect("healthy tuned plan must execute"),
+                None => base.plan.execute(&x),
+            };
+            std::hint::black_box(out);
+        });
+
+        // Model verdict: does any admissible q beat the simulated
+        // single-process cycles on `machine`?
+        let sim_base = spiral_sim::simulate_plan(&base.plan, machine, true).cycles;
+        let mut sim_best_q = 0u64;
+        let mut sim_best_cycles = sim_base;
+        for q in [2usize, 4] {
+            if q > budget {
+                continue;
+            }
+            let Ok(plan) = Plan::from_formula(&dist_tag(q, base.formula.clone()), threads, mu)
+            else {
+                continue;
+            };
+            let plan = plan.fuse_exchanges();
+            let Ok(spec) = shard_plan(&plan, q) else {
+                continue;
+            };
+            let est = spiral_sim::estimate_dist(&plan, &spec, machine, budget, true);
+            if est.cycles < sim_best_cycles {
+                sim_best_cycles = est.cycles;
+                sim_best_q = q as u64;
+            }
+        }
+        let sim_predicts_win = sim_best_q != 0;
+
+        // Tuner verdict: same model, same budget, full search.
+        let tuner_selects_dist = Tuner::new(
+            threads,
+            mu,
+            CostModel::Sim {
+                machine: machine.clone(),
+                warm: true,
+            },
+        )
+        .with_process_budget(budget)
+        .tune_parallel(n)
+        .ok()
+        .flatten()
+        .is_some_and(|t| t.choice.contains("dist("));
+
+        // Measured fleet points over real worker processes.
+        let mut fleet = Vec::new();
+        if fleet_available {
+            for q in [2usize, 4] {
+                if q > budget {
+                    continue;
+                }
+                let tagged = dist_tag(q, base.formula.clone());
+                let Ok(mut ex) = DistExecutor::new(&tagged, threads, mu, q, DistConfig::default())
+                else {
+                    continue;
+                };
+                let mut out = vec![Cplx::ZERO; n];
+                let measured_us = time_reps(reps, || {
+                    ex.execute_into(&x, &mut out)
+                        .expect("healthy fleet must execute");
+                    std::hint::black_box(&out);
+                });
+                let report = ex.shutdown();
+                fleet.push(DistFleetPoint {
+                    q: q as u64,
+                    measured_us,
+                    speedup: single_us / measured_us.max(1e-9),
+                    accounting_exact: report.accounting.is_exact(),
+                });
+            }
+        }
+
+        let agreement = sim_predicts_win == tuner_selects_dist;
+        assert!(
+            agreement,
+            "n=2^{k}: the model predicts dist win = {sim_predicts_win} but the tuner \
+             selected dist = {tuner_selects_dist}; the tuner prices dist through this \
+             same estimate, so they cannot disagree"
+        );
+        rows.push(DistFigRow {
+            log2n: u64::from(k),
+            choice: base.choice,
+            single_us,
+            fleet,
+            sim_predicts_win,
+            sim_best_q,
+            tuner_selects_dist,
+            agreement,
+        });
+    }
+
+    let measured_crossover_log2n = rows
+        .iter()
+        .find(|r| r.fleet.iter().any(|f| f.speedup > 1.0))
+        .map_or(0, |r| r.log2n);
+    let sim_crossover_log2n = rows
+        .iter()
+        .find(|r| r.sim_predicts_win)
+        .map_or(0, |r| r.log2n);
+    DistFigure {
+        schema: DIST_FIG_SCHEMA,
+        host: BenchHost::current().name,
+        sim_machine: machine.name.to_string(),
+        budget: budget as u64,
+        reps: reps as u64,
+        fleet_available,
+        rows,
+        measured_crossover_log2n,
+        sim_crossover_log2n,
+        agreement_all: true, // asserted row by row above
+    }
+}
+
+/// Render the artifact as pretty JSON.
+pub fn to_json(fig: &DistFigure) -> String {
+    serde_json::to_string_pretty(fig).expect("DistFigure serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_consistent_rows() {
+        let m = spiral_sim::core_duo();
+        let fig = run_dist_figure(8, 9, 2, 4, 2, 2, &m);
+        assert_eq!(fig.schema, DIST_FIG_SCHEMA);
+        assert!(!fig.rows.is_empty());
+        assert!(fig.agreement_all);
+        for r in &fig.rows {
+            assert!(r.single_us > 0.0, "{r:?}");
+            assert!(r.agreement);
+            for f in &r.fleet {
+                assert!(f.measured_us > 0.0);
+                assert!(f.accounting_exact, "{f:?}");
+            }
+        }
+        let s = to_json(&fig);
+        assert!(s.contains("\"sim_machine\""));
+        assert!(s.contains("\"agreement_all\": true"));
+    }
+
+    #[test]
+    fn budget_of_one_yields_no_fleet_and_no_predictions() {
+        let m = spiral_sim::core_duo();
+        let fig = run_dist_figure(8, 8, 2, 4, 1, 2, &m);
+        for r in &fig.rows {
+            assert!(r.fleet.is_empty());
+            assert!(!r.sim_predicts_win);
+            assert!(!r.tuner_selects_dist);
+        }
+        assert_eq!(fig.sim_crossover_log2n, 0);
+        assert_eq!(fig.measured_crossover_log2n, 0);
+    }
+}

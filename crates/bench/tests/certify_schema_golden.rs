@@ -93,6 +93,12 @@ fn live_sweep_is_fully_certified_and_serializes() {
         file.rows.iter().any(|r| r.shape.contains("+ vec(")),
         "sweep must cover vec(ν)-tagged plan shapes"
     );
+    // Likewise the dist(q) sharded shapes: the shard-boundary pass runs
+    // inside the sweep, and 100% of sharded shapes prove out.
+    assert!(
+        file.rows.iter().any(|r| r.shape.contains("+ dist(")),
+        "sweep must cover dist(q) sharded plan shapes"
+    );
     let json = serde_json::to_string(&file).unwrap();
     let back: CertifyReportFile = serde_json::from_str(&json).unwrap();
     assert_eq!(back.total, file.total);

@@ -1,0 +1,9 @@
+//! The `dist(q)` worker-process entry point.
+//!
+//! Spawned by the fleet manager as
+//! `dist-worker <control-socket> <slab-file> <shard-index>`; everything
+//! else arrives over the control socket. See [`spiral_dist::worker`].
+
+fn main() {
+    spiral_dist::worker::worker_main();
+}

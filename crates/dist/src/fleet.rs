@@ -1,0 +1,754 @@
+//! The fleet manager: spawn, handshake, dispatch, quarantine, rescue.
+//!
+//! [`DistExecutor`] owns `q` worker processes, one per shard of a
+//! [`ShardSpec`]. Per batch it scatters the input into the workers'
+//! `/dev/shm` slabs (applying the plan's step-0 gather so workers read
+//! purely locally), dispatches over the Unix-socket control plane,
+//! collects completion frames under a heartbeat deadline, gathers the
+//! output partitions into its staging buffer, and finishes the plan's
+//! unsharded tail in-process ([`Plan::execute_tail_into`]).
+//!
+//! **Failure policy.** Any worker failure — death (socket EOF),
+//! heartbeat timeout, torn slab publish, protocol violation — is
+//! handled the same way: the worker is *quarantined* (killed and
+//! reaped, never trusted again) and its shard is *rescued* by running
+//! [`execute_shard_into`] on the manager, the exact code path a healthy
+//! worker runs, so a rescued batch is still bitwise equal to the
+//! single-process result. Every shard of every batch is accounted to
+//! exactly one of `{worker, rescued, manager}` —
+//! [`DistAccounting::is_exact`] is the invariant the chaos suite
+//! asserts.
+//!
+//! **Cleanup.** All filesystem artifacts (control socket, slabs) live
+//! under one session tag in `/dev/shm` and are removed at shutdown;
+//! `Drop` performs the same teardown if `shutdown` was never called,
+//! and workers exit on control-socket EOF even if the manager is
+//! `SIGKILL`ed — three independent layers against orphan processes and
+//! leaked segments.
+
+use crate::slab::{Dir, Slab};
+use crate::wire::{self, Frame, WireError};
+use serde::Serialize;
+use spiral_codegen::plan::{Plan, PlanWorkspace};
+use spiral_codegen::shard::{
+    execute_shard_into, scatter_shard, shard_plan, ShardError, ShardSpec, ShardWorkspace,
+};
+use spiral_spl::ast::Spl;
+use spiral_spl::cplx::Cplx;
+use std::fmt;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Timeouts of one fleet.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Deadline for the whole spawn → connect → config → ready
+    /// handshake.
+    pub handshake_timeout: Duration,
+    /// Per-worker deadline for a batch completion frame — the
+    /// heartbeat that converts a hung worker into a quarantine.
+    pub batch_timeout: Duration,
+    /// Grace period for a clean worker exit at shutdown before
+    /// `SIGKILL`.
+    pub shutdown_timeout: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> DistConfig {
+        DistConfig {
+            handshake_timeout: Duration::from_secs(10),
+            batch_timeout: Duration::from_secs(5),
+            shutdown_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a fleet could not be built or driven.
+#[derive(Debug)]
+pub enum DistError {
+    /// The formula does not lower to a plan.
+    Lower(String),
+    /// The plan does not shard across the requested process count.
+    Shard(ShardError),
+    /// The `dist-worker` binary could not be located.
+    WorkerBinary(String),
+    /// A worker failed the handshake (connect, config, or ready).
+    Handshake {
+        /// Shard index (or connected count for accept-phase failures).
+        shard: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Manager-side i/o failure (socket bind, slab create, …).
+    Io(io::Error),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Lower(d) => write!(f, "formula does not lower: {d}"),
+            DistError::Shard(e) => write!(f, "plan does not shard: {e}"),
+            DistError::WorkerBinary(d) => write!(f, "worker binary: {d}"),
+            DistError::Handshake { shard, detail } => {
+                write!(f, "worker {shard} handshake failed: {detail}")
+            }
+            DistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<ShardError> for DistError {
+    fn from(e: ShardError) -> DistError {
+        DistError::Shard(e)
+    }
+}
+
+impl From<io::Error> for DistError {
+    fn from(e: io::Error) -> DistError {
+        DistError::Io(e)
+    }
+}
+
+/// Prefix of every filesystem artifact a fleet creates in `/dev/shm`
+/// (control socket, slab files) — the leak-guard tests grep for it.
+pub const SESSION_PREFIX: &str = "spiral-dist-";
+
+/// Directory fleets place their sockets and slabs in.
+pub fn shm_dir() -> PathBuf {
+    PathBuf::from("/dev/shm")
+}
+
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn session_tag() -> String {
+    format!(
+        "{SESSION_PREFIX}{}-{}",
+        std::process::id(),
+        SESSION_COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Locate the `dist-worker` binary: the `SPIRAL_DIST_WORKER`
+/// environment variable wins (tests point it at
+/// `CARGO_BIN_EXE_dist-worker`); otherwise look next to the current
+/// executable and one directory up (test binaries live in
+/// `target/<profile>/deps/`, the worker in `target/<profile>/`).
+pub fn worker_binary() -> Result<PathBuf, DistError> {
+    if let Some(p) = std::env::var_os("SPIRAL_DIST_WORKER") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(DistError::WorkerBinary(format!(
+            "SPIRAL_DIST_WORKER points at {}, which does not exist",
+            p.display()
+        )));
+    }
+    let exe = std::env::current_exe()?;
+    let mut candidates = Vec::new();
+    if let Some(dir) = exe.parent() {
+        candidates.push(dir.join("dist-worker"));
+        if let Some(up) = dir.parent() {
+            candidates.push(up.join("dist-worker"));
+        }
+    }
+    for c in &candidates {
+        if c.is_file() {
+            return Ok(c.clone());
+        }
+    }
+    Err(DistError::WorkerBinary(format!(
+        "dist-worker not found near {}",
+        exe.display()
+    )))
+}
+
+/// One quarantine event: which worker, when, why.
+#[derive(Clone, Debug, Serialize)]
+pub struct QuarantineRecord {
+    /// Shard index of the quarantined worker.
+    pub shard: usize,
+    /// Batch generation during which the failure surfaced.
+    pub batch: u64,
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+/// Exact accounting of where every shard of every batch was computed.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct DistAccounting {
+    /// Worker process count.
+    pub q: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Shard-batches completed by healthy workers.
+    pub worker_shards: u64,
+    /// Shard-batches rescued on the manager after a same-batch failure.
+    pub rescued_shards: u64,
+    /// Shard-batches run on the manager for already-quarantined shards.
+    pub manager_shards: u64,
+    /// Quarantine events, in order.
+    pub quarantines: Vec<QuarantineRecord>,
+}
+
+impl DistAccounting {
+    /// Shard-batches accounted to some executor.
+    pub fn accounted(&self) -> u64 {
+        self.worker_shards + self.rescued_shards + self.manager_shards
+    }
+
+    /// Shard-batches that must have been executed.
+    pub fn expected(&self) -> u64 {
+        self.batches * self.q as u64
+    }
+
+    /// The invariant: every shard of every batch was computed exactly
+    /// once, by exactly one of worker / rescue / manager.
+    pub fn is_exact(&self) -> bool {
+        self.accounted() == self.expected()
+    }
+}
+
+/// What shutdown found when draining the fleet.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistShutdownReport {
+    /// Workers that exited on their own after `Shutdown`.
+    pub clean_exits: usize,
+    /// Workers that needed `SIGKILL` past the grace period.
+    pub killed: usize,
+    /// Final accounting.
+    pub accounting: DistAccounting,
+}
+
+struct WorkerSlot {
+    shard: usize,
+    pid: u32,
+    child: Child,
+    stream: UnixStream,
+    slab: Slab,
+    alive: bool,
+}
+
+/// Kill, reap, and mark a worker dead; record why. Reaping immediately
+/// is what keeps the zero-orphan guarantee: no zombie survives a
+/// quarantine.
+fn quarantine(w: &mut WorkerSlot, acct: &mut DistAccounting, batch: u64, reason: String) {
+    let _ = w.child.kill();
+    let _ = w.child.wait();
+    w.alive = false;
+    acct.quarantines.push(QuarantineRecord {
+        shard: w.shard,
+        batch,
+        reason,
+    });
+}
+
+/// Await the completion frame for `generation` on a worker's stream
+/// (read timeout = heartbeat deadline, set at handshake time).
+fn collect_done(w: &mut WorkerSlot, generation: u64) -> Result<(), String> {
+    match wire::read_frame(&mut w.stream) {
+        Ok(Some(Frame::Done { batch, shard, ok })) => {
+            if batch != generation || usize::try_from(shard).expect("u32 fits usize") != w.shard {
+                return Err(format!(
+                    "done frame for batch {batch} shard {shard}, expected batch {generation} \
+                     shard {}",
+                    w.shard
+                ));
+            }
+            if ok {
+                Ok(())
+            } else {
+                Err("worker reported a failed batch (torn input slab)".to_string())
+            }
+        }
+        Ok(Some(f)) => Err(format!(
+            "unexpected frame {f:?} awaiting batch {generation}"
+        )),
+        Ok(None) => Err("worker closed the control stream (died mid-batch)".to_string()),
+        Err(WireError::Stalled) => Err("heartbeat timeout awaiting completion".to_string()),
+        Err(e) => Err(format!("control stream: {e}")),
+    }
+}
+
+/// Translate the fault registry (crates/smp) into wire directive bits
+/// for one `(shard, batch)` dispatch. Without the `faults` feature this
+/// compiles to a constant — production dispatches always carry 0.
+#[cfg(feature = "faults")]
+fn fault_directive(shard: usize, generation: u64, batch_timeout: Duration) -> (u8, u32) {
+    use crate::wire::{DIRECTIVE_DROP, DIRECTIVE_KILL, DIRECTIVE_STALL, DIRECTIVE_TORN};
+    use spiral_smp::faults::{dist_active, dist_at, DistSite};
+    if !dist_active() {
+        return (0, 0);
+    }
+    let b = usize::try_from(generation).expect("batch fits usize");
+    let mut d = 0u8;
+    let mut stall = 0u32;
+    if dist_at(DistSite::WorkerKill, shard, b) {
+        d |= DIRECTIVE_KILL;
+    }
+    if dist_at(DistSite::SlabTornWrite, shard, b) {
+        d |= DIRECTIVE_TORN;
+    }
+    if dist_at(DistSite::ControlFrameDrop, shard, b) {
+        d |= DIRECTIVE_DROP;
+    }
+    if dist_at(DistSite::HeartbeatStall, shard, b) {
+        d |= DIRECTIVE_STALL;
+        stall = u32::try_from(batch_timeout.as_millis().saturating_mul(4)).unwrap_or(u32::MAX);
+    }
+    (d, stall)
+}
+
+#[cfg(not(feature = "faults"))]
+fn fault_directive(_shard: usize, _generation: u64, _batch_timeout: Duration) -> (u8, u32) {
+    (0, 0)
+}
+
+/// Cleanup guard for the spawn phase: until disarmed, dropping it kills
+/// and reaps every spawned child and removes every created file, so a
+/// failed handshake leaks nothing.
+struct BootGuard {
+    children: Vec<Child>,
+    paths: Vec<PathBuf>,
+    armed: bool,
+}
+
+impl Drop for BootGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        for p in &self.paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// The multi-process executor for a `dist(q)`-tagged plan.
+pub struct DistExecutor {
+    plan: Plan,
+    spec: ShardSpec,
+    cfg: DistConfig,
+    socket_path: PathBuf,
+    slab_paths: Vec<PathBuf>,
+    workers: Vec<WorkerSlot>,
+    ws: PlanWorkspace,
+    sws: ShardWorkspace,
+    shard_in: Vec<Cplx>,
+    shard_out: Vec<Cplx>,
+    io_buf: Vec<u8>,
+    pending: Vec<bool>,
+    failed: Vec<bool>,
+    acct: DistAccounting,
+    batch: u64,
+    finished: bool,
+}
+
+impl DistExecutor {
+    /// Build the fleet for `formula`: lower and fuse the plan (the same
+    /// pipeline every worker reruns from the formula's ASCII), compute
+    /// the shard geometry, create the slabs, spawn `q` workers, and run
+    /// the handshake to `Ready`. On any failure everything spawned or
+    /// created so far is torn down before returning.
+    pub fn new(
+        formula: &Spl,
+        threads: usize,
+        mu: usize,
+        q: usize,
+        cfg: DistConfig,
+    ) -> Result<DistExecutor, DistError> {
+        let plan = Plan::from_formula(formula, threads, mu)
+            .map_err(|e| DistError::Lower(e.to_string()))?
+            .fuse_exchanges();
+        let spec = shard_plan(&plan, q)?;
+        let bin = worker_binary()?;
+        let tag = session_tag();
+        let dir = shm_dir();
+        let socket_path = dir.join(format!("{tag}.sock"));
+        let listener = UnixListener::bind(&socket_path)?;
+        listener.set_nonblocking(true)?;
+        let mut guard = BootGuard {
+            children: Vec::new(),
+            paths: vec![socket_path.clone()],
+            armed: true,
+        };
+
+        let region_len = plan.n / q;
+        let mut slab_paths = Vec::with_capacity(q);
+        let mut slabs = Vec::with_capacity(q);
+        for s in 0..q {
+            let p = dir.join(format!("{tag}-w{s}.slab"));
+            let slab = Slab::create(&p, region_len)?;
+            guard.paths.push(p.clone());
+            slab_paths.push(p);
+            slabs.push(slab);
+        }
+        for (s, slab_path) in slab_paths.iter().enumerate() {
+            let child = Command::new(&bin)
+                .arg(&socket_path)
+                .arg(slab_path)
+                .arg(s.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()?;
+            guard.children.push(child);
+        }
+
+        // Accept phase: workers connect in arbitrary order; their Hello
+        // frame says which shard each stream belongs to.
+        let deadline = Instant::now() + cfg.handshake_timeout;
+        let mut streams: Vec<Option<(UnixStream, u32)>> = (0..q).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < q {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(cfg.handshake_timeout))?;
+                    let mut stream = stream;
+                    let hello =
+                        wire::read_frame(&mut stream).map_err(|e| DistError::Handshake {
+                            shard: connected,
+                            detail: format!("hello: {e}"),
+                        })?;
+                    let Some(Frame::Hello { shard, pid }) = hello else {
+                        return Err(DistError::Handshake {
+                            shard: connected,
+                            detail: format!("expected Hello, got {hello:?}"),
+                        });
+                    };
+                    let s = usize::try_from(shard).expect("u32 fits usize");
+                    if s >= q || streams[s].is_some() {
+                        return Err(DistError::Handshake {
+                            shard: s,
+                            detail: "duplicate or out-of-range shard in Hello".to_string(),
+                        });
+                    }
+                    streams[s] = Some((stream, pid));
+                    connected += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(DistError::Handshake {
+                            shard: connected,
+                            detail: format!(
+                                "only {connected}/{q} workers connected before the deadline"
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(DistError::Io(e)),
+            }
+        }
+
+        // Config/ready phase: hand every worker the formula ASCII; each
+        // recompiles the identical plan and confirms.
+        let ascii = formula.to_string();
+        for (s, slot) in streams.iter_mut().enumerate() {
+            let (stream, _) = slot.as_mut().expect("all connected");
+            wire::write_frame(
+                stream,
+                &Frame::Config {
+                    shard: u32::try_from(s).expect("q fits u32"),
+                    q: u32::try_from(q).expect("q fits u32"),
+                    threads: u32::try_from(threads).expect("threads fits u32"),
+                    mu: u32::try_from(mu).expect("mu fits u32"),
+                    formula: ascii.clone(),
+                },
+            )
+            .map_err(|e| DistError::Handshake {
+                shard: s,
+                detail: format!("config: {e}"),
+            })?;
+        }
+        for (s, slot) in streams.iter_mut().enumerate() {
+            let (stream, _) = slot.as_mut().expect("all connected");
+            match wire::read_frame(stream) {
+                Ok(Some(Frame::Ready { ok: true, .. })) => {}
+                Ok(Some(Frame::Ready {
+                    ok: false, message, ..
+                })) => {
+                    return Err(DistError::Handshake {
+                        shard: s,
+                        detail: message,
+                    });
+                }
+                other => {
+                    return Err(DistError::Handshake {
+                        shard: s,
+                        detail: format!("expected Ready, got {other:?}"),
+                    });
+                }
+            }
+            stream.set_read_timeout(Some(cfg.batch_timeout))?;
+        }
+
+        guard.armed = false;
+        let children = std::mem::take(&mut guard.children);
+        let mut workers = Vec::with_capacity(q);
+        for (s, (child, slab)) in children.into_iter().zip(slabs).enumerate() {
+            let (stream, pid) = streams[s].take().expect("all ready");
+            workers.push(WorkerSlot {
+                shard: s,
+                pid,
+                child,
+                stream,
+                slab,
+                alive: true,
+            });
+        }
+
+        let mut ex = DistExecutor {
+            plan,
+            spec,
+            cfg,
+            socket_path,
+            slab_paths,
+            workers,
+            ws: PlanWorkspace::default(),
+            sws: ShardWorkspace::default(),
+            shard_in: vec![Cplx::ZERO; region_len],
+            shard_out: vec![Cplx::ZERO; region_len],
+            io_buf: Vec::with_capacity(region_len * 16),
+            pending: Vec::with_capacity(q),
+            failed: Vec::with_capacity(q),
+            acct: DistAccounting {
+                q,
+                ..DistAccounting::default()
+            },
+            batch: 0,
+            finished: false,
+        };
+        // Pre-size every reusable buffer (staging, rescue workspace) so
+        // the batch path — including a first rescue — allocates nothing.
+        let _ = ex.ws.stage_buffer(&ex.plan);
+        execute_shard_into(
+            &ex.plan,
+            &ex.spec,
+            0,
+            &ex.shard_in,
+            &mut ex.shard_out,
+            &mut ex.sws,
+        );
+        Ok(ex)
+    }
+
+    /// The fused plan this fleet executes.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The shard geometry.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Accounting so far.
+    pub fn accounting(&self) -> &DistAccounting {
+        &self.acct
+    }
+
+    /// OS pids of all workers ever spawned (including quarantined ones).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.workers.iter().map(|w| w.pid).collect()
+    }
+
+    /// Workers still trusted with batches.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Filesystem artifacts this fleet created (socket + slabs) — the
+    /// leak-guard tests assert these vanish at shutdown.
+    pub fn artifact_paths(&self) -> Vec<PathBuf> {
+        let mut v = vec![self.socket_path.clone()];
+        v.extend(self.slab_paths.iter().cloned());
+        v
+    }
+
+    /// Execute one batch, allocation-free: scatter to workers, collect
+    /// under the heartbeat deadline, rescue any failed shard on the
+    /// manager, finish the tail in-process. The result is bitwise equal
+    /// to [`Plan::execute_into`] regardless of how many workers died.
+    pub fn execute_into(&mut self, x: &[Cplx], out: &mut [Cplx]) -> Result<(), DistError> {
+        assert_eq!(x.len(), self.plan.n, "input length mismatch");
+        assert_eq!(out.len(), self.plan.n, "output length mismatch");
+        assert!(!self.finished, "executor already shut down");
+        self.batch += 1;
+        self.acct.batches += 1;
+        let generation = self.batch;
+        let q = self.spec.q;
+        self.pending.clear();
+        self.pending.resize(q, false);
+        self.failed.clear();
+        self.failed.resize(q, false);
+
+        // Phase 1: scatter + dispatch to live workers.
+        for s in 0..q {
+            if !self.workers[s].alive {
+                continue;
+            }
+            scatter_shard(&self.plan, &self.spec, s, x, &mut self.shard_in);
+            let w = &mut self.workers[s];
+            if let Err(e) = w
+                .slab
+                .publish(Dir::Input, generation, &self.shard_in, &mut self.io_buf)
+            {
+                quarantine(w, &mut self.acct, generation, format!("input publish: {e}"));
+                self.failed[s] = true;
+                continue;
+            }
+            let (directive, stall_ms) = fault_directive(s, generation, self.cfg.batch_timeout);
+            if let Err(e) = wire::write_frame(
+                &mut w.stream,
+                &Frame::Dispatch {
+                    batch: generation,
+                    directive,
+                    stall_ms,
+                },
+            ) {
+                quarantine(w, &mut self.acct, generation, format!("dispatch: {e}"));
+                self.failed[s] = true;
+                continue;
+            }
+            self.pending[s] = true;
+        }
+
+        // Phase 2: collect (or rescue) every shard into the staging
+        // buffer at its region offset.
+        let stage = self.ws.stage_buffer(&self.plan);
+        for s in 0..q {
+            let r = self.spec.regions[s].clone();
+            let dst = &mut stage[r.offset..r.offset + r.len];
+            if self.pending[s] {
+                let w = &mut self.workers[s];
+                let verdict = collect_done(w, generation);
+                match verdict {
+                    Ok(()) => match w
+                        .slab
+                        .consume(Dir::Output, generation, dst, &mut self.io_buf)
+                    {
+                        Ok(()) => {
+                            self.acct.worker_shards += 1;
+                            continue;
+                        }
+                        Err(e) => {
+                            quarantine(w, &mut self.acct, generation, format!("output slab: {e}"));
+                        }
+                    },
+                    Err(reason) => quarantine(w, &mut self.acct, generation, reason),
+                }
+                self.failed[s] = true;
+            }
+            // The shard did not come back from a worker: run it here,
+            // through the same code path a worker runs — bitwise the
+            // same values.
+            scatter_shard(&self.plan, &self.spec, s, x, &mut self.shard_in);
+            execute_shard_into(
+                &self.plan,
+                &self.spec,
+                s,
+                &self.shard_in,
+                dst,
+                &mut self.sws,
+            );
+            if self.failed[s] {
+                self.acct.rescued_shards += 1;
+            } else {
+                self.acct.manager_shards += 1;
+            }
+        }
+
+        // Phase 3: the unsharded tail, in-process.
+        self.plan
+            .execute_tail_into(self.spec.shard_steps, out, &mut self.ws);
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around [`DistExecutor::execute_into`].
+    pub fn execute(&mut self, x: &[Cplx]) -> Result<Vec<Cplx>, DistError> {
+        let mut out = vec![Cplx::ZERO; self.plan.n];
+        self.execute_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drain the fleet: ask every live worker to exit, give it the
+    /// grace period, `SIGKILL` stragglers, reap everything, and remove
+    /// all filesystem artifacts.
+    pub fn shutdown(mut self) -> DistShutdownReport {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> DistShutdownReport {
+        if self.finished {
+            return DistShutdownReport {
+                clean_exits: 0,
+                killed: 0,
+                accounting: self.acct.clone(),
+            };
+        }
+        self.finished = true;
+        for w in &mut self.workers {
+            if w.alive {
+                let _ = wire::write_frame(&mut w.stream, &Frame::Shutdown);
+            }
+        }
+        let deadline = Instant::now() + self.cfg.shutdown_timeout;
+        let mut clean_exits = 0;
+        let mut killed = 0;
+        for w in &mut self.workers {
+            if !w.alive {
+                continue; // quarantine already killed and reaped it
+            }
+            loop {
+                match w.child.try_wait() {
+                    Ok(Some(_)) => {
+                        clean_exits += 1;
+                        break;
+                    }
+                    Ok(None) => {
+                        if Instant::now() > deadline {
+                            let _ = w.child.kill();
+                            let _ = w.child.wait();
+                            killed += 1;
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        killed += 1;
+                        break;
+                    }
+                }
+            }
+            w.alive = false;
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+        for p in &self.slab_paths {
+            let _ = std::fs::remove_file(p);
+        }
+        DistShutdownReport {
+            clean_exits,
+            killed,
+            accounting: self.acct.clone(),
+        }
+    }
+}
+
+impl Drop for DistExecutor {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}

@@ -1,0 +1,46 @@
+//! # spiral-dist — the `dist(q)` multi-process sharded execution tier
+//!
+//! The paper's shared-memory program generation targets one process of
+//! `p` threads. This crate adds the next tier up: a **fleet of `q`
+//! single-address-space worker processes** executing the shardable
+//! prefix of a fused plan, coordinated by a manager that finishes the
+//! unsharded tail in-process. In SPL terms, a formula tagged `dist(q)`
+//! ([`spiral_spl::builder::dist_tag`]) asks for its outermost tensor
+//! factor to be split across `q` processes.
+//!
+//! Architecture (one module per layer):
+//!
+//! * [`wire`] — length-prefixed Unix-socket control frames (handshake,
+//!   dispatch, completion, shutdown). Control only; no bulk data.
+//! * [`slab`] — per-worker double-buffered `/dev/shm` data slabs with
+//!   seqlock generation handoff; torn publishes are detected, never
+//!   consumed. No `mmap`, no `unsafe` — positioned file i/o on `tmpfs`
+//!   shares the page cache between processes.
+//! * [`worker`] — the worker protocol: compile the *same* plan the
+//!   manager has from the formula ASCII in the handshake, then compute
+//!   dispatched batches with [`spiral_codegen::shard::execute_shard_into`].
+//! * [`fleet`] — the manager: spawn/handshake, per-batch
+//!   scatter → dispatch → collect → tail, heartbeat-driven quarantine
+//!   with in-process rescue, exact per-shard accounting, and teardown
+//!   that leaves no process and no `/dev/shm` artifact behind.
+//!
+//! Correctness story: workers run the identical chunk programs over the
+//! identical values a single-process execution would (the manager
+//! pre-applies the plan's step-0 gather at scatter time), so dist
+//! results are **bitwise equal** to [`spiral_codegen::plan::Plan::execute`]
+//! — including batches where workers were killed mid-flight and their
+//! shards rescued. The shard geometry itself is certified by
+//! `spiral_verify::certify::shards`, and the single-process ↔ dist
+//! crossover is priced by `spiral_sim::estimate_dist`.
+
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod slab;
+pub mod wire;
+pub mod worker;
+
+pub use fleet::{
+    shm_dir, worker_binary, DistAccounting, DistConfig, DistError, DistExecutor,
+    DistShutdownReport, QuarantineRecord, SESSION_PREFIX,
+};

@@ -1,0 +1,411 @@
+//! Double-buffered `/dev/shm` data slabs with seqlock handoff.
+//!
+//! The bulk data between manager and worker never rides the control
+//! socket: each worker owns one slab file on `tmpfs` holding an *input*
+//! and an *output* direction, each double-buffered (two slots). Both
+//! processes access it with positioned reads/writes
+//! ([`std::os::unix::fs::FileExt`]) on the shared page cache, so a write
+//! in one process is immediately visible to a read in the other — no
+//! `mmap`, no `unsafe`, std only.
+//!
+//! Each direction carries a seqlock generation word. The writer of
+//! generation `g` publishes into slot `g % 2`:
+//!
+//! 1. write `seq = 2g − 1` (odd: "write in progress"),
+//! 2. write the payload,
+//! 3. write `seq = 2g` (even: "generation g published").
+//!
+//! The reader of generation `g` checks `seq == 2g`, reads the payload,
+//! and re-checks — a torn or stale publish is *detected*, never silently
+//! consumed. The control plane orders the handoff (the manager writes
+//! the input before `Dispatch`, the worker writes the output before
+//! `Done`), so in a healthy fleet the check never fails; it exists to
+//! catch crashed-mid-write workers and the injected `SlabTornWrite`
+//! fault.
+//!
+//! File layout (all little-endian):
+//!
+//! ```text
+//! [0..8)    magic "SPIRLDS1"
+//! [8..16)   n: elements per slot (u64)
+//! [16..24)  input seqlock (u64)
+//! [24..32)  output seqlock (u64)
+//! [32..64)  reserved (zero)
+//! [64..)    input slot 0, input slot 1, output slot 0, output slot 1
+//!           (each n × 16 bytes: f64 re, f64 im per element)
+//! ```
+
+use spiral_spl::cplx::Cplx;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Slab file magic.
+pub const SLAB_MAGIC: &[u8; 8] = b"SPIRLDS1";
+const HEADER_BYTES: u64 = 64;
+const IN_SEQ_OFF: u64 = 16;
+const OUT_SEQ_OFF: u64 = 24;
+const ELEM_BYTES: u64 = 16;
+
+/// Which half of the slab a transfer uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Manager → worker (scattered shard input).
+    Input,
+    /// Worker → manager (computed shard output).
+    Output,
+}
+
+impl Dir {
+    fn label(self) -> &'static str {
+        match self {
+            Dir::Input => "input",
+            Dir::Output => "output",
+        }
+    }
+}
+
+/// Slab access failure.
+#[derive(Debug)]
+pub enum SlabError {
+    /// The seqlock did not match the expected generation — the publish
+    /// is torn (writer died mid-write or the injected torn-write fault)
+    /// or stale (generation skew).
+    Torn {
+        /// Which direction was read.
+        dir: &'static str,
+        /// The seqlock value that proves generation `g` (`2g`).
+        expected: u64,
+        /// The value found.
+        found: u64,
+    },
+    /// The file is not a slab or was created for a different geometry.
+    Geometry(String),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for SlabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlabError::Torn {
+                dir,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{dir} slab seqlock is {found}, expected {expected} — torn or stale publish"
+            ),
+            SlabError::Geometry(d) => write!(f, "slab geometry mismatch: {d}"),
+            SlabError::Io(e) => write!(f, "slab i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SlabError {}
+
+impl From<io::Error> for SlabError {
+    fn from(e: io::Error) -> SlabError {
+        SlabError::Io(e)
+    }
+}
+
+/// One worker's slab: an open handle plus the slot geometry.
+pub struct Slab {
+    file: File,
+    /// Elements per slot (the shard's region length).
+    len: usize,
+}
+
+impl Slab {
+    /// Create a slab file for `len`-element slots, sized and zeroed.
+    pub fn create(path: &Path, len: usize) -> io::Result<Slab> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        let slot = len as u64 * ELEM_BYTES;
+        file.set_len(HEADER_BYTES + 4 * slot)?;
+        file.write_all_at(SLAB_MAGIC, 0)?;
+        file.write_all_at(&(len as u64).to_le_bytes(), 8)?;
+        Ok(Slab { file, len })
+    }
+
+    /// Open an existing slab, validating magic and slot geometry.
+    pub fn open(path: &Path, len: usize) -> Result<Slab, SlabError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact_at(&mut magic, 0)?;
+        if &magic != SLAB_MAGIC {
+            return Err(SlabError::Geometry(format!(
+                "bad magic {magic:?} in {}",
+                path.display()
+            )));
+        }
+        let mut nb = [0u8; 8];
+        file.read_exact_at(&mut nb, 8)?;
+        let n = u64::from_le_bytes(nb);
+        if n != len as u64 {
+            return Err(SlabError::Geometry(format!(
+                "slab holds {n}-element slots, expected {len}"
+            )));
+        }
+        Ok(Slab { file, len })
+    }
+
+    fn seq_off(dir: Dir) -> u64 {
+        match dir {
+            Dir::Input => IN_SEQ_OFF,
+            Dir::Output => OUT_SEQ_OFF,
+        }
+    }
+
+    fn slot_off(&self, dir: Dir, generation: u64) -> u64 {
+        let slot = self.len as u64 * ELEM_BYTES;
+        let base = match dir {
+            Dir::Input => HEADER_BYTES,
+            Dir::Output => HEADER_BYTES + 2 * slot,
+        };
+        base + (generation % 2) * slot
+    }
+
+    fn read_seq(&self, dir: Dir) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.file.read_exact_at(&mut b, Slab::seq_off(dir))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_seq(&self, dir: Dir, v: u64) -> io::Result<()> {
+        self.file.write_all_at(&v.to_le_bytes(), Slab::seq_off(dir))
+    }
+
+    fn encode(data: &[Cplx], scratch: &mut Vec<u8>) {
+        scratch.clear();
+        scratch.reserve(data.len() * 16);
+        for c in data {
+            scratch.extend_from_slice(&c.re.to_le_bytes());
+            scratch.extend_from_slice(&c.im.to_le_bytes());
+        }
+    }
+
+    /// Publish `data` as generation `generation` (1-based) of `dir`,
+    /// with the odd/even seqlock protocol. `scratch` is reused between
+    /// calls so the steady state allocates nothing.
+    pub fn publish(
+        &self,
+        dir: Dir,
+        generation: u64,
+        data: &[Cplx],
+        scratch: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        assert_eq!(data.len(), self.len, "slab publish length mismatch");
+        assert!(generation >= 1, "generations are 1-based");
+        Slab::encode(data, scratch);
+        self.write_seq(dir, 2 * generation - 1)?;
+        self.file
+            .write_all_at(scratch, self.slot_off(dir, generation))?;
+        self.write_seq(dir, 2 * generation)
+    }
+
+    /// Publish a *torn* generation: odd seqlock, half the payload. This
+    /// is the `SlabTornWrite` fault shape — a writer that died mid-step 2
+    /// — used to prove the reader's seqlock check catches it.
+    pub fn publish_torn(
+        &self,
+        dir: Dir,
+        generation: u64,
+        data: &[Cplx],
+        scratch: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        assert_eq!(data.len(), self.len, "slab publish length mismatch");
+        Slab::encode(data, scratch);
+        self.write_seq(dir, 2 * generation - 1)?;
+        let half = scratch.len() / 2;
+        self.file
+            .write_all_at(&scratch[..half], self.slot_off(dir, generation))
+    }
+
+    /// Consume generation `generation` of `dir` into `out`, verifying
+    /// the seqlock before *and* after the payload read.
+    pub fn consume(
+        &self,
+        dir: Dir,
+        generation: u64,
+        out: &mut [Cplx],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), SlabError> {
+        assert_eq!(out.len(), self.len, "slab consume length mismatch");
+        let expected = 2 * generation;
+        let s1 = self.read_seq(dir)?;
+        if s1 != expected {
+            return Err(SlabError::Torn {
+                dir: dir.label(),
+                expected,
+                found: s1,
+            });
+        }
+        scratch.clear();
+        scratch.resize(self.len * 16, 0);
+        self.file
+            .read_exact_at(scratch, self.slot_off(dir, generation))?;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let off = i * 16;
+            let re = f64::from_le_bytes(scratch[off..off + 8].try_into().expect("len checked"));
+            let im =
+                f64::from_le_bytes(scratch[off + 8..off + 16].try_into().expect("len checked"));
+            *slot = Cplx { re, im };
+        }
+        let s2 = self.read_seq(dir)?;
+        if s2 != expected {
+            return Err(SlabError::Torn {
+                dir: dir.label(),
+                expected,
+                found: s2,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempSlab {
+        path: PathBuf,
+    }
+
+    impl TempSlab {
+        fn new(tag: &str) -> TempSlab {
+            let path = std::env::temp_dir().join(format!(
+                "spiral-dist-slabtest-{}-{tag}.slab",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            TempSlab { path }
+        }
+    }
+
+    impl Drop for TempSlab {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    fn ramp(n: usize, scale: f64) -> Vec<Cplx> {
+        (0..n)
+            .map(|j| Cplx {
+                re: scale * j as f64,
+                im: -scale,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_consume_roundtrip_across_handles() {
+        let t = TempSlab::new("roundtrip");
+        let writer = Slab::create(&t.path, 64).unwrap();
+        let reader = Slab::open(&t.path, 64).unwrap();
+        let mut scratch = Vec::new();
+        let mut out = vec![Cplx::ZERO; 64];
+        for generation in 1..=5u64 {
+            let data = ramp(64, generation as f64);
+            writer
+                .publish(Dir::Input, generation, &data, &mut scratch)
+                .unwrap();
+            let mut rscratch = Vec::new();
+            reader
+                .consume(Dir::Input, generation, &mut out, &mut rscratch)
+                .unwrap();
+            for (a, b) in data.iter().zip(&out) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let t = TempSlab::new("dirs");
+        let slab = Slab::create(&t.path, 8).unwrap();
+        let mut scratch = Vec::new();
+        let mut out = vec![Cplx::ZERO; 8];
+        slab.publish(Dir::Input, 1, &ramp(8, 1.0), &mut scratch)
+            .unwrap();
+        slab.publish(Dir::Output, 1, &ramp(8, 2.0), &mut scratch)
+            .unwrap();
+        slab.consume(Dir::Output, 1, &mut out, &mut scratch)
+            .unwrap();
+        assert_eq!(out[1].re.to_bits(), 2.0f64.to_bits());
+        slab.consume(Dir::Input, 1, &mut out, &mut scratch).unwrap();
+        assert_eq!(out[1].re.to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn torn_publish_is_detected() {
+        let t = TempSlab::new("torn");
+        let slab = Slab::create(&t.path, 16).unwrap();
+        let mut scratch = Vec::new();
+        let mut out = vec![Cplx::ZERO; 16];
+        slab.publish_torn(Dir::Output, 1, &ramp(16, 1.0), &mut scratch)
+            .unwrap();
+        let e = slab
+            .consume(Dir::Output, 1, &mut out, &mut scratch)
+            .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                SlabError::Torn {
+                    expected: 2,
+                    found: 1,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn stale_generation_is_detected() {
+        let t = TempSlab::new("stale");
+        let slab = Slab::create(&t.path, 16).unwrap();
+        let mut scratch = Vec::new();
+        let mut out = vec![Cplx::ZERO; 16];
+        slab.publish(Dir::Input, 1, &ramp(16, 1.0), &mut scratch)
+            .unwrap();
+        // Reader expects generation 2, writer never published it.
+        let e = slab
+            .consume(Dir::Input, 2, &mut out, &mut scratch)
+            .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                SlabError::Torn {
+                    expected: 4,
+                    found: 2,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn open_rejects_wrong_geometry_and_magic() {
+        let t = TempSlab::new("geom");
+        let _slab = Slab::create(&t.path, 32).unwrap();
+        assert!(matches!(
+            Slab::open(&t.path, 64),
+            Err(SlabError::Geometry(_))
+        ));
+        std::fs::write(&t.path, b"not a slab at all").unwrap();
+        assert!(matches!(
+            Slab::open(&t.path, 32),
+            Err(SlabError::Geometry(_))
+        ));
+    }
+}

@@ -1,0 +1,475 @@
+//! Length-prefixed control-plane framing between the fleet manager and
+//! its worker processes.
+//!
+//! Same shape as the serving tier's wire format (u32-LE length prefix,
+//! 4-byte magic, little-endian fields) but an independent module: the
+//! dependency arrow runs serve → dist, so dist cannot borrow serve's
+//! framing — and the two protocols version independently anyway. The
+//! bulk data never rides this socket; it moves through the `/dev/shm`
+//! slabs ([`crate::slab`]). Control frames are tiny and fixed-shape,
+//! except [`Frame::Config`], which carries the formula ASCII the worker
+//! compiles its plan from.
+//!
+//! Reads distinguish three failure shapes the manager reacts to
+//! differently: *clean EOF* (peer exited between frames — worker death),
+//! *torn EOF* (died mid-frame), and *timeout* (the heartbeat deadline —
+//! quarantine the worker).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a control frame's payload. Control frames carry at
+/// most a formula string; anything larger is a corrupt length prefix.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Directive bit: abort after reading the input slab, before publishing
+/// the output (the `WorkerKill` fault site).
+pub const DIRECTIVE_KILL: u8 = 1;
+/// Directive bit: publish a torn output slab — odd seqlock, half the
+/// payload (the `SlabTornWrite` fault site).
+pub const DIRECTIVE_TORN: u8 = 1 << 1;
+/// Directive bit: complete the batch but drop the completion frame
+/// (the `ControlFrameDrop` fault site).
+pub const DIRECTIVE_DROP: u8 = 1 << 2;
+/// Directive bit: sleep `stall_ms` before replying (the
+/// `HeartbeatStall` fault site).
+pub const DIRECTIVE_STALL: u8 = 1 << 3;
+
+/// A control-plane frame. The worker → manager direction is `Hello`,
+/// `Ready`, `Done`, `Pong`; the manager → worker direction is `Config`,
+/// `Dispatch`, `Ping`, `Shutdown`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker announces itself after connecting: which shard it was
+    /// spawned for and its OS pid.
+    Hello {
+        /// Shard index from the worker's argv.
+        shard: u32,
+        /// Worker process id.
+        pid: u32,
+    },
+    /// Manager hands the worker everything it needs to compile its own
+    /// plan — bitwise identical to the manager's, because both sides run
+    /// the same `parse → from_formula → fuse → shard` pipeline.
+    Config {
+        /// Shard index the worker must confirm.
+        shard: u32,
+        /// Worker process count `q`.
+        q: u32,
+        /// Thread count the plan was lowered for (chunk-grid identity).
+        threads: u32,
+        /// Cache-line parameter µ.
+        mu: u32,
+        /// Formula ASCII (`Spl` display form; round-trips exactly).
+        formula: String,
+    },
+    /// Worker's verdict on its `Config`: compiled and ready, or not.
+    Ready {
+        /// Shard index.
+        shard: u32,
+        /// True when the worker compiled its plan and opened its slab.
+        ok: bool,
+        /// Failure detail when `ok` is false.
+        message: String,
+    },
+    /// Manager dispatches one batch: the input slab is published under
+    /// generation `batch`; compute and publish the output slab.
+    Dispatch {
+        /// Batch generation (1-based, monotonic).
+        batch: u64,
+        /// Fault-injection directive bits (`DIRECTIVE_*`); 0 in
+        /// production.
+        directive: u8,
+        /// Stall duration for `DIRECTIVE_STALL`, in milliseconds.
+        stall_ms: u32,
+    },
+    /// Worker completed a batch.
+    Done {
+        /// Batch generation being acknowledged.
+        batch: u64,
+        /// Shard index.
+        shard: u32,
+        /// False when the worker could not produce the output (e.g. it
+        /// read a torn input slab); the manager rescues the shard.
+        ok: bool,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// Liveness probe reply.
+    Pong {
+        /// Echoed token.
+        token: u64,
+    },
+    /// Manager asks the worker to exit cleanly.
+    Shutdown,
+}
+
+/// Framing/decoding failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the stream mid-frame.
+    TornEof {
+        /// Bytes received before EOF.
+        got: usize,
+        /// Bytes the frame section needed.
+        want: usize,
+    },
+    /// The read timed out (heartbeat deadline).
+    Stalled,
+    /// The length prefix is out of range.
+    BadLength(u32),
+    /// Unknown frame magic.
+    BadMagic([u8; 4]),
+    /// The payload does not decode as its magic's shape.
+    Malformed(&'static str),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::TornEof { got, want } => {
+                write!(f, "stream closed mid-frame ({got}/{want} bytes)")
+            }
+            WireError::Stalled => write!(f, "read timed out"),
+            WireError::BadLength(l) => write!(f, "frame length {l} out of range"),
+            WireError::BadMagic(m) => write!(f, "unknown frame magic {m:?}"),
+            WireError::Malformed(d) => write!(f, "malformed frame: {d}"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, u32::try_from(s.len()).expect("string fits a frame"));
+    b.extend_from_slice(s.as_bytes());
+}
+
+impl Frame {
+    fn magic(&self) -> &'static [u8; 4] {
+        match self {
+            Frame::Hello { .. } => b"DH01",
+            Frame::Config { .. } => b"DC01",
+            Frame::Ready { .. } => b"DY01",
+            Frame::Dispatch { .. } => b"DD01",
+            Frame::Done { .. } => b"DN01",
+            Frame::Ping { .. } => b"DP01",
+            Frame::Pong { .. } => b"DG01",
+            Frame::Shutdown => b"DX01",
+        }
+    }
+
+    /// Serialize the frame payload (magic + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        b.extend_from_slice(self.magic());
+        match self {
+            Frame::Hello { shard, pid } => {
+                put_u32(&mut b, *shard);
+                put_u32(&mut b, *pid);
+            }
+            Frame::Config {
+                shard,
+                q,
+                threads,
+                mu,
+                formula,
+            } => {
+                put_u32(&mut b, *shard);
+                put_u32(&mut b, *q);
+                put_u32(&mut b, *threads);
+                put_u32(&mut b, *mu);
+                put_str(&mut b, formula);
+            }
+            Frame::Ready { shard, ok, message } => {
+                put_u32(&mut b, *shard);
+                b.push(u8::from(*ok));
+                put_str(&mut b, message);
+            }
+            Frame::Dispatch {
+                batch,
+                directive,
+                stall_ms,
+            } => {
+                put_u64(&mut b, *batch);
+                b.push(*directive);
+                put_u32(&mut b, *stall_ms);
+            }
+            Frame::Done { batch, shard, ok } => {
+                put_u64(&mut b, *batch);
+                put_u32(&mut b, *shard);
+                b.push(u8::from(*ok));
+            }
+            Frame::Ping { token } => put_u64(&mut b, *token),
+            Frame::Pong { token } => put_u64(&mut b, *token),
+            Frame::Shutdown => {}
+        }
+        b
+    }
+}
+
+/// Write one length-prefixed frame and flush.
+pub fn write_frame(w: &mut impl Write, f: &Frame) -> io::Result<()> {
+    let p = f.encode();
+    let len = u32::try_from(p.len()).expect("control frame fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&p)?;
+    w.flush()
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fill `buf` completely. `Ok(false)` = clean EOF before the first byte
+/// (only honored when `clean_eof_ok`); EOF mid-buffer is a torn frame.
+fn read_section(r: &mut impl Read, buf: &mut [u8], clean_eof_ok: bool) -> Result<bool, WireError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && clean_eof_ok {
+                    return Ok(false);
+                }
+                return Err(WireError::TornEof {
+                    got,
+                    want: buf.len(),
+                });
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(WireError::Stalled),
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. `Ok(None)` = the peer closed the stream cleanly
+/// between frames; timeouts surface as [`WireError::Stalled`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut lenb = [0u8; 4];
+    if !read_section(r, &mut lenb, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(lenb);
+    if !(4..=MAX_FRAME_BYTES).contains(&len) {
+        return Err(WireError::BadLength(len));
+    }
+    let len = usize::try_from(len).expect("u32 fits usize");
+    let mut payload = vec![0u8; len];
+    read_section(r, &mut payload, false)?;
+    decode(&payload).map(Some)
+}
+
+struct Cur<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.b.len() < n {
+            return Err(WireError::Malformed("frame truncated"));
+        }
+        let (h, t) = self.b.split_at(n);
+        self.b = t;
+        Ok(h)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let h = self.take(4)?;
+        Ok(u32::from_le_bytes(h.try_into().expect("len checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let h = self.take(8)?;
+        Ok(u64::from_le_bytes(h.try_into().expect("len checked")))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = usize::try_from(self.u32()?).expect("u32 fits usize");
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not utf-8"))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.b.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+    let (magic, rest) = payload.split_at(4);
+    let mut c = Cur { b: rest };
+    let frame = match magic {
+        b"DH01" => Frame::Hello {
+            shard: c.u32()?,
+            pid: c.u32()?,
+        },
+        b"DC01" => Frame::Config {
+            shard: c.u32()?,
+            q: c.u32()?,
+            threads: c.u32()?,
+            mu: c.u32()?,
+            formula: c.string()?,
+        },
+        b"DY01" => Frame::Ready {
+            shard: c.u32()?,
+            ok: c.u8()? != 0,
+            message: c.string()?,
+        },
+        b"DD01" => Frame::Dispatch {
+            batch: c.u64()?,
+            directive: c.u8()?,
+            stall_ms: c.u32()?,
+        },
+        b"DN01" => Frame::Done {
+            batch: c.u64()?,
+            shard: c.u32()?,
+            ok: c.u8()? != 0,
+        },
+        b"DP01" => Frame::Ping { token: c.u64()? },
+        b"DG01" => Frame::Pong { token: c.u64()? },
+        b"DX01" => Frame::Shutdown,
+        m => return Err(WireError::BadMagic(m.try_into().expect("len checked"))),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, f).unwrap();
+        let mut r = buf.as_slice();
+        let got = read_frame(&mut r).unwrap().unwrap();
+        assert!(r.is_empty(), "reader consumed the whole frame");
+        got
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        let frames = [
+            Frame::Hello {
+                shard: 3,
+                pid: 4242,
+            },
+            Frame::Config {
+                shard: 1,
+                q: 4,
+                threads: 2,
+                mu: 4,
+                formula: "(DFT_4 x I_4) L^16_4".to_string(),
+            },
+            Frame::Ready {
+                shard: 0,
+                ok: false,
+                message: "formula does not parse".to_string(),
+            },
+            Frame::Dispatch {
+                batch: 9,
+                directive: DIRECTIVE_TORN | DIRECTIVE_STALL,
+                stall_ms: 250,
+            },
+            Frame::Done {
+                batch: 9,
+                shard: 2,
+                ok: true,
+            },
+            Frame::Ping { token: 7 },
+            Frame::Pong { token: 7 },
+            Frame::Shutdown,
+        ];
+        for f in &frames {
+            assert_eq!(&roundtrip(f), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_torn_eof_is_error() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Ping { token: 1 }).unwrap();
+        let mut torn = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_frame(&mut torn),
+            Err(WireError::TornEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_bad_length_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(b"ZZ99");
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn timeout_maps_to_stalled() {
+        struct Blocked;
+        impl std::io::Read for Blocked {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "no data"))
+            }
+        }
+        assert!(matches!(read_frame(&mut Blocked), Err(WireError::Stalled)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut p = Frame::Ping { token: 1 }.encode();
+        p.push(0xAA);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::try_from(p.len()).unwrap().to_le_bytes());
+        buf.extend_from_slice(&p);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! The worker-process side of the fleet protocol.
+//!
+//! A worker is handed three things on its command line: the manager's
+//! control socket, its slab file, and its shard index. Everything else
+//! arrives in the [`Frame::Config`] handshake — notably the formula
+//! ASCII, from which the worker compiles its *own* plan through the
+//! exact pipeline the manager used (`parse → from_formula → fuse →
+//! shard`). Formula display round-trips exactly, so the worker's chunk
+//! programs are bitwise identical to the manager's; running them over
+//! the scattered slab input therefore reproduces the single-process
+//! intermediate values bit for bit.
+//!
+//! The worker owns no policy: it computes batches when dispatched,
+//! answers pings, and exits on `Shutdown` *or on control-socket EOF* —
+//! so a manager that dies (even by `SIGKILL`) never strands a worker
+//! process.
+
+use crate::slab::{Dir, Slab};
+use crate::wire::{
+    read_frame, write_frame, Frame, DIRECTIVE_DROP, DIRECTIVE_KILL, DIRECTIVE_STALL, DIRECTIVE_TORN,
+};
+use spiral_codegen::plan::Plan;
+use spiral_codegen::shard::{execute_shard_into, shard_plan, ShardWorkspace};
+use spiral_spl::cplx::Cplx;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Compile the worker's plan from the handshake parameters — the same
+/// call sequence the manager ran, for bitwise-identical chunk programs.
+fn compile(
+    formula: &str,
+    threads: usize,
+    mu: usize,
+    q: usize,
+) -> Result<(Plan, spiral_codegen::shard::ShardSpec), String> {
+    let f = spiral_spl::parse(formula).map_err(|e| format!("formula does not parse: {e}"))?;
+    let plan = Plan::from_formula(&f, threads, mu)
+        .map_err(|e| format!("formula does not lower: {e}"))?
+        .fuse_exchanges();
+    let spec = shard_plan(&plan, q).map_err(|e| format!("plan does not shard: {e}"))?;
+    Ok((plan, spec))
+}
+
+/// A complete worker `main`: parse `argv` under the
+/// `<control-socket> <slab-file> <shard-index>` contract, run the
+/// protocol, and exit with the worker's conventional status codes
+/// (0 clean, 1 protocol error, 2 usage). Exposed so downstream crates
+/// can ship their own worker entry point next to their executables —
+/// the serving tier's `serve-dist-worker` shim is exactly this call.
+pub fn worker_main() -> ! {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 4 {
+        eprintln!("usage: dist-worker <control-socket> <slab-file> <shard-index>");
+        std::process::exit(2);
+    }
+    let Ok(shard) = args[3].parse::<usize>() else {
+        eprintln!("dist-worker: shard index `{}` is not a number", args[3]);
+        std::process::exit(2);
+    };
+    if let Err(e) = run_worker(&args[1], &args[2], shard) {
+        eprintln!("dist-worker[{shard}]: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Last-resort session cleanup when the control socket hits EOF
+/// *without* a `Shutdown` frame: the manager died (crash, SIGKILL, a
+/// cancelled CI job) and will never unlink the session's `/dev/shm`
+/// files, so the orphaned worker does. Racing unlinks across shards
+/// are harmless — a file already gone is the goal, not an error.
+fn orphan_cleanup(socket: &str, slab_path: &str) {
+    let _ = std::fs::remove_file(slab_path);
+    let _ = std::fs::remove_file(socket);
+}
+
+/// Run the worker protocol to completion. Returns `Ok(())` on a clean
+/// `Shutdown` (or manager EOF); `Err` carries a human-readable reason
+/// for the nonzero exit.
+pub fn run_worker(socket: &str, slab_path: &str, shard: usize) -> Result<(), String> {
+    let mut stream = UnixStream::connect(socket).map_err(|e| format!("connect {socket}: {e}"))?;
+    let shard32 = u32::try_from(shard).map_err(|_| "shard index overflows u32".to_string())?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            shard: shard32,
+            pid: std::process::id(),
+        },
+    )
+    .map_err(|e| format!("hello: {e}"))?;
+
+    let config = match read_frame(&mut stream) {
+        Ok(Some(f)) => f,
+        Ok(None) => {
+            // Manager gone before config — exit quietly, cleaning up
+            // the files it can no longer remove.
+            orphan_cleanup(socket, slab_path);
+            return Ok(());
+        }
+        Err(e) => return Err(format!("reading config: {e}")),
+    };
+    let Frame::Config {
+        shard: cfg_shard,
+        q,
+        threads,
+        mu,
+        formula,
+    } = config
+    else {
+        return Err(format!("expected Config, got {config:?}"));
+    };
+    if cfg_shard != shard32 {
+        return Err(format!("config for shard {cfg_shard}, I am {shard}"));
+    }
+
+    let compiled = compile(
+        &formula,
+        usize::try_from(threads).expect("u32 fits usize"),
+        usize::try_from(mu).expect("u32 fits usize"),
+        usize::try_from(q).expect("u32 fits usize"),
+    );
+    let (plan, spec) = match compiled {
+        Ok(ps) => ps,
+        Err(msg) => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Ready {
+                    shard: shard32,
+                    ok: false,
+                    message: msg.clone(),
+                },
+            );
+            return Err(msg);
+        }
+    };
+    let region_len = spec.regions[shard].len;
+    let slab = match Slab::open(Path::new(slab_path), region_len) {
+        Ok(s) => s,
+        Err(e) => {
+            let msg = format!("opening slab {slab_path}: {e}");
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Ready {
+                    shard: shard32,
+                    ok: false,
+                    message: msg.clone(),
+                },
+            );
+            return Err(msg);
+        }
+    };
+
+    let mut input = vec![Cplx::ZERO; region_len];
+    let mut output = vec![Cplx::ZERO; region_len];
+    let mut ws = ShardWorkspace::default();
+    let mut scratch: Vec<u8> = Vec::with_capacity(region_len * 16);
+
+    write_frame(
+        &mut stream,
+        &Frame::Ready {
+            shard: shard32,
+            ok: true,
+            message: String::new(),
+        },
+    )
+    .map_err(|e| format!("ready: {e}"))?;
+
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(Frame::Dispatch {
+                batch,
+                directive,
+                stall_ms,
+            })) => {
+                let ok = slab
+                    .consume(Dir::Input, batch, &mut input, &mut scratch)
+                    .is_ok();
+                // Fault directives arrive only from a fault-injected
+                // manager (the registry in crates/smp); a production
+                // manager always sends directive 0. They are honored
+                // unconditionally so the worker binary's behavior does
+                // not depend on feature unification across the
+                // workspace build.
+                if ok && directive & DIRECTIVE_KILL != 0 {
+                    // Die exactly mid-batch: input consumed, output
+                    // never published.
+                    std::process::abort();
+                }
+                if ok {
+                    execute_shard_into(&plan, &spec, shard, &input, &mut output, &mut ws);
+                    let publish = if directive & DIRECTIVE_TORN != 0 {
+                        slab.publish_torn(Dir::Output, batch, &output, &mut scratch)
+                    } else {
+                        slab.publish(Dir::Output, batch, &output, &mut scratch)
+                    };
+                    if let Err(e) = publish {
+                        return Err(format!("publishing batch {batch}: {e}"));
+                    }
+                }
+                if directive & DIRECTIVE_STALL != 0 {
+                    std::thread::sleep(Duration::from_millis(u64::from(stall_ms)));
+                }
+                if directive & DIRECTIVE_DROP != 0 {
+                    continue; // work done, completion frame dropped
+                }
+                if let Err(e) = write_frame(
+                    &mut stream,
+                    &Frame::Done {
+                        batch,
+                        shard: shard32,
+                        ok,
+                    },
+                ) {
+                    return Err(format!("done frame for batch {batch}: {e}"));
+                }
+            }
+            Ok(Some(Frame::Ping { token })) => {
+                if let Err(e) = write_frame(&mut stream, &Frame::Pong { token }) {
+                    return Err(format!("pong: {e}"));
+                }
+            }
+            // Explicit Shutdown: the manager is alive and owns the
+            // session's files. Bare EOF: the manager vanished (crash,
+            // SIGKILL, CI job cancellation) and can never unlink them —
+            // the worker performs the last-resort cleanup instead.
+            Ok(Some(Frame::Shutdown)) => return Ok(()),
+            Ok(None) => {
+                orphan_cleanup(socket, slab_path);
+                return Ok(());
+            }
+            Ok(Some(f)) => return Err(format!("unexpected frame {f:?}")),
+            Err(e) => return Err(format!("control stream: {e}")),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Chaos acceptance for the process fleet (the `faults` feature):
+//! deterministic fault injection at every dist site must yield the
+//! bitwise-correct result via quarantine + rescue, exact accounting,
+//! and zero orphan processes or leaked `/dev/shm` artifacts.
+//!
+//! Run with `cargo test -p spiral-dist --features faults`.
+
+#![cfg(feature = "faults")]
+
+use spiral_codegen::plan::Plan;
+use spiral_dist::{DistConfig, DistExecutor};
+use spiral_rewrite::multicore_dft_expanded;
+use spiral_smp::faults::{install_dist, DistFaultPlan, DistFaultSpec, DistSite};
+use spiral_spl::ast::Spl;
+use spiral_spl::cplx::Cplx;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_worker_env<T>(f: impl FnOnce() -> T) -> T {
+    let _g = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var("SPIRAL_DIST_WORKER", env!("CARGO_BIN_EXE_dist-worker"));
+    f()
+}
+
+fn formula(n: usize, p: usize) -> Spl {
+    multicore_dft_expanded(n, p, 4, None, 8).unwrap()
+}
+
+fn input(n: usize, trial: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|j| Cplx::new(1.0 + j as f64 * 0.5 + trial as f64, -0.25 * j as f64))
+        .collect()
+}
+
+fn assert_bitwise_eq(single: &[Cplx], dist: &[Cplx], ctx: &str) {
+    for (i, (a, b)) in single.iter().zip(dist).enumerate() {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "{ctx}: bitwise mismatch at {i}: {a:?} vs {b:?}"
+        );
+    }
+}
+
+fn fast_config() -> DistConfig {
+    DistConfig {
+        batch_timeout: Duration::from_millis(400),
+        ..DistConfig::default()
+    }
+}
+
+/// Drive `batches` executions under an installed fault plan and verify
+/// every result bitwise, then tear down and verify accounting, orphan
+/// freedom, and artifact cleanup. Returns the shutdown report.
+fn run_and_audit(
+    f: &Spl,
+    p: usize,
+    q: usize,
+    batches: usize,
+    cfg: DistConfig,
+) -> spiral_dist::DistShutdownReport {
+    let plan = Plan::from_formula(f, p, 4).unwrap().fuse_exchanges();
+    let n = plan.n;
+    let mut ex = with_worker_env(|| DistExecutor::new(f, p, 4, q, cfg)).unwrap();
+    let pids = ex.worker_pids();
+    let paths = ex.artifact_paths();
+    for trial in 0..batches {
+        let x = input(n, trial);
+        let single = plan.execute(&x);
+        let dist = ex.execute(&x).unwrap();
+        assert_bitwise_eq(&single, &dist, &format!("q={q} batch={trial}"));
+    }
+    let report = ex.shutdown();
+    assert!(
+        report.accounting.is_exact(),
+        "accounting must balance: {:?}",
+        report.accounting
+    );
+    assert_eq!(report.accounting.batches, batches as u64);
+    for pid in pids {
+        assert!(
+            !Path::new(&format!("/proc/{pid}")).exists(),
+            "worker {pid} orphaned"
+        );
+    }
+    for path in paths {
+        assert!(!path.exists(), "{} leaked", path.display());
+    }
+    report
+}
+
+#[test]
+fn worker_kill_mid_batch_is_rescued_with_exact_accounting() {
+    let f = formula(256, 4);
+    let _g = install_dist(DistFaultPlan {
+        seed: 1,
+        specs: vec![DistFaultSpec::once(DistSite::WorkerKill, 1)],
+    });
+    let report = run_and_audit(&f, 4, 2, 3, DistConfig::default());
+    let a = &report.accounting;
+    // Batch 1: shard 0 by worker, shard 1 killed → rescued. Batches
+    // 2–3: shard 0 by worker, shard 1 on the manager (quarantined).
+    assert_eq!(a.worker_shards, 3);
+    assert_eq!(a.rescued_shards, 1);
+    assert_eq!(a.manager_shards, 2);
+    assert_eq!(a.quarantines.len(), 1);
+    assert_eq!(a.quarantines[0].shard, 1);
+    assert_eq!(a.quarantines[0].batch, 1);
+    assert!(
+        a.quarantines[0].reason.contains("died mid-batch"),
+        "{}",
+        a.quarantines[0].reason
+    );
+    // The killed worker cannot exit cleanly; it was reaped at
+    // quarantine time, so shutdown only sees the survivor.
+    assert_eq!(report.clean_exits, 1);
+    assert_eq!(report.killed, 0);
+}
+
+#[test]
+fn torn_slab_publish_is_detected_and_rescued() {
+    let f = formula(256, 4);
+    let _g = install_dist(DistFaultPlan {
+        seed: 2,
+        specs: vec![DistFaultSpec::once(DistSite::SlabTornWrite, 0)],
+    });
+    let report = run_and_audit(&f, 4, 2, 2, DistConfig::default());
+    let a = &report.accounting;
+    assert_eq!(a.rescued_shards, 1);
+    assert_eq!(a.manager_shards, 1);
+    assert_eq!(a.quarantines.len(), 1);
+    assert_eq!(a.quarantines[0].shard, 0);
+    assert!(
+        a.quarantines[0].reason.contains("torn"),
+        "{}",
+        a.quarantines[0].reason
+    );
+}
+
+#[test]
+fn dropped_completion_frame_hits_heartbeat_timeout() {
+    let f = formula(256, 4);
+    let _g = install_dist(DistFaultPlan {
+        seed: 3,
+        specs: vec![DistFaultSpec::once(DistSite::ControlFrameDrop, 0)],
+    });
+    let report = run_and_audit(&f, 4, 2, 2, fast_config());
+    let a = &report.accounting;
+    assert_eq!(a.rescued_shards, 1);
+    assert_eq!(a.quarantines.len(), 1);
+    assert!(
+        a.quarantines[0].reason.contains("heartbeat timeout"),
+        "{}",
+        a.quarantines[0].reason
+    );
+}
+
+#[test]
+fn heartbeat_stall_is_quarantined() {
+    let f = formula(256, 4);
+    let _g = install_dist(DistFaultPlan {
+        seed: 4,
+        specs: vec![DistFaultSpec::once(DistSite::HeartbeatStall, 1)],
+    });
+    let report = run_and_audit(&f, 4, 2, 2, fast_config());
+    let a = &report.accounting;
+    assert_eq!(a.rescued_shards, 1);
+    assert_eq!(a.quarantines.len(), 1);
+    assert_eq!(a.quarantines[0].shard, 1);
+    assert!(
+        a.quarantines[0].reason.contains("heartbeat timeout"),
+        "{}",
+        a.quarantines[0].reason
+    );
+}
+
+#[test]
+fn sequential_rescue_survives_every_worker_dying() {
+    // Kill all q workers on the first batch: the manager must rescue
+    // every shard sequentially and keep serving correct batches alone.
+    let f = formula(1024, 4);
+    let _g = install_dist(DistFaultPlan {
+        seed: 5,
+        specs: vec![DistFaultSpec::with_probability(DistSite::WorkerKill, 1.0)],
+    });
+    let report = run_and_audit(&f, 4, 4, 3, DistConfig::default());
+    let a = &report.accounting;
+    assert_eq!(a.worker_shards, 0);
+    assert_eq!(a.rescued_shards, 4, "all shards of batch 1 rescued");
+    assert_eq!(a.manager_shards, 8, "batches 2–3 run fully on the manager");
+    assert_eq!(a.quarantines.len(), 4);
+    assert_eq!(report.clean_exits, 0);
+}
+
+#[test]
+fn probabilistic_chaos_grid_stays_correct_and_leak_free() {
+    let f = formula(256, 4);
+    for seed in [11u64, 12, 13] {
+        let _g = install_dist(DistFaultPlan {
+            seed,
+            specs: vec![
+                DistFaultSpec::with_probability(DistSite::WorkerKill, 0.15),
+                DistFaultSpec::with_probability(DistSite::SlabTornWrite, 0.15),
+                DistFaultSpec::with_probability(DistSite::ControlFrameDrop, 0.1),
+            ],
+        });
+        let report = run_and_audit(&f, 4, 4, 4, fast_config());
+        let a = &report.accounting;
+        assert!(a.is_exact(), "seed {seed}: {a:?}");
+    }
+}

@@ -1,0 +1,8 @@
+//! The serving tier's `dist(q)` worker entry point — the same argv
+//! contract and protocol as `dist-worker`, shipped with this crate so
+//! the worker binary travels with the serving deployment (and so the
+//! serve test suite has a `CARGO_BIN_EXE_…` path to hand the fleet).
+
+fn main() {
+    spiral_dist::worker::worker_main();
+}

@@ -1,0 +1,161 @@
+//! End-to-end routing of large-n requests through the worker-process
+//! fleet: correctness, fallback behavior, counters, and teardown
+//! hygiene, all over real spawned processes.
+
+use spiral_serve::{DistPolicy, PlanService};
+use spiral_spl::builder::dft;
+use spiral_spl::cplx::{assert_slices_close, Cplx};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the `SPIRAL_DIST_WORKER` environment
+/// variable (read once per fleet construction).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_worker_env<T>(path: &str, f: impl FnOnce() -> T) -> T {
+    let _g = ENV_LOCK.lock().unwrap();
+    // SAFETY-adjacent note: set_var is fine here — the lock serializes
+    // every reader in this test binary.
+    std::env::set_var("SPIRAL_DIST_WORKER", path);
+    let out = f();
+    std::env::remove_var("SPIRAL_DIST_WORKER");
+    out
+}
+
+fn ramp(n: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|j| Cplx::new(1.0 + j as f64 * 0.5, -(j as f64) * 0.25))
+        .collect()
+}
+
+#[test]
+fn large_requests_route_to_the_fleet_and_come_back_correct() {
+    with_worker_env(env!("CARGO_BIN_EXE_serve-dist-worker"), || {
+        let svc = PlanService::new(2, 4).with_dist(DistPolicy {
+            budget: 2,
+            min_n: 1024,
+        });
+        let n = 1024;
+        let x = ramp(n);
+        for _ in 0..3 {
+            let y = svc.serve_one(n, &x).unwrap();
+            assert_slices_close(&y, &dft(n).eval(&x), 1e-8 * n as f64);
+        }
+        assert_eq!(
+            svc.dist_served(),
+            3,
+            "all three requests routed to the fleet"
+        );
+        assert_eq!(svc.dist_fallbacks(), 0);
+        assert!(svc.dist_active());
+
+        // Below the floor: in-process, no fleet involvement.
+        let y = svc.serve_one(64, &ramp(64)).unwrap();
+        assert_slices_close(&y, &dft(64).eval(&ramp(64)), 1e-7);
+        assert_eq!(svc.dist_served(), 3);
+
+        let report = svc.shutdown_fleet().expect("a fleet was live");
+        assert!(report.accounting.is_exact(), "{:?}", report.accounting);
+        assert_eq!(report.accounting.quarantines.len(), 0);
+        assert!(!svc.dist_active());
+    });
+}
+
+#[test]
+fn fleet_result_is_bitwise_identical_to_the_in_process_plan() {
+    with_worker_env(env!("CARGO_BIN_EXE_serve-dist-worker"), || {
+        let n = 1024;
+        let x = ramp(n);
+        let routed = PlanService::new(2, 4).with_dist(DistPolicy {
+            budget: 2,
+            min_n: n,
+        });
+        let y_fleet = routed.serve_one(n, &x).unwrap();
+        assert_eq!(
+            routed.dist_served(),
+            1,
+            "request must have gone to the fleet"
+        );
+
+        // The same service without a policy answers in-process from the
+        // same cached plan family.
+        let local = PlanService::new(2, 4);
+        let y_local = local.serve_one(n, &x).unwrap();
+        for (a, b) in y_fleet.iter().zip(&y_local) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    });
+}
+
+#[test]
+fn missing_worker_binary_falls_back_in_process_without_respawn_storms() {
+    with_worker_env("/nonexistent/really-not-a-worker", || {
+        let svc = PlanService::new(2, 4).with_dist(DistPolicy {
+            budget: 2,
+            min_n: 1024,
+        });
+        let n = 1024;
+        let x = ramp(n);
+        for _ in 0..3 {
+            let y = svc.serve_one(n, &x).unwrap();
+            assert_slices_close(&y, &dft(n).eval(&x), 1e-8 * n as f64);
+        }
+        assert_eq!(svc.dist_served(), 0);
+        assert_eq!(svc.dist_fallbacks(), 3, "every eligible request counted");
+        assert!(
+            !svc.dist_active(),
+            "failed construction is cached, not retried"
+        );
+        assert!(svc.shutdown_fleet().is_none());
+    });
+}
+
+#[test]
+fn inert_policy_and_default_service_never_touch_the_fleet() {
+    // No env var needed: these paths must not even look for a worker.
+    let plain = PlanService::new(2, 4);
+    let y = plain.serve_one(256, &ramp(256)).unwrap();
+    assert_slices_close(&y, &dft(256).eval(&ramp(256)), 1e-7);
+    assert_eq!(plain.dist_served() + plain.dist_fallbacks(), 0);
+
+    let inert = PlanService::new(2, 4).with_dist(DistPolicy {
+        budget: 1,
+        min_n: 256,
+    });
+    let y = inert.serve_one(256, &ramp(256)).unwrap();
+    assert_slices_close(&y, &dft(256).eval(&ramp(256)), 1e-7);
+    assert_eq!(inert.dist_served() + inert.dist_fallbacks(), 0);
+    assert!(!inert.dist_active());
+}
+
+#[cfg(feature = "faults")]
+#[test]
+fn worker_death_mid_request_is_rescued_and_the_answer_stays_correct() {
+    use spiral_smp::faults::{DistFaultPlan, DistFaultSpec, DistSite};
+    with_worker_env(env!("CARGO_BIN_EXE_serve-dist-worker"), || {
+        let _guard = spiral_smp::faults::install_dist(DistFaultPlan {
+            seed: 7,
+            specs: vec![DistFaultSpec::once(DistSite::WorkerKill, 0)],
+        });
+        let svc = PlanService::new(2, 4).with_dist(DistPolicy {
+            budget: 2,
+            min_n: 1024,
+        });
+        let n = 1024;
+        let x = ramp(n);
+        for _ in 0..2 {
+            let y = svc.serve_one(n, &x).unwrap();
+            assert_slices_close(&y, &dft(n).eval(&x), 1e-8 * n as f64);
+        }
+        assert_eq!(svc.dist_served(), 2, "rescue is invisible to the caller");
+        let report = svc.shutdown_fleet().expect("fleet still attached");
+        assert!(report.accounting.is_exact(), "{:?}", report.accounting);
+        assert_eq!(
+            report.accounting.quarantines.len(),
+            1,
+            "exactly the killed worker was quarantined: {:?}",
+            report.accounting
+        );
+        assert!(report.accounting.rescued_shards >= 1);
+    });
+}

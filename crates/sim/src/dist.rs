@@ -1,0 +1,206 @@
+//! Inter-process exchange cost model for the `dist(q)` backend.
+//!
+//! The multi-process tier trades compute parallelism for two new costs a
+//! thread pool never pays: the input must be *scattered* into per-worker
+//! shared-memory slabs and the prefix result *gathered* back (two full
+//! data passes that cross address spaces, so neither side reuses the
+//! other's cache lines), and each batch pays a control-plane round trip
+//! per worker (dispatch + join over a socket). This module prices both
+//! against the machine model and predicts the single-process ↔ dist
+//! crossover the tuner uses to decide whether `dist(q)` is worth
+//! offering — including the degenerate host where it never is (one
+//! core: dist adds exchange cost and no parallelism, so the model
+//! predicts "never" and the tuner must agree by never selecting it).
+
+use crate::machine::MachineSpec;
+use crate::report::simulate_plan;
+use serde::{Deserialize, Serialize};
+use spiral_codegen::plan::Plan;
+use spiral_codegen::shard::ShardSpec;
+
+/// Cost parameters of the process boundary, in CPU cycles.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExchangeCosts {
+    /// Cycles per complex element moved across the boundary, counting
+    /// both the scatter into the worker slab and the gather back. Slab
+    /// pages are written in one address space and read in another, so
+    /// both passes run at memory (not cache) speed.
+    pub cycles_per_elem: f64,
+    /// Fixed cycles per worker per batch for the control-plane round
+    /// trip (dispatch frame, worker wake-up, completion frame).
+    pub dispatch_cycles: f64,
+}
+
+impl ExchangeCosts {
+    /// Derive boundary costs from a machine model: line-granular memory
+    /// traffic for the two data passes, and a dispatch round trip
+    /// costed as a handful of barrier-equivalents (a socket wake-up is
+    /// far slower than a spin barrier).
+    pub fn for_machine(spec: &MachineSpec) -> ExchangeCosts {
+        let mu = spec.mu() as f64;
+        ExchangeCosts {
+            // One line miss per µ-element line per pass (scatter pass +
+            // gather pass); hardware prefetch streams the copies, so the
+            // second touch of each line is hidden behind the first.
+            cycles_per_elem: 2.0 * spec.costs.mem / mu,
+            dispatch_cycles: 8.0 * spec.costs.barrier,
+        }
+    }
+}
+
+/// Predicted cost of one `dist(q)` execution, decomposed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistEstimate {
+    /// Worker process count.
+    pub q: usize,
+    /// Workers that can actually run in parallel (`min(q, host cores)`).
+    pub effective_workers: usize,
+    /// Cycles of the sharded prefix across the workers.
+    pub prefix_cycles: f64,
+    /// Cycles of scatter + gather + control round trips.
+    pub exchange_cycles: f64,
+    /// Cycles of the manager-side tail (unchanged from single-process).
+    pub tail_cycles: f64,
+    /// Total predicted cycles.
+    pub cycles: f64,
+    /// Predicted runtime in microseconds.
+    pub micros: f64,
+    /// The paper's metric `5 n log2 n / t_µs`.
+    pub pseudo_mflops: f64,
+    /// Total cycles of the single-process execution this competes with.
+    pub single_cycles: f64,
+    /// True when the model predicts `dist(q)` beats single-process.
+    pub wins: bool,
+}
+
+/// Price a `dist(q)` execution of `plan` with shard geometry `spec` on
+/// `machine`, given the host's physical core budget.
+///
+/// The single-process baseline is simulated exactly
+/// ([`simulate_plan`]); its cycles split into prefix and tail by flops
+/// share. The dist prefix then rescales by the parallelism change: the
+/// baseline ran the prefix on `min(threads, cores)` workers, dist runs
+/// the same work on `min(q, cores)` single-threaded processes. Exchange
+/// and dispatch costs are added on top, so on a one-core host the model
+/// always predicts a loss.
+pub fn estimate_dist(
+    plan: &Plan,
+    spec: &ShardSpec,
+    machine: &MachineSpec,
+    host_cores: usize,
+    warm: bool,
+) -> DistEstimate {
+    let costs = ExchangeCosts::for_machine(machine);
+    let single = simulate_plan(plan, machine, warm);
+    let total_flops = plan.flops().max(1) as f64;
+    let prefix_share = spec.prefix_flops(plan) as f64 / total_flops;
+    let prefix_single = single.cycles * prefix_share;
+    let tail_cycles = single.cycles - prefix_single;
+
+    let cores = host_cores.max(1);
+    let baseline_workers = plan.threads.min(cores).max(1);
+    let effective_workers = spec.q.min(cores).max(1);
+    let prefix_cycles = prefix_single * baseline_workers as f64 / effective_workers as f64;
+
+    let n = plan.n as f64;
+    let exchange_cycles = n * costs.cycles_per_elem + spec.q as f64 * costs.dispatch_cycles;
+
+    let cycles = prefix_cycles + exchange_cycles + tail_cycles;
+    let micros = machine.cycles_to_us(cycles);
+    let pseudo = if micros > 0.0 {
+        5.0 * n * n.log2() / micros
+    } else {
+        0.0
+    };
+    DistEstimate {
+        q: spec.q,
+        effective_workers,
+        prefix_cycles,
+        exchange_cycles,
+        tail_cycles,
+        cycles,
+        micros,
+        pseudo_mflops: pseudo,
+        single_cycles: single.cycles,
+        wins: cycles < single.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::core_duo;
+    use spiral_codegen::shard::shard_plan;
+    use spiral_rewrite::multicore_dft_expanded;
+
+    fn fused_plan(n: usize, p: usize) -> Plan {
+        let f = multicore_dft_expanded(n, p, 4, None, 8).unwrap();
+        Plan::from_formula(&f, p, 4).unwrap().fuse_exchanges()
+    }
+
+    #[test]
+    fn one_core_host_never_wins() {
+        let spec = core_duo();
+        for n in [256usize, 1024, 4096] {
+            let plan = fused_plan(n, 2);
+            let shard = shard_plan(&plan, 2).unwrap();
+            let est = estimate_dist(&plan, &shard, &spec, 1, true);
+            assert!(!est.wins, "n={n}: dist must lose on one core");
+            assert_eq!(est.effective_workers, 1);
+        }
+    }
+
+    #[test]
+    fn extra_cores_eventually_beat_exchange_cost() {
+        // A single-threaded plan sharded across 4 workers on a 4-core
+        // host: for large n the 4x prefix speedup amortizes the
+        // exchange, and the model must find the crossover.
+        let spec = core_duo();
+        let mut wins_somewhere = false;
+        for lg in 8..=16 {
+            let n = 1usize << lg;
+            let plan = {
+                let mut p = fused_plan(n, 4);
+                p.threads = 1; // baseline: sequential schedule of (14)
+                p
+            };
+            let shard = shard_plan(&plan, 4).unwrap();
+            let est = estimate_dist(&plan, &shard, &spec, 4, true);
+            assert_eq!(est.effective_workers, 4);
+            if est.wins {
+                wins_somewhere = true;
+            }
+        }
+        assert!(wins_somewhere, "4 workers never beat 1 thread at any n");
+    }
+
+    #[test]
+    fn small_sizes_lose_to_dispatch_overhead() {
+        let spec = core_duo();
+        let plan = {
+            let mut p = fused_plan(256, 4);
+            p.threads = 1;
+            p
+        };
+        let shard = shard_plan(&plan, 4).unwrap();
+        let est = estimate_dist(&plan, &shard, &spec, 4, true);
+        assert!(
+            !est.wins,
+            "n=256 should be dominated by exchange + dispatch cost"
+        );
+    }
+
+    #[test]
+    fn decomposition_adds_up() {
+        let spec = core_duo();
+        let plan = fused_plan(1024, 2);
+        let shard = shard_plan(&plan, 2).unwrap();
+        let est = estimate_dist(&plan, &shard, &spec, 2, true);
+        let sum = est.prefix_cycles + est.exchange_cycles + est.tail_cycles;
+        assert!((sum - est.cycles).abs() < 1e-6);
+        assert!(est.exchange_cycles > 0.0);
+        assert!(est.micros > 0.0);
+        let js = serde_json::to_string(&est).unwrap();
+        assert!(js.contains("exchange_cycles"));
+    }
+}

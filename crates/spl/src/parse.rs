@@ -301,6 +301,15 @@ impl<'a> Parser<'a> {
                 self.expect(b']')?;
                 Ok(builder::vec_tag(nu, e))
             }
+            "dist" => {
+                self.expect(b'(')?;
+                let q = self.num()?;
+                self.expect(b')')?;
+                self.expect(b'[')?;
+                let e = self.expr()?;
+                self.expect(b']')?;
+                Ok(builder::dist_tag(q, e))
+            }
             "diag" => {
                 self.expect(b'(')?;
                 let mut entries = Vec::new();

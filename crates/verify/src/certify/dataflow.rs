@@ -195,7 +195,12 @@ fn run(plan: &Plan) -> Result<(), CertFinding> {
 /// Every source index in `[0, n)` exactly once — the table is a
 /// permutation, which is what makes folding it into an adjacent compute
 /// loop (exchange fusion) a legal rewrite.
-fn check_bijection(table: &[u32], n: usize, si: usize, what: &str) -> Result<(), CertFinding> {
+pub(super) fn check_bijection(
+    table: &[u32],
+    n: usize,
+    si: usize,
+    what: &str,
+) -> Result<(), CertFinding> {
     let mut seen = vec![false; n];
     for (i, &s) in table.iter().enumerate() {
         let s = s as usize;
@@ -222,7 +227,11 @@ fn check_bijection(table: &[u32], n: usize, si: usize, what: &str) -> Result<(),
 
 /// Explicit exchanges must move whole µ-element blocks (`P ⊗̄ I_µ`):
 /// line-aligned bases, consecutive entries within each block.
-fn check_block_granularity(table: &[u32], mu: usize, si: usize) -> Result<(), CertFinding> {
+pub(super) fn check_block_granularity(
+    table: &[u32],
+    mu: usize,
+    si: usize,
+) -> Result<(), CertFinding> {
     if mu <= 1 {
         return Ok(());
     }

@@ -24,6 +24,7 @@
 //! debug-build executor guard consume the verdicts.
 
 pub mod dataflow;
+pub mod shards;
 pub mod symbolic;
 
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,8 @@ pub enum CertPass {
     Symbolic,
     /// Abstract interpretation of buffer dataflow.
     Dataflow,
+    /// Shard-boundary rules of the `dist(q)` multi-process backend.
+    Shards,
 }
 
 impl fmt::Display for CertPass {
@@ -44,6 +47,7 @@ impl fmt::Display for CertPass {
         match self {
             CertPass::Symbolic => write!(f, "symbolic"),
             CertPass::Dataflow => write!(f, "dataflow"),
+            CertPass::Shards => write!(f, "shards"),
         }
     }
 }

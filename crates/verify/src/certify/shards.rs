@@ -1,0 +1,244 @@
+//! Shard-boundary certification for the `dist(q)` multi-process backend.
+//!
+//! The dist executor splits a plan's leading `Par` steps across `q`
+//! worker processes: worker `s` owns the contiguous buffer partition
+//! `regions[s]` and must never read or write outside it (processes
+//! share no address space — an out-of-partition access would read a
+//! *stale slab*, not another worker's fresh value, silently). This pass
+//! proves the [`ShardSpec`] geometry sound against the plan:
+//!
+//! * **partition tiling** — the `q` regions tile `[0, n)` contiguously
+//!   with equal lengths (equal work, no gap, no overlap);
+//! * **chunk confinement** — at every sharded step, each region is a
+//!   whole number of chunks, so no chunk program straddles a process
+//!   boundary (a corrupted shard offset is caught here);
+//! * **prefix shape** — the sharded prefix contains only `Par` steps,
+//!   and only step 0 may carry a fused gather (a later gather reads the
+//!   global intermediate buffer, which mid-prefix is split across
+//!   processes);
+//! * **exchange bijectivity at µ-granularity** — the step-0 gather the
+//!   manager applies at scatter time is a bijection of `[0, n)` moving
+//!   whole µ-element blocks, the paper's `P ⊗̄ I_µ` structure carried
+//!   across the process boundary.
+//!
+//! Like the dataflow pass, the first violation stops the analysis.
+
+use super::{dataflow, CertFinding, CertPass};
+use spiral_codegen::plan::{Plan, Step};
+use spiral_codegen::shard::ShardSpec;
+
+/// Certify a shard geometry against its plan. Empty result = certified.
+pub fn certify_shards(plan: &Plan, spec: &ShardSpec) -> Vec<CertFinding> {
+    match run(plan, spec) {
+        Ok(()) => Vec::new(),
+        Err(f) => vec![f],
+    }
+}
+
+fn fail(step: Option<usize>, index: Option<usize>, detail: String) -> CertFinding {
+    CertFinding {
+        pass: CertPass::Shards,
+        step,
+        stage: None,
+        index,
+        detail,
+    }
+}
+
+/// Re-tag a dataflow-helper finding as a shards finding: the bijection
+/// and µ-granularity predicates are shared with the dataflow pass, but
+/// a violation found *here* is a shard-boundary defect.
+fn retag(r: Result<(), CertFinding>) -> Result<(), CertFinding> {
+    r.map_err(|mut f| {
+        f.pass = CertPass::Shards;
+        f
+    })
+}
+
+fn run(plan: &Plan, spec: &ShardSpec) -> Result<(), CertFinding> {
+    let n = plan.n;
+    let q = spec.q;
+    if q < 2 || !q.is_power_of_two() {
+        return Err(fail(
+            None,
+            None,
+            format!("shard spec has q = {q}, not a power of two ≥ 2"),
+        ));
+    }
+    if spec.regions.len() != q {
+        return Err(fail(
+            None,
+            None,
+            format!("shard spec has {} regions for q = {q}", spec.regions.len()),
+        ));
+    }
+    if !n.is_multiple_of(q) {
+        return Err(fail(
+            None,
+            None,
+            format!("{q} processes do not divide the {n}-point vector"),
+        ));
+    }
+    let len = n / q;
+    let mut expect = 0;
+    for (s, r) in spec.regions.iter().enumerate() {
+        if r.len != len {
+            return Err(fail(
+                None,
+                Some(s),
+                format!("region {s} has length {}, expected n/q = {len}", r.len),
+            ));
+        }
+        if r.offset != expect {
+            return Err(fail(
+                None,
+                Some(s),
+                format!(
+                    "region {s} starts at {}, expected {expect} — partitions must tile \
+                     [0, {n}) contiguously",
+                    r.offset
+                ),
+            ));
+        }
+        expect += len;
+    }
+    if spec.shard_steps == 0 || spec.shard_steps > plan.steps.len() {
+        return Err(fail(
+            None,
+            None,
+            format!(
+                "sharded prefix of {} steps does not fit the {}-step plan",
+                spec.shard_steps,
+                plan.steps.len()
+            ),
+        ));
+    }
+    for (si, step) in plan.steps[..spec.shard_steps].iter().enumerate() {
+        let Step::Par {
+            chunk,
+            programs,
+            gather,
+        } = step
+        else {
+            return Err(fail(
+                Some(si),
+                None,
+                format!(
+                    "sharded step `{}` is not a parallel chunk step",
+                    step.label()
+                ),
+            ));
+        };
+        // Every region must be a whole number of chunks: a chunk that
+        // straddles two regions would make one process read the other's
+        // partition, which across address spaces is a stale slab.
+        for (s, r) in spec.regions.iter().enumerate() {
+            if !r.offset.is_multiple_of(*chunk) || !r.len.is_multiple_of(*chunk) {
+                return Err(fail(
+                    Some(si),
+                    Some(s),
+                    format!(
+                        "region {s} [{}, {}) is not aligned to the step's chunk grid of \
+                         {chunk} — a chunk would straddle the process boundary",
+                        r.offset,
+                        r.offset + r.len
+                    ),
+                ));
+            }
+        }
+        match (si, gather) {
+            (0, Some(g)) => {
+                if g.len() != n {
+                    return Err(fail(
+                        Some(si),
+                        None,
+                        format!("scatter gather table has {} entries, expected {n}", g.len()),
+                    ));
+                }
+                retag(dataflow::check_bijection(g, n, si, "shard scatter"))?;
+                retag(dataflow::check_block_granularity(g, plan.mu, si))?;
+            }
+            (0, None) => {}
+            (_, Some(_)) => {
+                return Err(fail(
+                    Some(si),
+                    None,
+                    "mid-prefix step carries a fused gather, which reads across process \
+                     boundaries"
+                        .to_string(),
+                ));
+            }
+            (_, None) => {}
+        }
+        let _ = programs;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spiral_codegen::plan::Plan;
+    use spiral_codegen::shard::shard_plan;
+    use spiral_rewrite::multicore_dft_expanded;
+
+    fn fused_plan(n: usize, p: usize) -> Plan {
+        let f = multicore_dft_expanded(n, p, 4, None, 8).unwrap();
+        Plan::from_formula(&f, p, 4).unwrap().fuse_exchanges()
+    }
+
+    #[test]
+    fn computed_specs_certify() {
+        for (n, p, q) in [(64usize, 2usize, 2usize), (256, 4, 2), (256, 4, 4)] {
+            let plan = fused_plan(n, p);
+            let spec = shard_plan(&plan, q).unwrap();
+            assert!(certify_shards(&plan, &spec).is_empty(), "n={n} p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn corrupted_region_offset_is_caught() {
+        let plan = fused_plan(256, 4);
+        let mut spec = shard_plan(&plan, 2).unwrap();
+        spec.regions[1].offset += 1;
+        let f = certify_shards(&plan, &spec);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, CertPass::Shards);
+        assert!(f[0].detail.contains("tile"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn chunk_straddling_region_is_caught() {
+        let plan = fused_plan(256, 4);
+        let mut spec = shard_plan(&plan, 2).unwrap();
+        // Shift the boundary by one whole element but keep tiling by
+        // also shrinking region 0: now regions are unequal → caught.
+        spec.regions[0].len -= 1;
+        let f = certify_shards(&plan, &spec);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("expected n/q"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn oversized_prefix_is_caught() {
+        let plan = fused_plan(256, 4);
+        let mut spec = shard_plan(&plan, 2).unwrap();
+        spec.shard_steps = plan.steps.len() + 1;
+        let f = certify_shards(&plan, &spec);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("prefix"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn mid_prefix_gather_is_caught() {
+        // Extend the prefix over the second fused Par, which carries a
+        // gather: the pass must reject reading across process boundaries.
+        let plan = fused_plan(256, 4);
+        let mut spec = shard_plan(&plan, 2).unwrap();
+        assert_eq!(spec.shard_steps, 1);
+        spec.shard_steps = 2;
+        let f = certify_shards(&plan, &spec);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("fused gather"), "{}", f[0].detail);
+    }
+}

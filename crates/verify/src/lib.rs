@@ -648,6 +648,7 @@ mod tests {
             threads,
             mu,
             vec_width: 1,
+            dist_procs: 1,
             steps: vec![Step::Par {
                 chunk,
                 programs: dims.iter().map(|&d| LocalProgram::identity(d)).collect(),
@@ -711,6 +712,7 @@ mod tests {
             threads: 2,
             mu: 4,
             vec_width: 1,
+            dist_procs: 1,
             steps: vec![
                 Step::ScaleAll(Arc::new(vec![Cplx::ONE; n])),
                 Step::Par {
@@ -742,6 +744,7 @@ mod tests {
             threads: 2,
             mu: 4,
             vec_width: 1,
+            dist_procs: 1,
             steps: vec![Step::Par {
                 chunk: 8,
                 programs: vec![scale, LocalProgram::identity(8)],
